@@ -1,0 +1,167 @@
+(* aldsp — a command-line console for the data services platform.
+
+   Subcommands:
+     run      compile and run an XQuery against the demo enterprise
+     explain  show the compiled plan and the SQL pushed to each source
+     check    design-time check of a data service file (error recovery)
+     catalog  list data services, functions and sources
+     stats    run a query and report per-source roundtrips/rows *)
+
+open Cmdliner
+open Aldsp_core
+
+let make_demo customers =
+  Aldsp_demo.Demo.create ~customers ~orders_per_customer:3 ()
+
+let customers_arg =
+  let doc = "Number of customers in the demo enterprise." in
+  Arg.(value & opt int 20 & info [ "c"; "customers" ] ~docv:"N" ~doc)
+
+let query_arg =
+  let doc = "The XQuery to process (a literal query string)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let file_arg =
+  let doc = "Path to a data service (.xds) file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let run_cmd =
+  let action customers query =
+    let demo = make_demo customers in
+    match Server.run demo.Aldsp_demo.Demo.server query with
+    | Ok items ->
+      print_endline (Aldsp_xml.Item.serialize items);
+      0
+    | Error msg ->
+      prerr_endline msg;
+      1
+  in
+  let doc = "compile and run an XQuery against the demo enterprise" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ customers_arg $ query_arg)
+
+let explain_cmd =
+  let action customers query =
+    let demo = make_demo customers in
+    match Server.explain demo.Aldsp_demo.Demo.server query with
+    | Ok text ->
+      print_string text;
+      0
+    | Error msg ->
+      prerr_endline msg;
+      1
+  in
+  let doc = "show the compiled plan and pushed SQL for a query" in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const action $ customers_arg $ query_arg)
+
+let check_cmd =
+  let action customers file =
+    let demo = make_demo customers in
+    let source =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let diags = Server.design_time_check demo.Aldsp_demo.Demo.server source in
+    if diags = [] then begin
+      print_endline "no problems found";
+      0
+    end
+    else begin
+      List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+      1
+    end
+  in
+  let doc =
+    "design-time check of a data service file: reports as many errors as \
+     possible instead of stopping at the first"
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const action $ customers_arg $ file_arg)
+
+let catalog_cmd =
+  let action customers =
+    let demo = make_demo customers in
+    let registry = demo.Aldsp_demo.Demo.registry in
+    print_endline "data services:";
+    List.iter
+      (fun ds ->
+        Printf.printf "  %s%s\n" ds.Metadata.ds_name
+          (match ds.Metadata.ds_lineage_provider with
+          | Some p -> Printf.sprintf " (lineage: %s)" (Aldsp_xml.Qname.to_string p)
+          | None -> "");
+        List.iter
+          (fun f -> Printf.printf "    - %s\n" (Aldsp_xml.Qname.to_string f))
+          ds.Metadata.ds_functions)
+      (Metadata.data_services registry);
+    print_endline "functions:";
+    List.iter
+      (fun fd ->
+        Printf.printf "  %s/%d : %s  [%s]\n"
+          (Aldsp_xml.Qname.to_string fd.Metadata.fd_name)
+          (List.length fd.Metadata.fd_params)
+          (Stype.to_string fd.Metadata.fd_return)
+          (match fd.Metadata.fd_kind with
+          | Metadata.Read -> "read"
+          | Metadata.Navigate -> "navigate"
+          | Metadata.Library -> "library"))
+      (Metadata.functions registry);
+    0
+  in
+  let doc = "list the demo enterprise's data services and functions" in
+  Cmd.v (Cmd.info "catalog" ~doc) Term.(const action $ customers_arg)
+
+let describe_cmd =
+  let action customers name =
+    let demo = make_demo customers in
+    match Design_view.render demo.Aldsp_demo.Demo.registry name with
+    | Ok text ->
+      print_string text;
+      0
+    | Error msg ->
+      prerr_endline msg;
+      1
+  in
+  let name_arg =
+    let doc = "Data service name (see $(b,catalog))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SERVICE" ~doc)
+  in
+  let doc = "render a data service's design view (shape, methods, dependencies)" in
+  Cmd.v (Cmd.info "describe" ~doc)
+    Term.(const action $ customers_arg $ name_arg)
+
+let stats_cmd =
+  let action customers query =
+    let demo = make_demo customers in
+    Aldsp_demo.Demo.reset_stats demo;
+    (match Server.run demo.Aldsp_demo.Demo.server query with
+    | Ok items -> Printf.printf "%d items returned\n" (List.length items)
+    | Error msg -> prerr_endline msg);
+    let open Aldsp_relational in
+    let report (db : Database.t) =
+      Printf.printf "%-12s %4d statements  %6d rows shipped  %4d params\n"
+        db.Database.db_name db.Database.stats.Database.statements
+        db.Database.stats.Database.rows_shipped
+        db.Database.stats.Database.params_bound
+    in
+    report demo.Aldsp_demo.Demo.customer_db;
+    report demo.Aldsp_demo.Demo.card_db;
+    Printf.printf "%-12s %4d calls\n" "RatingWS"
+      demo.Aldsp_demo.Demo.rating_service.Aldsp_services.Web_service.stats
+        .Aldsp_services.Web_service.calls;
+    0
+  in
+  let doc = "run a query and report per-source roundtrips and rows" in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const action $ customers_arg $ query_arg)
+
+let () =
+  let doc = "query console for the data services platform" in
+  let info = Cmd.info "aldsp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; explain_cmd; check_cmd; catalog_cmd; describe_cmd;
+            stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/customer_profile.ml: Aldsp_core Aldsp_demo Aldsp_relational Aldsp_services Aldsp_xml Demo Printf Server

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aldsp_core Aldsp_relational Aldsp_xml Database List Metadata Printf Result Server Sql_value Table

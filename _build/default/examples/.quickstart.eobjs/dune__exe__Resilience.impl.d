@@ -1,0 +1,1 @@
+examples/resilience.ml: Aldsp_core Aldsp_demo Aldsp_relational Aldsp_services Aldsp_xml Database Demo Function_cache Metadata Printf Server Unix Web_service

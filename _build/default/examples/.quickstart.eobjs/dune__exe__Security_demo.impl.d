@@ -1,0 +1,1 @@
+examples/security_demo.ml: Aldsp_core Aldsp_demo Aldsp_xml Atomic Audit Demo Item List Printf Qname Security Server String

@@ -1,0 +1,1 @@
+examples/updates_sdo.ml: Aldsp_core Aldsp_demo Aldsp_sdo Aldsp_xml Atomic Demo Format Item Lineage List Node Printf Qname Result Sdo Server String Submit

@@ -1,0 +1,1 @@
+lib/core/adaptors.ml: Aldsp_relational Aldsp_services Aldsp_xml Array Atomic Custom_function Database Item List Node Printf Qname Result Sql_ast Sql_exec Sql_value Table Web_service

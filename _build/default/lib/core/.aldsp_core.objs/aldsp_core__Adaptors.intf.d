@@ -1,0 +1,1 @@
+lib/core/adaptors.mli: Aldsp_relational Aldsp_services Aldsp_xml Atomic Custom_function Database Item Node Qname Sql_ast Sql_exec Sql_value Web_service

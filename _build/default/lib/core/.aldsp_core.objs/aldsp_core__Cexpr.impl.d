@@ -1,0 +1,1 @@
+lib/core/cexpr.ml: Aldsp_relational Aldsp_xml Atomic Format Hashtbl List Printf Qname String Stype

@@ -1,0 +1,1 @@
+lib/core/cexpr.mli: Aldsp_relational Aldsp_xml Atomic Format Hashtbl Qname Stype

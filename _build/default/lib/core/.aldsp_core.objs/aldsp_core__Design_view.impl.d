@@ -1,0 +1,1 @@
+lib/core/design_view.ml: Aldsp_xml Buffer Cexpr Format List Metadata Printf Qname Schema String Stype

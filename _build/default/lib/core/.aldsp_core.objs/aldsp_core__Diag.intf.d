@@ -1,0 +1,1 @@
+lib/core/diag.mli: Format

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Adaptors Aldsp_relational Aldsp_xml Array Atomic Cexpr Fn_lib Future Hashtbl Item List Map Metadata Names Node Option Printf Qname Result Seq String Stype

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Aldsp_xml Cexpr Item Metadata Stype

@@ -1,0 +1,1 @@
+lib/core/fn_lib.ml: Aldsp_relational Aldsp_xml Atomic Buffer Float Hashtbl Item List Names Option Printf Qname Result String Stype

@@ -1,0 +1,1 @@
+lib/core/fn_lib.mli: Aldsp_relational Aldsp_xml Item Qname Stype

@@ -1,0 +1,1 @@
+lib/core/function_cache.ml: Aldsp_relational Aldsp_xml Array Atomic Database Hashtbl Item List Metadata Option Printf Qname Sql_ast Sql_exec Sql_value String Table Unix Xml_parser

@@ -1,0 +1,1 @@
+lib/core/function_cache.mli: Aldsp_relational Aldsp_xml Item Metadata Qname

@@ -1,0 +1,1 @@
+lib/core/future.ml: Condition Mutex Thread Unix

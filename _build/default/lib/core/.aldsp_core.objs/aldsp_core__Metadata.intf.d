@@ -1,0 +1,1 @@
+lib/core/metadata.mli: Aldsp_relational Aldsp_services Aldsp_xml Atomic Cexpr Custom_function Database Node Procedure Qname Schema Stype Web_service

@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Aldsp_xml Atomic Cexpr Diag List Metadata Names Printf Qname Schema Stype Xq_ast

@@ -1,0 +1,1 @@
+lib/core/normalize.mli: Aldsp_xml Cexpr Diag Qname Schema Stype Xq_ast

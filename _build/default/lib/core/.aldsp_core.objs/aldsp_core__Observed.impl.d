@@ -1,0 +1,1 @@
+lib/core/observed.ml: Aldsp_xml Float Hashtbl List Metadata Option Qname Unix

@@ -1,0 +1,1 @@
+lib/core/observed.mli: Aldsp_xml Item Metadata Qname

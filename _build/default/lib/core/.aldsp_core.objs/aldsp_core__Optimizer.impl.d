@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Aldsp_xml Atomic Cexpr Fn_lib Hashtbl List Metadata Names Observed Option Printf Qname Rewrite Stype

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Aldsp_xml Cexpr Metadata Observed Rewrite

@@ -1,0 +1,1 @@
+lib/core/plan_cache.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/pushdown.ml: Aldsp_relational Aldsp_xml Atomic Cexpr Database Fn_lib Hashtbl List Metadata Names Optimizer Option Printf Qname Sql_ast Sql_print Sql_value String Table

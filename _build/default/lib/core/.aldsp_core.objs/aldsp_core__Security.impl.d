@@ -1,0 +1,1 @@
+lib/core/security.ml: Aldsp_xml Atomic Audit Hashtbl Item List Node Printf Qname

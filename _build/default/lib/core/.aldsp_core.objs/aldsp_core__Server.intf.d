@@ -1,0 +1,1 @@
+lib/core/server.mli: Aldsp_tokens Aldsp_xml Audit Cexpr Diag Function_cache Item Metadata Observed Optimizer Qname Security Seq Stype

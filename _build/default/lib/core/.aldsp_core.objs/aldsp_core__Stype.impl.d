@@ -1,0 +1,1 @@
+lib/core/stype.ml: Aldsp_xml Atomic Format List Printf Qname String

@@ -1,0 +1,1 @@
+lib/core/stype.mli: Aldsp_xml Atomic Format Qname

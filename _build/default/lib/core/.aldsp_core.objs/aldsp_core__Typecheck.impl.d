@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Aldsp_xml Atomic Cexpr Diag Fn_lib List Metadata Printf Qname Stype

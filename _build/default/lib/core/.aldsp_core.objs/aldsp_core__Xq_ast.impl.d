@@ -1,0 +1,1 @@
+lib/core/xq_ast.ml: Aldsp_xml Atomic Format List

@@ -1,0 +1,1 @@
+lib/core/xq_ast.mli: Aldsp_xml Atomic Format

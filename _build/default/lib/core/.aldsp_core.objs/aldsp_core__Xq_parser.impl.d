@@ -1,0 +1,1 @@
+lib/core/xq_parser.ml: Aldsp_xml Atomic Buffer List Option Printf String Xq_ast

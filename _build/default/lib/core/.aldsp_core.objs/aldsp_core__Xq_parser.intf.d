@@ -1,0 +1,1 @@
+lib/core/xq_parser.mli: Xq_ast

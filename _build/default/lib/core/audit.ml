@@ -1,0 +1,22 @@
+type level = Off | Summary | Detailed
+
+type event = {
+  category : string;
+  summary : string;
+  detail : string option;
+}
+
+type t = { mutable lvl : level; mutable log : event list }
+
+let create ?(level = Off) () = { lvl = level; log = [] }
+let set_level t lvl = t.lvl <- lvl
+let level t = t.lvl
+
+let record t ~category ?detail summary =
+  match t.lvl with
+  | Off -> ()
+  | Summary -> t.log <- { category; summary; detail = None } :: t.log
+  | Detailed -> t.log <- { category; summary; detail } :: t.log
+
+let events t = List.rev t.log
+let clear t = t.log <- []

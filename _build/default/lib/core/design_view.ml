@@ -1,0 +1,123 @@
+open Aldsp_xml
+module C = Cexpr
+
+let called_functions body =
+  let acc = ref [] in
+  let rec go e =
+    (match e with
+    | C.Call { fn; _ } -> acc := fn :: !acc
+    | _ -> ());
+    ignore
+      (C.map_children
+         (fun child ->
+           go child;
+           child)
+         e)
+  in
+  go body;
+  !acc
+
+let owner_service registry fn =
+  List.find_opt
+    (fun ds -> List.exists (Qname.equal fn) ds.Metadata.ds_functions)
+    (Metadata.data_services registry)
+
+let dependencies registry (ds : Metadata.data_service) =
+  let deps = ref [] in
+  List.iter
+    (fun fname ->
+      List.iter
+        (fun arity ->
+          match Metadata.find_function registry fname arity with
+          | Some { Metadata.fd_impl = Metadata.Body body; _ } ->
+            List.iter
+              (fun callee ->
+                match owner_service registry callee with
+                | Some owner
+                  when owner.Metadata.ds_name <> ds.Metadata.ds_name
+                       && not (List.mem owner.Metadata.ds_name !deps) ->
+                  deps := owner.Metadata.ds_name :: !deps
+                | _ -> ())
+              (called_functions body)
+          | _ -> ())
+        [ 0; 1; 2; 3 ])
+    ds.Metadata.ds_functions;
+  List.rev !deps
+
+let method_line registry buf fname =
+  List.iter
+    (fun arity ->
+      match Metadata.find_function registry fname arity with
+      | Some fd ->
+        let params =
+          String.concat ", "
+            (List.map
+               (fun (p, ty) -> Printf.sprintf "$%s as %s" p (Stype.to_string ty))
+               fd.Metadata.fd_params)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "    %s(%s) as %s%s\n"
+             (Qname.to_string fd.Metadata.fd_name)
+             params
+             (Stype.to_string fd.Metadata.fd_return)
+             (if fd.Metadata.fd_cacheable then "  [cacheable]" else ""))
+      | None -> ())
+    [ 0; 1; 2; 3 ]
+
+let render registry name =
+  match Metadata.find_data_service registry name with
+  | None -> Error (Printf.sprintf "no data service named %s" name)
+  | Some ds ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (Printf.sprintf "data service %s\n" ds.Metadata.ds_name);
+    (* shape *)
+    Buffer.add_string buf "  shape:\n";
+    (match ds.Metadata.ds_shape with
+    | Some schema ->
+      Buffer.add_string buf
+        (Format.asprintf "    @[%a@]@." Schema.pp schema)
+    | None -> (
+      (* derive from the lineage provider's return type *)
+      match ds.Metadata.ds_lineage_provider with
+      | Some provider -> (
+        match Metadata.resolve_call registry provider 0 with
+        | Some fd ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s\n" (Stype.to_string fd.Metadata.fd_return))
+        | None -> Buffer.add_string buf "    (unknown)\n")
+      | None -> Buffer.add_string buf "    (unknown)\n"));
+    (* methods by kind *)
+    let by_kind kind label =
+      let names =
+        List.filter
+          (fun fname ->
+            List.exists
+              (fun arity ->
+                match Metadata.find_function registry fname arity with
+                | Some fd -> fd.Metadata.fd_kind = kind
+                | None -> false)
+              [ 0; 1; 2; 3 ])
+          ds.Metadata.ds_functions
+      in
+      if names <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "  %s:\n" label);
+        List.iter (method_line registry buf) names
+      end
+    in
+    by_kind Metadata.Read "read methods";
+    by_kind Metadata.Navigate "navigation methods";
+    by_kind Metadata.Library "library functions";
+    (match ds.Metadata.ds_lineage_provider with
+    | Some p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  lineage provider: %s\n" (Qname.to_string p))
+    | None -> ());
+    (* dependencies *)
+    (match dependencies registry ds with
+    | [] -> ()
+    | deps ->
+      Buffer.add_string buf "  depends on:\n";
+      List.iter
+        (fun d -> Buffer.add_string buf (Printf.sprintf "    %s\n" d))
+        deps);
+    Ok (Buffer.contents buf)

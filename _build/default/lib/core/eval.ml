@@ -1,0 +1,867 @@
+open Aldsp_xml
+module C = Cexpr
+module Sql = Aldsp_relational.Sql_ast
+module V = Aldsp_relational.Sql_value
+
+exception Eval_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Eval_error m)) fmt
+
+(* Bindings are either materialized or futures (spawned by fn-bea:async). *)
+type binding = Now of Item.sequence | Later of Item.sequence Future.t
+
+module Env = Map.Make (String)
+
+type env = binding Env.t
+
+type call_wrapper =
+  Metadata.function_def -> Item.sequence list -> (unit -> Item.sequence) ->
+  Item.sequence
+
+type rt = {
+  registry : Metadata.t;
+  call_wrapper : call_wrapper;
+  max_depth : int;
+}
+
+let runtime ?(call_wrapper = fun _ _ k -> k ()) registry =
+  { registry; call_wrapper; max_depth = 256 }
+
+let lookup env v =
+  match Env.find_opt v env with
+  | Some (Now seq) -> seq
+  | Some (Later fut) -> Future.await fut
+  | None -> error "unbound variable $%s at runtime" v
+
+let bind env v seq = Env.add v (Now seq) env
+
+(* ------------------------------------------------------------------ *)
+(* Total order on atoms, for sorting and grouping: comparable values
+   use value comparison; incomparable pairs order by type tag so the
+   sort is still total (grouping only needs a consistent order). *)
+
+let type_rank = function
+  | Atomic.Boolean _ -> 0
+  | Atomic.Integer _ | Atomic.Decimal _ | Atomic.Double _ -> 1
+  | Atomic.String _ | Atomic.Untyped _ -> 2
+  | Atomic.Date _ | Atomic.Date_time _ -> 3
+
+let compare_atoms_total a b =
+  match Atomic.compare_values a b with
+  | Ok c -> c
+  | Error _ -> compare (type_rank a) (type_rank b)
+
+let compare_keys_total ka kb =
+  (* each key is an atom list; empty sorts first *)
+  let compare_key a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | xs, ys ->
+      let rec go xs ys =
+        match (xs, ys) with
+        | [], [] -> 0
+        | [], _ -> -1
+        | _, [] -> 1
+        | x :: xs, y :: ys -> (
+          match compare_atoms_total x y with 0 -> go xs ys | c -> c)
+      in
+      go xs ys
+  in
+  let rec go ka kb =
+    match (ka, kb) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | a :: ka, b :: kb -> (
+      match compare_key a b with 0 -> go ka kb | c -> c)
+  in
+  go ka kb
+
+let keys_equal ka kb = compare_keys_total ka kb = 0
+
+(* ------------------------------------------------------------------ *)
+(* typematch / instance-of                                             *)
+
+let rec item_matches item (it : Stype.item_type) =
+  match (item, it) with
+  | _, Stype.It_item -> true
+  | _, Stype.It_error -> true
+  | Item.Atom a, Stype.It_atomic ty ->
+    Atomic.subtype (Atomic.type_of a) ty || ty = Atomic.T_untyped
+  | Item.Node _, Stype.It_node -> true
+  | Item.Node (Node.Element e), Stype.It_element { elem_name; simple; _ } -> (
+    (match elem_name with
+    | None -> true
+    | Some n -> Qname.equal e.Node.name n)
+    &&
+    match simple with
+    | None -> true
+    | Some ty -> (
+      match Node.typed_value (Node.Element e) with
+      | [ a ] -> Atomic.subtype (Atomic.type_of a) ty || ty = Atomic.T_untyped
+      | [] -> true
+      | _ -> false))
+  | Item.Node (Node.Text _), Stype.It_text -> true
+  | Item.Node _, _ -> false
+  | Item.Atom _, _ -> false
+
+and matches_stype seq (ty : Stype.t) =
+  let n = List.length seq in
+  (if ty.Stype.occ.Stype.at_least_one then n >= 1 else true)
+  && (if ty.Stype.occ.Stype.at_most_one then n <= 1 else true)
+  && (ty.Stype.items <> [] || n = 0)
+  && List.for_all
+       (fun item -> List.exists (item_matches item) ty.Stype.items)
+       seq
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let atomize seq =
+  match Item.atomize seq with Ok a -> a | Error m -> error "%s" m
+
+let ebv seq = match Item.ebv seq with Ok b -> b | Error m -> error "%s" m
+
+let singleton_atom what seq =
+  match atomize seq with
+  | [] -> None
+  | [ a ] -> Some a
+  | _ -> error "%s: more than one item" what
+
+let value_compare op a b =
+  match Atomic.compare_values a b with
+  | Ok c -> (
+    match op with
+    | C.V_eq -> c = 0
+    | C.V_ne -> c <> 0
+    | C.V_lt -> c < 0
+    | C.V_le -> c <= 0
+    | C.V_gt -> c > 0
+    | C.V_ge -> c >= 0
+    | _ -> assert false)
+  | Error m -> error "%s" m
+
+let arith op a b =
+  let r =
+    match op with
+    | C.Add -> Atomic.add a b
+    | C.Sub -> Atomic.sub a b
+    | C.Mul -> Atomic.mul a b
+    | C.Div -> Atomic.div a b
+    | C.Idiv -> Atomic.idiv a b
+    | C.Mod -> Atomic.modulo a b
+    | _ -> assert false
+  in
+  match r with Ok v -> v | Error m -> error "%s" m
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                       *)
+
+type frame = { rt : rt; depth : int }
+
+let rec eval_expr fr env (e : C.t) : Item.sequence =
+  match e with
+  | C.Const a -> [ Item.Atom a ]
+  | C.Empty -> []
+  | C.Seq es -> eval_children fr env es
+  | C.Var v -> lookup env v
+  | C.Elem { name; optional; attrs; content } ->
+    eval_element fr env name optional attrs content
+  | C.Flwor { clauses; return_ } ->
+    let stream = tuples fr env (List.to_seq [ env ]) clauses in
+    List.concat (List.of_seq (Seq.map (fun env' -> eval_expr fr env' return_) stream))
+  | C.If { cond; then_; else_ } ->
+    if ebv (eval_expr fr env cond) then eval_expr fr env then_
+    else eval_expr fr env else_
+  | C.Quantified { universal; var; source; pred } ->
+    let items = eval_expr fr env source in
+    let test item = ebv (eval_expr fr (bind env var [ item ]) pred) in
+    [ Item.boolean
+        (if universal then List.for_all test items else List.exists test items) ]
+  | C.Call { fn; args } -> eval_call fr env fn args
+  | C.Child (input, name) ->
+    List.concat_map
+      (function
+        | Item.Node node ->
+          List.map (fun n -> Item.Node n) (Node.child_elements node name)
+        | Item.Atom _ -> error "child step on an atomic value")
+      (eval_expr fr env input)
+  | C.Child_wild input ->
+    List.concat_map
+      (function
+        | Item.Node node ->
+          List.filter_map
+            (function
+              | Node.Element _ as el -> Some (Item.Node el)
+              | Node.Text _ | Node.Atom _ -> None)
+            (Node.children node)
+        | Item.Atom _ -> error "child step on an atomic value")
+      (eval_expr fr env input)
+  | C.Attr_of (input, name) ->
+    List.concat_map
+      (function
+        | Item.Node node -> (
+          match Node.attribute node name with
+          | Some a -> [ Item.Atom a ]
+          | None -> [])
+        | Item.Atom _ -> error "attribute step on an atomic value")
+      (eval_expr fr env input)
+  | C.Filter { input; dot; pos; pred } ->
+    let items = eval_expr fr env input in
+    List.filteri
+      (fun i item ->
+        let env' =
+          bind (bind env dot [ item ]) pos [ Item.integer (i + 1) ]
+        in
+        let result = eval_expr fr env' pred in
+        match result with
+        | [ Item.Atom ((Atomic.Integer _ | Atomic.Decimal _ | Atomic.Double _) as a) ]
+          -> (
+          (* numeric predicate selects by position *)
+          match a with
+          | Atomic.Integer n -> n = i + 1
+          | Atomic.Decimal f | Atomic.Double f -> f = float_of_int (i + 1)
+          | _ -> assert false)
+        | r -> ebv r)
+      items
+  | C.Data input -> List.map (fun a -> Item.Atom a) (atomize (eval_expr fr env input))
+  | C.Ebv input -> [ Item.boolean (ebv (eval_expr fr env input)) ]
+  | C.Binop (op, a, b) -> eval_binop fr env op a b
+  | C.Typematch (input, ty) ->
+    let v = eval_expr fr env input in
+    if matches_stype v ty then v
+    else error "typematch failed: value does not match %s" (Stype.to_string ty)
+  | C.Cast (input, ty) -> (
+    match singleton_atom "cast" (eval_expr fr env input) with
+    | None -> []
+    | Some a -> (
+      match Atomic.cast ty a with
+      | Ok v -> [ Item.Atom v ]
+      | Error m -> error "%s" m))
+  | C.Castable (input, ty) -> (
+    match singleton_atom "castable" (eval_expr fr env input) with
+    | None -> [ Item.boolean false ]
+    | Some a -> [ Item.boolean (Result.is_ok (Atomic.cast ty a)) ])
+  | C.Instance_of (input, ty) ->
+    [ Item.boolean (matches_stype (eval_expr fr env input) ty) ]
+  | C.Error_expr msg -> error "evaluated an error expression: %s" msg
+
+(* fn-bea:async children are spawned before their siblings are evaluated,
+   so independent slow calls overlap (§5.4). *)
+and eval_children fr env es =
+  let started =
+    List.map
+      (fun e ->
+        match e with
+        | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
+          Later (Future.spawn (fun () -> eval_expr fr env arg))
+        | _ -> Now (eval_expr fr env e))
+      es
+  in
+  List.concat_map
+    (function Now seq -> seq | Later fut -> Future.await fut)
+    started
+
+and eval_element fr env name optional attrs content =
+  let attributes =
+    List.concat_map
+      (fun a ->
+        let value = eval_expr fr env a.C.avalue in
+        match atomize value with
+        | [] ->
+          if a.C.aoptional then []
+          else [ (a.C.aname, Atomic.String "") ]
+        | [ atom ] -> [ (a.C.aname, atom) ]
+        | atoms ->
+          [ ( a.C.aname,
+              Atomic.String
+                (String.concat " " (List.map Atomic.to_string atoms)) ) ])
+      attrs
+  in
+  let content_items = eval_expr fr env content in
+  if optional && content_items = [] && attributes = [] then []
+  else
+    let children =
+      List.map
+        (function
+          | Item.Atom a -> Node.atom a
+          | Item.Node n -> n)
+        content_items
+    in
+    [ Item.Node (Node.element ~attributes name children) ]
+
+and eval_binop fr env op a b =
+  match op with
+  | C.And ->
+    let truth = ebv (eval_expr fr env a) && ebv (eval_expr fr env b) in
+    [ Item.boolean truth ]
+  | C.Or ->
+    let truth = ebv (eval_expr fr env a) || ebv (eval_expr fr env b) in
+    [ Item.boolean truth ]
+  | C.V_eq | C.V_ne | C.V_lt | C.V_le | C.V_gt | C.V_ge -> (
+    let va = singleton_atom "value comparison" (eval_expr fr env a) in
+    let vb = singleton_atom "value comparison" (eval_expr fr env b) in
+    match (va, vb) with
+    | None, _ | _, None -> []
+    | Some x, Some y -> [ Item.boolean (value_compare op x y) ])
+  | C.G_eq | C.G_ne | C.G_lt | C.G_le | C.G_gt | C.G_ge ->
+    let vop =
+      match op with
+      | C.G_eq -> C.V_eq
+      | C.G_ne -> C.V_ne
+      | C.G_lt -> C.V_lt
+      | C.G_le -> C.V_le
+      | C.G_gt -> C.V_gt
+      | C.G_ge -> C.V_ge
+      | _ -> assert false
+    in
+    let xs = atomize (eval_expr fr env a) in
+    let ys = atomize (eval_expr fr env b) in
+    (* general comparison is existential; untyped operands are coerced by
+       the value comparison's promotion rules *)
+    let holds =
+      List.exists
+        (fun x ->
+          List.exists
+            (fun y ->
+              match Atomic.compare_values x y with
+              | Ok c -> (
+                match vop with
+                | C.V_eq -> c = 0
+                | C.V_ne -> c <> 0
+                | C.V_lt -> c < 0
+                | C.V_le -> c <= 0
+                | C.V_gt -> c > 0
+                | C.V_ge -> c >= 0
+                | _ -> assert false)
+              | Error _ -> false)
+            ys)
+        xs
+    in
+    [ Item.boolean holds ]
+  | C.Add | C.Sub | C.Mul | C.Div | C.Idiv | C.Mod -> (
+    let va = singleton_atom "arithmetic" (eval_expr fr env a) in
+    let vb = singleton_atom "arithmetic" (eval_expr fr env b) in
+    match (va, vb) with
+    | None, _ | _, None -> []
+    | Some x, Some y -> [ Item.Atom (arith op x y) ])
+  | C.Range -> (
+    let va = singleton_atom "range" (eval_expr fr env a) in
+    let vb = singleton_atom "range" (eval_expr fr env b) in
+    match (va, vb) with
+    | Some (Atomic.Integer x), Some (Atomic.Integer y) ->
+      if x > y then []
+      else List.init (y - x + 1) (fun i -> Item.integer (x + i))
+    | None, _ | _, None -> []
+    | _ -> error "range bounds must be integers")
+
+(* --------------------------- calls -------------------------------- *)
+
+and eval_call fr env fn args =
+  (* fn-bea special forms first *)
+  if Qname.equal fn Names.async then
+    match args with
+    | [ arg ] -> eval_expr fr env arg
+    | _ -> error "fn-bea:async expects one argument"
+  else if Qname.equal fn Names.fail_over then
+    match args with
+    | [ prim; alt ] -> (
+      try eval_expr fr env prim with Eval_error _ -> eval_expr fr env alt)
+    | _ -> error "fn-bea:fail-over expects two arguments"
+  else if Qname.equal fn Names.timeout then
+    match args with
+    | [ prim; millis; alt ] -> (
+      let ms =
+        match singleton_atom "fn-bea:timeout" (eval_expr fr env millis) with
+        | Some (Atomic.Integer i) -> i
+        | _ -> error "fn-bea:timeout expects an integer milliseconds argument"
+      in
+      let fut = Future.spawn (fun () -> eval_expr fr env prim) in
+      match Future.await_timeout fut (float_of_int ms /. 1000.) with
+      | Some v -> v
+      | None -> eval_expr fr env alt
+      | exception Eval_error _ -> eval_expr fr env alt)
+    | _ -> error "fn-bea:timeout expects three arguments"
+  else
+    let arity = List.length args in
+    match Metadata.resolve_call fr.rt.registry fn arity with
+    | Some fd -> eval_metadata_call fr env fd args
+    | None -> (
+      match Fn_lib.find fn arity with
+      | Some b -> (
+        let values = List.map (eval_expr fr env) args in
+        match b.Fn_lib.eval values with
+        | Ok v -> v
+        | Error m -> error "%s" m)
+      | None -> error "unknown function %s/%d" (Qname.to_string fn) arity)
+
+and eval_metadata_call fr env fd args =
+  let values = List.map (eval_expr fr env) args in
+  apply_function fr fd values
+
+and apply_function fr fd values =
+  if fr.depth > fr.rt.max_depth then
+    error "maximum recursion depth exceeded in %s"
+      (Qname.to_string fd.Metadata.fd_name);
+  let compute () =
+    match fd.Metadata.fd_impl with
+    | Metadata.Body body ->
+      let fn_env =
+        List.fold_left2
+          (fun acc (param, _) value -> bind acc param value)
+          Env.empty fd.Metadata.fd_params values
+      in
+      eval_expr { fr with depth = fr.depth + 1 } fn_env body
+    | Metadata.External source -> eval_external fr source fd values
+  in
+  fr.rt.call_wrapper fd values compute
+
+and eval_external _fr source fd values =
+  match source with
+  | Metadata.Stored_procedure { db; procedure; row_name; columns } -> (
+    let sql_args =
+      List.map
+        (fun v ->
+          Adaptors.atomic_to_sql (singleton_atom "procedure argument" v))
+        values
+    in
+    match Aldsp_relational.Procedure.call db procedure sql_args with
+    | Error m -> error "%s" m
+    | Ok rows -> (
+      match columns with
+      | Some columns ->
+        List.map
+          (fun row ->
+            Item.Node (Adaptors.row_to_element ~row_name ~columns row))
+          rows
+      | None -> (
+        match rows with
+        | [ [| v |] ] -> (
+          match V.to_atomic v with
+          | Some atom -> [ Item.Atom atom ]
+          | None -> [])
+        | _ -> error "procedure %s: unexpected scalar result shape" procedure)))
+  | Metadata.Relational_table { db; table; row_name } -> (
+    match Adaptors.relational_scan db ~table ~row_name with
+    | Ok items -> items
+    | Error m -> error "%s" m)
+  | Metadata.Service_op { service; operation } -> (
+    match
+      Adaptors.service_call service ~operation (List.concat values)
+    with
+    | Ok items -> items
+    | Error m -> error "%s" m)
+  | Metadata.External_custom registry -> (
+    match Adaptors.custom_call registry fd.Metadata.fd_name values with
+    | Ok items -> items
+    | Error m -> error "%s" m)
+  | Metadata.File_docs docs -> List.map (fun d -> Item.Node d) docs
+
+(* --------------------------- clauses ------------------------------ *)
+
+and tuples fr env0 (input : env Seq.t) (clauses : C.clause list) : env Seq.t =
+  match clauses with
+  | [] -> input
+  | clause :: rest ->
+    let stream =
+      match clause with
+      | C.For { var; source } ->
+        Seq.concat_map
+          (fun env ->
+            let items = eval_expr fr env source in
+            Seq.map (fun item -> bind env var [ item ]) (List.to_seq items))
+          input
+      | C.Let { var; value } ->
+        Seq.map
+          (fun env ->
+            match value with
+            | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
+              Env.add var
+                (Later (Future.spawn (fun () -> eval_expr fr env arg)))
+                env
+            | _ -> bind env var (eval_expr fr env value))
+          input
+      | C.Where cond ->
+        Seq.filter (fun env -> ebv (eval_expr fr env cond)) input
+      | C.Group { aggs; keys; clustered } -> eval_group fr input aggs keys clustered
+      | C.Order { keys } -> eval_order fr input keys
+      | C.Join { kind; method_; right; on_; export } ->
+        eval_join fr env0 input kind method_ right on_ export
+      | C.Rel r ->
+        Seq.concat_map (fun env -> rel_stream fr env r) input
+    in
+    tuples fr env0 stream rest
+
+and eval_group fr input aggs keys clustered =
+  (* the runtime has one grouping operator, which requires input clustered
+     on the keys (§5.2); when the optimizer has established clustering the
+     operator streams in constant memory, otherwise it sorts first — the
+     worst-case fallback *)
+  let key_of env = List.map (fun (e, _) -> atomize (eval_expr fr env e)) keys in
+  if clustered then
+    (* constant-memory streaming: watch the key change tuple by tuple *)
+    let rec stream pending seq () =
+      match seq () with
+      | Seq.Nil -> (
+        match pending with
+        | Some (key, members) ->
+          Seq.Cons (make_group_env aggs keys (key, List.rev members), Seq.empty)
+        | None -> Seq.Nil)
+      | Seq.Cons (env, rest) -> (
+        let key = key_of env in
+        match pending with
+        | Some (current_key, members) when keys_equal key current_key ->
+          stream (Some (current_key, env :: members)) rest ()
+        | Some (current_key, members) ->
+          Seq.Cons
+            ( make_group_env aggs keys (current_key, List.rev members),
+              stream (Some (key, [ env ])) rest )
+        | None -> stream (Some (key, [ env ])) rest ())
+    in
+    stream None input
+  else
+    (* sort-based fallback; output groups in first-appearance order, the
+       same order a SQL GROUP BY over our executor produces *)
+    let keyed = List.map (fun env -> (key_of env, env)) (List.of_seq input) in
+    let seen = ref [] in
+    List.iter
+      (fun (key, env) ->
+        match
+          List.find_opt (fun (k, _) -> keys_equal k key) !seen
+        with
+        | Some (_, members) -> members := env :: !members
+        | None -> seen := !seen @ [ (key, ref [ env ]) ])
+      keyed;
+    List.to_seq
+      (List.map
+         (fun (key, members) ->
+           make_group_env aggs keys (key, List.rev !members))
+         !seen)
+
+and make_group_env aggs keys (key, members) =
+  let base = match members with env :: _ -> env | [] -> Env.empty in
+  let env =
+    List.fold_left2
+      (fun acc (_, kvar) katoms ->
+        bind acc kvar (List.map (fun a -> Item.Atom a) katoms))
+      base keys key
+  in
+  List.fold_left
+    (fun acc (v_in, v_out) ->
+      let combined = List.concat_map (fun m -> lookup m v_in) members in
+      bind acc v_out combined)
+    env aggs
+
+and eval_order fr input keys =
+  let tuples = List.of_seq input in
+  let keyed =
+    List.map
+      (fun env ->
+        (List.map (fun (e, _) -> atomize (eval_expr fr env e)) keys, env))
+      tuples
+  in
+  let cmp (ka, _) (kb, _) =
+    let rec go ka kb ks =
+      match (ka, kb, ks) with
+      | [], [], _ -> 0
+      | a :: ka, b :: kb, (_, desc) :: ks -> (
+        let c =
+          match (a, b) with
+          | [], [] -> 0
+          | [], _ -> -1
+          | _, [] -> 1
+          | [ x ], [ y ] -> compare_atoms_total x y
+          | xs, ys -> compare (List.length xs) (List.length ys)
+        in
+        let c = if desc then -c else c in
+        match c with 0 -> go ka kb ks | c -> c)
+      | _ -> 0
+    in
+    go ka kb keys
+  in
+  List.to_seq (List.map snd (List.stable_sort cmp keyed))
+
+(* --------------------------- joins -------------------------------- *)
+
+and unwrap_ebv = function C.Ebv e -> e | e -> e
+
+and conjuncts pred =
+  match unwrap_ebv pred with
+  | C.Binop (C.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+and equi_keys right_vars on_ =
+  (* split the predicate into left-key = right-key pairs + residual *)
+  let is_right_only e =
+    let fv = C.free_vars e () in
+    Hashtbl.length fv > 0
+    && Hashtbl.fold (fun v _ acc -> acc && List.mem v right_vars) fv true
+  in
+  let touches_right e =
+    let fv = C.free_vars e () in
+    Hashtbl.fold (fun v _ acc -> acc || List.mem v right_vars) fv false
+  in
+  let classify e =
+    match unwrap_ebv e with
+    | C.Binop (C.V_eq, a, b) | C.Binop (C.G_eq, a, b) ->
+      if is_right_only b && not (touches_right a) then Some (a, b)
+      else if is_right_only a && not (touches_right b) then Some (b, a)
+      else None
+    | _ -> None
+  in
+  let pairs, residual =
+    List.fold_left
+      (fun (pairs, residual) conj ->
+        match classify conj with
+        | Some pair -> (pair :: pairs, residual)
+        | None -> (pairs, conj :: residual))
+      ([], []) (conjuncts on_)
+  in
+  if pairs = [] then None else Some (List.rev pairs, List.rev residual)
+
+and eval_residual fr env residual =
+  List.for_all (fun cond -> ebv (eval_expr fr env cond)) residual
+
+and eval_join fr env0 left kind method_ right on_ export =
+  match method_ with
+  | C.Nested_loop -> nl_join fr left kind right on_ export
+  | C.Index_nested_loop -> (
+    match equi_keys (C.clause_vars right) on_ with
+    | Some (pairs, residual) ->
+      inl_join fr env0 left kind right pairs residual export
+    | None -> nl_join fr left kind right on_ export)
+  | C.Ppk { k; inner } -> (
+    match right with
+    | C.Rel r :: rest_lets
+      when List.for_all (function C.Let _ -> true | _ -> false) rest_lets ->
+      ppk_join fr left kind r rest_lets ~k ~inner on_ export
+    | _ -> nl_join fr left kind right on_ export)
+
+and join_matches fr left_env right on_ =
+  let right_stream = tuples fr left_env (List.to_seq [ left_env ]) right in
+  Seq.filter (fun env -> ebv (eval_expr fr env on_)) right_stream
+
+and export_tuples fr left_env matches kind export =
+  let ms = List.of_seq matches in
+  match export with
+  | C.Bindings -> (
+    match (ms, kind) with
+    | [], C.J_left_outer -> Seq.return left_env  (* right vars unbound -> empty *)
+    | [], C.J_inner -> Seq.empty
+    | ms, _ -> List.to_seq ms)
+  | C.Grouped { gvar; gexpr } -> (
+    match (ms, kind) with
+    | [], C.J_inner -> Seq.empty
+    | ms, _ ->
+      let values = List.concat_map (fun menv -> eval_expr fr menv gexpr) ms in
+      Seq.return (bind left_env gvar values))
+
+and nl_join fr left kind right on_ export =
+  Seq.concat_map
+    (fun left_env ->
+      let matches = join_matches fr left_env right on_ in
+      export_tuples fr left_env matches kind export)
+    left
+
+and inl_join fr env0 left kind right pairs residual export =
+  (* build a hash of the right side once (the "index"), probe per left
+     tuple *)
+  let table = Hashtbl.create 64 in
+  let right_stream = tuples fr env0 (List.to_seq [ env0 ]) right in
+  Seq.iter
+    (fun renv ->
+      let key = List.map (fun (_, rk) -> atomize (eval_expr fr renv rk)) pairs in
+      let bucket = Hashtbl.find_opt table key |> Option.value ~default:[] in
+      Hashtbl.replace table key (renv :: bucket))
+    right_stream;
+  Seq.concat_map
+    (fun left_env ->
+      let key = List.map (fun (lk, _) -> atomize (eval_expr fr left_env lk)) pairs in
+      let bucket = Hashtbl.find_opt table key |> Option.value ~default:[] in
+      let matches =
+        List.rev bucket
+        |> List.filter_map (fun renv ->
+               (* merge right bindings over the left env *)
+               let merged = Env.union (fun _ _ r -> Some r) left_env renv in
+               if eval_residual fr merged residual then Some merged else None)
+      in
+      export_tuples fr left_env (List.to_seq matches) kind export)
+    left
+
+and bind_sql_row binds col_index base_env row =
+  List.fold_left
+    (fun acc (b : C.sql_bind) ->
+      let idx =
+        match List.assoc_opt b.C.bcol col_index with
+        | Some i -> i
+        | None -> error "SQL result lacks column %s" b.C.bcol
+      in
+      let value =
+        match V.to_atomic row.(idx) with
+        | None -> []
+        | Some atom -> (
+          match Atomic.cast b.C.btype atom with
+          | Ok v -> [ Item.Atom v ]
+          | Error _ -> [ Item.Atom atom ])
+      in
+      bind acc b.C.bvar value)
+    base_env binds
+
+and rel_stream fr env (r : C.sql_access) : env Seq.t =
+  let db =
+    match Metadata.find_database fr.rt.registry r.C.db with
+    | Some db -> db
+    | None -> error "unknown database %s" r.C.db
+  in
+  let params =
+    Array.of_list
+      (List.map
+         (fun p ->
+           Adaptors.atomic_to_sql
+             (singleton_atom "sql parameter" (eval_expr fr env p)))
+         r.C.sql_params)
+  in
+  match Adaptors.relational_select db r.C.select ~params with
+  | Error m -> error "%s" m
+  | Ok result ->
+    let col_index =
+      List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
+    in
+    List.to_seq
+      (List.map
+         (fun row -> bind_sql_row r.C.binds col_index env row)
+         result.Aldsp_relational.Sql_exec.rows)
+
+(* PP-k: fetch k left tuples, issue one disjunctive parameterized query for
+   the block, middleware-join, repeat (§4.2). [rest_lets] are per-candidate
+   clauses (row reconstruction) applied after binding a fetched row. *)
+and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~inner on_ export =
+  let db =
+    match Metadata.find_database fr.rt.registry r.C.db with
+    | Some db -> db
+    | None -> error "unknown database %s" r.C.db
+  in
+  let n_params = List.length r.C.sql_params in
+  let batches = batch_seq k left in
+  Seq.concat_map
+    (fun (block : env list) ->
+      let m = List.length block in
+      (* the block query: WHERE (p_1..p_n) OR ... OR (p shifted (m-1)n) *)
+      let select = disjunctive_select r.C.select n_params m in
+      let params =
+        Array.concat
+          (List.map
+             (fun env ->
+               Array.of_list
+                 (List.map
+                    (fun p ->
+                      Adaptors.atomic_to_sql
+                        (singleton_atom "sql parameter" (eval_expr fr env p)))
+                    r.C.sql_params))
+             block)
+      in
+      match Adaptors.relational_select db select ~params with
+      | Error msg -> error "%s" msg
+      | Ok result ->
+        let col_index =
+          List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
+        in
+        ignore inner;
+        (* middleware join of the block against the fetched tuples *)
+        List.to_seq block
+        |> Seq.concat_map (fun left_env ->
+               let candidates =
+                 List.map
+                   (fun row -> bind_sql_row r.C.binds col_index left_env row)
+                   result.Aldsp_relational.Sql_exec.rows
+               in
+               let candidates =
+                 List.concat_map
+                   (fun env ->
+                     List.of_seq (tuples fr env (Seq.return env) rest_lets))
+                   candidates
+               in
+               let matches =
+                 List.filter (fun env -> ebv (eval_expr fr env on_)) candidates
+               in
+               export_tuples fr left_env (List.to_seq matches) kind export))
+    batches
+
+and batch_seq k (input : 'a Seq.t) : 'a list Seq.t =
+  let rec take n seq acc =
+    if n = 0 then (List.rev acc, seq)
+    else
+      match seq () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons (x, rest) -> take (n - 1) rest (x :: acc)
+  in
+  let rec go seq () =
+    match take k seq [] with
+    | [], _ -> Seq.Nil
+    | block, rest -> Seq.Cons (block, go rest)
+  in
+  go input
+
+(* Build the m-way disjunctive version of a 1-tuple parameterized select:
+   the WHERE clause is OR-ed m times with parameter indices shifted. *)
+and disjunctive_select (select : Sql.select) n_params m =
+  match select.Sql.where with
+  | None -> select
+  | Some where ->
+    let rec shift delta (e : Sql.expr) : Sql.expr =
+      match e with
+      | Sql.Param i -> Sql.Param (i + delta)
+      | Sql.Col _ | Sql.Lit _ | Sql.Count_star -> e
+      | Sql.Binop (op, a, b) -> Sql.Binop (op, shift delta a, shift delta b)
+      | Sql.Not e -> Sql.Not (shift delta e)
+      | Sql.Is_null e -> Sql.Is_null (shift delta e)
+      | Sql.Is_not_null e -> Sql.Is_not_null (shift delta e)
+      | Sql.In_list (e, es) ->
+        Sql.In_list (shift delta e, List.map (shift delta) es)
+      | Sql.Func (f, args) -> Sql.Func (f, List.map (shift delta) args)
+      | Sql.Case (branches, default) ->
+        Sql.Case
+          ( List.map (fun (c, v) -> (shift delta c, shift delta v)) branches,
+            Option.map (shift delta) default )
+      | Sql.Agg (kind, q, e) -> Sql.Agg (kind, q, shift delta e)
+      | Sql.In_select _ | Sql.Exists _ | Sql.Not_exists _ | Sql.Scalar_select _
+        ->
+        e
+    in
+    let disjuncts =
+      List.init m (fun j -> shift (j * n_params) where)
+    in
+    let where' =
+      match disjuncts with
+      | [] -> where
+      | first :: rest ->
+        List.fold_left (fun acc d -> Sql.Binop (Sql.Or, acc, d)) first rest
+    in
+    { select with Sql.where = Some where' }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let eval_exn rt ?(bindings = []) e =
+  let env =
+    List.fold_left (fun acc (v, seq) -> bind acc v seq) Env.empty bindings
+  in
+  eval_expr { rt; depth = 0 } env e
+
+let eval rt ?bindings e =
+  match eval_exn rt ?bindings e with
+  | v -> Ok v
+  | exception Eval_error m -> Error m
+
+let call_function rt fn args =
+  match Metadata.find_function rt.registry fn (List.length args) with
+  | None ->
+    Error
+      (Printf.sprintf "no function %s/%d" (Qname.to_string fn)
+         (List.length args))
+  | Some fd -> (
+    match apply_function { rt; depth = 0 } fd args with
+    | v -> Ok v
+    | exception Eval_error m -> Error m)

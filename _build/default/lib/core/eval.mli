@@ -1,0 +1,50 @@
+(** The query evaluator (§5).
+
+    Interprets the core algebra. FLWOR blocks run as lazy streams of
+    binding tuples, so pipelined operators (for/let/where, pre-clustered
+    grouping, joins over streamed inputs) work incrementally; only sorting,
+    hash-building and group-by over unclustered input materialize.
+
+    Join clauses execute with the method the optimizer picked (§5.2):
+    nested loop, index nested loop (a hash probe on extracted equi-keys),
+    or PP-k — parameter passing in blocks of [k]: fetch [k] left tuples,
+    issue one disjunctive parameterized SQL query for all their matches,
+    middleware-join the block, repeat (§4.2). The [fn-bea:] functions are
+    evaluated as special forms: [async] arguments start on their own
+    threads ahead of time so independent source calls overlap (§5.4);
+    [fail-over] and [timeout] guard slow or unavailable sources (§5.6).
+
+    A hook lets the server interpose the function cache (§5.5) and security
+    filters (§7) around data-service function calls. *)
+
+open Aldsp_xml
+
+type rt
+
+exception Eval_error of string
+
+(** Wrapper invoked around every metadata function call; the default just
+    runs the thunk. The server installs caching/auditing here. *)
+type call_wrapper =
+  Metadata.function_def -> Item.sequence list -> (unit -> Item.sequence) ->
+  Item.sequence
+
+val runtime : ?call_wrapper:call_wrapper -> Metadata.t -> rt
+
+val eval :
+  rt ->
+  ?bindings:(Cexpr.var * Item.sequence) list ->
+  Cexpr.t ->
+  (Item.sequence, string) result
+
+val eval_exn :
+  rt -> ?bindings:(Cexpr.var * Item.sequence) list -> Cexpr.t -> Item.sequence
+(** Like {!eval} but raises {!Eval_error}. *)
+
+val call_function :
+  rt -> Aldsp_xml.Qname.t -> Item.sequence list -> (Item.sequence, string) result
+(** Invokes a registered data-service function directly (the service-call
+    API of §2.2). *)
+
+val matches_stype : Item.sequence -> Stype.t -> bool
+(** The runtime [typematch] check. *)

@@ -1,0 +1,142 @@
+open Aldsp_xml
+open Aldsp_relational
+module Sql = Sql_ast
+
+type t = {
+  storage : Database.t;
+  clock : unit -> float;
+  ttls : (Qname.t, float) Hashtbl.t;
+  (* typed values per key, so hits keep their type annotations *)
+  materialized : (string, Item.sequence) Hashtbl.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let table_name = "ALDSP_FN_CACHE"
+
+let ensure_table db =
+  match Database.find_table db table_name with
+  | Ok _ -> ()
+  | Error _ ->
+    Database.add_table db
+      (Table.create ~primary_key:[ "FKEY" ] table_name
+         [ Table.column ~nullable:false "FKEY" Table.T_varchar;
+           Table.column ~nullable:false "RESULT" Table.T_varchar;
+           Table.column ~nullable:false "EXPIRES" Table.T_decimal ])
+
+let create ?(clock = Unix.gettimeofday) storage =
+  ensure_table storage;
+  { storage;
+    clock;
+    ttls = Hashtbl.create 16;
+    materialized = Hashtbl.create 64;
+    hit_count = 0;
+    miss_count = 0 }
+
+let enable t fn ~ttl_seconds = Hashtbl.replace t.ttls fn ttl_seconds
+let disable t fn = Hashtbl.remove t.ttls fn
+let is_enabled t fn = Hashtbl.mem t.ttls fn
+
+let key_of fn args =
+  let arg_str = String.concat "\x00" (List.map Item.serialize args) in
+  Printf.sprintf "%s(%s)" (Qname.to_string fn) arg_str
+
+(* the single-row lookup of §5.5 *)
+let select_entry =
+  Sql.select
+    ~projections:[ (Sql.col "c" "RESULT", "r"); (Sql.col "c" "EXPIRES", "e") ]
+    ~where:(Sql.Binop (Sql.Eq, Sql.col "c" "FKEY", Sql.Param 1))
+    (Sql.Table { table = table_name; alias = "c" })
+
+let lookup t fn args =
+  let key = key_of fn args in
+  match
+    Sql_exec.query t.storage ~params:[| Sql_value.Str key |] select_entry
+  with
+  | Error _ -> None
+  | Ok { Sql_exec.rows = []; _ } ->
+    t.miss_count <- t.miss_count + 1;
+    None
+  | Ok { Sql_exec.rows = row :: _; _ } -> (
+    let expires =
+      match row.(1) with
+      | Sql_value.Float f -> f
+      | Sql_value.Int i -> float_of_int i
+      | _ -> 0.
+    in
+    if t.clock () > expires then begin
+      t.miss_count <- t.miss_count + 1;
+      None
+    end
+    else begin
+      t.hit_count <- t.hit_count + 1;
+      match Hashtbl.find_opt t.materialized key with
+      | Some value -> Some value
+      | None -> (
+        (* cold hit (e.g. populated by another node): rebuild from the
+           serialized XML; atomics re-enter untyped *)
+        match row.(0) with
+        | Sql_value.Str text -> (
+          match Xml_parser.parse_fragment text with
+          | Ok nodes -> Some (List.map (fun n -> Item.Node n) nodes)
+          | Error _ -> Some [ Item.Atom (Atomic.Untyped text) ])
+        | _ -> None)
+    end)
+
+let store t fn args value =
+  let key = key_of fn args in
+  let ttl = Option.value (Hashtbl.find_opt t.ttls fn) ~default:60. in
+  let expires = t.clock () +. ttl in
+  ignore
+    (Sql_exec.execute_dml t.storage
+       (Sql.Delete
+          { table = table_name;
+            where =
+              Some (Sql.Binop (Sql.Eq, Sql.Col (None, "FKEY"),
+                               Sql.Lit (Sql_value.Str key))) }));
+  ignore
+    (Sql_exec.execute_dml t.storage
+       (Sql.Insert
+          { table = table_name;
+            columns = [ "FKEY"; "RESULT"; "EXPIRES" ];
+            values =
+              [ Sql.Lit (Sql_value.Str key);
+                Sql.Lit (Sql_value.Str (Item.serialize value));
+                Sql.Lit (Sql_value.Float expires) ] }));
+  Hashtbl.replace t.materialized key value
+
+let invalidate t fn =
+  let prefix = Qname.to_string fn ^ "(" in
+  ignore
+    (Sql_exec.execute_dml t.storage
+       (Sql.Delete
+          { table = table_name;
+            where =
+              Some
+                (Sql.Binop
+                   ( Sql.Like,
+                     Sql.Col (None, "FKEY"),
+                     Sql.Lit (Sql_value.Str (prefix ^ "%")) )) }));
+  Hashtbl.iter
+    (fun k _ ->
+      if String.length k >= String.length prefix
+         && String.sub k 0 (String.length prefix) = prefix
+      then Hashtbl.remove t.materialized k)
+    (Hashtbl.copy t.materialized)
+
+let wrapper t fd args compute =
+  if fd.Metadata.fd_cacheable && is_enabled t fd.Metadata.fd_name then
+    match lookup t fd.Metadata.fd_name args with
+    | Some value -> value
+    | None ->
+      let value = compute () in
+      store t fd.Metadata.fd_name args value;
+      value
+  else compute ()
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0

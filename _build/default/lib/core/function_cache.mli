@@ -1,0 +1,53 @@
+(** The mid-tier function cache (§5.5).
+
+    "ALDSP's cache is a function cache — rather like a Web service cache":
+    a persistent, distributed map from (function, argument values) to the
+    function result, suited to turning high-latency data service calls into
+    single-row database lookups. Following the paper, the implementation
+    employs a relational database for persistence/distribution: each entry
+    is a row in an [ALDSP_FN_CACHE] table keyed by function name and
+    serialized arguments, carrying the serialized result and its expiry.
+    Lookups execute one parameterized single-row SELECT against the cache
+    database (so cache hits are visible in that database's statistics); a
+    per-process materialized value is kept alongside so hits preserve typed
+    tokens, with the table's XML used on cold hits.
+
+    Caching must be {e allowed} by the data service designer
+    ([fd_cacheable]) and then {e enabled} administratively with a TTL per
+    function. The cache stores unfiltered results; security filtering
+    applies after the cache so entries are shared across users (§7). *)
+
+open Aldsp_xml
+
+type t
+
+val table_name : string
+
+val create :
+  ?clock:(unit -> float) -> Aldsp_relational.Database.t -> t
+(** Uses (and creates if needed) the cache table in the given database.
+    [clock] is injectable for TTL tests. *)
+
+val enable : t -> Qname.t -> ttl_seconds:float -> unit
+(** Administrative enablement with a time-to-live. *)
+
+val disable : t -> Qname.t -> unit
+val is_enabled : t -> Qname.t -> bool
+
+val lookup :
+  t -> Qname.t -> Item.sequence list -> Item.sequence option
+(** [Some result] on a fresh hit; [None] on miss or stale entry. *)
+
+val store : t -> Qname.t -> Item.sequence list -> Item.sequence -> unit
+
+val invalidate : t -> Qname.t -> unit
+(** Drops all entries of one function. *)
+
+val wrapper : t -> Metadata.function_def -> Item.sequence list ->
+  (unit -> Item.sequence) -> Item.sequence
+(** An {!Eval.call_wrapper}: consults the cache for calls to functions that
+    are designer-allowed and administratively enabled. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,57 @@
+type 'a outcome = Value of 'a | Raised of exn
+
+type 'a t = {
+  mutable result : 'a outcome option;
+  mutex : Mutex.t;
+  done_ : Condition.t;
+}
+
+let spawn f =
+  let fut = { result = None; mutex = Mutex.create (); done_ = Condition.create () } in
+  let run () =
+    let outcome = try Value (f ()) with e -> Raised e in
+    Mutex.lock fut.mutex;
+    fut.result <- Some outcome;
+    Condition.broadcast fut.done_;
+    Mutex.unlock fut.mutex
+  in
+  ignore (Thread.create run ());
+  fut
+
+let await fut =
+  Mutex.lock fut.mutex;
+  while fut.result = None do
+    Condition.wait fut.done_ fut.mutex
+  done;
+  let result = fut.result in
+  Mutex.unlock fut.mutex;
+  match result with
+  | Some (Value v) -> v
+  | Some (Raised e) -> raise e
+  | None -> assert false
+
+(* [Condition] has no timed wait in the stdlib, so poll with a short sleep;
+   granularity of 0.5ms is far below the latencies being simulated. *)
+let await_timeout fut seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec poll () =
+    Mutex.lock fut.mutex;
+    let result = fut.result in
+    Mutex.unlock fut.mutex;
+    match result with
+    | Some (Value v) -> Some v
+    | Some (Raised e) -> raise e
+    | None ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Thread.delay 0.0005;
+        poll ()
+      end
+  in
+  poll ()
+
+let is_done fut =
+  Mutex.lock fut.mutex;
+  let d = fut.result <> None in
+  Mutex.unlock fut.mutex;
+  d

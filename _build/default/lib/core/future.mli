@@ -1,0 +1,22 @@
+(** Minimal futures over system threads, backing [fn-bea:async],
+    [fn-bea:timeout] and [fn-bea:fail-over] (§5.4, §5.6).
+
+    A future starts computing on its own thread at {!spawn} time — which is
+    exactly the paper's semantics for [fn-bea:async]: evaluation proceeds on
+    another thread while the main query execution thread continues, and
+    latencies of independent source accesses overlap. *)
+
+type 'a t
+
+val spawn : (unit -> 'a) -> 'a t
+
+val await : 'a t -> 'a
+(** Blocks until completion; re-raises the computation's exception. *)
+
+val await_timeout : 'a t -> float -> 'a option
+(** [await_timeout f seconds] waits at most [seconds]; [None] on timeout
+    (the computation keeps running detached, its result discarded, matching
+    [fn-bea:timeout]'s fail-over behaviour). Re-raises on failure within
+    the window. *)
+
+val is_done : 'a t -> bool

@@ -1,0 +1,389 @@
+open Aldsp_xml
+open Xq_ast
+module C = Cexpr
+
+type context = {
+  namespaces : (string * string) list;
+  default_element_ns : string option;
+  schema_lookup : Qname.t -> Schema.element_decl option;
+  diag : Diag.collector;
+  counter : int ref;
+}
+
+let context ?(namespaces = []) ?default_element_ns
+    ?(schema_lookup = fun _ -> None) diag =
+  { namespaces = namespaces @ Names.default_namespaces;
+    default_element_ns;
+    schema_lookup;
+    diag;
+    counter = ref 0 }
+
+let of_prolog ?schema_lookup diag (prolog : prolog) =
+  context ~namespaces:prolog.namespaces
+    ?default_element_ns:prolog.default_element_ns ?schema_lookup diag
+
+let fresh_var ctx base =
+  incr ctx.counter;
+  Printf.sprintf "%s#%d" base !(ctx.counter)
+
+let phase = "normalize"
+
+let resolve_prefix ctx prefix =
+  match List.assoc_opt prefix ctx.namespaces with
+  | Some uri -> Some uri
+  | None ->
+    Diag.error ctx.diag ~phase "undeclared namespace prefix %s" prefix;
+    None
+
+let resolve_element_name ctx (u : uqname) =
+  match u.prefix with
+  | Some p -> (
+    match resolve_prefix ctx p with
+    | Some uri -> Qname.make ~uri u.local_name
+    | None -> Qname.local u.local_name)
+  | None -> (
+    match ctx.default_element_ns with
+    | Some uri -> Qname.make ~uri u.local_name
+    | None -> Qname.local u.local_name)
+
+let resolve_function_name ctx (u : uqname) =
+  match u.prefix with
+  | Some p -> (
+    match resolve_prefix ctx p with
+    | Some uri -> Qname.make ~uri u.local_name
+    | None -> Qname.local u.local_name)
+  | None ->
+    (* unprefixed function names resolve to the default function
+       namespace, fn *)
+    Names.fn u.local_name
+
+let atomic_type_of ctx (u : uqname) =
+  match Atomic.type_of_name u.local_name with
+  | Some ty -> Some ty
+  | None ->
+    Diag.error ctx.diag ~phase "unknown atomic type %s" u.local_name;
+    None
+
+let sequence_type ctx (st : Xq_ast.sequence_type) : Stype.t =
+  let occ =
+    match st.occ with
+    | Occ_one -> Stype.occ_one
+    | Occ_opt -> Stype.occ_opt
+    | Occ_star -> Stype.occ_star
+    | Occ_plus -> Stype.occ_plus
+  in
+  let item =
+    match st.stype with
+    | St_empty -> None
+    | St_item -> Some Stype.It_item
+    | St_node -> Some Stype.It_node
+    | St_atomic u -> (
+      match atomic_type_of ctx u with
+      | Some ty -> Some (Stype.It_atomic ty)
+      | None -> Some Stype.It_error)
+    | St_element None -> Some (Stype.element None)
+    | St_element (Some u) -> (
+      let name = resolve_element_name ctx u in
+      (* element(E): structural — use the registered shape if known; an
+         unknown shape constrains the name but not the content *)
+      match ctx.schema_lookup name with
+      | Some decl -> Some (Metadata.stype_of_schema decl)
+      | None -> Some (Stype.element ~content:Stype.any_item_star (Some name)))
+    | St_schema_element u -> (
+      let name = resolve_element_name ctx u in
+      match ctx.schema_lookup name with
+      | Some decl -> Some (Metadata.stype_of_schema decl)
+      | None ->
+        Diag.error ctx.diag ~phase
+          "schema-element(%s): no such element declaration in scope"
+          (Qname.to_string name);
+        Some Stype.It_error)
+  in
+  match item with
+  | None -> Stype.empty_sequence
+  | Some it -> Stype.with_occ occ (Stype.one it)
+
+(* variable environment: surface name -> unique *)
+type venv = { vars : (string * C.var) list; dot : C.var option }
+
+let lookup_var ctx venv name =
+  match List.assoc_opt name venv.vars with
+  | Some v -> C.Var v
+  | None ->
+    Diag.error ctx.diag ~phase "undefined variable $%s" name;
+    C.Error_expr (Printf.sprintf "undefined variable $%s" name)
+
+let rec expr_in ctx venv (e : Xq_ast.expr) : C.t =
+  match e with
+  | E_literal a -> C.Const a
+  | E_var v -> lookup_var ctx venv v
+  | E_context_item -> (
+    match venv.dot with
+    | Some dot -> C.Var dot
+    | None ->
+      Diag.error ctx.diag ~phase "no context item in scope";
+      C.Error_expr "no context item in scope")
+  | E_seq es -> C.seq (List.map (expr_in ctx venv) es)
+  | E_flwor { clauses; return_ } ->
+    let cclauses, venv' = clauses_in ctx venv clauses in
+    C.Flwor { clauses = cclauses; return_ = expr_in ctx venv' return_ }
+  | E_if (c, t, e) ->
+    C.If
+      { cond = C.Ebv (expr_in ctx venv c);
+        then_ = expr_in ctx venv t;
+        else_ = expr_in ctx venv e }
+  | E_quantified { universal; bindings; satisfies } ->
+    let rec build venv = function
+      | [] -> C.Ebv (expr_in ctx venv satisfies)
+      | (v, src) :: rest ->
+        let uv = fresh_var ctx v in
+        let source = expr_in ctx venv src in
+        let inner = build { venv with vars = (v, uv) :: venv.vars } rest in
+        C.Quantified { universal; var = uv; source; pred = inner }
+    in
+    (match bindings with
+    | [] ->
+      Diag.error ctx.diag ~phase "quantified expression with no bindings";
+      C.Error_expr "quantified expression with no bindings"
+    | _ -> build venv bindings)
+  | E_call (name, args) -> call_in ctx venv name args
+  | E_path (base, steps) ->
+    let base = expr_in ctx venv base in
+    List.fold_left (fun acc step -> step_in ctx venv acc step) base steps
+  | E_filter (base, preds) ->
+    let base = expr_in ctx venv base in
+    List.fold_left (fun acc pred -> filter_in ctx venv acc pred) base preds
+  | E_element { name; optional; attributes; content } ->
+    let ename = resolve_element_name ctx name in
+    let attrs =
+      List.map
+        (fun a ->
+          let aname =
+            (* unprefixed attribute names are in no namespace *)
+            match a.attr_name.prefix with
+            | Some _ -> resolve_element_name ctx a.attr_name
+            | None -> Qname.local a.attr_name.local_name
+          in
+          { C.aname;
+            avalue = attr_value_in ctx venv a.attr_value;
+            aoptional = a.attr_optional })
+        attributes
+    in
+    let content = C.seq (List.map (expr_in ctx venv) content) in
+    C.Elem { name = ename; optional; attrs; content }
+  | E_binop (op, a, b) -> binop_in ctx venv op a b
+  | E_unary_minus e ->
+    C.Binop (C.Sub, C.Const (Atomic.Integer 0), C.Data (expr_in ctx venv e))
+  | E_instance_of (e, st) ->
+    C.Instance_of (expr_in ctx venv e, sequence_type ctx st)
+  | E_castable (e, st) -> (
+    match st.stype with
+    | St_atomic u -> (
+      match atomic_type_of ctx u with
+      | Some ty -> C.Castable (C.Data (expr_in ctx venv e), ty)
+      | None -> C.Error_expr "castable: unknown type")
+    | _ ->
+      Diag.error ctx.diag ~phase "castable requires an atomic type";
+      C.Error_expr "castable requires an atomic type")
+  | E_cast (e, st) -> (
+    match st.stype with
+    | St_atomic u -> (
+      match atomic_type_of ctx u with
+      | Some ty -> C.Cast (C.Data (expr_in ctx venv e), ty)
+      | None -> C.Error_expr "cast: unknown type")
+    | _ ->
+      Diag.error ctx.diag ~phase "cast requires an atomic type";
+      C.Error_expr "cast requires an atomic type")
+
+and binop_in ctx venv op a b =
+  let na () = expr_in ctx venv a and nb () = expr_in ctx venv b in
+  let data e = C.Data e in
+  match op with
+  | V_eq -> C.Binop (C.V_eq, data (na ()), data (nb ()))
+  | V_ne -> C.Binop (C.V_ne, data (na ()), data (nb ()))
+  | V_lt -> C.Binop (C.V_lt, data (na ()), data (nb ()))
+  | V_le -> C.Binop (C.V_le, data (na ()), data (nb ()))
+  | V_gt -> C.Binop (C.V_gt, data (na ()), data (nb ()))
+  | V_ge -> C.Binop (C.V_ge, data (na ()), data (nb ()))
+  | G_eq -> C.Binop (C.G_eq, data (na ()), data (nb ()))
+  | G_ne -> C.Binop (C.G_ne, data (na ()), data (nb ()))
+  | G_lt -> C.Binop (C.G_lt, data (na ()), data (nb ()))
+  | G_le -> C.Binop (C.G_le, data (na ()), data (nb ()))
+  | G_gt -> C.Binop (C.G_gt, data (na ()), data (nb ()))
+  | G_ge -> C.Binop (C.G_ge, data (na ()), data (nb ()))
+  | Plus -> C.Binop (C.Add, data (na ()), data (nb ()))
+  | Minus -> C.Binop (C.Sub, data (na ()), data (nb ()))
+  | Mult -> C.Binop (C.Mul, data (na ()), data (nb ()))
+  | Div -> C.Binop (C.Div, data (na ()), data (nb ()))
+  | Idiv -> C.Binop (C.Idiv, data (na ()), data (nb ()))
+  | Mod -> C.Binop (C.Mod, data (na ()), data (nb ()))
+  | And -> C.Binop (C.And, C.Ebv (na ()), C.Ebv (nb ()))
+  | Or -> C.Binop (C.Or, C.Ebv (na ()), C.Ebv (nb ()))
+  | To -> C.Binop (C.Range, data (na ()), data (nb ()))
+
+and call_in ctx venv name args =
+  let fn = resolve_function_name ctx name in
+  let nargs () = List.map (expr_in ctx venv) args in
+  if fn.Qname.uri = Names.xs_uri then
+    (* xs:TYPE(e) constructor -> cast *)
+    match (Atomic.type_of_name fn.Qname.local, args) with
+    | Some ty, [ arg ] -> C.Cast (C.Data (expr_in ctx venv arg), ty)
+    | Some _, _ ->
+      Diag.error ctx.diag ~phase "constructor %s expects one argument"
+        (Qname.to_string fn);
+      C.Error_expr "bad constructor call"
+    | None, _ ->
+      Diag.error ctx.diag ~phase "unknown type constructor %s"
+        (Qname.to_string fn);
+      C.Error_expr "unknown type constructor"
+  else if Qname.equal fn (Names.fn "data") then
+    match nargs () with
+    | [ arg ] -> C.Data arg
+    | _ ->
+      Diag.error ctx.diag ~phase "fn:data expects one argument";
+      C.Error_expr "fn:data expects one argument"
+  else C.Call { fn; args = nargs () }
+
+and step_in ctx venv base (step : step) =
+  let stepped =
+    match (step.axis, step.test) with
+    | Child, Name n -> C.Child (base, resolve_element_name ctx n)
+    | Child, Wildcard -> C.Child_wild base
+    | Attribute_axis, Name n ->
+      (* attribute names are in no namespace unless prefixed *)
+      let aname =
+        match n.prefix with
+        | Some _ -> resolve_element_name ctx n
+        | None -> Qname.local n.local_name
+      in
+      C.Attr_of (base, aname)
+    | Attribute_axis, Wildcard ->
+      Diag.error ctx.diag ~phase "attribute wildcard @* is not supported";
+      C.Error_expr "@* is not supported"
+  in
+  List.fold_left (fun acc pred -> filter_in ctx venv acc pred) stepped
+    step.predicates
+
+and filter_in ctx venv input pred =
+  let dot = fresh_var ctx "dot" in
+  let pos = fresh_var ctx "pos" in
+  let pred_env = { venv with dot = Some dot } in
+  C.Filter { input; dot; pos; pred = expr_in ctx pred_env pred }
+
+and attr_value_in ctx venv pieces =
+  match pieces with
+  | [] -> C.Const (Atomic.String "")
+  | [ A_enclosed e ] -> C.Data (expr_in ctx venv e)
+  | pieces ->
+    let parts =
+      List.map
+        (function
+          | A_text s -> C.Const (Atomic.String s)
+          | A_enclosed e ->
+            C.Call
+              { fn = Names.fn "string-join";
+                args =
+                  [ C.Data (expr_in ctx venv e);
+                    C.Const (Atomic.String " ") ] })
+        pieces
+    in
+    (match parts with
+    | [ p ] -> p
+    | _ -> C.Call { fn = Names.fn "concat"; args = parts })
+
+and clauses_in ctx venv clauses : C.clause list * venv =
+  match clauses with
+  | [] -> ([], venv)
+  | Xq_ast.C_for bindings :: rest ->
+    let rec fold venv acc = function
+      | [] -> (venv, List.rev acc)
+      | (v, src) :: more ->
+        let uv = fresh_var ctx v in
+        let source = expr_in ctx venv src in
+        fold
+          { venv with vars = (v, uv) :: venv.vars }
+          (C.For { var = uv; source } :: acc)
+          more
+    in
+    let venv', cls = fold venv [] bindings in
+    let rest_cls, venv_final = clauses_in ctx venv' rest in
+    (cls @ rest_cls, venv_final)
+  | Xq_ast.C_let bindings :: rest ->
+    let rec fold venv acc = function
+      | [] -> (venv, List.rev acc)
+      | (v, value) :: more ->
+        let uv = fresh_var ctx v in
+        let value = expr_in ctx venv value in
+        fold
+          { venv with vars = (v, uv) :: venv.vars }
+          (C.Let { var = uv; value } :: acc)
+          more
+    in
+    let venv', cls = fold venv [] bindings in
+    let rest_cls, venv_final = clauses_in ctx venv' rest in
+    (cls @ rest_cls, venv_final)
+  | Xq_ast.C_where e :: rest ->
+    let cls = C.Where (C.Ebv (expr_in ctx venv e)) in
+    let rest_cls, venv_final = clauses_in ctx venv rest in
+    (cls :: rest_cls, venv_final)
+  | Xq_ast.C_group { aggregations; keys } :: rest ->
+    let aggs =
+      List.filter_map
+        (fun (v_in, v_out) ->
+          match List.assoc_opt v_in venv.vars with
+          | Some uv ->
+            let out = fresh_var ctx v_out in
+            Some ((v_out, out), (uv, out))
+          | None ->
+            Diag.error ctx.diag ~phase "group: undefined variable $%s" v_in;
+            None)
+        aggregations
+    in
+    let keys =
+      List.mapi
+        (fun i (e, alias) ->
+          let surface = match alias with Some a -> a | None -> Printf.sprintf "_key%d" i in
+          let out = fresh_var ctx surface in
+          ((surface, out), (C.Data (expr_in ctx venv e), out)))
+        keys
+    in
+    (* after grouping only the group outputs (plus outer-scope variables
+       not bound in this FLWOR) are visible; approximating the paper's
+       binding-tuple semantics, we expose outputs on top of the previous
+       environment *)
+    let new_vars = List.map fst aggs @ List.map fst keys in
+    let venv' = { venv with vars = new_vars @ venv.vars } in
+    let cls = C.Group { aggs = List.map snd aggs; keys = List.map snd keys; clustered = false } in
+    let rest_cls, venv_final = clauses_in ctx venv' rest in
+    (cls :: rest_cls, venv_final)
+  | Xq_ast.C_order keys :: rest ->
+    let cls =
+      C.Order
+        { keys = List.map (fun (e, d) -> (C.Data (expr_in ctx venv e), d)) keys }
+    in
+    let rest_cls, venv_final = clauses_in ctx venv rest in
+    (cls :: rest_cls, venv_final)
+
+let expr ?(params = []) ctx e =
+  expr_in ctx { vars = params; dot = None } e
+
+let function_signature ctx (decl : function_decl) =
+  let name = resolve_function_name ctx decl.fn_name in
+  let params =
+    List.map
+      (fun (v, ty) ->
+        let uv = fresh_var ctx v in
+        let sty =
+          match ty with
+          | Some st -> sequence_type ctx st
+          | None -> Stype.any_item_star
+        in
+        (v, uv, sty))
+      decl.fn_params
+  in
+  let return_type =
+    match decl.fn_return with
+    | Some st -> sequence_type ctx st
+    | None -> Stype.any_item_star
+  in
+  (name, params, return_type)

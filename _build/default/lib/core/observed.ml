@@ -1,0 +1,51 @@
+open Aldsp_xml
+
+type sample = {
+  calls : int;
+  mean_latency : float;
+  mean_cardinality : float;
+}
+
+type t = (Qname.t, sample) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let alpha = 0.2
+
+let record t fn ~latency ~cardinality =
+  let card = float_of_int cardinality in
+  let sample =
+    match Hashtbl.find_opt t fn with
+    | None -> { calls = 1; mean_latency = latency; mean_cardinality = card }
+    | Some s ->
+      { calls = s.calls + 1;
+        mean_latency = ((1. -. alpha) *. s.mean_latency) +. (alpha *. latency);
+        mean_cardinality =
+          ((1. -. alpha) *. s.mean_cardinality) +. (alpha *. card) }
+  in
+  Hashtbl.replace t fn sample
+
+let observed t fn = Hashtbl.find_opt t fn
+
+(* per-item processing charge: 2us — small against any real source call,
+   enough to order two in-memory sources by cardinality *)
+let per_item_charge = 2e-6
+
+let cost t fn =
+  Option.map
+    (fun s -> s.mean_latency +. (per_item_charge *. s.mean_cardinality))
+    (observed t fn)
+
+let wrapper t fd args compute =
+  let t0 = Unix.gettimeofday () in
+  let result = compute () in
+  record t fd.Metadata.fd_name
+    ~latency:(Unix.gettimeofday () -. t0)
+    ~cardinality:(List.length result);
+  ignore args;
+  result
+
+let report t =
+  Hashtbl.fold (fun fn s acc -> (fn, s) :: acc) t []
+  |> List.sort (fun (_, a) (_, b) ->
+         Float.compare b.mean_latency a.mean_latency)

@@ -1,0 +1,49 @@
+(** Observed-cost statistics — the paper's roadmap item implemented (§9).
+
+    "We are starting work on an observed cost-based approach to
+    optimization and tuning; the idea is to skip past 'old school'
+    techniques that rely on static cost models and difficult-to-obtain
+    statistics, instead instrumenting the system and basing its
+    optimization decisions (such as evaluation ordering and
+    parallelization) only on actually observed data characteristics and
+    data source behavior."
+
+    This module is the instrument: a per-function record of observed
+    invocation latency and result cardinality, fed by the evaluator's call
+    wrapper. {!Optimizer.reorder_by_observed_cost} consumes it to reorder
+    independent source accesses so that cheaper/smaller sources run first
+    (and drive the outer side of nested evaluations). *)
+
+open Aldsp_xml
+
+type sample = {
+  calls : int;
+  mean_latency : float;  (** Seconds. *)
+  mean_cardinality : float;  (** Items returned. *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> Qname.t -> latency:float -> cardinality:int -> unit
+(** Exponentially-weighted accumulation (alpha = 0.2) so behaviour shifts
+    are tracked without unbounded memory. *)
+
+val observed : t -> Qname.t -> sample option
+
+val cost : t -> Qname.t -> float option
+(** The ordering heuristic: mean latency plus a per-item processing
+    charge. [None] until the function has been observed at least once. *)
+
+val wrapper :
+  t ->
+  Metadata.function_def ->
+  Item.sequence list ->
+  (unit -> Item.sequence) ->
+  Item.sequence
+(** An {!Eval.call_wrapper} that instruments every data-service function
+    call. Compose it with caching wrappers as needed. *)
+
+val report : t -> (Qname.t * sample) list
+(** All observations, most expensive first. *)

@@ -1,0 +1,1088 @@
+open Aldsp_xml
+module C = Cexpr
+
+type options = {
+  inline_views : bool;
+  introduce_joins : bool;
+  eliminate_constructors : bool;
+  use_inverse_functions : bool;
+  ppk_k : int;
+  view_cache_size : int;
+}
+
+let default_options =
+  { inline_views = true;
+    introduce_joins = true;
+    eliminate_constructors = true;
+    use_inverse_functions = true;
+    ppk_k = 20;
+    view_cache_size = 64 }
+
+type t = {
+  registry : Metadata.t;
+  opts : options;
+  counter : int ref;
+  view_cache : (Qname.t, Cexpr.t) Hashtbl.t;
+  mutable view_lru : Qname.t list;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(options = default_options) registry =
+  { registry;
+    opts = options;
+    counter = ref 0;
+    view_cache = Hashtbl.create 32;
+    view_lru = [];
+    hits = 0;
+    misses = 0 }
+
+let options t = t.opts
+
+let fresh t () =
+  incr t.counter;
+  !(t.counter)
+
+(* ------------------------------------------------------------------ *)
+(* Small analyses                                                      *)
+
+let count_var = C.count_occurrences
+
+let count_var_clauses v clauses return_ = C.count_uses v clauses return_
+
+let unwrap_ebv = function C.Ebv e -> e | e -> e
+
+let rec conjuncts pred =
+  match unwrap_ebv pred with
+  | C.Binop (C.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin cs =
+  let cs =
+    List.filter
+      (function
+        | C.Const (Atomic.Boolean true) | C.Ebv (C.Const (Atomic.Boolean true))
+          -> false
+        | _ -> true)
+      cs
+  in
+  match cs with
+  | [] -> C.Ebv (C.Const (Atomic.Boolean true))
+  | [ c ] -> C.Ebv (unwrap_ebv c)
+  | first :: rest ->
+    List.fold_left
+      (fun acc c -> C.Binop (C.And, acc, C.Ebv (unwrap_ebv c)))
+      (C.Ebv (unwrap_ebv first))
+      rest
+
+(* A predicate whose value is boolean-like (so a filter over it is not a
+   positional filter). *)
+let boolean_pred = function
+  | C.Ebv _ | C.Quantified _ | C.Castable _ | C.Instance_of _ -> true
+  | C.Binop ((C.V_eq | C.V_ne | C.V_lt | C.V_le | C.V_gt | C.V_ge
+             | C.G_eq | C.G_ne | C.G_lt | C.G_le | C.G_gt | C.G_ge
+             | C.And | C.Or), _, _) -> true
+  | C.Const (Atomic.Boolean _) -> true
+  | C.Call { fn; _ } ->
+    Qname.equal fn (Names.fn "exists")
+    || Qname.equal fn (Names.fn "empty")
+    || Qname.equal fn (Names.fn "not")
+    || Qname.equal fn (Names.fn "contains")
+    || Qname.equal fn (Names.fn "starts-with")
+    || Qname.equal fn (Names.fn "boolean")
+  | _ -> false
+
+(* Expressions that produce only atomic values (no nodes), used by
+   constructor elimination to drop non-matching content parts. *)
+let all_atomic_items (ty : Stype.t) =
+  ty.Stype.items <> []
+  && List.for_all
+       (function Stype.It_atomic _ -> true | _ -> false)
+       ty.Stype.items
+
+let rec atomic_producer registry = function
+  | C.Const _ | C.Data _ | C.Cast _ | C.Ebv _ | C.Castable _
+  | C.Instance_of _ | C.Quantified _ | C.Attr_of _ | C.Empty ->
+    true
+  | C.Binop (_, _, _) -> true
+  | C.Seq es -> List.for_all (atomic_producer registry) es
+  | C.If { then_; else_; _ } ->
+    atomic_producer registry then_ && atomic_producer registry else_
+  | C.Typematch (e, ty) -> all_atomic_items ty || atomic_producer registry e
+  | C.Call { fn; args } -> (
+    match Metadata.resolve_call registry fn (List.length args) with
+    | Some fd -> all_atomic_items fd.Metadata.fd_return
+    | None -> (
+      match Fn_lib.find fn (List.length args) with
+      | Some b -> all_atomic_items (b.Fn_lib.return_type (List.length args))
+      | None -> false))
+  | _ -> false
+
+let content_parts = function
+  | C.Seq es -> es
+  | C.Empty -> []
+  | e -> [ e ]
+
+let vars_of_table tbl = Hashtbl.fold (fun v () acc -> v :: acc) tbl []
+
+let free_vars_list e = vars_of_table (C.free_vars e ())
+
+let clause_list_free_vars clauses =
+  free_vars_list (C.Flwor { clauses; return_ = C.Empty })
+
+let references_any vars e =
+  let fv = C.free_vars e () in
+  List.exists (fun v -> Hashtbl.mem fv v) vars
+
+(* ------------------------------------------------------------------ *)
+(* Equi-key extraction (shared with the runtime INL join)              *)
+
+let equi_join_keys ~right_vars on_ =
+  let is_right_only e =
+    let fv = C.free_vars e () in
+    Hashtbl.length fv > 0
+    && Hashtbl.fold (fun v _ acc -> acc && List.mem v right_vars) fv true
+  in
+  let touches_right e = references_any right_vars e in
+  let classify e =
+    match unwrap_ebv e with
+    | C.Binop ((C.V_eq | C.G_eq), a, b) ->
+      if is_right_only b && not (touches_right a) then Some (a, b)
+      else if is_right_only a && not (touches_right b) then Some (b, a)
+      else None
+    | _ -> None
+  in
+  let pairs, residual =
+    List.fold_left
+      (fun (pairs, residual) conj ->
+        match classify conj with
+        | Some pair -> (pair :: pairs, residual)
+        | None -> (pairs, conj :: residual))
+      ([], []) (conjuncts on_)
+  in
+  if pairs = [] then None else Some (List.rev pairs, List.rev residual)
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+
+(* --- view unfolding: function inlining ----------------------------- *)
+
+let rec query_independent_rules t =
+  [ rule_let_substitution;
+    rule_flwor_flatten t;
+    rule_filter_to_where t;
+    rule_filter_over_flwor t;
+    rule_filter_to_flwor t;
+    rule_for_singleton_elem;
+    rule_where_split;
+    rule_data_simplify t;
+    rule_child_elim t;
+    rule_attr_elim t;
+    rule_project_through_let t;
+    rule_typematch_simplify;
+    rule_seq_data_distribute;
+    rule_dead_let ]
+
+and view_body t name body =
+  match Hashtbl.find_opt t.view_cache name with
+  | Some optimized ->
+    t.hits <- t.hits + 1;
+    optimized
+  | None ->
+    t.misses <- t.misses + 1;
+    let optimized, _ = Rewrite.run (query_independent_rules t) body in
+    (* LRU eviction bounds the memory footprint of cached view plans *)
+    if List.length t.view_lru >= t.opts.view_cache_size then begin
+      match List.rev t.view_lru with
+      | oldest :: _ ->
+        Hashtbl.remove t.view_cache oldest;
+        t.view_lru <- List.filter (fun n -> not (Qname.equal n oldest)) t.view_lru
+      | [] -> ()
+    end;
+    Hashtbl.replace t.view_cache name optimized;
+    t.view_lru <- name :: List.filter (fun n -> not (Qname.equal n name)) t.view_lru;
+    optimized
+
+and rule_inline t =
+  { Rewrite.rule_name = "inline-view";
+    apply =
+      (fun e ->
+        match e with
+        | C.Call { fn; args } -> (
+          match Metadata.resolve_call t.registry fn (List.length args) with
+          | Some fd
+            when (match fd.Metadata.fd_impl with
+                 | Metadata.Body _ -> true
+                 | Metadata.External _ -> false)
+                 && not fd.Metadata.fd_cacheable -> (
+            match fd.Metadata.fd_impl with
+            | Metadata.Body body ->
+              let body = view_body t fd.Metadata.fd_name body in
+              let body = C.rename_bound (fresh t) body in
+              let lets =
+                List.map2
+                  (fun (param, _) arg -> C.Let { var = param; value = arg })
+                  fd.Metadata.fd_params args
+              in
+              Some
+                (if lets = [] then body
+                 else C.Flwor { clauses = lets; return_ = body })
+            | Metadata.External _ -> None)
+          | _ -> None)
+        | _ -> None) }
+
+(* --- let substitution and cleanup ---------------------------------- *)
+
+and used_as_agg_input v clauses =
+  (* Group aggregation inputs are positional references; substitution can
+     replace them only with another variable *)
+  let rec in_clause = function
+    | C.Group { aggs; _ } -> List.exists (fun (v_in, _) -> v_in = v) aggs
+    | C.Join { right; _ } -> List.exists in_clause right
+    | _ -> false
+  in
+  List.exists in_clause clauses
+
+and rule_let_substitution =
+  { Rewrite.rule_name = "let-substitute";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses; return_ } ->
+          let rec find before = function
+            | [] -> None
+            | (C.Let { var; value } as l) :: rest
+              when (match value with C.Var _ -> false | _ -> true)
+                   && used_as_agg_input var rest ->
+              find (l :: before) rest
+            | (C.Let { var; value } as l) :: rest ->
+              let cheap =
+                match value with C.Var _ | C.Const _ | C.Empty -> true | _ -> false
+              in
+              let uses = count_var_clauses var rest return_ in
+              if cheap || uses <= 1 then
+                match
+                  C.substitute [ (var, value) ]
+                    (C.Flwor { clauses = rest; return_ })
+                with
+                | C.Flwor { clauses = rest'; return_ = return' } ->
+                  Some (List.rev_append before rest', return')
+                | _ -> None
+              else find (l :: before) rest
+            | c :: rest -> find (c :: before) rest
+          in
+          (match find [] clauses with
+          | Some (clauses', return') ->
+            Some (C.Flwor { clauses = clauses'; return_ = return' })
+          | None -> None)
+        | _ -> None) }
+
+and rule_dead_let =
+  { Rewrite.rule_name = "dead-let";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses; return_ } ->
+          let rec drop before = function
+            | [] -> None
+            | (C.Let { var; value = _ } as l) :: rest ->
+              if count_var_clauses var rest return_ = 0 then
+                Some (List.rev_append before rest)
+              else drop (l :: before) rest
+            | c :: rest -> drop (c :: before) rest
+          in
+          (match drop [] clauses with
+          | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+          | None -> None)
+        | _ -> None) }
+
+(* --- FLWOR flattening (un-nesting) --------------------------------- *)
+
+and rule_flwor_flatten _t =
+  { Rewrite.rule_name = "flwor-flatten";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses = []; return_ } -> Some return_
+        | C.Flwor { clauses; return_ = C.Flwor { clauses = inner; return_ } } ->
+          Some (C.Flwor { clauses = clauses @ inner; return_ })
+        | C.Flwor { clauses; return_ } ->
+          (* for $x in (flwor) ~> splice the inner pipeline *)
+          let rec splice before = function
+            | [] -> None
+            | C.For { var; source = C.Flwor { clauses = inner; return_ = ret } }
+              :: rest ->
+              Some
+                (List.rev_append before
+                   (inner @ (C.For { var; source = ret } :: rest)))
+            | c :: rest -> splice (c :: before) rest
+          in
+          (match splice [] clauses with
+          | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+          | None -> None)
+        | _ -> None) }
+
+(* --- filters -------------------------------------------------------- *)
+
+and rule_filter_to_where _t =
+  { Rewrite.rule_name = "filter-to-where";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses; return_ } ->
+          let rec transform before = function
+            | [] -> None
+            | C.For { var; source = C.Filter { input; dot; pos; pred } } :: rest
+              when boolean_pred (unwrap_ebv pred) && count_var pos pred = 0 ->
+              let pred' = C.substitute [ (dot, C.Var var) ] pred in
+              Some
+                (List.rev_append before
+                   (C.For { var; source = input }
+                   :: C.Where (C.Ebv pred')
+                   :: rest))
+            | c :: rest -> transform (c :: before) rest
+          in
+          (match transform [] clauses with
+          | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+          | None -> None)
+        | _ -> None) }
+
+(* Any non-positional filter is a FLWOR: e[p] == for $d in e where p($d)
+   return $d. This exposes source filters (e.g. CC()[CID eq $c/CID]) to
+   join introduction and pushdown. *)
+and rule_filter_to_flwor t =
+  { Rewrite.rule_name = "filter-to-flwor";
+    apply =
+      (fun e ->
+        match e with
+        | C.Filter { input; dot; pos; pred }
+          when boolean_pred (unwrap_ebv pred)
+               && count_var pos pred = 0
+               && (match input with
+                  | C.Call _ | C.Flwor _ | C.Var _ -> true
+                  | _ -> false) ->
+          let v = Printf.sprintf "dot~%d" (fresh t ()) in
+          let pred' = C.substitute [ (dot, C.Var v) ] pred in
+          Some
+            (C.Flwor
+               { clauses =
+                   [ C.For { var = v; source = input };
+                     C.Where (C.Ebv pred') ];
+                 return_ = C.Var v })
+        | _ -> None) }
+
+and rule_filter_over_flwor t =
+  { Rewrite.rule_name = "filter-over-flwor";
+    apply =
+      (fun e ->
+        match e with
+        | C.Filter
+            { input =
+                C.Flwor
+                  { clauses;
+                    return_ =
+                      C.Elem { optional = false; name; attrs; content } };
+              dot;
+              pos;
+              pred }
+          when boolean_pred (unwrap_ebv pred) && count_var pos pred = 0 ->
+          let v = Printf.sprintf "dot~%d" (fresh t ()) in
+          let pred' = C.substitute [ (dot, C.Var v) ] pred in
+          Some
+            (C.Flwor
+               { clauses =
+                   clauses
+                   @ [ C.Let
+                         { var = v;
+                           value =
+                             C.Elem { optional = false; name; attrs; content } };
+                       C.Where (C.Ebv pred') ];
+                 return_ = C.Var v })
+        | _ -> None) }
+
+(* Field access through a let-bound constructor: with let $c := <E>...</E>
+   in scope, later references $c/F project the matching content part
+   statically — without substituting the whole constructor (which could
+   duplicate expensive source calls). This is what lets a predicate over a
+   view's field reach the underlying column (§4.2, §4.5). *)
+and rule_project_through_let t =
+  { Rewrite.rule_name = "project-through-let";
+    apply =
+      (fun e ->
+        if not t.opts.eliminate_constructors then None
+        else
+          match e with
+          | C.Flwor { clauses; return_ } ->
+            let project_map var parts =
+              (* None when some part cannot be classified *)
+              let classifiable =
+                List.for_all
+                  (fun p ->
+                    match p with
+                    | C.Elem _ -> true
+                    | p -> atomic_producer t.registry p)
+                  parts
+              in
+              if not classifiable then None
+              else
+                Some
+                  (fun n ->
+                    C.seq
+                      (List.filter_map
+                         (fun p ->
+                           match p with
+                           | C.Elem { name; _ } when Qname.equal name n ->
+                             Some p
+                           | _ -> None)
+                         parts))
+              |> fun r -> ignore var; r
+            in
+            let changed = ref false in
+            let rec rewrite_with proj var e =
+              match e with
+              | C.Child (C.Var v, n) when v = var ->
+                changed := true;
+                proj n
+              | C.Flwor _ | C.Filter _ | C.Quantified _ ->
+                (* conservatively stop at binder scopes other than direct
+                   traversal; names are unique so descending is safe *)
+                C.map_children (rewrite_with proj var) e
+              | e -> C.map_children (rewrite_with proj var) e
+            in
+            let rec scan before = function
+              | [] -> None
+              | (C.Let { var; value = C.Elem { optional = false; content; _ } }
+                 as l)
+                :: rest -> (
+                match project_map var (content_parts content) with
+                | Some proj ->
+                  changed := false;
+                  let rest' =
+                    List.map
+                      (C.map_clause (fun e -> rewrite_with proj var e))
+                      rest
+                  in
+                  let return' = rewrite_with proj var return_ in
+                  if !changed then
+                    Some (List.rev_append before (l :: rest'), return')
+                  else scan (l :: before) rest
+                | None -> scan (l :: before) rest)
+              | c :: rest -> scan (c :: before) rest
+            in
+            (match scan [] clauses with
+            | Some (clauses', return') ->
+              Some (C.Flwor { clauses = clauses'; return_ = return' })
+            | None -> None)
+          | _ -> None) }
+
+(* A for over a non-optional element constructor binds exactly one item:
+   turn it into a let so field projection applies. *)
+and rule_for_singleton_elem =
+  { Rewrite.rule_name = "for-singleton-constructor";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses; return_ } ->
+          let rec fix before = function
+            | [] -> None
+            | C.For { var; source = C.Elem ({ optional = false; _ } as el) }
+              :: rest ->
+              Some
+                (List.rev_append before
+                   (C.Let { var; value = C.Elem el } :: rest))
+            | c :: rest -> fix (c :: before) rest
+          in
+          (match fix [] clauses with
+          | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+          | None -> None)
+        | _ -> None) }
+
+(* --- where conjunct splitting --------------------------------------- *)
+
+and rule_where_split =
+  { Rewrite.rule_name = "where-split";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses; return_ } ->
+          let rec split before = function
+            | [] -> None
+            | C.Where w :: rest -> (
+              match conjuncts w with
+              | [] | [ _ ] -> split (C.Where w :: before) rest
+              | cs ->
+                Some
+                  (List.rev_append before
+                     (List.map (fun c -> C.Where (C.Ebv c)) cs @ rest)))
+            | c :: rest -> split (c :: before) rest
+          in
+          (match split [] clauses with
+          | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+          | None -> None)
+        | _ -> None) }
+
+(* --- constructor / source-access elimination ------------------------ *)
+
+and rule_child_elim t =
+  { Rewrite.rule_name = "constructor-child-elimination";
+    apply =
+      (fun e ->
+        if not t.opts.eliminate_constructors then None
+        else
+          match e with
+          | C.Child (C.Elem { optional = false; content; _ }, n) ->
+            let parts = content_parts content in
+            let resolvable =
+              List.for_all
+                (fun p ->
+                  match p with
+                  | C.Elem _ -> true
+                  | p -> atomic_producer t.registry p)
+                parts
+            in
+            if not resolvable then None
+            else
+              Some
+                (C.seq
+                   (List.filter_map
+                      (fun p ->
+                        match p with
+                        | C.Elem { name; _ } when Qname.equal name n -> Some p
+                        | _ -> None)
+                      parts))
+          | _ -> None) }
+
+and rule_attr_elim t =
+  { Rewrite.rule_name = "constructor-attribute-elimination";
+    apply =
+      (fun e ->
+        if not t.opts.eliminate_constructors then None
+        else
+          match e with
+          | C.Attr_of (C.Elem { optional = false; attrs; _ }, n) -> (
+            match
+              List.find_opt (fun a -> Qname.equal a.C.aname n) attrs
+            with
+            | Some a when atomic_producer t.registry a.C.avalue ->
+              Some (C.Data a.C.avalue)
+            | Some _ -> None
+            | None -> Some C.Empty)
+          | _ -> None) }
+
+and rule_data_simplify t =
+  { Rewrite.rule_name = "data-simplify";
+    apply =
+      (fun e ->
+        match e with
+        | C.Data (C.Data inner) -> Some (C.Data inner)
+        | C.Data (C.Const a) -> Some (C.Const a)
+        | C.Data C.Empty -> Some C.Empty
+        | C.Data (C.Cast (x, ty)) -> Some (C.Cast (x, ty))
+        | C.Data (C.Binop (op, a, b))
+          when (match op with
+               | C.Add | C.Sub | C.Mul | C.Div | C.Idiv | C.Mod
+               | C.V_eq | C.V_ne | C.V_lt | C.V_le | C.V_gt | C.V_ge
+               | C.G_eq | C.G_ne | C.G_lt | C.G_le | C.G_gt | C.G_ge
+               | C.And | C.Or | C.Range -> true) ->
+          Some (C.Binop (op, a, b))
+        | C.Data (C.If { cond; then_; else_ }) ->
+          Some (C.If { cond; then_ = C.Data then_; else_ = C.Data else_ })
+        | C.Data (C.Elem { optional = _; content; _ })
+          when List.for_all (atomic_producer t.registry) (content_parts content) ->
+          (* structural typing: data() of a constructed element with typed
+             content is the content itself (§3.1) *)
+          Some (C.seq (List.map (fun p -> C.Data p) (content_parts content)))
+        | C.Ebv (C.Ebv inner) -> Some (C.Ebv inner)
+        | C.Ebv (C.Const (Atomic.Boolean _) as b) -> Some b
+        | _ -> None) }
+
+(* Typematch over a FLWOR with a star-occurrence type distributes to the
+   per-tuple return value; a typematch over an element constructor whose
+   name satisfies the type (and which imposes no simple-content
+   constraint) is statically satisfied and drops. Both keep runtime
+   semantics: the evaluator's typematch checks exactly name and simple
+   content. *)
+and rule_typematch_simplify =
+  { Rewrite.rule_name = "typematch-simplify";
+    apply =
+      (fun e ->
+        match e with
+        | C.Typematch (C.Flwor { clauses; return_ }, ty)
+          when (not ty.Stype.occ.Stype.at_least_one)
+               && not ty.Stype.occ.Stype.at_most_one ->
+          Some
+            (C.Flwor
+               { clauses;
+                 return_ =
+                   C.Typematch
+                     (return_, { ty with Stype.occ = Stype.occ_star }) })
+        | C.Typematch ((C.Elem { name; optional = false; _ } as elem), ty) ->
+          let satisfied =
+            List.exists
+              (function
+                | Stype.It_element { elem_name = Some n; simple = None; _ } ->
+                  Qname.equal n name
+                | Stype.It_element { elem_name = None; simple = None; _ }
+                | Stype.It_node | Stype.It_item ->
+                  true
+                | _ -> false)
+              ty.Stype.items
+          in
+          if satisfied then Some elem else None
+        | C.Typematch (C.Const a, ty)
+          when Stype.subtype
+                 (Stype.atomic (Atomic.type_of a))
+                 { ty with Stype.occ = Stype.occ_one } ->
+          Some (C.Const a)
+        | _ -> None) }
+
+and rule_seq_data_distribute =
+  { Rewrite.rule_name = "data-over-seq";
+    apply =
+      (fun e ->
+        match e with
+        | C.Data (C.Seq es) -> Some (C.seq (List.map (fun x -> C.Data x) es))
+        | _ -> None) }
+
+(* --- where pushdown (clause reordering) ----------------------------- *)
+
+let rule_where_pushdown =
+  { Rewrite.rule_name = "where-pushdown";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses; return_ } ->
+          (* move a Where leftwards past clauses that do not bind its free
+             variables (never across Group) *)
+          let rec bubble before = function
+            | [] -> None
+            | C.Where w :: rest -> (
+              let fv = C.free_vars w () in
+              let blocked = function
+                | C.Group _ | C.Order _ -> true
+                | c -> List.exists (fun v -> Hashtbl.mem fv v) (C.clause_vars [ c ])
+              in
+              match before with
+              | prev :: earlier when not (blocked prev) ->
+                Some (List.rev_append earlier (C.Where w :: prev :: rest))
+              | _ -> bubble (C.Where w :: before) rest)
+            | c :: rest -> bubble (c :: before) rest
+          in
+          (match bubble [] clauses with
+          | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+          | None -> None)
+        | _ -> None) }
+
+(* --- join introduction ----------------------------------------------- *)
+
+(* [For f; Where w...] where w spans f and earlier vars becomes an inner
+   join with f as the right branch (§4.3). *)
+let rule_join_intro t =
+  { Rewrite.rule_name = "join-introduction";
+    apply =
+      (fun e ->
+        if not t.opts.introduce_joins then None
+        else
+          match e with
+          | C.Flwor { clauses; return_ } ->
+            let rec scan bound before = function
+              | [] -> None
+              | (C.For { var; source } as f) :: rest when bound <> [] ->
+                (* collect following Wheres that reference both sides *)
+                let rec take_wheres ws tail =
+                  match tail with
+                  | C.Where w :: more
+                    when references_any [ var ] w && references_any bound w ->
+                    take_wheres (w :: ws) more
+                  | _ -> (List.rev ws, tail)
+                in
+                let wheres, tail = take_wheres [] rest in
+                if wheres = [] then
+                  scan (var :: bound) (f :: before) rest
+                else
+                  let on_ = conjoin (List.concat_map conjuncts wheres) in
+                  Some
+                    (List.rev_append before
+                       (C.Join
+                          { kind = C.J_inner;
+                            method_ = C.Nested_loop;
+                            right = [ C.For { var; source } ];
+                            on_;
+                            export = C.Bindings }
+                       :: tail))
+              | c :: rest -> scan (C.clause_vars [ c ] @ bound) (c :: before) rest
+            in
+            (match scan [] [] clauses with
+            | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+            | None -> None)
+          | _ -> None) }
+
+(* let $v := (dependent flwor) becomes a grouped left outer join: "joins
+   that occur inside lets are rewritten as left outer joins and brought
+   out into the outer FLWR" (§4.3). An aggregate over a dependent FLWOR
+   (let $n := count(flwor)) is the same rewrite with the aggregate applied
+   to the grouped variable — pattern (g) of Table 2. *)
+let rule_let_flwor_to_join t =
+  { Rewrite.rule_name = "let-flwor-to-outer-join";
+    apply =
+      (fun e ->
+        if not t.opts.introduce_joins then None
+        else
+          match e with
+          | C.Flwor { clauses; return_ } ->
+            let hoistable bound inner ret =
+              bound <> []
+              && references_any bound (C.Flwor { clauses = inner; return_ = ret })
+              && List.exists
+                   (function C.For _ | C.Rel _ -> true | _ -> false)
+                   inner
+            in
+            let join gvar inner ret =
+              C.Join
+                { kind = C.J_left_outer;
+                  method_ = C.Nested_loop;
+                  right = inner;
+                  on_ = C.Ebv (C.Const (Atomic.Boolean true));
+                  export = C.Grouped { gvar; gexpr = ret } }
+            in
+            let rec transform bound before = function
+              | [] -> None
+              | C.Let { var; value = C.Flwor { clauses = inner; return_ = ret } }
+                :: rest
+                when hoistable bound inner ret ->
+                Some (List.rev_append before (join var inner ret :: rest))
+              | C.Let
+                  { var;
+                    value =
+                      C.Call
+                        { fn;
+                          args = [ C.Flwor { clauses = inner; return_ = ret } ]
+                        } }
+                :: rest
+                when Fn_lib.is_aggregate fn && hoistable bound inner ret ->
+                let tmp = Printf.sprintf "agg~%d" (fresh t ()) in
+                Some
+                  (List.rev_append before
+                     (join tmp inner ret
+                     :: C.Let
+                          { var; value = C.Call { fn; args = [ C.Var tmp ] } }
+                     :: rest))
+              | c :: rest ->
+                transform (C.clause_vars [ c ] @ bound) (c :: before) rest
+            in
+            (match transform [] [] clauses with
+            | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+            | None -> None)
+          | _ -> None) }
+
+(* Nested FLWORs in the return expression (e.g. <ORDERS>{for $o ...}</ORDERS>)
+   hoist into grouped left outer joins (§4.2: outer-join + group-by brings
+   the data to be nested together). *)
+let rule_return_flwor_hoist t =
+  { Rewrite.rule_name = "return-flwor-hoist";
+    apply =
+      (fun e ->
+        if not t.opts.introduce_joins then None
+        else
+          match e with
+          | C.Flwor { clauses; return_ } when clauses <> [] ->
+            let bound = C.clause_vars clauses in
+            if bound = [] then None
+            else
+              let found = ref None in
+              (* walk only always-evaluated positions *)
+              let rec search in_scope e =
+                if !found <> None then e
+                else
+                  match e with
+                  | C.Flwor { clauses = inner; _ }
+                    when references_any bound e
+                         && (not (references_any in_scope e))
+                         && List.exists
+                              (function C.For _ | C.Rel _ -> true | _ -> false)
+                              inner ->
+                    let gvar = Printf.sprintf "nest~%d" (fresh t ()) in
+                    found := Some (gvar, e);
+                    C.Var gvar
+                  | C.Seq es -> C.Seq (List.map (search in_scope) es)
+                  | C.Elem { name; optional; attrs; content } ->
+                    let attrs =
+                      List.map
+                        (fun a -> { a with C.avalue = search in_scope a.C.avalue })
+                        attrs
+                    in
+                    C.Elem
+                      { name; optional; attrs; content = search in_scope content }
+                  | C.Data x -> C.Data (search in_scope x)
+                  | C.Cast (x, ty) -> C.Cast (search in_scope x, ty)
+                  | C.Binop (op, a, b) ->
+                    C.Binop (op, search in_scope a, search in_scope b)
+                  | C.Call { fn; args }
+                    when (match Fn_lib.find fn (List.length args) with
+                         | Some b -> not b.Fn_lib.special
+                         | None -> false) ->
+                    C.Call { fn; args = List.map (search in_scope) args }
+                  | e -> e
+              in
+              let return' = search [] return_ in
+              (match !found with
+              | Some (gvar, C.Flwor { clauses = inner; return_ = ret }) ->
+                Some
+                  (C.Flwor
+                     { clauses =
+                         clauses
+                         @ [ C.Join
+                               { kind = C.J_left_outer;
+                                 method_ = C.Nested_loop;
+                                 right = inner;
+                                 on_ = C.Ebv (C.Const (Atomic.Boolean true));
+                                 export = C.Grouped { gvar; gexpr = ret } } ];
+                       return_ = return' })
+              | _ -> None)
+          | _ -> None) }
+
+(* Pull dependent Wheres out of a join's right branch into the on_
+   predicate, so method selection and SQL translation can see them. *)
+let rule_join_on_extraction =
+  { Rewrite.rule_name = "join-on-extraction";
+    apply =
+      (fun e ->
+        match e with
+        | C.Flwor { clauses; return_ } ->
+          let transform_join before j rest =
+            match j with
+            | C.Join { kind; method_; right; on_; export } ->
+              let left_bound =
+                C.clause_vars (List.rev before)
+                @ free_vars_list (C.Flwor { clauses = []; return_ = C.Empty })
+              in
+              let left_bound = left_bound @ clause_list_free_vars right in
+              ignore left_bound;
+              let right_bound = C.clause_vars right in
+              let wheres, others =
+                List.partition
+                  (function
+                    | C.Where w ->
+                      (* dependent on something outside the right branch *)
+                      let fv = C.free_vars w () in
+                      Hashtbl.fold
+                        (fun v _ acc -> acc || not (List.mem v right_bound))
+                        fv false
+                    | _ -> false)
+                  right
+              in
+              if wheres = [] then None
+              else
+                let extra =
+                  List.concat_map
+                    (function C.Where w -> conjuncts w | _ -> [])
+                    wheres
+                in
+                let on' = conjoin (conjuncts on_ @ extra) in
+                Some
+                  (List.rev_append before
+                     (C.Join { kind; method_; right = others; on_ = on'; export }
+                     :: rest))
+            | _ -> None
+          in
+          let rec scan before = function
+            | [] -> None
+            | (C.Join _ as j) :: rest -> (
+              match transform_join before j rest with
+              | Some clauses' -> Some clauses'
+              | None -> scan (j :: before) rest)
+            | c :: rest -> scan (c :: before) rest
+          in
+          (match scan [] clauses with
+          | Some clauses' -> Some (C.Flwor { clauses = clauses'; return_ })
+          | None -> None)
+        | _ -> None) }
+
+(* --- inverse functions (§4.5) ---------------------------------------- *)
+
+let rule_inverse t =
+  { Rewrite.rule_name = "inverse-function";
+    apply =
+      (fun e ->
+        if not t.opts.use_inverse_functions then None
+        else
+          let comparison = function
+            | C.V_eq | C.V_ne | C.V_lt | C.V_le | C.V_gt | C.V_ge
+            | C.G_eq | C.G_ne | C.G_lt | C.G_le | C.G_gt | C.G_ge ->
+              true
+            | _ -> false
+          in
+          let rewrite_side fn_call other build =
+            match fn_call with
+            | C.Call { fn; args = [ x ] }
+            | C.Data (C.Call { fn; args = [ x ] }) -> (
+              match Metadata.transform_of t.registry fn with
+              | Some inverse ->
+                Some (build x (C.Call { fn = inverse; args = [ other ] }))
+              | None -> None)
+            | _ -> None
+          in
+          (* equality against a multi-argument transformation decomposes
+             componentwise: f(x, y) eq v  ~>  x eq g1(v) and y eq g2(v) *)
+          let decompose_multi fn_call other =
+            match fn_call with
+            | C.Call { fn; args }
+            | C.Data (C.Call { fn; args })
+              when List.length args >= 2 -> (
+              match Metadata.projections_of t.registry fn with
+              | Some projections when List.length projections = List.length args
+                ->
+                let conjuncts =
+                  List.map2
+                    (fun arg proj ->
+                      C.Binop
+                        ( C.V_eq,
+                          C.Data arg,
+                          C.Data (C.Call { fn = proj; args = [ other ] }) ))
+                    args projections
+                in
+                Some (conjoin conjuncts)
+              | _ -> None)
+            | _ -> None
+          in
+          match e with
+          | C.Binop (((C.V_eq | C.G_eq) as op), a, b) -> (
+            match decompose_multi a b with
+            | Some e' -> Some e'
+            | None -> (
+              match decompose_multi b a with
+              | Some e' -> Some e'
+              | None -> (
+                match
+                  rewrite_side a b (fun x g ->
+                      C.Binop (op, C.Data x, C.Data g))
+                with
+                | Some e' -> Some e'
+                | None ->
+                  rewrite_side b a (fun x g ->
+                      C.Binop (op, C.Data g, C.Data x)))))
+          | C.Binop (op, a, b) when comparison op -> (
+            match rewrite_side a b (fun x g -> C.Binop (op, C.Data x, C.Data g)) with
+            | Some e' -> Some e'
+            | None ->
+              rewrite_side b a (fun x g -> C.Binop (op, C.Data g, C.Data x)))
+          | _ -> None) }
+
+(* ------------------------------------------------------------------ *)
+(* Join method selection (post-pushdown)                               *)
+
+let rec select_methods_clauses t bound clauses =
+  List.rev
+    (fst
+       (List.fold_left
+          (fun (acc, bound) clause ->
+            let clause' =
+              match clause with
+              | C.Join { kind; method_ = C.Nested_loop; right; on_; export } ->
+                let right' = select_methods_clauses t bound right in
+                let right_vars = C.clause_vars right' in
+                let method_ =
+                  match right' with
+                  | C.Rel r :: rest_lets
+                    when r.C.sql_params <> []
+                         && List.for_all
+                              (function C.Let _ -> true | _ -> false)
+                              rest_lets ->
+                    C.Ppk { k = t.opts.ppk_k; inner = C.Inner_inl }
+                  | _ ->
+                    let depends_on_left =
+                      references_any bound
+                        (C.Flwor { clauses = right'; return_ = C.Empty })
+                    in
+                    if
+                      (not depends_on_left)
+                      && equi_join_keys ~right_vars on_ <> None
+                    then C.Index_nested_loop
+                    else C.Nested_loop
+                in
+                C.Join { kind; method_; right = right'; on_; export }
+              | C.Join { kind; method_; right; on_; export } ->
+                C.Join
+                  { kind;
+                    method_;
+                    right = select_methods_clauses t bound right;
+                    on_;
+                    export }
+              | c -> c
+            in
+            (clause' :: acc, C.clause_vars [ clause' ] @ bound))
+          ([], bound) clauses))
+
+let rec select_methods t e =
+  let e = C.map_children (select_methods t) e in
+  match e with
+  | C.Flwor { clauses; return_ } ->
+    C.Flwor { clauses = select_methods_clauses t [] clauses; return_ }
+  | e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+(* Observed-cost reordering (§9, implemented roadmap item): for two
+   adjacent independent source iterations, pick as the outer (left) branch
+   the one minimizing  latency(L) + cardinality(L) * latency(R)  — the
+   outer runs once, the inner once per outer tuple under nested
+   evaluation. Reordering changes FLWOR tuple order, so it only applies
+   when a later order-by re-establishes the result order. *)
+let reorder_by_observed_cost t observed e =
+  let source_fn = function
+    | C.Call { fn; args = [] } -> Some fn
+    | _ -> None
+  in
+  let pair_cost outer inner =
+    match (Observed.observed observed outer, Observed.observed observed inner) with
+    | Some o, Some i ->
+      Some (o.Observed.mean_latency +. (o.Observed.mean_cardinality *. i.Observed.mean_latency))
+    | _ -> None
+  in
+  let rec fix clauses =
+    match clauses with
+    | (C.For { var = va; source = sa } as a)
+      :: (C.For { var = vb; source = sb } as b)
+      :: rest
+      when (not (references_any [ va ] sb))
+           && Option.is_some (source_fn sa)
+           && Option.is_some (source_fn sb) -> (
+      ignore vb;
+      let fa = Option.get (source_fn sa) and fb = Option.get (source_fn sb) in
+      match (pair_cost fa fb, pair_cost fb fa) with
+      | Some as_is, Some swapped when swapped < as_is ->
+        b :: fix (a :: rest)
+      | _ -> a :: fix (b :: rest))
+    | c :: rest -> c :: fix rest
+    | [] -> []
+  in
+  let rec go e =
+    let e = C.map_children go e in
+    match e with
+    | C.Flwor { clauses; return_ }
+      when List.exists (function C.Order _ -> true | _ -> false) clauses ->
+      C.Flwor { clauses = fix clauses; return_ }
+    | e -> e
+  in
+  ignore t;
+  go e
+
+let optimize_view t name body = view_body t name body
+
+let cleanup t e = fst (Rewrite.run (query_independent_rules t) e)
+
+let view_cache_hits t = t.hits
+let view_cache_misses t = t.misses
+
+let all_rules t =
+  (if t.opts.inline_views then [ rule_inline t ] else [])
+  @ query_independent_rules t
+  @ [ rule_where_pushdown;
+      rule_let_flwor_to_join t;
+      rule_return_flwor_hoist t;
+      rule_join_intro t;
+      rule_join_on_extraction ]
+  @ if t.opts.use_inverse_functions then [ rule_inverse t ] else []
+
+let optimize t e = Rewrite.run (all_rules t) e

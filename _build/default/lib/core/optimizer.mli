@@ -1,0 +1,78 @@
+(** The rule-based optimizer (§4.2-§4.3).
+
+    Rule families, in the paper's terms:
+
+    - {b View unfolding}: XQuery function inlining and un-nesting, the
+      analogue of relational view unfolding. Views (layers of data
+      services) are first optimized by a {e sub-optimizer} whose
+      query-independent result is cached per function and reused across
+      queries, with eviction bounding the cache (§4.2). Cache-enabled
+      functions are not inlined — their calls must stay visible to the
+      function cache (§5.5).
+    - {b Source-access elimination}: navigation into constructed elements
+      is resolved statically ([data(<C><L>{$n}</L>…</C>/L)] → [$n]), so
+      unused branches of a view are never computed or fetched (§4.2).
+    - {b SQL plan preparation} (§4.3): where-clauses split into conjuncts
+      and pushed down past independent clauses; join expressions
+      introduced for for-clauses; FLWORs nested in lets or in return
+      expressions rewritten as (grouped) left outer joins and hoisted into
+      the outer FLWOR.
+    - {b Inverse functions} (§4.5): comparisons of the form
+      [f(x) op y] with a registered inverse [g] rewrite to [x op g(y)], so
+      an otherwise-opaque external transformation no longer blocks
+      pushdown (and lineage).
+    - {b Join method selection} (§4.2, §5.2): PP-k (default [k]=20) when
+      the right side is a pushed parameterized relational access, index
+      nested loop for independent equi-joins, nested loop otherwise.
+
+    The pipeline is [optimize] → {!Pushdown.push} → [select_methods]. *)
+
+type options = {
+  inline_views : bool;
+  introduce_joins : bool;
+  eliminate_constructors : bool;
+  use_inverse_functions : bool;
+  ppk_k : int;  (** PP-k block size; the paper's default is 20. *)
+  view_cache_size : int;
+}
+
+val default_options : options
+
+type t
+
+val create : ?options:options -> Metadata.t -> t
+
+val options : t -> options
+
+val optimize : t -> Cexpr.t -> Cexpr.t * Rewrite.stats
+(** The main (pre-pushdown) rewrite pipeline. *)
+
+val select_methods : t -> Cexpr.t -> Cexpr.t
+(** Post-pushdown pass: pick join methods (PP-k / index nested loop /
+    nested loop) and mark pre-clustered group-bys. *)
+
+val reorder_by_observed_cost : t -> Observed.t -> Cexpr.t -> Cexpr.t
+(** The paper's §9 roadmap item: using only {e observed} source behaviour
+    (no static cost model), reorder adjacent independent source iterations
+    so the branch minimizing [latency + cardinality x inner-latency] runs
+    as the outer. Applied only under FLWORs whose order-by re-establishes
+    result order, so it is semantics-preserving. Run before join
+    introduction. *)
+
+val cleanup : t -> Cexpr.t -> Cexpr.t
+(** Query-independent simplification (let substitution, dead code,
+    constructor elimination) — run after pushdown to tidy residual
+    middleware expressions. *)
+
+val optimize_view : t -> Aldsp_xml.Qname.t -> Cexpr.t -> Cexpr.t
+(** The view sub-optimizer: query-independent optimization of a function
+    body, memoized per function name with LRU eviction (§4.2). *)
+
+val view_cache_hits : t -> int
+val view_cache_misses : t -> int
+
+val equi_join_keys :
+  right_vars:Cexpr.var list -> Cexpr.t -> ((Cexpr.t * Cexpr.t) list * Cexpr.t list) option
+(** Splits a join predicate into (left expr = right expr) pairs plus
+    residual conjuncts; [None] when no equi-key exists. Shared with the
+    runtime's index-nested-loop implementation. *)

@@ -1,0 +1,44 @@
+type 'plan t = {
+  capacity : int;
+  table : (string, 'plan) Hashtbl.t;
+  mutable lru : string list;  (* most recent first *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~capacity =
+  { capacity; table = Hashtbl.create 32; lru = []; hit_count = 0;
+    miss_count = 0 }
+
+let touch t key =
+  t.lru <- key :: List.filter (fun k -> not (String.equal k key)) t.lru
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some plan ->
+    t.hit_count <- t.hit_count + 1;
+    touch t key;
+    Some plan
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+let add t key plan =
+  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity
+  then begin
+    match List.rev t.lru with
+    | oldest :: _ ->
+      Hashtbl.remove t.table oldest;
+      t.lru <- List.filter (fun k -> not (String.equal k oldest)) t.lru
+    | [] -> ()
+  end;
+  Hashtbl.replace t.table key plan;
+  touch t key
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.lru <- []
+
+let size t = Hashtbl.length t.table
+let hits t = t.hit_count
+let misses t = t.miss_count

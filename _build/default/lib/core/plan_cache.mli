@@ -1,0 +1,22 @@
+(** The query plan cache (§2.2).
+
+    "ALDSP maintains a query plan cache in order to avoid repeatedly
+    compiling popular queries from the same or different users." An LRU
+    map from query text to compiled plan; compiled plans are reusable
+    because parameters are bound at execution time and security filtering
+    happens post-evaluation (§7). *)
+
+type 'plan t
+
+val create : capacity:int -> 'plan t
+
+val find : 'plan t -> string -> 'plan option
+(** Refreshes the entry's recency on hit. *)
+
+val add : 'plan t -> string -> 'plan -> unit
+(** Inserts, evicting the least recently used entry at capacity. *)
+
+val clear : 'plan t -> unit
+val size : 'plan t -> int
+val hits : 'plan t -> int
+val misses : 'plan t -> int

@@ -1,0 +1,41 @@
+(** SQL plan preparation and generation (§4.3-§4.4).
+
+    Pushdown looks at regions of the expression tree whose data all comes
+    from the same relational database and compiles them into SQL, leaving
+    the rest for the middleware engine. The phases:
+
+    {b Scan conversion}: a FLWOR [for] over an introspected table function
+    becomes a {!Cexpr.clause.Rel} clause binding one variable per column,
+    plus a row-element reconstruction [let]; field navigation through the
+    row variable is resolved to the column variables, so a column a query
+    never touches is never fetched (source-access elimination, §4.2).
+
+    {b Region growth}: adjacent clauses fold into the region —
+    [where] predicates (with non-pushable subexpressions evaluated in the
+    middleware and bound as SQL {e parameters}), same-database joins
+    (inner and left outer, patterns b/c), grouped outer joins with
+    aggregates (pattern g), FLWGOR group-bys with aggregations (pattern e)
+    and the DISTINCT special case (pattern f), [order by], and computed
+    scalar projections ([if-then-else] → CASE, pattern d; string/numeric
+    functions per the vendor's capabilities). Quantified expressions over
+    same-database tables translate to EXISTS semi-joins (pattern h).
+    [fn:subsequence] over a pushed ordered region becomes the vendor's row
+    window — Oracle's ROWNUM wrapper, pattern i — when the dialect
+    supports one.
+
+    {b Join parameterization}: a cross-database (or otherwise unmergeable)
+    join whose right side is a pushed region with equi-join keys gets the
+    key comparison compiled into the right side's SQL as [col = ?]
+    parameters bound from left-tuple values — the access path the PP-k
+    method batches in blocks of k (§4.2).
+
+    Pushdown aggressiveness is vendor-dependent: the dialect capabilities
+    of {!Aldsp_relational.Sql_print.capabilities} gate CASE, concatenation
+    and windows, with "base SQL92" the conservative fallback. *)
+
+val push : Metadata.t -> Cexpr.t -> Cexpr.t
+
+val pushed_sql : Metadata.t -> Cexpr.t -> (string * string) list
+(** All (database, SQL text) pairs appearing in a plan, rendered in each
+    database's own dialect — what the bench harness prints against
+    Tables 1 and 2. *)

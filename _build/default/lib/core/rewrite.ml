@@ -1,0 +1,51 @@
+type rule = {
+  rule_name : string;
+  apply : Cexpr.t -> Cexpr.t option;
+}
+
+type stats = { passes : int; applications : (string * int) list }
+
+let run ?(max_passes = 12) ?(max_applications = 20000) rules expr =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0 in
+  let changed_in_pass = ref false in
+  let record name =
+    incr total;
+    Hashtbl.replace counts name
+      (1 + Option.value (Hashtbl.find_opt counts name) ~default:0);
+    changed_in_pass := true
+  in
+  (* apply rules at one node until none fires; a global application budget
+     guards against diverging rule sets, keeping the best result so far *)
+  let rec apply_here fuel e =
+    if fuel = 0 || !total >= max_applications then e
+    else
+      let fired =
+        List.find_map
+          (fun r ->
+            match r.apply e with
+            | Some e' when not (Cexpr.equal e' e) -> Some (r.rule_name, e')
+            | Some _ | None -> None)
+          rules
+      in
+      match fired with
+      | Some (name, e') ->
+        record name;
+        apply_here (fuel - 1) e'
+      | None -> e
+  in
+  let rec bottom_up e = apply_here 64 (Cexpr.map_children bottom_up e) in
+  let rec passes n e =
+    if n >= max_passes then (e, n)
+    else begin
+      changed_in_pass := false;
+      let e' = bottom_up e in
+      if !changed_in_pass then passes (n + 1) e' else (e', n + 1)
+    end
+  in
+  let result, n_passes = passes 0 expr in
+  ( result,
+    { passes = n_passes;
+      applications =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b) } )

@@ -1,0 +1,25 @@
+(** The rule-driven rewrite engine.
+
+    Both the optimizer and the update-lineage analysis are driven by the
+    same rule engine in ALDSP (§6); this module is that engine. Rules are
+    named partial functions over the core algebra; the driver applies them
+    bottom-up to a fixpoint (bounded), recording which rules fired — the
+    trace backs the optimizer's explain output and the ablation benches. *)
+
+type rule = {
+  rule_name : string;
+  apply : Cexpr.t -> Cexpr.t option;
+      (** [None] or the unchanged expression means "did not fire". *)
+}
+
+type stats = { passes : int; applications : (string * int) list }
+
+val run :
+  ?max_passes:int ->
+  ?max_applications:int ->
+  rule list ->
+  Cexpr.t ->
+  Cexpr.t * stats
+(** Applies the rules bottom-up over the tree, repeating whole passes until
+    a fixpoint or a bound is hit. [max_applications] (default 20000) guards
+    against diverging rule sets. *)

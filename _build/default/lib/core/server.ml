@@ -1,0 +1,341 @@
+open Aldsp_xml
+
+type compiled = {
+  source : string;
+  plan : Cexpr.t;
+  static_type : Stype.t;
+  diagnostics : Diag.t list;
+  sql : (string * string) list;
+}
+
+type t = {
+  registry : Metadata.t;
+  optimizer : Optimizer.t;
+  plan_cache : compiled Plan_cache.t;
+  function_cache : Function_cache.t option;
+  security : Security.t;
+  audit : Audit.t;
+  observed : Observed.t option;
+  runtime : Eval.rt;
+}
+
+let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
+    ?security ?audit ?observed registry =
+  let audit = match audit with Some a -> a | None -> Audit.create () in
+  let security =
+    match security with Some s -> s | None -> Security.create ~audit ()
+  in
+  let call_wrapper fd args compute =
+    Audit.record audit ~category:"service-call"
+      (Printf.sprintf "call %s/%d"
+         (Qname.to_string fd.Metadata.fd_name)
+         (List.length args));
+    let compute =
+      match observed with
+      | Some obs -> fun () -> Observed.wrapper obs fd args compute
+      | None -> compute
+    in
+    match function_cache with
+    | Some cache -> Function_cache.wrapper cache fd args compute
+    | None -> compute ()
+  in
+  { registry;
+    optimizer = Optimizer.create ?options:optimizer_options registry;
+    plan_cache = Plan_cache.create ~capacity:plan_cache_capacity;
+    function_cache;
+    security;
+    audit;
+    observed;
+    runtime = Eval.runtime ~call_wrapper registry }
+
+let registry t = t.registry
+let optimizer t = t.optimizer
+let security t = t.security
+let function_cache t = t.function_cache
+
+(* ------------------------------------------------------------------ *)
+(* Data service registration                                           *)
+
+let truthy = function "true" | "yes" | "1" -> true | _ -> false
+
+let pragma_attrs (decl : Xq_ast.function_decl) =
+  List.concat_map
+    (fun p ->
+      if p.Xq_ast.pragma_name = "function" || p.Xq_ast.pragma_name = "" then
+        p.Xq_ast.pragma_attrs
+      else [])
+    decl.Xq_ast.fn_pragmas
+
+let kind_of_pragmas attrs =
+  match List.assoc_opt "kind" attrs with
+  | Some "navigate" -> Metadata.Navigate
+  | Some "read" -> Metadata.Read
+  | Some "library" | None | Some _ -> Metadata.Library
+
+(* Prolog variables ([declare variable $v := expr]) become let-bindings
+   prepended to every expression that can see them; earlier declarations
+   are visible to later ones. Returns the surface->unique mapping and the
+   let clauses. *)
+let prolog_variable_bindings ctx (prolog : Xq_ast.prolog) =
+  List.fold_left
+    (fun (scope, lets) (name, _ty, expr) ->
+      let uv = Normalize.fresh_var ctx name in
+      let value = Normalize.expr ~params:scope ctx expr in
+      ((name, uv) :: scope, lets @ [ Cexpr.Let { var = uv; value } ]))
+    ([], []) prolog.Xq_ast.variables
+
+let wrap_lets lets body =
+  if lets = [] then body
+  else Cexpr.Flwor { clauses = lets; return_ = body }
+
+let register_functions t ~diag (prolog : Xq_ast.prolog) =
+  let ctx =
+    Normalize.of_prolog ~schema_lookup:(Metadata.find_schema t.registry) diag
+      prolog
+  in
+  let var_scope, var_lets = prolog_variable_bindings ctx prolog in
+  (* two passes: signatures first so bodies may reference one another *)
+  let sigs =
+    List.map
+      (fun decl ->
+        let name, params, return_type = Normalize.function_signature ctx decl in
+        (decl, name, params, return_type))
+      prolog.Xq_ast.functions
+  in
+  List.iter
+    (fun (decl, name, params, return_type) ->
+      let attrs = pragma_attrs decl in
+      Metadata.add_function t.registry
+        { Metadata.fd_name = name;
+          fd_params = List.map (fun (_, uv, ty) -> (uv, ty)) params;
+          fd_return = return_type;
+          fd_impl = Metadata.Body (Cexpr.Error_expr "body pending");
+          fd_kind = kind_of_pragmas attrs;
+          fd_cacheable =
+            (match List.assoc_opt "cacheable" attrs with
+            | Some v -> truthy v
+            | None -> false);
+          fd_pragmas = attrs })
+    sigs;
+  List.iter
+    (fun (decl, name, params, return_type) ->
+      match decl.Xq_ast.fn_body with
+      | None ->
+        Diag.error diag ~phase:"register"
+          "function %s is declared external but has no source binding"
+          (Qname.to_string name)
+      | Some body_ast ->
+        let surface_params =
+          List.map (fun (s, uv, _) -> (s, uv)) params @ var_scope
+        in
+        let body = Normalize.expr ~params:surface_params ctx body_ast in
+        let body = wrap_lets var_lets body in
+        let tenv =
+          Typecheck.env
+            ~vars:(List.map (fun (_, uv, ty) -> (uv, ty)) params)
+            t.registry diag
+        in
+        let _, body =
+          Typecheck.check_function_body tenv ~declared:return_type body
+        in
+        (match Metadata.find_function t.registry name (List.length params) with
+        | Some fd ->
+          Metadata.add_function t.registry
+            { fd with Metadata.fd_impl = Metadata.Body body }
+        | None -> ()))
+    sigs;
+  sigs
+
+let register_data_service t ~name source =
+  let diag = Diag.collector Diag.Fail_fast in
+  match Xq_parser.parse_query source with
+  | Error msg ->
+    Error [ { Diag.severity = Diag.Error; phase = "parse"; message = msg } ]
+  | Ok query -> (
+    match register_functions t ~diag query.Xq_ast.prolog with
+    | sigs ->
+      let fn_names = List.map (fun (_, n, _, _) -> n) sigs in
+      let reads =
+        List.filter_map
+          (fun (decl, n, _, _) ->
+            if kind_of_pragmas (pragma_attrs decl) = Metadata.Read then Some n
+            else None)
+          sigs
+      in
+      let lineage =
+        match List.assoc_opt "lineageProvider"
+                (List.concat_map (fun (d, _, _, _) -> pragma_attrs d) sigs)
+        with
+        | Some fname -> Some (Qname.of_string fname)
+        | None -> ( match reads with n :: _ -> Some n | [] -> None)
+      in
+      Metadata.add_data_service t.registry
+        { Metadata.ds_name = name;
+          ds_shape = None;
+          ds_functions = fn_names;
+          ds_lineage_provider = lineage };
+      Ok ()
+    | exception Diag.Compile_error d -> Error [ d ])
+
+let design_time_check t source =
+  let query, parse_errors = Xq_parser.parse_query_recovering source in
+  let diag = Diag.collector Diag.Recover in
+  (* analyze against a copy of the registry so the live one never sees the
+     file's declarations *)
+  let shadow =
+    { t with
+      registry = Metadata.copy t.registry;
+      plan_cache = Plan_cache.create ~capacity:1 }
+  in
+  (try ignore (register_functions shadow ~diag query.Xq_ast.prolog)
+   with Diag.Compile_error d ->
+     Diag.error diag ~phase:d.Diag.phase "%s" d.Diag.message);
+  List.map
+    (fun msg -> { Diag.severity = Diag.Error; phase = "parse"; message = msg })
+    parse_errors
+  @ Diag.diagnostics diag
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+(* Declarative hints (§9): (::pragma hint k="v" ... ::) ahead of the
+   query body tunes this compilation. Supported hints:
+     ppk-k="N"              PP-k block size
+     inline-views="bool"    view unfolding on/off
+     inverse-functions="bool"
+     join-introduction="bool" *)
+let apply_hints base_options (query : Xq_ast.query) =
+  let hint_attrs =
+    List.concat_map
+      (fun p ->
+        if p.Xq_ast.pragma_name = "hint" then p.Xq_ast.pragma_attrs else [])
+      query.Xq_ast.query_pragmas
+  in
+  if hint_attrs = [] then None
+  else
+    let bool_hint key default =
+      match List.assoc_opt key hint_attrs with
+      | Some v -> truthy v
+      | None -> default
+    in
+    let open Optimizer in
+    Some
+      { base_options with
+        ppk_k =
+          (match List.assoc_opt "ppk-k" hint_attrs with
+          | Some v -> ( match int_of_string_opt v with Some k when k > 0 -> k | _ -> base_options.ppk_k)
+          | None -> base_options.ppk_k);
+        inline_views = bool_hint "inline-views" base_options.inline_views;
+        use_inverse_functions =
+          bool_hint "inverse-functions" base_options.use_inverse_functions;
+        introduce_joins =
+          bool_hint "join-introduction" base_options.introduce_joins }
+
+let compile_no_cache t source =
+  let diag = Diag.collector Diag.Fail_fast in
+  match Xq_parser.parse_query source with
+  | Error msg ->
+    Error [ { Diag.severity = Diag.Error; phase = "parse"; message = msg } ]
+  | Ok query -> (
+    match query.Xq_ast.body with
+    | None ->
+      Error
+        [ { Diag.severity = Diag.Error;
+            phase = "parse";
+            message = "query has no body expression" } ]
+    | Some body_ast -> (
+      try
+        let optimizer =
+          match apply_hints (Optimizer.options t.optimizer) query with
+          | Some hinted -> Optimizer.create ~options:hinted t.registry
+          | None -> t.optimizer
+        in
+        (* inline prolog function declarations are registered transiently *)
+        ignore (register_functions t ~diag query.Xq_ast.prolog);
+        let ctx =
+          Normalize.of_prolog
+            ~schema_lookup:(Metadata.find_schema t.registry)
+            diag query.Xq_ast.prolog
+        in
+        let var_scope, var_lets = prolog_variable_bindings ctx query.Xq_ast.prolog in
+        let core =
+          wrap_lets var_lets (Normalize.expr ~params:var_scope ctx body_ast)
+        in
+        let tenv = Typecheck.env t.registry diag in
+        let static_type, typed = Typecheck.check tenv core in
+        let typed =
+          (* observed-cost reordering must see the raw for-clauses, before
+             join introduction (§9) *)
+          match t.observed with
+          | Some obs -> Optimizer.reorder_by_observed_cost optimizer obs typed
+          | None -> typed
+        in
+        let optimized, _stats = Optimizer.optimize optimizer typed in
+        let pushed = Pushdown.push t.registry optimized in
+        let cleaned = Optimizer.cleanup optimizer pushed in
+        (* a second pass prunes columns whose only consumer the cleanup
+           removed (source-access elimination, §4.2) *)
+        let pushed = Pushdown.push t.registry cleaned in
+        let plan = Optimizer.select_methods optimizer pushed in
+        Ok
+          { source;
+            plan;
+            static_type;
+            diagnostics = Diag.diagnostics diag;
+            sql = Pushdown.pushed_sql t.registry plan }
+      with Diag.Compile_error d -> Error [ d ]))
+
+let compile t source =
+  match Plan_cache.find t.plan_cache source with
+  | Some compiled -> Ok compiled
+  | None -> (
+    match compile_no_cache t source with
+    | Ok compiled ->
+      Plan_cache.add t.plan_cache source compiled;
+      Ok compiled
+    | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+let diags_to_string ds = String.concat "; " (List.map Diag.to_string ds)
+
+let run t ?(user = Security.admin) source =
+  match compile t source with
+  | Error ds -> Error (diags_to_string ds)
+  | Ok compiled -> (
+    match Eval.eval t.runtime compiled.plan with
+    | Ok items -> Ok (Security.filter_result t.security user items)
+    | Error _ as e -> e)
+
+let run_stream t ?(user = Security.admin) source =
+  match run t ~user source with
+  | Ok items -> Ok (Aldsp_tokens.Token_stream.of_sequence items)
+  | Error _ as e -> e
+
+let call t ?(user = Security.admin) fn args =
+  match Security.check_call t.security user fn with
+  | Error _ as e -> e
+  | Ok () -> (
+    match Eval.call_function t.runtime fn args with
+    | Ok items -> Ok (Security.filter_result t.security user items)
+    | Error _ as e -> e)
+
+let explain t source =
+  match compile t source with
+  | Error ds -> Error (diags_to_string ds)
+  | Ok compiled ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "static type: %s\n"
+         (Stype.to_string compiled.static_type));
+    List.iter
+      (fun (db, sql) -> Buffer.add_string buf (Printf.sprintf "sql[%s]: %s\n" db sql))
+      compiled.sql;
+    Buffer.add_string buf "plan:\n";
+    Buffer.add_string buf (Cexpr.to_string compiled.plan);
+    Buffer.add_char buf '\n';
+    Ok (Buffer.contents buf)
+
+let plan_cache_hits t = Plan_cache.hits t.plan_cache
+let plan_cache_misses t = Plan_cache.misses t.plan_cache

@@ -1,0 +1,88 @@
+(** The ALDSP server (Figure 2): compiler pipeline, caches, security, and
+    the client-facing execution APIs.
+
+    Query processing follows the phases of §3.3 — parsing, expression tree
+    construction, normalization, type checking, optimization, code
+    generation — then execution. Compiled plans are cached by query text;
+    view bodies are sub-optimized and cached per function with eviction;
+    the function cache (when configured) intercepts calls to
+    cache-enabled data service functions; element-level security filtering
+    runs last, after evaluation and after cache hits (§7).
+
+    Mirroring the product's stateless client APIs, {!run} and {!call}
+    materialize their results completely before returning; {!run_stream}
+    is the server-side API that exposes the result as a token stream
+    without materializing first (§2.2). *)
+
+open Aldsp_xml
+
+type t
+
+type compiled = {
+  source : string;
+  plan : Cexpr.t;
+  static_type : Stype.t;
+  diagnostics : Diag.t list;
+  sql : (string * string) list;  (** Pushed (database, SQL) regions. *)
+}
+
+val create :
+  ?optimizer_options:Optimizer.options ->
+  ?plan_cache_capacity:int ->
+  ?function_cache:Function_cache.t ->
+  ?security:Security.t ->
+  ?audit:Audit.t ->
+  ?observed:Observed.t ->
+  Metadata.t ->
+  t
+(** [observed] turns on source instrumentation and observed-cost
+    reordering of independent source accesses (§9 roadmap item). *)
+
+val registry : t -> Metadata.t
+val optimizer : t -> Optimizer.t
+val security : t -> Security.t
+val function_cache : t -> Function_cache.t option
+
+(** {2 Data service registration} *)
+
+val register_data_service :
+  t -> name:string -> string -> (unit, Diag.t list) result
+(** Parses a data service file (prolog of function declarations with
+    pragmas), registers its functions and the data service record. Uses
+    fail-fast mode; see {!design_time_check} for the editor behaviour. *)
+
+val design_time_check : t -> string -> Diag.t list
+(** Design-time compilation (§4.1): parse and analyze as much of the file
+    as possible, recovering after errors, and report every diagnostic
+    found rather than stopping at the first. Nothing is registered. *)
+
+(** {2 Compilation and execution} *)
+
+val compile : t -> string -> (compiled, Diag.t list) result
+(** Full pipeline on an ad hoc query; plans are cached by query text. *)
+
+val run :
+  t -> ?user:Security.user -> string -> (Item.sequence, string) result
+(** Compile (through the plan cache) and execute, materializing the result
+    (the stateless client API). Security filtering applied. *)
+
+val run_stream :
+  t -> ?user:Security.user -> string ->
+  (Aldsp_tokens.Token.t Seq.t, string) result
+(** The server-side streaming API: the result as a lazy token stream. *)
+
+val call :
+  t ->
+  ?user:Security.user ->
+  Qname.t ->
+  Item.sequence list ->
+  (Item.sequence, string) result
+(** Direct data service function call (read/navigate methods), through
+    function-level access control, the function cache, and result
+    filtering. *)
+
+val explain : t -> string -> (string, string) result
+(** The compiled plan and its pushed SQL, rendered for humans. *)
+
+val plan_cache_hits : t -> int
+val plan_cache_misses : t -> int

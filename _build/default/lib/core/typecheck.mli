@@ -1,0 +1,30 @@
+(** Static type checking and inference (phase 4 of §3.3).
+
+    Implements ALDSP's two departures from the XQuery specification
+    (§3.1, §4.1):
+
+    - element constructors are typed {e structurally} — the inferred content
+      type survives construction, so navigation back into a constructed
+      element keeps precise types;
+    - function calls use the {e optimistic} rule: [f($x)] is statically
+      valid iff the type of [$x] has a non-empty intersection with the
+      parameter type. When the argument cannot be {e proven} a subtype, a
+      [Typematch] operator is inserted to enforce the XQuery semantics at
+      runtime; when it can, no check is emitted.
+
+    In [Recover] mode, type errors assign the error type to the offending
+    expression and analysis continues (§4.1). *)
+
+type env
+
+val env :
+  ?vars:(Cexpr.var * Stype.t) list -> Metadata.t -> Diag.collector -> env
+
+val check : env -> Cexpr.t -> Stype.t * Cexpr.t
+(** Infers the static type and returns the expression with [Typematch]
+    operators inserted where the optimistic rule requires them. *)
+
+val check_function_body :
+  env -> declared:Stype.t -> Cexpr.t -> Stype.t * Cexpr.t
+(** Checks a function body against its declared return type with the same
+    optimistic rule. *)

@@ -1,0 +1,27 @@
+(** Parser for the ALDSP XQuery dialect.
+
+    A hand-written recursive-descent parser over a character cursor with
+    single-token lookahead. Direct element constructors are lexed
+    context-sensitively (a [<] at expression-start position followed by a
+    name character opens a constructor). Supports the prolog subset used by
+    data service files — namespace declarations, schema imports, variable
+    and function declarations with [(::pragma ... ::)] annotations — and the
+    ALDSP extensions: FLWGOR [group ... by ...] and optional construction
+    [<E?>] / [name?="..."].
+
+    Parse errors carry the offset and a message. Error {e recovery} (skip to
+    the next [;] and continue, §4.1) is provided by {!parse_query_recovering}
+    and used by the design-time compilation mode. *)
+
+val parse_query : string -> (Xq_ast.query, string) result
+(** Parses a whole query or data-service file: prolog followed by an
+    optional query body. Fails on the first error (runtime mode, §4.1). *)
+
+val parse_expr : string -> (Xq_ast.expr, string) result
+(** Parses a single expression (no prolog). *)
+
+val parse_query_recovering : string -> Xq_ast.query * string list
+(** Design-time mode: on an error inside a prolog declaration, skip to the
+    terminating [;] and continue with the next declaration, accumulating
+    error messages. Functions whose body fails to parse are dropped while
+    later declarations still parse (§4.1). *)

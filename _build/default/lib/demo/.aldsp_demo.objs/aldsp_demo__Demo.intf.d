@@ -1,0 +1,1 @@
+lib/demo/demo.mli: Aldsp_core Aldsp_relational Aldsp_services Database Web_service

@@ -1,0 +1,1 @@
+lib/relational/procedure.ml: Array Database Hashtbl List Printf Sql_value Table

@@ -1,0 +1,1 @@
+lib/relational/procedure.mli: Database Sql_value Table

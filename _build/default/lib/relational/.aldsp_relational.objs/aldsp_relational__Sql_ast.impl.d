@@ -1,0 +1,1 @@
+lib/relational/sql_ast.ml: List Option Sql_value

@@ -1,0 +1,1 @@
+lib/relational/sql_exec.ml: Array Database Float List Option Printf Sql_ast Sql_value String Table

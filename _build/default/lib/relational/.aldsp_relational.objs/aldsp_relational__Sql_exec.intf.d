@@ -1,0 +1,1 @@
+lib/relational/sql_exec.mli: Database Sql_ast Sql_value

@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: Buffer List Printf Result Sql_ast Sql_value String

@@ -1,0 +1,1 @@
+lib/relational/sql_print.ml: Buffer Database List Option Printf Sql_ast Sql_value String

@@ -1,0 +1,1 @@
+lib/relational/sql_value.ml: Aldsp_xml Atomic Float Format Printf String

@@ -1,0 +1,1 @@
+lib/relational/sql_value.mli: Aldsp_xml Atomic Format

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Aldsp_xml Array List Printf Sql_value String

@@ -1,0 +1,1 @@
+lib/relational/table.mli: Aldsp_xml Sql_value

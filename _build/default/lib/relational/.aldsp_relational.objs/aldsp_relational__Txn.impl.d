@@ -1,0 +1,1 @@
+lib/relational/txn.ml: Database Hashtbl List Sql_value Table

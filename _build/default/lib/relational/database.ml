@@ -1,0 +1,51 @@
+type vendor = Oracle | Db2 | Sql_server | Sybase | Generic_sql92
+
+type stats = {
+  mutable statements : int;
+  mutable rows_shipped : int;
+  mutable params_bound : int;
+}
+
+type t = {
+  db_name : string;
+  vendor : vendor;
+  tables : (string, Table.t) Hashtbl.t;
+  stats : stats;
+  mutable roundtrip_latency : float;
+}
+
+let create ?(vendor = Generic_sql92) ?(roundtrip_latency = 0.) db_name =
+  { db_name;
+    vendor;
+    tables = Hashtbl.create 16;
+    stats = { statements = 0; rows_shipped = 0; params_bound = 0 };
+    roundtrip_latency }
+
+let add_table t table = Hashtbl.replace t.tables table.Table.table_name table
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> Ok table
+  | None -> Error (Printf.sprintf "database %s: no table %s" t.db_name name)
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+  |> List.sort String.compare
+
+let vendor_name = function
+  | Oracle -> "Oracle"
+  | Db2 -> "DB2"
+  | Sql_server -> "SQL Server"
+  | Sybase -> "Sybase"
+  | Generic_sql92 -> "SQL92"
+
+let reset_stats t =
+  t.stats.statements <- 0;
+  t.stats.rows_shipped <- 0;
+  t.stats.params_bound <- 0
+
+let record_statement t ~params ~rows =
+  t.stats.statements <- t.stats.statements + 1;
+  t.stats.params_bound <- t.stats.params_bound + params;
+  t.stats.rows_shipped <- t.stats.rows_shipped + rows;
+  if t.roundtrip_latency > 0. then Unix.sleepf t.roundtrip_latency

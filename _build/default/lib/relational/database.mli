@@ -1,0 +1,40 @@
+(** A named in-memory database: the queryable-source substrate.
+
+    Stands in for the Oracle/DB2/SQL Server/Sybase backends of the paper.
+    Each database carries a vendor tag (driving SQL dialect generation), a
+    simulated per-roundtrip latency (so distributed-join tradeoffs such as
+    PP-k's block size are observable), and execution statistics (roundtrips,
+    rows shipped) that the benchmarks report. *)
+
+type vendor = Oracle | Db2 | Sql_server | Sybase | Generic_sql92
+
+type stats = {
+  mutable statements : int;  (** Statements executed (= roundtrips). *)
+  mutable rows_shipped : int;  (** Result rows returned to the caller. *)
+  mutable params_bound : int;
+}
+
+type t = {
+  db_name : string;
+  vendor : vendor;
+  tables : (string, Table.t) Hashtbl.t;
+  stats : stats;
+  mutable roundtrip_latency : float;
+      (** Simulated seconds of network+parse cost per statement; applied
+          with [Unix.sleepf] when positive. *)
+}
+
+val create : ?vendor:vendor -> ?roundtrip_latency:float -> string -> t
+
+val add_table : t -> Table.t -> unit
+val find_table : t -> string -> (Table.t, string) result
+val table_names : t -> string list
+
+val vendor_name : vendor -> string
+
+val reset_stats : t -> unit
+
+val record_statement : t -> params:int -> rows:int -> unit
+(** Accounts one roundtrip and applies the simulated latency. Used by the
+    executor; exposed so functional-source simulators can share the
+    accounting. *)

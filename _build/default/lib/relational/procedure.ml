@@ -1,0 +1,77 @@
+type result_kind =
+  | Returns_rows of (string * Table.sql_type) list
+  | Returns_scalar of Table.sql_type
+
+type t = {
+  proc_name : string;
+  proc_params : (string * Table.sql_type) list;
+  result : result_kind;
+  body : Database.t -> Sql_value.t list -> (Sql_value.t array list, string) result;
+}
+
+(* Procedures live beside the databases that host them, keyed by
+   (database, procedure) name — a process-global catalog, like a driver
+   registry. *)
+let catalog : (string * string, t) Hashtbl.t = Hashtbl.create 16
+
+let register db proc =
+  Hashtbl.replace catalog (db.Database.db_name, proc.proc_name) proc
+
+let find db name = Hashtbl.find_opt catalog (db.Database.db_name, name)
+
+let check_result proc rows =
+  match proc.result with
+  | Returns_scalar ty -> (
+    match rows with
+    | [ [| v |] ] when Table.type_check ty v -> Ok rows
+    | _ ->
+      Error
+        (Printf.sprintf "procedure %s: expected a single %s value"
+           proc.proc_name
+           (match ty with
+           | Table.T_int -> "integer"
+           | Table.T_varchar -> "varchar"
+           | Table.T_decimal -> "decimal"
+           | Table.T_boolean -> "boolean"
+           | Table.T_timestamp -> "timestamp")))
+  | Returns_rows columns ->
+    let width = List.length columns in
+    let ok =
+      List.for_all
+        (fun row ->
+          Array.length row = width
+          && List.for_all2 Table.type_check (List.map snd columns)
+               (Array.to_list row))
+        rows
+    in
+    if ok then Ok rows
+    else Error (Printf.sprintf "procedure %s: result shape mismatch" proc.proc_name)
+
+let call db name args =
+  match find db name with
+  | None ->
+    Error
+      (Printf.sprintf "database %s: no stored procedure %s"
+         db.Database.db_name name)
+  | Some proc ->
+    if List.length args <> List.length proc.proc_params then
+      Error
+        (Printf.sprintf "procedure %s expects %d arguments, got %d" name
+           (List.length proc.proc_params)
+           (List.length args))
+    else if
+      not
+        (List.for_all2
+           (fun (_, ty) v -> Table.type_check ty v)
+           proc.proc_params args)
+    then Error (Printf.sprintf "procedure %s: argument type mismatch" name)
+    else begin
+      match proc.body db args with
+      | Error _ as e ->
+        Database.record_statement db ~params:(List.length args) ~rows:0;
+        e
+      | Ok rows ->
+        Database.record_statement db ~params:(List.length args)
+          ~rows:(List.length rows);
+        check_result proc rows
+    end

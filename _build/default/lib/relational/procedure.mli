@@ -1,0 +1,35 @@
+(** Stored procedures — a functional-source kind of §2.2 hosted by a
+    database.
+
+    "Functional sources are sources which ALDSP can only interact with by
+    calling specific functions with parameters; Web services, Java
+    functions, and stored procedures all fall into this category." A
+    procedure has a typed parameter list and either returns rows (a
+    result-set procedure, surfaced like a parameterized view) or a single
+    scalar. Invocation is accounted as one roundtrip on the hosting
+    database. *)
+
+type result_kind =
+  | Returns_rows of (string * Table.sql_type) list
+      (** Column names/types of the produced result set. *)
+  | Returns_scalar of Table.sql_type
+
+type t = {
+  proc_name : string;
+  proc_params : (string * Table.sql_type) list;
+  result : result_kind;
+  body : Database.t -> Sql_value.t list -> (Sql_value.t array list, string) result;
+      (** Scalar procedures return one single-cell row. *)
+}
+
+val register : Database.t -> t -> unit
+(** Attaches the procedure to the database (by name, per database). *)
+
+val find : Database.t -> string -> t option
+
+val call :
+  Database.t -> string -> Sql_value.t list ->
+  (Sql_value.t array list, string) result
+(** Arity- and type-checks the arguments, runs the body, accounts one
+    statement on the database's statistics (with its simulated latency),
+    and checks the produced rows against the declared result shape. *)

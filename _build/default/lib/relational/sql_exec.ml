@@ -1,0 +1,599 @@
+open Sql_ast
+module V = Sql_value
+
+type result_set = {
+  columns : string list;
+  rows : V.t array list;
+}
+
+(* A binding maps an alias to one row: column names (positional) plus the
+   row values. Derived tables bind their projection aliases. *)
+type binding = { alias : string; cols : string array; values : V.t array }
+
+type context = {
+  env : binding list;
+  outer : context option;  (* for correlated subqueries *)
+  group : binding list list option;  (* rows of the current group *)
+  params : V.t array;
+  db : Database.t;
+}
+
+exception Sql_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Sql_error msg)) fmt
+
+let lookup_in_binding b name =
+  let rec go i =
+    if i >= Array.length b.cols then None
+    else if String.equal b.cols.(i) name then Some b.values.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let rec lookup_col ctx alias name =
+  let here =
+    match alias with
+    | Some a ->
+      List.find_map
+        (fun b -> if String.equal b.alias a then lookup_in_binding b name else None)
+        ctx.env
+    | None -> List.find_map (fun b -> lookup_in_binding b name) ctx.env
+  in
+  match here with
+  | Some v -> Some v
+  | None -> (
+    match ctx.outer with
+    | Some outer -> lookup_col outer alias name
+    | None -> None)
+
+let truth_to_value = function
+  | V.True -> V.Bool true
+  | V.False -> V.Bool false
+  | V.Unknown -> V.Null
+
+let value_to_truth = function
+  | V.Null -> V.Unknown
+  | V.Bool true -> V.True
+  | V.Bool false -> V.False
+  | V.Int 0 -> V.False
+  | V.Int _ -> V.True
+  | v -> error "expected a boolean, got %s" (V.to_string v)
+
+let numeric_binop op a b =
+  match (a, b) with
+  | V.Null, _ | _, V.Null -> V.Null
+  | V.Int x, V.Int y -> (
+    match op with
+    | Add -> V.Int (x + y)
+    | Sub -> V.Int (x - y)
+    | Mul -> V.Int (x * y)
+    | Div -> if y = 0 then error "division by zero" else V.Int (x / y)
+    | _ -> assert false)
+  | _ ->
+    let as_f = function
+      | V.Int i -> float_of_int i
+      | V.Float f -> f
+      | V.Timestamp f -> f
+      | v -> error "arithmetic on non-numeric %s" (V.to_string v)
+    in
+    let x = as_f a and y = as_f b in
+    let r =
+      match op with
+      | Add -> x +. y
+      | Sub -> x -. y
+      | Mul -> x *. y
+      | Div -> if y = 0. then error "division by zero" else x /. y
+      | _ -> assert false
+    in
+    V.Float r
+
+let like_match pattern text =
+  (* SQL LIKE: '%' = any run, '_' = any single char. *)
+  let np = String.length pattern and nt = String.length text in
+  let rec go pi ti =
+    if pi = np then ti = nt
+    else
+      match pattern.[pi] with
+      | '%' ->
+        let rec try_from t = t <= nt && (go (pi + 1) t || try_from (t + 1)) in
+        try_from ti
+      | '_' -> ti < nt && go (pi + 1) (ti + 1)
+      | c -> ti < nt && text.[ti] = c && go (pi + 1) (ti + 1)
+  in
+  go 0 0
+
+let rec eval ctx e : V.t =
+  match e with
+  | Col (alias, name) -> (
+    match lookup_col ctx alias name with
+    | Some v -> v
+    | None ->
+      error "unknown column %s%s"
+        (match alias with Some a -> a ^ "." | None -> "")
+        name)
+  | Lit v -> v
+  | Param i ->
+    if i < 1 || i > Array.length ctx.params then
+      error "parameter ?%d not bound" i
+    else ctx.params.(i - 1)
+  | Binop (And, a, b) ->
+    truth_to_value
+      (V.and_ (value_to_truth (eval ctx a)) (value_to_truth (eval ctx b)))
+  | Binop (Or, a, b) ->
+    truth_to_value
+      (V.or_ (value_to_truth (eval ctx a)) (value_to_truth (eval ctx b)))
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+    let pred =
+      match op with
+      | Eq -> fun c -> c = 0
+      | Neq -> fun c -> c <> 0
+      | Lt -> fun c -> c < 0
+      | Le -> fun c -> c <= 0
+      | Gt -> fun c -> c > 0
+      | Ge -> fun c -> c >= 0
+      | _ -> assert false
+    in
+    truth_to_value (V.truth_of_comparison pred (eval ctx a) (eval ctx b))
+  | Binop (((Add | Sub | Mul | Div) as op), a, b) ->
+    numeric_binop op (eval ctx a) (eval ctx b)
+  | Binop (Concat, a, b) -> (
+    match (eval ctx a, eval ctx b) with
+    | V.Null, _ | _, V.Null -> V.Null
+    | x, y ->
+      let plain = function
+        | V.Str s -> s
+        | v -> V.to_string v
+      in
+      V.Str (plain x ^ plain y))
+  | Binop (Like, a, b) -> (
+    match (eval ctx a, eval ctx b) with
+    | V.Null, _ | _, V.Null -> V.Null
+    | V.Str text, V.Str pattern -> V.Bool (like_match pattern text)
+    | _ -> error "LIKE requires string operands")
+  | Not e -> truth_to_value (V.not_ (value_to_truth (eval ctx e)))
+  | Is_null e -> V.Bool (V.is_null (eval ctx e))
+  | Is_not_null e -> V.Bool (not (V.is_null (eval ctx e)))
+  | In_list (e, items) ->
+    let v = eval ctx e in
+    if V.is_null v then V.Null
+    else
+      let vs = List.map (eval ctx) items in
+      let any_eq =
+        List.exists (fun x -> V.truth_of_comparison (( = ) 0) v x = V.True) vs
+      in
+      if any_eq then V.Bool true
+      else if List.exists V.is_null vs then V.Null
+      else V.Bool false
+  | In_select (e, s) ->
+    let v = eval ctx e in
+    if V.is_null v then V.Null
+    else
+      let result = run_select { ctx with group = None } s in
+      let col_values = List.map (fun row -> row.(0)) result.rows in
+      if List.exists (fun x -> V.truth_of_comparison (( = ) 0) v x = V.True) col_values
+      then V.Bool true
+      else if List.exists V.is_null col_values then V.Null
+      else V.Bool false
+  | Exists s ->
+    let result = run_select { ctx with group = None } s in
+    V.Bool (result.rows <> [])
+  | Not_exists s ->
+    let result = run_select { ctx with group = None } s in
+    V.Bool (result.rows = [])
+  | Case (branches, default) ->
+    let rec try_branches = function
+      | [] -> ( match default with Some d -> eval ctx d | None -> V.Null)
+      | (cond, value) :: rest -> (
+        match value_to_truth (eval ctx cond) with
+        | V.True -> eval ctx value
+        | V.False | V.Unknown -> try_branches rest)
+    in
+    try_branches branches
+  | Func (f, args) -> eval_func ctx f (List.map (eval ctx) args)
+  | Count_star -> (
+    match ctx.group with
+    | Some rows -> V.Int (List.length rows)
+    | None -> error "COUNT(*) outside a grouped query")
+  | Agg (kind, quantifier, arg) -> eval_agg ctx kind quantifier arg
+  | Scalar_select s -> (
+    let result = run_select { ctx with group = None } s in
+    match result.rows with
+    | [] -> V.Null
+    | [ row ] -> row.(0)
+    | _ :: _ :: _ -> error "scalar subquery returned more than one row")
+
+and eval_func _ctx f args =
+  if f <> Coalesce && List.exists V.is_null args then V.Null
+  else
+    match (f, args) with
+    | Upper, [ V.Str s ] -> V.Str (String.uppercase_ascii s)
+    | Lower, [ V.Str s ] -> V.Str (String.lowercase_ascii s)
+    | Substr, [ V.Str s; V.Int start ] ->
+      let start = max 1 start in
+      if start > String.length s then V.Str ""
+      else V.Str (String.sub s (start - 1) (String.length s - start + 1))
+    | Substr, [ V.Str s; V.Int start; V.Int len ] ->
+      let start = max 1 start in
+      if start > String.length s || len <= 0 then V.Str ""
+      else
+        let len = min len (String.length s - start + 1) in
+        V.Str (String.sub s (start - 1) len)
+    | Char_length, [ V.Str s ] -> V.Int (String.length s)
+    | Abs, [ V.Int i ] -> V.Int (abs i)
+    | Abs, [ V.Float f ] -> V.Float (Float.abs f)
+    | Coalesce, args -> (
+      match List.find_opt (fun v -> not (V.is_null v)) args with
+      | Some v -> v
+      | None -> V.Null)
+    | Trim, [ V.Str s ] -> V.Str (String.trim s)
+    | Modulo, [ V.Int x; V.Int y ] ->
+      if y = 0 then error "modulo by zero" else V.Int (x mod y)
+    | _ -> error "bad arguments to SQL function"
+
+and eval_agg ctx kind quantifier arg =
+  let rows =
+    match ctx.group with
+    | Some rows -> rows
+    | None -> error "aggregate outside a grouped query"
+  in
+  let values =
+    List.filter_map
+      (fun row_env ->
+        let v = eval { ctx with env = row_env; group = None } arg in
+        if V.is_null v then None else Some v)
+      rows
+  in
+  let values =
+    match quantifier with
+    | All -> values
+    | Distinct_agg ->
+      List.fold_left
+        (fun acc v -> if List.exists (V.equal v) acc then acc else v :: acc)
+        [] values
+      |> List.rev
+  in
+  match kind with
+  | Count -> V.Int (List.length values)
+  | Min ->
+    List.fold_left
+      (fun acc v ->
+        match acc with
+        | V.Null -> v
+        | _ -> if V.compare_sql v acc = Some (-1) then v else acc)
+      V.Null values
+  | Max ->
+    List.fold_left
+      (fun acc v ->
+        match acc with
+        | V.Null -> v
+        | _ -> if V.compare_sql v acc = Some 1 then v else acc)
+      V.Null values
+  | Sum | Avg -> (
+    if values = [] then V.Null
+    else
+      let total =
+        List.fold_left (fun acc v -> numeric_binop Add acc v) (V.Int 0) values
+      in
+      match kind with
+      | Sum -> total
+      | Avg -> numeric_binop Div total (V.Float (float_of_int (List.length values)))
+      | _ -> assert false)
+
+(* FROM clause: produce the list of row environments. *)
+and scan_table_ref ctx ref_ : binding list list =
+  match ref_ with
+  | Table { table; alias } -> (
+    match Database.find_table ctx.db table with
+    | Error msg -> error "%s" msg
+    | Ok t ->
+      let cols = Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns) in
+      List.map
+        (fun row -> [ { alias; cols; values = row } ])
+        (Table.all_rows t))
+  | Derived { query; alias } ->
+    let result = run_select { ctx with group = None } query in
+    let cols = Array.of_list result.columns in
+    List.map (fun row -> [ { alias; cols; values = row } ]) result.rows
+
+and null_binding ctx ref_ : binding =
+  match ref_ with
+  | Table { table; alias } -> (
+    match Database.find_table ctx.db table with
+    | Error msg -> error "%s" msg
+    | Ok t ->
+      let cols = Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns) in
+      { alias; cols; values = Array.make (Array.length cols) V.Null })
+  | Derived { query; alias } ->
+    let cols = Array.of_list (List.map snd query.projections) in
+    { alias; cols; values = Array.make (Array.length cols) V.Null }
+
+and apply_join ctx left_rows join =
+  let right_rows = scan_table_ref ctx join.jtable in
+  let matches left =
+    List.filter_map
+      (fun right ->
+        let env = right @ left in
+        match value_to_truth (eval { ctx with env; group = None } join.on_condition) with
+        | V.True -> Some env
+        | V.False | V.Unknown -> None)
+      right_rows
+  in
+  match join.jkind with
+  | Inner -> List.concat_map matches left_rows
+  | Left_outer ->
+    let null_right = null_binding ctx join.jtable in
+    List.concat_map
+      (fun left ->
+        match matches left with
+        | [] -> [ null_right :: left ]
+        | found -> found)
+      left_rows
+
+(* [SELECT *] expansion: replace a star projection with one column per
+   column of every FROM/JOIN binding, qualified by alias. *)
+and expand_star ctx s =
+  let is_star = function Col (None, "*"), _ -> true | _ -> false in
+  if not (List.exists is_star s.projections) then s
+  else
+    let refs = s.from :: List.map (fun j -> j.jtable) s.joins in
+    let expanded =
+      List.concat_map
+        (fun ref_ ->
+          let b = null_binding ctx ref_ in
+          Array.to_list b.cols
+          |> List.map (fun c -> (Col (Some b.alias, c), c)))
+        refs
+    in
+    let projections =
+      List.concat_map
+        (fun p -> if is_star p then expanded else [ p ])
+        s.projections
+    in
+    { s with projections }
+
+and run_select outer_ctx s : result_set =
+  let ctx = { outer_ctx with outer = Some outer_ctx; group = None } in
+  let s = expand_star ctx s in
+  let rows = scan_table_ref ctx s.from in
+  let rows = List.fold_left (fun acc j -> apply_join ctx acc j) rows s.joins in
+  let rows =
+    match s.where with
+    | None -> rows
+    | Some cond ->
+      List.filter
+        (fun env ->
+          value_to_truth (eval { ctx with env; group = None } cond) = V.True)
+        rows
+  in
+  let is_aggregate_query =
+    s.group_by <> []
+    || List.exists
+         (fun (e, _) ->
+           let rec has_agg = function
+             | Count_star | Agg _ -> true
+             | Binop (_, a, b) -> has_agg a || has_agg b
+             | Not e | Is_null e | Is_not_null e -> has_agg e
+             | Case (branches, default) ->
+               List.exists (fun (c, v) -> has_agg c || has_agg v) branches
+               || Option.fold ~none:false ~some:has_agg default
+             | Func (_, args) -> List.exists has_agg args
+             | In_list (e, es) -> has_agg e || List.exists has_agg es
+             | Col _ | Lit _ | Param _ | In_select _ | Exists _ | Not_exists _
+             | Scalar_select _ ->
+               false
+           in
+           has_agg e)
+         s.projections
+  in
+  (* Each logical row of the rest of the pipeline is (env, group): for
+     grouped queries env is a representative row and group holds the
+     members; otherwise group is a singleton. *)
+  let logical_rows =
+    if not is_aggregate_query then List.map (fun env -> (env, [ env ])) rows
+    else if s.group_by = [] then
+      (* implicit single group, even when empty *)
+      match rows with
+      | [] -> [ ([], []) ]
+      | first :: _ -> [ (first, rows) ]
+    else begin
+      let groups : (V.t list * binding list list ref) list ref = ref [] in
+      List.iter
+        (fun env ->
+          let key =
+            List.map (fun e -> eval { ctx with env; group = None } e) s.group_by
+          in
+          match
+            List.find_opt (fun (k, _) -> List.for_all2 V.equal k key) !groups
+          with
+          | Some (_, members) -> members := env :: !members
+          | None -> groups := !groups @ [ (key, ref [ env ]) ])
+        rows;
+      List.map
+        (fun (_, members) ->
+          let members = List.rev !members in
+          match members with
+          | [] -> assert false
+          | first :: _ -> (first, members))
+        !groups
+    end
+  in
+  let logical_rows =
+    match s.having with
+    | None -> logical_rows
+    | Some cond ->
+      List.filter
+        (fun (env, group) ->
+          value_to_truth (eval { ctx with env; group = Some group } cond)
+          = V.True)
+        logical_rows
+  in
+  let logical_rows =
+    if s.order_by = [] then logical_rows
+    else
+      let keyed =
+        List.map
+          (fun (env, group) ->
+            let keys =
+              List.map
+                (fun o -> eval { ctx with env; group = Some group } o.sort_expr)
+                s.order_by
+            in
+            (keys, (env, group)))
+          logical_rows
+      in
+      let cmp (ka, _) (kb, _) =
+        let rec go ks1 ks2 os =
+          match (ks1, ks2, os) with
+          | [], [], [] -> 0
+          | k1 :: r1, k2 :: r2, o :: ro -> (
+            let c =
+              (* NULLs sort first ascending, mirroring common backends *)
+              match (k1, k2) with
+              | V.Null, V.Null -> 0
+              | V.Null, _ -> -1
+              | _, V.Null -> 1
+              | _ -> Option.value (V.compare_sql k1 k2) ~default:0
+            in
+            let c = if o.descending then -c else c in
+            match c with 0 -> go r1 r2 ro | c -> c)
+          | _ -> 0
+        in
+        go ka kb s.order_by
+      in
+      List.map snd (List.stable_sort cmp keyed)
+  in
+  let projected =
+    List.map
+      (fun (env, group) ->
+        Array.of_list
+          (List.map
+             (fun (e, _) -> eval { ctx with env; group = Some group } e)
+             s.projections))
+      logical_rows
+  in
+  let projected =
+    if not s.distinct then projected
+    else
+      List.rev
+        (List.fold_left
+           (fun acc row ->
+             if
+               List.exists
+                 (fun seen -> Array.for_all2 V.equal seen row)
+                 acc
+             then acc
+             else row :: acc)
+           [] projected)
+  in
+  let projected =
+    match s.window with
+    | None -> projected
+    | Some { start; count } ->
+      let upper =
+        match count with Some n -> start + n | None -> max_int
+      in
+      List.filteri (fun i _ -> i + 1 >= start && i + 1 < upper) projected
+  in
+  { columns = List.map snd s.projections; rows = projected }
+
+let root_context db params =
+  { env = []; outer = None; group = None; params; db }
+
+let query db ?(params = [||]) s =
+  match run_select (root_context db params) s with
+  | result ->
+    Database.record_statement db ~params:(Array.length params)
+      ~rows:(List.length result.rows);
+    Ok result
+  | exception Sql_error msg -> Error msg
+
+let execute_dml db ?(params = [||]) dml =
+  let ctx = root_context db params in
+  match dml with
+  | Insert { table; columns; values } -> (
+    match Database.find_table db table with
+    | Error msg -> Error msg
+    | Ok t -> (
+      match
+        let provided = List.map (eval ctx) values in
+        let row =
+          Array.of_list
+            (List.map
+               (fun c ->
+                 let rec find cs vs =
+                   match (cs, vs) with
+                   | [], _ | _, [] -> V.Null
+                   | c' :: _, v :: _ when String.equal c' c.Table.col_name -> v
+                   | _ :: cs, _ :: vs -> find cs vs
+                 in
+                 find columns provided)
+               t.Table.columns)
+        in
+        Table.insert t row
+      with
+      | Ok () ->
+        Database.record_statement db ~params:(Array.length params) ~rows:1;
+        Ok 1
+      | Error msg -> Error msg
+      | exception Sql_error msg -> Error msg))
+  | Update { table; assignments; where } -> (
+    match Database.find_table db table with
+    | Error msg -> Error msg
+    | Ok t -> (
+      try
+        let cols =
+          Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns)
+        in
+        let affected = ref 0 in
+        let updated =
+          List.map
+            (fun row ->
+              let env = [ { alias = table; cols; values = row } ] in
+              let selected =
+                match where with
+                | None -> true
+                | Some cond ->
+                  value_to_truth (eval { ctx with env } cond) = V.True
+              in
+              if not selected then row
+              else begin
+                incr affected;
+                let row' = Array.copy row in
+                List.iter
+                  (fun (c, e) ->
+                    match Table.column_index t c with
+                    | Some i -> row'.(i) <- eval { ctx with env } e
+                    | None -> error "no column %s in table %s" c table)
+                  assignments;
+                row'
+              end)
+            t.Table.rows
+        in
+        t.Table.rows <- updated;
+        Database.record_statement db ~params:(Array.length params)
+          ~rows:!affected;
+        Ok !affected
+      with Sql_error msg -> Error msg))
+  | Delete { table; where } -> (
+    match Database.find_table db table with
+    | Error msg -> Error msg
+    | Ok t -> (
+      try
+        let cols =
+          Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns)
+        in
+        let keep, drop =
+          List.partition
+            (fun row ->
+              let env = [ { alias = table; cols; values = row } ] in
+              match where with
+              | None -> false
+              | Some cond ->
+                value_to_truth (eval { ctx with env } cond) <> V.True)
+            t.Table.rows
+        in
+        t.Table.rows <- keep;
+        Database.record_statement db ~params:(Array.length params)
+          ~rows:(List.length drop);
+        Ok (List.length drop)
+      with Sql_error msg -> Error msg))

@@ -1,0 +1,28 @@
+(** Executor for the SQL subset over in-memory databases.
+
+    Executes {!Sql_ast} directly (no text round-trip), with SQL semantics:
+    three-valued logic in WHERE/HAVING, NULL-skipping aggregates, SQL
+    grouping (NULLs group together), LEFT OUTER JOIN null-extension, and
+    correlated subqueries. Every statement executed is accounted as one
+    roundtrip on the database's statistics and pays its simulated
+    latency. *)
+
+type result_set = {
+  columns : string list;
+  rows : Sql_value.t array list;
+}
+
+val query :
+  Database.t ->
+  ?params:Sql_value.t array ->
+  Sql_ast.select ->
+  (result_set, string) result
+(** Runs a SELECT. [params] supplies positional [?] bindings (1-based
+    [Param i] reads [params.(i-1)]). *)
+
+val execute_dml :
+  Database.t ->
+  ?params:Sql_value.t array ->
+  Sql_ast.dml ->
+  (int, string) result
+(** Runs INSERT/UPDATE/DELETE; returns the affected row count. *)

@@ -1,0 +1,575 @@
+open Sql_ast
+
+type token =
+  | Ident of string
+  | Quoted of string
+  | Number of string
+  | Str_lit of string
+  | Punct of string
+  | Question
+  | Eof
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '?' then begin
+      push Question;
+      incr i
+    end
+    else if c = '\'' then begin
+      (* string literal with '' escaping *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail "unterminated string literal"
+        else if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      push (Str_lit (Buffer.contents buf))
+    end
+    else if c = '"' then begin
+      let j = try String.index_from input (!i + 1) '"' with Not_found -> fail "unterminated quoted identifier" in
+      push (Quoted (String.sub input (!i + 1) (j - !i - 1)));
+      i := j + 1
+    end
+    else if (c >= '0' && c <= '9') || (c = '.' && !i + 1 < n && input.[!i + 1] >= '0' && input.[!i + 1] <= '9') then begin
+      let start = !i in
+      while
+        !i < n
+        && ((input.[!i] >= '0' && input.[!i] <= '9') || input.[!i] = '.')
+      do
+        incr i
+      done;
+      push (Number (String.sub input start (!i - start)))
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        && ((input.[!i] >= 'a' && input.[!i] <= 'z')
+           || (input.[!i] >= 'A' && input.[!i] <= 'Z')
+           || (input.[!i] >= '0' && input.[!i] <= '9')
+           || input.[!i] = '_')
+      do
+        incr i
+      done;
+      push (Ident (String.sub input start (!i - start)))
+    end
+    else if !i + 1 < n && (let two = String.sub input !i 2 in two = "<>" || two = "<=" || two = ">=" || two = "||" || two = "!=") then begin
+      push (Punct (String.sub input !i 2));
+      i := !i + 2
+    end
+    else begin
+      push (Punct (String.make 1 c));
+      incr i
+    end
+  done;
+  push Eof;
+  List.rev !tokens
+
+type parser_state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> Eof
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let keyword_of = function
+  | Ident s -> Some (String.uppercase_ascii s)
+  | _ -> None
+
+let at_keyword st kw = keyword_of (peek st) = Some kw
+
+let eat_keyword st kw =
+  if at_keyword st kw then begin
+    ignore (next st);
+    true
+  end
+  else false
+
+let expect_keyword st kw =
+  if not (eat_keyword st kw) then fail "expected %s" kw
+
+let expect_punct st p =
+  match next st with
+  | Punct q when q = p -> ()
+  | t ->
+    fail "expected %s, found %s" p
+      (match t with
+      | Ident s -> s
+      | Quoted s -> "\"" ^ s ^ "\""
+      | Number s -> s
+      | Str_lit s -> "'" ^ s ^ "'"
+      | Punct s -> s
+      | Question -> "?"
+      | Eof -> "<eof>")
+
+let ident st =
+  match next st with
+  | Ident s -> s
+  | Quoted s -> s
+  | _ -> fail "expected an identifier"
+
+let is_reserved s =
+  match String.uppercase_ascii s with
+  | "SELECT" | "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "BY" | "AS"
+  | "JOIN" | "LEFT" | "OUTER" | "INNER" | "ON" | "AND" | "OR" | "NOT" | "IN"
+  | "EXISTS" | "NULL" | "TRUE" | "FALSE" | "CASE" | "WHEN" | "THEN" | "ELSE"
+  | "END" | "IS" | "LIKE" | "DISTINCT" | "INSERT" | "INTO" | "VALUES"
+  | "UPDATE" | "SET" | "DELETE" | "DESC" | "ASC" | "COUNT" | "SUM" | "MIN"
+  | "MAX" | "AVG" ->
+    true
+  | _ -> false
+
+let agg_of_name = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "AVG" -> Some Avg
+  | _ -> None
+
+let func_of_name = function
+  | "UPPER" -> Some Upper
+  | "LOWER" -> Some Lower
+  | "SUBSTR" | "SUBSTRING" -> Some Substr
+  | "CHAR_LENGTH" | "LENGTH" | "LEN" -> Some Char_length
+  | "ABS" -> Some Abs
+  | "COALESCE" -> Some Coalesce
+  | "TRIM" -> Some Trim
+  | "MOD" -> Some Modulo
+  | _ -> None
+
+let param_counter = ref 0
+
+let rec parse_or st =
+  let left = parse_and st in
+  if eat_keyword st "OR" then Binop (Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if eat_keyword st "AND" then Binop (And, left, parse_and st) else left
+
+and parse_not st =
+  if eat_keyword st "NOT" then Not (parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let left = parse_additive st in
+  match peek st with
+  | Punct ("=" | "<" | ">" | "<=" | ">=" | "<>" | "!=") -> (
+    match next st with
+    | Punct "=" -> Binop (Eq, left, parse_additive st)
+    | Punct "<" -> Binop (Lt, left, parse_additive st)
+    | Punct ">" -> Binop (Gt, left, parse_additive st)
+    | Punct "<=" -> Binop (Le, left, parse_additive st)
+    | Punct ">=" -> Binop (Ge, left, parse_additive st)
+    | Punct ("<>" | "!=") -> Binop (Neq, left, parse_additive st)
+    | _ -> assert false)
+  | Ident s when String.uppercase_ascii s = "IS" ->
+    ignore (next st);
+    if eat_keyword st "NOT" then begin
+      expect_keyword st "NULL";
+      Is_not_null left
+    end
+    else begin
+      expect_keyword st "NULL";
+      Is_null left
+    end
+  | Ident s when String.uppercase_ascii s = "LIKE" ->
+    ignore (next st);
+    Binop (Like, left, parse_additive st)
+  | Ident s when String.uppercase_ascii s = "NOT" -> (
+    ignore (next st);
+    if eat_keyword st "IN" then parse_in ~negated:true st left
+    else if eat_keyword st "LIKE" then
+      Not (Binop (Like, left, parse_additive st))
+    else fail "expected IN or LIKE after NOT")
+  | Ident s when String.uppercase_ascii s = "IN" ->
+    ignore (next st);
+    parse_in ~negated:false st left
+  | _ -> left
+
+and parse_in ~negated st left =
+  expect_punct st "(";
+  let result =
+    if at_keyword st "SELECT" then begin
+      let sub = parse_select_body st in
+      In_select (left, sub)
+    end
+    else begin
+      let rec items acc =
+        let e = parse_or st in
+        if peek st = Punct "," then begin
+          ignore (next st);
+          items (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      In_list (left, items [])
+    end
+  in
+  expect_punct st ")";
+  if negated then Not result else result
+
+and parse_additive st =
+  let rec go left =
+    match peek st with
+    | Punct "+" ->
+      ignore (next st);
+      go (Binop (Add, left, parse_multiplicative st))
+    | Punct "-" ->
+      ignore (next st);
+      go (Binop (Sub, left, parse_multiplicative st))
+    | Punct "||" ->
+      ignore (next st);
+      go (Binop (Concat, left, parse_multiplicative st))
+    | _ -> left
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go left =
+    match peek st with
+    | Punct "*" ->
+      ignore (next st);
+      go (Binop (Mul, left, parse_primary st))
+    | Punct "/" ->
+      ignore (next st);
+      go (Binop (Div, left, parse_primary st))
+    | _ -> left
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Question ->
+    ignore (next st);
+    incr param_counter;
+    Param !param_counter
+  | Number s ->
+    ignore (next st);
+    if String.contains s '.' then Lit (Sql_value.Float (float_of_string s))
+    else Lit (Sql_value.Int (int_of_string s))
+  | Str_lit s ->
+    ignore (next st);
+    Lit (Sql_value.Str s)
+  | Punct "(" -> (
+    ignore (next st);
+    if at_keyword st "SELECT" then begin
+      let sub = parse_select_body st in
+      expect_punct st ")";
+      Scalar_select sub
+    end
+    else
+      let e = parse_or st in
+      expect_punct st ")";
+      e)
+  | Punct "-" ->
+    ignore (next st);
+    Binop (Sub, Lit (Sql_value.Int 0), parse_primary st)
+  | Punct "*" ->
+    ignore (next st);
+    Col (None, "*")
+  | Quoted q -> (
+    ignore (next st);
+    match peek st with
+    | Punct "." ->
+      ignore (next st);
+      Col (Some q, ident st)
+    | _ -> Col (None, q))
+  | Ident s -> (
+    let upper = String.uppercase_ascii s in
+    match upper with
+    | "NULL" ->
+      ignore (next st);
+      Lit Sql_value.Null
+    | "TRUE" ->
+      ignore (next st);
+      Lit (Sql_value.Bool true)
+    | "FALSE" ->
+      ignore (next st);
+      Lit (Sql_value.Bool false)
+    | "CASE" ->
+      ignore (next st);
+      let rec branches acc =
+        if eat_keyword st "WHEN" then begin
+          let cond = parse_or st in
+          expect_keyword st "THEN";
+          let v = parse_or st in
+          branches ((cond, v) :: acc)
+        end
+        else List.rev acc
+      in
+      let bs = branches [] in
+      let default = if eat_keyword st "ELSE" then Some (parse_or st) else None in
+      expect_keyword st "END";
+      Case (bs, default)
+    | "EXISTS" ->
+      ignore (next st);
+      expect_punct st "(";
+      let sub = parse_select_body st in
+      expect_punct st ")";
+      Exists sub
+    | _ -> (
+      ignore (next st);
+      match peek st with
+      | Punct "(" -> (
+        ignore (next st);
+        match agg_of_name upper with
+        | Some kind ->
+          if peek st = Punct "*" then begin
+            ignore (next st);
+            expect_punct st ")";
+            if kind = Count then Count_star else fail "%s(*) is invalid" upper
+          end
+          else begin
+            let quantifier =
+              if eat_keyword st "DISTINCT" then Distinct_agg else All
+            in
+            let e = parse_or st in
+            expect_punct st ")";
+            Agg (kind, quantifier, e)
+          end
+        | None -> (
+          match func_of_name upper with
+          | Some f ->
+            let rec args acc =
+              if peek st = Punct ")" then List.rev acc
+              else
+                let e = parse_or st in
+                if peek st = Punct "," then begin
+                  ignore (next st);
+                  args (e :: acc)
+                end
+                else List.rev (e :: acc)
+            in
+            let a = args [] in
+            expect_punct st ")";
+            Func (f, a)
+          | None -> fail "unknown SQL function %s" s))
+      | Punct "." ->
+        ignore (next st);
+        if peek st = Punct "*" then begin
+          ignore (next st);
+          Col (None, "*")
+        end
+        else Col (Some s, ident st)
+      | _ -> Col (None, s)))
+  | t ->
+    fail "unexpected token %s"
+      (match t with
+      | Punct p -> p
+      | Eof -> "<eof>"
+      | _ -> "?")
+
+and parse_table_ref st =
+  if peek st = Punct "(" then begin
+    ignore (next st);
+    let sub = parse_select_body st in
+    expect_punct st ")";
+    let alias = ident st in
+    Derived { query = sub; alias }
+  end
+  else
+    let name = ident st in
+    let alias =
+      match peek st with
+      | Ident a when not (is_reserved a) -> (
+        ignore (next st);
+        a)
+      | Quoted a ->
+        ignore (next st);
+        a
+      | _ -> name
+    in
+    Table { table = name; alias }
+
+and parse_select_body st =
+  expect_keyword st "SELECT";
+  let distinct = eat_keyword st "DISTINCT" in
+  let rec projections acc =
+    let e = parse_or st in
+    let alias =
+      if eat_keyword st "AS" then ident st
+      else
+        match peek st with
+        | Ident a when not (is_reserved a) ->
+          ignore (next st);
+          a
+        | _ -> (
+          match e with
+          | Col (_, c) -> c
+          | _ -> Printf.sprintf "c%d" (List.length acc + 1))
+    in
+    let acc = (e, alias) :: acc in
+    if peek st = Punct "," then begin
+      ignore (next st);
+      projections acc
+    end
+    else List.rev acc
+  in
+  let projections = projections [] in
+  expect_keyword st "FROM";
+  let from = parse_table_ref st in
+  let rec joins acc =
+    if eat_keyword st "JOIN" || eat_keyword st "INNER" then begin
+      if at_keyword st "JOIN" then expect_keyword st "JOIN";
+      let t = parse_table_ref st in
+      expect_keyword st "ON";
+      let on_condition = parse_or st in
+      joins ({ jkind = Inner; jtable = t; on_condition } :: acc)
+    end
+    else if at_keyword st "LEFT" then begin
+      expect_keyword st "LEFT";
+      ignore (eat_keyword st "OUTER");
+      expect_keyword st "JOIN";
+      let t = parse_table_ref st in
+      expect_keyword st "ON";
+      let on_condition = parse_or st in
+      joins ({ jkind = Left_outer; jtable = t; on_condition } :: acc)
+    end
+    else List.rev acc
+  in
+  let joins = joins [] in
+  let where = if eat_keyword st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if eat_keyword st "GROUP" then begin
+      expect_keyword st "BY";
+      let rec go acc =
+        let e = parse_or st in
+        if peek st = Punct "," then begin
+          ignore (next st);
+          go (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let having = if eat_keyword st "HAVING" then Some (parse_or st) else None in
+  let order_by =
+    if eat_keyword st "ORDER" then begin
+      expect_keyword st "BY";
+      let rec go acc =
+        let e = parse_or st in
+        let descending =
+          if eat_keyword st "DESC" then true
+          else begin
+            ignore (eat_keyword st "ASC");
+            false
+          end
+        in
+        let acc = { sort_expr = e; descending } :: acc in
+        if peek st = Punct "," then begin
+          ignore (next st);
+          go acc
+        end
+        else List.rev acc
+      in
+      go []
+    end
+    else []
+  in
+  { distinct; projections; from; joins; where; group_by; having; order_by;
+    window = None }
+
+let parse_dml st =
+  if eat_keyword st "INSERT" then begin
+    expect_keyword st "INTO";
+    let table = ident st in
+    expect_punct st "(";
+    let rec cols acc =
+      let c = ident st in
+      if peek st = Punct "," then begin
+        ignore (next st);
+        cols (c :: acc)
+      end
+      else List.rev (c :: acc)
+    in
+    let columns = cols [] in
+    expect_punct st ")";
+    expect_keyword st "VALUES";
+    expect_punct st "(";
+    let rec values acc =
+      let e = parse_or st in
+      if peek st = Punct "," then begin
+        ignore (next st);
+        values (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    let values = values [] in
+    expect_punct st ")";
+    Insert { table; columns; values }
+  end
+  else if eat_keyword st "UPDATE" then begin
+    let table = ident st in
+    expect_keyword st "SET";
+    let rec assigns acc =
+      let c = ident st in
+      expect_punct st "=";
+      let e = parse_or st in
+      if peek st = Punct "," then begin
+        ignore (next st);
+        assigns ((c, e) :: acc)
+      end
+      else List.rev ((c, e) :: acc)
+    in
+    let assignments = assigns [] in
+    let where = if eat_keyword st "WHERE" then Some (parse_or st) else None in
+    Update { table; assignments; where }
+  end
+  else if eat_keyword st "DELETE" then begin
+    expect_keyword st "FROM";
+    let table = ident st in
+    let where = if eat_keyword st "WHERE" then Some (parse_or st) else None in
+    Delete { table; where }
+  end
+  else fail "expected INSERT, UPDATE or DELETE"
+
+let run_parser input f =
+  param_counter := 0;
+  let st = { toks = tokenize input } in
+  try
+    let result = f st in
+    (match peek st with
+    | Eof -> ()
+    | Punct ";" -> ignore (next st)
+    | _ -> fail "trailing tokens after statement");
+    Ok result
+  with Error msg -> Result.Error ("SQL parse error: " ^ msg)
+
+let parse input =
+  run_parser input (fun st ->
+      if at_keyword st "SELECT" then Query (parse_select_body st)
+      else Dml (parse_dml st))
+
+let parse_select input = run_parser input parse_select_body
+
+let parse_expr input = run_parser input parse_or

@@ -1,0 +1,14 @@
+(** Parser for SQL text, serving the JDBC/SQL client interface of Figure 2.
+
+    ALDSP exposes a JDBC/SQL entry point alongside the XQuery ones; this
+    parser accepts the same subset the generator emits (plus [SELECT *]) so
+    that tests and the CLI can submit textual SQL against the in-memory
+    backends. Keywords are case-insensitive; identifiers may be
+    double-quoted; string literals use single quotes; [?] denotes positional
+    parameters. *)
+
+val parse : string -> (Sql_ast.statement, string) result
+
+val parse_select : string -> (Sql_ast.select, string) result
+
+val parse_expr : string -> (Sql_ast.expr, string) result

@@ -1,0 +1,297 @@
+open Sql_ast
+
+type capabilities = {
+  supports_window : bool;
+  supports_case : bool;
+  supports_string_concat : bool;
+  concat_operator : string;
+}
+
+let capabilities = function
+  | Database.Oracle ->
+    { supports_window = true; supports_case = true;
+      supports_string_concat = true; concat_operator = "||" }
+  | Database.Db2 ->
+    { supports_window = true; supports_case = true;
+      supports_string_concat = true; concat_operator = "||" }
+  | Database.Sql_server ->
+    { supports_window = true; supports_case = true;
+      supports_string_concat = true; concat_operator = "+" }
+  | Database.Sybase ->
+    { supports_window = false; supports_case = true;
+      supports_string_concat = true; concat_operator = "+" }
+  | Database.Generic_sql92 ->
+    { supports_window = false; supports_case = false;
+      supports_string_concat = true; concat_operator = "||" }
+
+exception Unsupported of string
+
+let quote_ident name = Printf.sprintf "\"%s\"" name
+
+let binop_symbol = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "AND"
+  | Or -> "OR"
+  | Concat -> "||"
+  | Like -> "LIKE"
+
+let precedence = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Le | Gt | Ge | Like -> 3
+  | Add | Sub | Concat -> 4
+  | Mul | Div -> 5
+
+let func_name vendor = function
+  | Upper -> "UPPER"
+  | Lower -> "LOWER"
+  | Substr -> (
+    match vendor with
+    | Database.Oracle | Database.Db2 -> "SUBSTR"
+    | Database.Sql_server | Database.Sybase | Database.Generic_sql92 ->
+      "SUBSTRING")
+  | Char_length -> (
+    match vendor with
+    | Database.Oracle -> "LENGTH"
+    | Database.Sql_server | Database.Sybase -> "LEN"
+    | Database.Db2 | Database.Generic_sql92 -> "CHAR_LENGTH")
+  | Abs -> "ABS"
+  | Coalesce -> "COALESCE"
+  | Trim -> "TRIM"
+  | Modulo -> "MOD"
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+
+let rec expr vendor ~prec e =
+  let caps = capabilities vendor in
+  match e with
+  | Col (Some alias, name) -> Printf.sprintf "%s.%s" alias (quote_ident name)
+  | Col (None, name) -> quote_ident name
+  | Lit v -> Sql_value.to_string v
+  | Param _ -> "?"
+  | Binop (Concat, a, b) ->
+    if not caps.supports_string_concat then
+      raise (Unsupported "string concatenation");
+    let p = precedence Concat in
+    let s =
+      Printf.sprintf "%s %s %s"
+        (expr vendor ~prec:p a)
+        caps.concat_operator
+        (expr vendor ~prec:(p + 1) b)
+    in
+    if p < prec then "(" ^ s ^ ")" else s
+  | Binop (op, a, b) ->
+    let p = precedence op in
+    let s =
+      Printf.sprintf "%s %s %s"
+        (expr vendor ~prec:p a)
+        (binop_symbol op)
+        (expr vendor ~prec:(p + 1) b)
+    in
+    if p < prec then "(" ^ s ^ ")" else s
+  | Not e -> Printf.sprintf "NOT (%s)" (expr vendor ~prec:0 e)
+  | Is_null e -> Printf.sprintf "%s IS NULL" (expr vendor ~prec:6 e)
+  | Is_not_null e -> Printf.sprintf "%s IS NOT NULL" (expr vendor ~prec:6 e)
+  | In_list (e, items) ->
+    Printf.sprintf "%s IN (%s)" (expr vendor ~prec:6 e)
+      (String.concat ", " (List.map (expr vendor ~prec:0) items))
+  | In_select (e, s) ->
+    Printf.sprintf "%s IN (%s)" (expr vendor ~prec:6 e) (select vendor s)
+  | Exists s -> Printf.sprintf "EXISTS(%s)" (select vendor s)
+  | Not_exists s -> Printf.sprintf "NOT EXISTS(%s)" (select vendor s)
+  | Case (branches, default) ->
+    if not caps.supports_case then raise (Unsupported "CASE expression");
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "CASE";
+    List.iter
+      (fun (cond, value) ->
+        Buffer.add_string buf
+          (Printf.sprintf " WHEN %s THEN %s"
+             (expr vendor ~prec:0 cond)
+             (expr vendor ~prec:0 value)))
+      branches;
+    Option.iter
+      (fun d ->
+        Buffer.add_string buf
+          (Printf.sprintf " ELSE %s" (expr vendor ~prec:0 d)))
+      default;
+    Buffer.add_string buf " END";
+    Buffer.contents buf
+  | Func (f, args) ->
+    Printf.sprintf "%s(%s)" (func_name vendor f)
+      (String.concat ", " (List.map (expr vendor ~prec:0) args))
+  | Count_star -> "COUNT(*)"
+  | Agg (kind, quantifier, e) ->
+    Printf.sprintf "%s(%s%s)" (agg_name kind)
+      (match quantifier with All -> "" | Distinct_agg -> "DISTINCT ")
+      (expr vendor ~prec:0 e)
+  | Scalar_select s -> Printf.sprintf "(%s)" (select vendor s)
+
+and table_ref vendor = function
+  | Table { table; alias } ->
+    if String.equal table alias then quote_ident table
+    else Printf.sprintf "%s %s" (quote_ident table) alias
+  | Derived { query; alias } ->
+    Printf.sprintf "(%s) %s" (select vendor query) alias
+
+and select_core vendor s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  (match (vendor, s.window) with
+  | (Database.Sql_server | Database.Sybase), Some { start = 1; count = Some n }
+    ->
+    Buffer.add_string buf (Printf.sprintf "TOP %d " n)
+  | _ -> ());
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (e, alias) ->
+            Printf.sprintf "%s AS %s" (expr vendor ~prec:0 e) alias)
+          s.projections));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf (table_ref vendor s.from);
+  List.iter
+    (fun j ->
+      let kw = match j.jkind with Inner -> "JOIN" | Left_outer -> "LEFT OUTER JOIN" in
+      Buffer.add_string buf
+        (Printf.sprintf " %s %s ON %s" kw
+           (table_ref vendor j.jtable)
+           (expr vendor ~prec:0 j.on_condition)))
+    s.joins;
+  Option.iter
+    (fun w ->
+      Buffer.add_string buf (Printf.sprintf " WHERE %s" (expr vendor ~prec:0 w)))
+    s.where;
+  if s.group_by <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf " GROUP BY %s"
+         (String.concat ", " (List.map (expr vendor ~prec:0) s.group_by)));
+  Option.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf " HAVING %s" (expr vendor ~prec:0 h)))
+    s.having;
+  if s.order_by <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf " ORDER BY %s"
+         (String.concat ", "
+            (List.map
+               (fun o ->
+                 expr vendor ~prec:0 o.sort_expr
+                 ^ if o.descending then " DESC" else "")
+               s.order_by)));
+  Buffer.contents buf
+
+and select vendor s =
+  match s.window with
+  | None -> select_core vendor s
+  | Some w -> window_wrap vendor s w
+
+(* Pagination per dialect. Oracle reproduces the paper's Table 2(i) shape:
+   a ROWNUM column added in a wrapper query, filtered in an outer query. *)
+and window_wrap vendor s w =
+  let caps = capabilities vendor in
+  if not caps.supports_window then raise (Unsupported "row window");
+  let inner = { s with window = None } in
+  let upper = Option.map (fun n -> w.start + n) w.count in
+  match vendor with
+  | Database.Oracle ->
+    let aliases = List.map snd s.projections in
+    let outer_cols = String.concat ", " (List.map (fun a -> "t0." ^ a) aliases) in
+    let mid_cols = String.concat ", " (List.map (fun a -> "ti." ^ a) aliases) in
+    let bound =
+      match upper with
+      | Some u -> Printf.sprintf "(t0.rn >= %d) AND (t0.rn < %d)" w.start u
+      | None -> Printf.sprintf "t0.rn >= %d" w.start
+    in
+    Printf.sprintf
+      "SELECT %s FROM (SELECT ROWNUM AS rn, %s FROM (%s) ti) t0 WHERE %s"
+      outer_cols mid_cols (select_core vendor inner) bound
+  | Database.Sql_server | Database.Sybase ->
+    if w.start = 1 && w.count <> None then select_core vendor s
+      (* TOP n is emitted inside select_core *)
+    else if vendor = Database.Sybase then raise (Unsupported "row window")
+    else
+      let aliases = List.map snd s.projections in
+      let order =
+        if inner.order_by = [] then "(SELECT 1)"
+        else
+          String.concat ", "
+            (List.map
+               (fun o ->
+                 expr vendor ~prec:0 o.sort_expr
+                 ^ if o.descending then " DESC" else "")
+               inner.order_by)
+      in
+      let projections =
+        String.concat ", "
+          (List.map
+             (fun (e, alias) ->
+               Printf.sprintf "%s AS %s" (expr vendor ~prec:0 e) alias)
+             inner.projections)
+      in
+      let bound =
+        match upper with
+        | Some u -> Printf.sprintf "(t0.rn >= %d) AND (t0.rn < %d)" w.start u
+        | None -> Printf.sprintf "t0.rn >= %d" w.start
+      in
+      Printf.sprintf
+        "SELECT %s FROM (SELECT ROW_NUMBER() OVER (ORDER BY %s) AS rn, %s \
+         FROM %s%s) t0 WHERE %s"
+        (String.concat ", " (List.map (fun a -> "t0." ^ a) aliases))
+        order projections
+        (table_ref vendor inner.from)
+        (match inner.where with
+        | Some e -> " WHERE " ^ expr vendor ~prec:0 e
+        | None -> "")
+        bound
+  | Database.Db2 ->
+    if w.start = 1 then
+      match w.count with
+      | Some n ->
+        Printf.sprintf "%s FETCH FIRST %d ROWS ONLY" (select_core vendor inner) n
+      | None -> select_core vendor inner
+    else
+      raise (Unsupported "row window with offset on DB2 (conservative)")
+  | Database.Generic_sql92 -> raise (Unsupported "row window")
+
+let select_to_string = select
+
+let expr_to_string vendor e = expr vendor ~prec:0 e
+
+let statement vendor = function
+  | Query s -> select vendor s
+  | Dml (Insert { table; columns; values }) ->
+    Printf.sprintf "INSERT INTO %s (%s) VALUES (%s)" (quote_ident table)
+      (String.concat ", " (List.map quote_ident columns))
+      (String.concat ", " (List.map (expr vendor ~prec:0) values))
+  | Dml (Update { table; assignments; where }) ->
+    Printf.sprintf "UPDATE %s SET %s%s" (quote_ident table)
+      (String.concat ", "
+         (List.map
+            (fun (c, e) ->
+              Printf.sprintf "%s = %s" (quote_ident c) (expr vendor ~prec:0 e))
+            assignments))
+      (match where with
+      | Some e -> " WHERE " ^ expr vendor ~prec:0 e
+      | None -> "")
+  | Dml (Delete { table; where }) ->
+    Printf.sprintf "DELETE FROM %s%s" (quote_ident table)
+      (match where with
+      | Some e -> " WHERE " ^ expr vendor ~prec:0 e
+      | None -> "")

@@ -1,0 +1,31 @@
+(** Vendor-specific SQL text generation.
+
+    "Actual SQL syntax generation during pushdown is done in a
+    vendor/version-dependent manner" (§4.4). Each supported vendor has a
+    capability record that the pushdown framework consults (what is
+    pushable, with what syntax), and a printer that renders the {!Sql_ast}
+    in that vendor's dialect — e.g. the ROWNUM-wrapper pagination of
+    Table 2(i) for Oracle, [TOP]/[ROW_NUMBER] for SQL Server, [FETCH FIRST]
+    for DB2. The "base SQL92 platform" is the conservative fallback used
+    for any other relational database. *)
+
+type capabilities = {
+  supports_window : bool;
+      (** Can a row window ([fn:subsequence]) be pushed at all? *)
+  supports_case : bool;
+  supports_string_concat : bool;
+  concat_operator : string;  (** ["||"] or ["+"]. *)
+}
+
+val capabilities : Database.vendor -> capabilities
+
+exception Unsupported of string
+(** Raised when the AST uses a feature the dialect cannot express; the
+    pushdown framework avoids this by consulting {!capabilities} first. *)
+
+val statement : Database.vendor -> Sql_ast.statement -> string
+(** Renders a statement; parameters print as [?]. *)
+
+val select_to_string : Database.vendor -> Sql_ast.select -> string
+
+val expr_to_string : Database.vendor -> Sql_ast.expr -> string

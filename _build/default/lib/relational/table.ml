@@ -1,0 +1,104 @@
+type sql_type = T_int | T_varchar | T_decimal | T_boolean | T_timestamp
+
+type column = { col_name : string; col_type : sql_type; nullable : bool }
+
+type foreign_key = {
+  fk_columns : string list;
+  references_table : string;
+  references_columns : string list;
+}
+
+type t = {
+  table_name : string;
+  columns : column list;
+  primary_key : string list;
+  foreign_keys : foreign_key list;
+  mutable rows : Sql_value.t array list;
+}
+
+let create ?(primary_key = []) ?(foreign_keys = []) table_name columns =
+  { table_name; columns; primary_key; foreign_keys; rows = [] }
+
+let column ?(nullable = true) col_name col_type = { col_name; col_type; nullable }
+
+let column_index t name =
+  let rec go i = function
+    | [] -> None
+    | c :: _ when String.equal c.col_name name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.columns
+
+let column_type t name =
+  List.find_map
+    (fun c -> if String.equal c.col_name name then Some c.col_type else None)
+    t.columns
+
+let type_check ty v =
+  match (ty, v) with
+  | _, Sql_value.Null -> true
+  | T_int, Sql_value.Int _ -> true
+  | T_varchar, Sql_value.Str _ -> true
+  | T_decimal, (Sql_value.Int _ | Sql_value.Float _) -> true
+  | T_boolean, Sql_value.Bool _ -> true
+  | T_timestamp, (Sql_value.Timestamp _ | Sql_value.Int _) -> true
+  | _ -> false
+
+let key_of_row t row =
+  List.map
+    (fun k ->
+      match column_index t k with
+      | Some i -> row.(i)
+      | None -> Sql_value.Null)
+    t.primary_key
+
+let insert t row =
+  if Array.length row <> List.length t.columns then
+    Error
+      (Printf.sprintf "table %s: row has %d values, expected %d" t.table_name
+         (Array.length row) (List.length t.columns))
+  else
+    let violations =
+      List.filteri
+        (fun i c ->
+          (Sql_value.is_null row.(i) && not c.nullable)
+          || not (type_check c.col_type row.(i)))
+        t.columns
+    in
+    match violations with
+    | c :: _ ->
+      Error
+        (Printf.sprintf "table %s: constraint violation on column %s"
+           t.table_name c.col_name)
+    | [] ->
+      if t.primary_key <> [] then begin
+        let key = key_of_row t row in
+        let duplicate =
+          List.exists
+            (fun existing ->
+              List.for_all2 Sql_value.equal key (key_of_row t existing))
+            t.rows
+        in
+        if duplicate then
+          Error
+            (Printf.sprintf "table %s: duplicate primary key" t.table_name)
+        else begin
+          t.rows <- row :: t.rows;
+          Ok ()
+        end
+      end
+      else begin
+        t.rows <- row :: t.rows;
+        Ok ()
+      end
+
+let all_rows t = List.rev t.rows
+
+let row_count t = List.length t.rows
+
+let atomic_type_of_sql = function
+  | T_int -> Aldsp_xml.Atomic.T_integer
+  | T_varchar -> Aldsp_xml.Atomic.T_string
+  | T_decimal -> Aldsp_xml.Atomic.T_decimal
+  | T_boolean -> Aldsp_xml.Atomic.T_boolean
+  | T_timestamp -> Aldsp_xml.Atomic.T_date_time

@@ -1,0 +1,50 @@
+(** Table schemas and row storage.
+
+    Rows are value arrays positionally aligned with the column list. Primary
+    and foreign keys are part of the schema; ALDSP's introspector reads them
+    to generate read and navigation functions (§2.1). *)
+
+type sql_type = T_int | T_varchar | T_decimal | T_boolean | T_timestamp
+
+type column = { col_name : string; col_type : sql_type; nullable : bool }
+
+type foreign_key = {
+  fk_columns : string list;
+  references_table : string;
+  references_columns : string list;
+}
+
+type t = {
+  table_name : string;
+  columns : column list;
+  primary_key : string list;
+  foreign_keys : foreign_key list;
+  mutable rows : Sql_value.t array list;  (** Reverse insertion order. *)
+}
+
+val create :
+  ?primary_key:string list ->
+  ?foreign_keys:foreign_key list ->
+  string ->
+  column list ->
+  t
+
+val column : ?nullable:bool -> string -> sql_type -> column
+
+val column_index : t -> string -> int option
+val column_type : t -> string -> sql_type option
+
+val insert : t -> Sql_value.t array -> (unit, string) result
+(** Validates arity, NOT NULL constraints, basic type conformance and
+    primary-key uniqueness, then appends the row. *)
+
+val all_rows : t -> Sql_value.t array list
+(** Rows in insertion order. *)
+
+val row_count : t -> int
+
+val type_check : sql_type -> Sql_value.t -> bool
+
+val atomic_type_of_sql : sql_type -> Aldsp_xml.Atomic.atomic_type
+(** The SQL-to-XML type mapping used when introspection builds the XML
+    shape of a table (§4.4). *)

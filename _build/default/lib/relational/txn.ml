@@ -1,0 +1,52 @@
+type txn = {
+  db : Database.t;
+  snapshot : (string * Sql_value.t array list) list;
+}
+
+let begin_txn db =
+  let snapshot =
+    Hashtbl.fold
+      (fun name table acc -> (name, table.Table.rows) :: acc)
+      db.Database.tables []
+  in
+  { db; snapshot }
+
+let commit _txn = ()
+
+let rollback txn =
+  List.iter
+    (fun (name, rows) ->
+      match Hashtbl.find_opt txn.db.Database.tables name with
+      | Some table -> table.Table.rows <- rows
+      | None -> ())
+    txn.snapshot
+
+type outcome = Committed | Rolled_back of string
+
+let with_transaction db work =
+  let txn = begin_txn db in
+  match work () with
+  | Ok _ as ok ->
+    commit txn;
+    ok
+  | Error _ as err ->
+    rollback txn;
+    err
+  | exception exn ->
+    rollback txn;
+    raise exn
+
+let two_phase_commit ~participants ~work =
+  let txns = List.map begin_txn participants in
+  match work () with
+  | Ok () ->
+    (* Phase 1 (prepare) always succeeds for in-memory participants whose
+       constraints were enforced during the work; phase 2 commits. *)
+    List.iter commit txns;
+    Committed
+  | Error msg ->
+    List.iter rollback txns;
+    Rolled_back msg
+  | exception exn ->
+    List.iter rollback txns;
+    raise exn

@@ -1,0 +1,31 @@
+(** Transactions and the XA-style two-phase commit used by submit.
+
+    "In the event that all data sources are relational and can participate
+    in a two-phase commit (XA) protocol, the entire submit is executed as an
+    atomic transaction across the affected sources" (§6). The in-memory
+    engine implements this with per-database snapshots: begin snapshots the
+    affected tables; prepare validates; commit discards the snapshot;
+    rollback restores it. The coordinator drives the classic two phases and
+    rolls everything back if any participant fails to prepare. *)
+
+type txn
+
+val begin_txn : Database.t -> txn
+(** Snapshots every table of the database. *)
+
+val commit : txn -> unit
+val rollback : txn -> unit
+
+(** Two-phase-commit outcome for a multi-source unit of work. *)
+type outcome = Committed | Rolled_back of string
+
+val with_transaction :
+  Database.t -> (unit -> ('a, string) result) -> ('a, string) result
+(** Single-source convenience: commits on [Ok], rolls back on [Error]. *)
+
+val two_phase_commit :
+  participants:Database.t list ->
+  work:(unit -> (unit, string) result) ->
+  outcome
+(** Runs [work] with all participants enlisted; on error every participant
+    is rolled back, so partial updates never become visible (§6). *)

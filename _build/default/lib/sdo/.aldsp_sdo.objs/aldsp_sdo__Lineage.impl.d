@@ -1,0 +1,1 @@
+lib/sdo/lineage.ml: Aldsp_core Aldsp_relational Aldsp_xml Database Format List Option Printf Qname String Table

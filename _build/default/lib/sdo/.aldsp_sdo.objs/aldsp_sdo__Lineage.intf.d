@@ -1,0 +1,1 @@
+lib/sdo/lineage.mli: Aldsp_core Aldsp_xml Format Qname

@@ -1,0 +1,1 @@
+lib/sdo/sdo.ml: Aldsp_xml Atomic Format List Node Printf Qname String

@@ -1,0 +1,1 @@
+lib/sdo/sdo.mli: Aldsp_xml Atomic Format Node Qname

@@ -1,0 +1,1 @@
+lib/sdo/submit.ml: Aldsp_core Aldsp_relational Aldsp_services Aldsp_xml Database Hashtbl Lineage List Option Printf Qname Result Sdo Sql_ast Sql_exec Sql_print Sql_value String Txn

@@ -1,0 +1,1 @@
+lib/sdo/submit.mli: Aldsp_core Aldsp_xml Qname Sdo

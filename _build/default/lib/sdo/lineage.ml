@@ -1,0 +1,268 @@
+open Aldsp_xml
+module C = Aldsp_core.Cexpr
+module Metadata = Aldsp_core.Metadata
+open Aldsp_relational
+
+type column_source = {
+  cs_db : string;
+  cs_table : string;
+  cs_column : string;
+  cs_nullable : bool;
+  cs_via : Qname.t option;
+  cs_writeback : Qname.t option;
+      (* function mapping the document value back to the stored value:
+         the inverse for single-argument transforms, the per-argument
+         projection for multi-argument ones *)
+}
+
+type table_key = {
+  tk_db : string;
+  tk_table : string;
+  tk_columns : (string * Qname.t list) list;
+}
+
+type t = {
+  provider : Qname.t;
+  columns : (Qname.t list * column_source) list;
+  keys : table_key list;
+}
+
+(* row variable -> its table *)
+type row = { r_var : C.var; r_db : Database.t; r_table : Table.t }
+
+let rec strip = function
+  | C.Typematch (e, _) -> strip e
+  | C.Data e -> strip e
+  | e -> e
+
+(* Recognize "field of a row variable", possibly through a function with a
+   registered inverse. *)
+let rec field_of registry rows e =
+  match strip e with
+  | C.Child (C.Var v, name) -> (
+    match List.find_opt (fun r -> r.r_var = v) rows with
+    | Some row -> (
+      match Table.column_type row.r_table name.Qname.local with
+      | Some _ -> Some (row, name.Qname.local, None)
+      | None -> None)
+    | None -> None)
+  | C.Call { fn; args = [ arg ] } -> (
+    match Metadata.inverse_of registry fn with
+    | Some _ -> (
+      match field_of registry rows arg with
+      | Some (row, col, None) -> Some (row, col, Some fn)
+      | _ -> None)
+    | None -> None)
+  | C.Cast (inner, _) -> field_of registry rows inner
+  | _ -> None
+
+(* All column sources of one result element's content: either one plain /
+   single-transform field, or a multi-argument transformation whose every
+   argument is a plain field — each argument column writes back through
+   its registered projection (§4.5). *)
+let fields_of registry rows e =
+  match field_of registry rows e with
+  | Some (row, col, via) ->
+    let writeback =
+      match via with
+      | Some f -> Metadata.inverse_of registry f
+      | None -> None
+    in
+    Some [ (row, col, via, writeback) ]
+  | None -> (
+    match strip e with
+    | C.Call { fn; args } when List.length args >= 2 -> (
+      match Metadata.projections_of registry fn with
+      | Some projections when List.length projections = List.length args ->
+        let resolved =
+          List.map2
+            (fun arg proj ->
+              match field_of registry rows arg with
+              | Some (row, col, None) -> Some (row, col, Some fn, Some proj)
+              | _ -> None)
+            args projections
+        in
+        if List.for_all Option.is_some resolved then
+          Some (List.map Option.get resolved)
+        else None
+      | _ -> None)
+    | _ -> None)
+
+let nullable_of table col =
+  List.exists
+    (fun c -> c.Table.col_name = col && c.Table.nullable)
+    table.Table.columns
+
+(* Collect row variables bound by for-clauses over table functions. *)
+let rec collect_rows registry clauses =
+  List.concat_map
+    (fun clause ->
+      match clause with
+      | C.For { var; source = C.Call { fn; args = [] } } -> (
+        match Metadata.resolve_call registry fn 0 with
+        | Some
+            { Metadata.fd_impl =
+                Metadata.External (Metadata.Relational_table { db; table; _ });
+              _ } -> (
+          match Database.find_table db table with
+          | Ok t -> [ { r_var = var; r_db = db; r_table = t } ]
+          | Error _ -> [])
+        | _ -> [])
+      | C.Join { right; _ } -> collect_rows registry right
+      | _ -> [])
+    clauses
+
+(* Walk the constructed result shape. *)
+let rec walk registry rows path content acc =
+  let parts = match content with C.Seq es -> es | C.Empty -> [] | e -> [ e ] in
+  List.fold_left
+    (fun acc part ->
+      match part with
+      | C.Elem { name; content; _ } -> (
+        let child_path = path @ [ name ] in
+        match fields_of registry rows content with
+        | Some sources ->
+          List.rev_append
+            (List.map
+               (fun (row, col, via, writeback) ->
+                 ( child_path,
+                   { cs_db = row.r_db.Database.db_name;
+                     cs_table = row.r_table.Table.table_name;
+                     cs_column = col;
+                     cs_nullable = nullable_of row.r_table col;
+                     cs_via = via;
+                     cs_writeback = writeback } ))
+               sources)
+            acc
+        | None -> walk registry rows child_path content acc)
+      | _ -> acc)
+    acc parts
+
+let resolve registry provider =
+  match Metadata.find_function registry provider 0 with
+  | Some fd -> Some fd
+  | None -> (
+    match Metadata.resolve_call registry provider 0 with
+    | Some fd -> Some fd
+    | None ->
+      (* unprefixed data service functions live in the default function
+         namespace *)
+      Metadata.find_function registry
+        (Qname.make ~uri:"fn" provider.Qname.local)
+        0)
+
+let analyze registry provider =
+  match resolve registry provider with
+  | None ->
+    Error
+      (Printf.sprintf "no zero-argument lineage provider %s"
+         (Qname.to_string provider))
+  | Some { Metadata.fd_impl = Metadata.External _; _ } ->
+    (* a physical data service: the row element maps 1:1 onto the table *)
+    (match resolve registry provider with
+    | Some
+        { Metadata.fd_impl =
+            Metadata.External (Metadata.Relational_table { db; table; row_name });
+          _ } -> (
+      match Database.find_table db table with
+      | Error msg -> Error msg
+      | Ok t ->
+        let columns =
+          List.map
+            (fun c ->
+              ( [ row_name; Qname.local c.Table.col_name ],
+                { cs_db = db.Database.db_name;
+                  cs_table = table;
+                  cs_column = c.Table.col_name;
+                  cs_nullable = c.Table.nullable;
+                  cs_via = None;
+                  cs_writeback = None } ))
+            t.Table.columns
+        in
+        let keys =
+          [ { tk_db = db.Database.db_name;
+              tk_table = table;
+              tk_columns =
+                List.map
+                  (fun k -> (k, [ row_name; Qname.local k ]))
+                  t.Table.primary_key } ]
+        in
+        Ok { provider; columns; keys })
+    | _ -> Error "unsupported external lineage provider")
+  | Some { Metadata.fd_impl = Metadata.Body body; _ } -> (
+    (* the body may be wrapped in the typematch inserted against the
+       declared return type *)
+    match strip body with
+    | C.Flwor { clauses; return_ = C.Elem { name; content; _ } } ->
+      let rows = collect_rows registry clauses in
+      if rows = [] then
+        Error "lineage provider reads no relational source"
+      else
+        let columns = List.rev (walk registry rows [ name ] content []) in
+        (* a table is updatable when every primary key column has a result
+           path (needed to identify the row) *)
+        let keys =
+          List.filter_map
+            (fun row ->
+              let pk = row.r_table.Table.primary_key in
+              let paths =
+                List.map
+                  (fun k ->
+                    ( k,
+                      List.find_map
+                        (fun (path, cs) ->
+                          if
+                            cs.cs_table = row.r_table.Table.table_name
+                            && cs.cs_db = row.r_db.Database.db_name
+                            && cs.cs_column = k
+                          then Some path
+                          else None)
+                        columns ))
+                  pk
+              in
+              if pk <> [] && List.for_all (fun (_, p) -> p <> None) paths then
+                Some
+                  { tk_db = row.r_db.Database.db_name;
+                    tk_table = row.r_table.Table.table_name;
+                    tk_columns =
+                      List.map (fun (k, p) -> (k, Option.get p)) paths }
+              else None)
+            rows
+        in
+        Ok { provider; columns; keys }
+    | _ -> Error "lineage provider body is not a FLWOR over an element constructor")
+
+let source_of t path =
+  List.find_map
+    (fun (p, cs) ->
+      if
+        List.length p = List.length path && List.for_all2 Qname.equal p path
+      then Some cs
+      else None)
+    t.columns
+
+let sources_of t path =
+  List.filter_map
+    (fun (p, cs) ->
+      if List.length p = List.length path && List.for_all2 Qname.equal p path
+      then Some cs
+      else None)
+    t.columns
+
+let updatable_tables t =
+  List.map (fun k -> (k.tk_db, k.tk_table)) t.keys
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>lineage of %a:@ %a@ keys: %a@]" Qname.pp t.provider
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (path, cs) ->
+         Format.fprintf ppf "%s -> %s.%s.%s%s"
+           (String.concat "/" (List.map Qname.to_string path))
+           cs.cs_db cs.cs_table cs.cs_column
+           (match cs.cs_via with
+           | Some f -> Printf.sprintf " (via %s)" (Qname.to_string f)
+           | None -> "")))
+    t.columns
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf k ->
+         Format.fprintf ppf "%s.%s: %s" k.tk_db k.tk_table
+           (String.concat ", " (List.map fst k.tk_columns))))
+    t.keys

@@ -1,0 +1,60 @@
+(** Lineage analysis (§6).
+
+    Change propagation requires identifying where changed data originated.
+    ALDSP computes a data service's lineage automatically from the query
+    body of its designated {e lineage provider} function (by default the
+    first — "get all" — read method): primary key information, query
+    predicates, and the query's result shape together determine which data
+    in which sources is affected by an update. The analysis is a rule set
+    over the same core algebra the optimizer rewrites; it recognizes the
+    shape [result-element content = data(field of a table row variable)],
+    including values transformed by a registered external function with a
+    declared inverse — such values are updatable by applying the inverse
+    on the way back (§4.5, §6). *)
+
+open Aldsp_xml
+
+type column_source = {
+  cs_db : string;
+  cs_table : string;
+  cs_column : string;
+  cs_nullable : bool;
+  cs_via : Qname.t option;
+      (** Function applied to the stored value on the way out (e.g.
+          [int2date]). *)
+  cs_writeback : Qname.t option;
+      (** Function mapping a document value back to the stored value: the
+          registered inverse for single-argument transforms, the
+          per-argument projection for multi-argument ones (§4.5). *)
+}
+
+type table_key = {
+  tk_db : string;
+  tk_table : string;
+  tk_columns : (string * Qname.t list) list;
+      (** Primary key column → result path carrying its value. *)
+}
+
+type t = {
+  provider : Qname.t;
+  columns : (Qname.t list * column_source) list;
+      (** Result element path → source column. *)
+  keys : table_key list;
+      (** Row identification for every updatable table. *)
+}
+
+val analyze : Aldsp_core.Metadata.t -> Qname.t -> (t, string) result
+(** Lineage of the data service whose lineage provider is the named
+    function. Fails when the function is unknown or its body is not
+    analyzable. *)
+
+val source_of : t -> Qname.t list -> column_source option
+(** First column source of a path (a multi-argument transformation maps
+    one path to several; see {!sources_of}). *)
+
+val sources_of : t -> Qname.t list -> column_source list
+
+val updatable_tables : t -> (string * string) list
+(** Distinct (database, table) pairs with usable keys. *)
+
+val pp : Format.formatter -> t -> unit

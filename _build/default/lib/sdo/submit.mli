@@ -1,0 +1,59 @@
+(** Update propagation: the submit path (§6).
+
+    A submit call is the unit of update execution. For each changed data
+    object, lineage analysis of its data service determines which source
+    tables the changed paths map to; only affected sources participate.
+    Per affected table, a single SQL UPDATE is generated whose SET clause
+    carries the new values (mapped through registered inverse functions
+    when the read path applied a transformation) and whose WHERE clause
+    identifies the row by primary key {e and} expresses the chosen
+    optimistic concurrency policy — requiring all values read, only
+    updated values, or a designated subset (e.g. a timestamp) to still
+    match their read-time values. When every affected source is
+    relational, the whole submit executes under the two-phase-commit
+    coordinator and rolls back completely if any statement misses
+    (a concurrent change) or fails.
+
+    An update {e override} registered for a data service replaces the
+    default propagation for its objects (§6). *)
+
+open Aldsp_xml
+
+(** Optimistic concurrency options offered to the data service designer. *)
+type concurrency_policy =
+  | All_read_values
+  | Updated_values_only
+  | Designated of Qname.t list list
+      (** Result paths (e.g. a timestamp element) that must be unchanged. *)
+
+type table_update = {
+  tu_db : string;
+  tu_table : string;
+  tu_sql : string;  (** The UPDATE statement, in the source's dialect. *)
+  tu_rows : int;
+}
+
+type report = {
+  updates : table_update list;
+  sources_touched : string list;  (** Databases that participated. *)
+  overridden : bool;
+}
+
+type overrides
+
+val no_overrides : unit -> overrides
+
+val register_override :
+  overrides -> Qname.t -> (Sdo.t -> (unit, string) result) -> unit
+(** Replaces default propagation for objects of the given data service
+    function. *)
+
+val submit :
+  ?policy:concurrency_policy ->
+  ?overrides:overrides ->
+  Aldsp_core.Metadata.t ->
+  Sdo.t list ->
+  (report, string) result
+(** Propagates all changes atomically. Default policy:
+    [Updated_values_only]. On success the objects' change logs are
+    cleared. *)

@@ -1,0 +1,1 @@
+lib/services/csv_source.ml: Aldsp_xml Buffer List Node Printf Qname Result Schema String

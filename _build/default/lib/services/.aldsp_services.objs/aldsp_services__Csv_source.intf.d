@@ -1,0 +1,1 @@
+lib/services/csv_source.mli: Aldsp_xml Node Schema

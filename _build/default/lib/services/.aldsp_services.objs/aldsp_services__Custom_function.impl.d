@@ -1,0 +1,1 @@
+lib/services/custom_function.ml: Aldsp_xml Atomic Hashtbl List Printf Qname Result

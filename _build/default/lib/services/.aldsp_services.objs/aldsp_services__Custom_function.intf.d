@@ -1,0 +1,1 @@
+lib/services/custom_function.mli: Aldsp_xml Atomic Qname

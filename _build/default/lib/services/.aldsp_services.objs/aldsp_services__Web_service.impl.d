@@ -1,0 +1,1 @@
+lib/services/web_service.ml: Aldsp_xml List Node Printf Schema String Unix

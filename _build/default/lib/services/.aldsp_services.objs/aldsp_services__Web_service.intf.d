@@ -1,0 +1,1 @@
+lib/services/web_service.mli: Aldsp_xml Node Schema

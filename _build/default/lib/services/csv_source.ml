@@ -1,0 +1,119 @@
+open Aldsp_xml
+
+let parse ?(separator = ',') input =
+  let n = String.length input in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let field_started = ref false in
+  let push_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf;
+    field_started := false
+  in
+  let push_row () =
+    (* ignore completely empty lines *)
+    if !fields <> [] || Buffer.length buf > 0 || !field_started then begin
+      push_field ();
+      rows := List.rev !fields :: !rows;
+      fields := []
+    end
+  in
+  let rec plain i =
+    if i >= n then begin
+      push_row ();
+      Ok ()
+    end
+    else
+      match input.[i] with
+      | c when c = separator ->
+        push_field ();
+        plain (i + 1)
+      | '\r' when i + 1 < n && input.[i + 1] = '\n' ->
+        push_row ();
+        plain (i + 2)
+      | '\n' ->
+        push_row ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 && not !field_started ->
+        field_started := true;
+        quoted (i + 1)
+      | c ->
+        field_started := true;
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then Error "unterminated quoted CSV field"
+    else
+      match input.[i] with
+      | '"' when i + 1 < n && input.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  match plain 0 with
+  | Ok () -> Ok (List.rev !rows)
+  | Error _ as e -> e
+
+let column_names (schema : Schema.element_decl) =
+  match schema.Schema.content with
+  | Schema.Complex particles ->
+    Ok (List.map (fun p -> p.Schema.decl.Schema.elem_name) particles)
+  | Schema.Atomic_content _ | Schema.Empty_content ->
+    Error "CSV schema must declare complex content naming the columns"
+
+let rows_to_nodes ~schema ?(header = true) rows =
+  let ( let* ) = Result.bind in
+  let* columns = column_names schema in
+  let* data_rows =
+    match (header, rows) with
+    | false, rows -> Ok rows
+    | true, [] -> Error "CSV input has no header row"
+    | true, head :: rest ->
+      let expected = List.map (fun (q : Qname.t) -> q.Qname.local) columns in
+      if List.map String.trim head = expected then Ok rest
+      else
+        Error
+          (Printf.sprintf "CSV header mismatch: expected %s, found %s"
+             (String.concat "," expected)
+             (String.concat "," head))
+  in
+  let row_to_node index fields =
+    if List.length fields > List.length columns then
+      Error
+        (Printf.sprintf "CSV row %d has %d fields, schema declares %d columns"
+           (index + 1) (List.length fields) (List.length columns))
+    else begin
+      let children =
+        List.concat
+          (List.mapi
+             (fun i name ->
+               match List.nth_opt fields i with
+               | Some field when String.trim field <> "" ->
+                 (* raw text; validation types it below *)
+                 [ Node.element name [ Node.text field ] ]
+               | Some _ | None -> [])  (* empty field = missing element *)
+             columns)
+      in
+      let raw = Node.element schema.Schema.elem_name children in
+      Result.map_error
+        (fun msg -> Printf.sprintf "CSV row %d: %s" (index + 1) msg)
+        (Schema.validate schema raw)
+    end
+  in
+  let* nodes =
+    List.fold_left
+      (fun acc (i, row) ->
+        let* acc = acc in
+        let* node = row_to_node i row in
+        Ok (node :: acc))
+      (Ok [])
+      (List.mapi (fun i r -> (i, r)) data_rows)
+  in
+  Ok (List.rev nodes)
+
+let load ~schema ?separator ?header input =
+  Result.bind (parse ?separator input) (rows_to_nodes ~schema ?header)

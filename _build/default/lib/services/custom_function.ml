@@ -1,0 +1,59 @@
+open Aldsp_xml
+
+type t = {
+  fn_name : Qname.t;
+  param_types : Atomic.atomic_type list;
+  return_type : Atomic.atomic_type;
+  body : Atomic.t list -> (Atomic.t, string) result;
+}
+
+type registry = (Qname.t, t) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 16
+
+let register registry ~name ~params ~returns body =
+  Hashtbl.replace registry name
+    { fn_name = name; param_types = params; return_type = returns; body }
+
+let find registry name = Hashtbl.find_opt registry name
+
+let call registry name args =
+  match find registry name with
+  | None ->
+    Error (Printf.sprintf "no external function %s" (Qname.to_string name))
+  | Some fn ->
+    if List.length args <> List.length fn.param_types then
+      Error
+        (Printf.sprintf "external function %s expects %d arguments, got %d"
+           (Qname.to_string name)
+           (List.length fn.param_types)
+           (List.length args))
+    else
+      let coerced =
+        List.map2
+          (fun expected arg ->
+            if Atomic.subtype (Atomic.type_of arg) expected then Ok arg
+            else Atomic.cast expected arg)
+          fn.param_types args
+      in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | Ok v :: rest -> collect (v :: acc) rest
+        | (Error _ as e) :: _ -> e
+      in
+      Result.bind (collect [] coerced) fn.body
+
+let ext_uri = "urn:external"
+
+let int2date = Qname.make ~uri:ext_uri "int2date"
+let date2int = Qname.make ~uri:ext_uri "date2int"
+
+let install_date_conversions registry =
+  register registry ~name:int2date ~params:[ Atomic.T_integer ]
+    ~returns:Atomic.T_date_time (function
+    | [ Atomic.Integer secs ] -> Ok (Atomic.Date_time (float_of_int secs))
+    | _ -> Error "int2date: expected one integer");
+  register registry ~name:date2int ~params:[ Atomic.T_date_time ]
+    ~returns:Atomic.T_integer (function
+    | [ Atomic.Date_time t ] -> Ok (Atomic.Integer (int_of_float t))
+    | _ -> Error "date2int: expected one dateTime")

@@ -1,0 +1,75 @@
+open Aldsp_xml
+
+type style = Document_literal | Rpc_encoded
+
+type operation = {
+  op_name : string;
+  input_schema : Schema.element_decl;
+  output_schema : Schema.element_decl;
+  implementation : Node.t -> (Node.t, string) result;
+}
+
+type t = {
+  service_name : string;
+  wsdl_url : string;
+  style : style;
+  operations : operation list;
+  mutable latency : float;
+  mutable fail_next : int;
+  mutable unavailable : bool;
+  stats : stats;
+}
+
+and stats = { mutable calls : int; mutable failures : int }
+
+let create ?(style = Document_literal) ?(latency = 0.) ~wsdl_url service_name
+    operations =
+  { service_name; wsdl_url; style; operations; latency; fail_next = 0;
+    unavailable = false; stats = { calls = 0; failures = 0 } }
+
+let operation ~name ~input ~output implementation =
+  { op_name = name; input_schema = input; output_schema = output;
+    implementation }
+
+let find_operation t name =
+  List.find_opt (fun op -> String.equal op.op_name name) t.operations
+
+let invoke t op_name input =
+  t.stats.calls <- t.stats.calls + 1;
+  let fail msg =
+    t.stats.failures <- t.stats.failures + 1;
+    Error msg
+  in
+  match find_operation t op_name with
+  | None ->
+    fail (Printf.sprintf "service %s: no operation %s" t.service_name op_name)
+  | Some op -> (
+    match Schema.validate op.input_schema input with
+    | Error msg ->
+      fail (Printf.sprintf "service %s.%s: invalid request: %s" t.service_name op_name msg)
+    | Ok typed_input ->
+      if t.latency > 0. then Unix.sleepf t.latency;
+      if t.unavailable then
+        fail (Printf.sprintf "service %s is unavailable" t.service_name)
+      else if t.fail_next > 0 then begin
+        t.fail_next <- t.fail_next - 1;
+        fail (Printf.sprintf "service %s.%s: simulated transport failure" t.service_name op_name)
+      end
+      else
+        match op.implementation typed_input with
+        | Error msg -> fail (Printf.sprintf "service %s.%s: %s" t.service_name op_name msg)
+        | Ok response -> (
+          match Schema.validate op.output_schema response with
+          | Ok typed -> Ok typed
+          | Error msg ->
+            fail
+              (Printf.sprintf "service %s.%s: response failed validation: %s"
+                 t.service_name op_name msg)))
+
+let inject_failures t n = t.fail_next <- n
+
+let set_unavailable t flag = t.unavailable <- flag
+
+let reset_stats t =
+  t.stats.calls <- 0;
+  t.stats.failures <- 0

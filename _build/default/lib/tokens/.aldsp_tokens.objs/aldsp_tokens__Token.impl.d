@@ -1,0 +1,1 @@
+lib/tokens/token.ml: Aldsp_xml Array Atomic Format Qname String

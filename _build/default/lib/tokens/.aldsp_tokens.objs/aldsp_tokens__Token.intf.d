@@ -1,0 +1,1 @@
+lib/tokens/token.mli: Aldsp_xml Atomic Format Qname

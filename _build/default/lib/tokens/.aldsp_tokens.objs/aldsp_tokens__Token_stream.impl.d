@@ -1,0 +1,1 @@
+lib/tokens/token_stream.ml: Aldsp_xml Array Atomic Buffer Format Item List Node Printf Seq Token

@@ -1,0 +1,1 @@
+lib/tokens/token_stream.mli: Aldsp_xml Buffer Format Item Node Seq Token

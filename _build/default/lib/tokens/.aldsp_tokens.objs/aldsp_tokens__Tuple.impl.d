@@ -1,0 +1,1 @@
+lib/tokens/tuple.ml: Array Format List Seq Token Token_stream

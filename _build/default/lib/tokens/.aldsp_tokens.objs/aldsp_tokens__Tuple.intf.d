@@ -1,0 +1,1 @@
+lib/tokens/tuple.mli: Aldsp_xml Format Token_stream

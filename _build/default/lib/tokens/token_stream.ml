@@ -1,0 +1,166 @@
+open Aldsp_xml
+
+type t = Token.t Seq.t
+
+let empty = Seq.empty
+let append = Seq.append
+let concat streams = List.fold_right Seq.append streams Seq.empty
+
+let rec of_node node () =
+  match node with
+  | Node.Text s -> Seq.Cons (Token.Text s, Seq.empty)
+  | Node.Atom a -> Seq.Cons (Token.Atom a, Seq.empty)
+  | Node.Element e ->
+    let attrs =
+      List.to_seq e.Node.attributes
+      |> Seq.map (fun (n, v) -> Token.Attribute (n, v))
+    in
+    let children = Seq.concat_map of_node (List.to_seq e.Node.children) in
+    Seq.Cons
+      ( Token.Start_element e.Node.name,
+        Seq.append attrs (Seq.append children (Seq.return Token.End_element)) )
+
+let of_item = function
+  | Item.Atom a -> Seq.return (Token.Atom a)
+  | Item.Node n -> of_node n
+
+let of_sequence items = Seq.concat_map of_item (List.to_seq items)
+
+exception Malformed of string
+
+(* Reassembly uses an explicit cursor so element nesting is a recursion over
+   the stream rather than a stack data structure. *)
+let to_items stream =
+  let rec items acc seq =
+    match seq () with
+    | Seq.Nil -> (List.rev acc, Seq.empty)
+    | Seq.Cons (tok, rest) -> (
+      match tok with
+      | Token.Atom a -> items (Item.Atom a :: acc) rest
+      | Token.Text s -> items (Item.Node (Node.text s) :: acc) rest
+      | Token.Start_element name ->
+        let node, rest = element name rest in
+        items (Item.Node node :: acc) rest
+      | Token.End_element -> raise (Malformed "unexpected end-element token")
+      | Token.Attribute _ ->
+        raise (Malformed "attribute token outside an element")
+      | Token.Begin_tuple | Token.End_tuple | Token.Field_separator ->
+        raise (Malformed "tuple token in item context")
+      | Token.Boxed inner ->
+        let inner_items, _ = items [] (Array.to_seq inner) in
+        items (List.rev_append (List.rev inner_items) acc) rest)
+  and element name seq =
+    let rec attrs acc seq =
+      match seq () with
+      | Seq.Cons (Token.Attribute (n, v), rest) -> attrs ((n, v) :: acc) rest
+      | _ -> (List.rev acc, seq)
+    in
+    let attributes, seq = attrs [] seq in
+    let rec content acc seq =
+      match seq () with
+      | Seq.Nil -> raise (Malformed "unterminated element")
+      | Seq.Cons (Token.End_element, rest) -> (List.rev acc, rest)
+      | Seq.Cons (Token.Atom a, rest) -> content (Node.atom a :: acc) rest
+      | Seq.Cons (Token.Text s, rest) -> content (Node.text s :: acc) rest
+      | Seq.Cons (Token.Start_element n, rest) ->
+        let node, rest = element n rest in
+        content (node :: acc) rest
+      | Seq.Cons (Token.Attribute _, _) ->
+        raise (Malformed "attribute token after element content began")
+      | Seq.Cons ((Token.Begin_tuple | Token.End_tuple | Token.Field_separator), _)
+        ->
+        raise (Malformed "tuple token inside element content")
+      | Seq.Cons (Token.Boxed inner, rest) ->
+        let inner_nodes, _ = content [] (Array.to_seq inner) in
+        content (List.rev_append (List.rev inner_nodes) acc) rest
+    in
+    let children, rest = content [] seq in
+    (Node.element ~attributes name children, rest)
+  in
+  match items [] stream with
+  | result, _ -> Ok result
+  | exception Malformed msg -> Error msg
+
+let to_nodes_exn stream =
+  match to_items stream with
+  | Error msg -> invalid_arg msg
+  | Ok items ->
+    List.map
+      (function
+        | Item.Node n -> n
+        | Item.Atom _ -> invalid_arg "atomic token at node level")
+      items
+
+let box stream = Token.Boxed (Array.of_seq stream)
+
+let unbox = function
+  | Token.Boxed tokens -> Array.to_seq tokens
+  | token -> Seq.return token
+
+let length stream = Seq.length stream
+
+(* Incremental serialization: a small state machine over the token stream
+   tracking whether the current element's start tag is still open (so
+   attributes can be appended) and the stack of open element names. *)
+let serialize_chunks stream =
+  let escape = Node.escape_text in
+  (* state: (pending start-tag name, open-element stack) *)
+  let rec step state seq () =
+    let in_tag, stack = state in
+    match seq () with
+    | Seq.Nil -> (
+      match (in_tag, stack) with
+      | Some name, rest ->
+        (* degenerate: unterminated element — close what we can *)
+        Seq.Cons ("/>", step (None, rest) Seq.empty) |> fun c -> ignore name; c
+      | None, _ :: _ -> invalid_arg "serialize: unterminated element"
+      | None, [] -> Seq.Nil)
+    | Seq.Cons (tok, rest) -> (
+      let close_tag k =
+        match in_tag with
+        | Some name -> Seq.Cons (">", fun () -> k (None, name :: stack))
+        | None -> k (None, stack)
+      in
+      match tok with
+      | Token.Start_element n -> (
+        let open_next state = step (Some n.Aldsp_xml.Qname.local, snd state) rest () in
+        match in_tag with
+        | Some _ -> close_tag (fun state -> Seq.Cons ("<" ^ n.Aldsp_xml.Qname.local, fun () -> open_next state))
+        | None ->
+          Seq.Cons ("<" ^ n.Aldsp_xml.Qname.local, fun () -> open_next (None, stack)))
+      | Token.Attribute (n, v) -> (
+        match in_tag with
+        | Some _ ->
+          Seq.Cons
+            ( Printf.sprintf " %s=\"%s\"" n.Aldsp_xml.Qname.local
+                (escape (Atomic.to_string v)),
+              step state rest )
+        | None -> invalid_arg "serialize: attribute outside a start tag")
+      | Token.End_element -> (
+        match in_tag with
+        | Some _ -> Seq.Cons ("/>", step (None, stack) rest)
+        | None -> (
+          match stack with
+          | name :: up -> Seq.Cons ("</" ^ name ^ ">", step (None, up) rest)
+          | [] -> invalid_arg "serialize: unbalanced end-element"))
+      | Token.Atom a ->
+        close_tag (fun state ->
+            Seq.Cons (escape (Atomic.to_string a), step state rest))
+      | Token.Text s ->
+        close_tag (fun state -> Seq.Cons (escape s, step state rest))
+      | Token.Begin_tuple ->
+        close_tag (fun state -> Seq.Cons ("<?tuple?>", step state rest))
+      | Token.End_tuple ->
+        close_tag (fun state -> Seq.Cons ("<?end-tuple?>", step state rest))
+      | Token.Field_separator ->
+        close_tag (fun state -> Seq.Cons ("<?field?>", step state rest))
+      | Token.Boxed inner ->
+        step state (Seq.append (Array.to_seq inner) rest) ())
+  in
+  step (None, []) stream
+
+let serialize_to buf stream =
+  Seq.iter (Buffer.add_string buf) (serialize_chunks stream)
+
+let pp ppf stream =
+  Format.pp_print_seq ~pp_sep:Format.pp_print_space Token.pp ppf stream

@@ -1,0 +1,52 @@
+(** Token streams and the conversions between the streamed and materialized
+    forms of XQuery Data Model values.
+
+    Streams are lazy ({!Stdlib.Seq.t}); an adaptor can feed tokens
+    incrementally and operators that do not need materialization (maps,
+    filters, the pre-clustered group operator) consume them in constant
+    memory. *)
+
+open Aldsp_xml
+
+type t = Token.t Seq.t
+
+val empty : t
+val append : t -> t -> t
+val concat : t list -> t
+
+val of_node : Node.t -> t
+(** Streams a node tree: [Start_element], attributes, content tokens,
+    [End_element]. Typed leaves become {!Token.Atom} tokens. *)
+
+val of_item : Item.t -> t
+val of_sequence : Item.sequence -> t
+
+val to_items : t -> (Item.sequence, string) result
+(** Reassembles items from a stream. Fails on unbalanced element or tuple
+    delimiters. [Boxed] tokens are transparently unboxed. *)
+
+val to_nodes_exn : t -> Node.t list
+(** Like {!to_items} restricted to nodes; raises [Invalid_argument] on a
+    malformed stream or atomic tokens at top level. *)
+
+val box : t -> Token.t
+(** Packs a finite stream into a single {!Token.Boxed} token. *)
+
+val unbox : Token.t -> t
+(** Inverse of {!box}; a non-boxed token becomes a singleton stream. *)
+
+val length : t -> int
+(** Number of tokens (forces the stream). *)
+
+val serialize_chunks : t -> string Seq.t
+(** Incremental XML serialization: one text chunk per token, produced
+    lazily — the stream is serialized without first materializing a tree
+    (the server-side redirect-to-file API of §2.2). Tuple delimiters
+    render as processing-instruction-like markers and [Boxed] tokens are
+    unboxed transparently. Raises [Invalid_argument] on a malformed
+    stream when forced. *)
+
+val serialize_to : Buffer.t -> t -> unit
+(** Drains {!serialize_chunks} into a buffer. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xml/item.ml: Atomic Format List Node String

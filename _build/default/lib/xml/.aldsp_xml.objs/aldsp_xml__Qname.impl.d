@@ -1,0 +1,1 @@
+lib/xml/qname.ml: Format Hashtbl Printf String

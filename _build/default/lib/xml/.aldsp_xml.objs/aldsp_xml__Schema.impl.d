@@ -1,0 +1,1 @@
+lib/xml/schema.ml: Atomic Format List Node Printf Qname Result String

@@ -1,0 +1,1 @@
+lib/xml/schema.mli: Atomic Format Node Qname

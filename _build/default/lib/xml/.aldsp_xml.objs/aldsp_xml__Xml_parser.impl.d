@@ -1,0 +1,1 @@
+lib/xml/xml_parser.ml: Atomic Buffer Char List Node Printf Qname String

@@ -1,0 +1,256 @@
+(* Recursive-descent XML parser. The grammar is small enough that a
+   hand-rolled cursor over the input string is the clearest implementation;
+   error positions are tracked by offset. *)
+
+type cursor = { input : string; mutable pos : int }
+
+exception Parse_error of string
+
+let error cursor msg =
+  raise (Parse_error (Printf.sprintf "XML parse error at offset %d: %s" cursor.pos msg))
+
+let peek c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.input && String.sub c.input c.pos n = s
+
+let expect c s =
+  if looking_at c s then c.pos <- c.pos + String.length s
+  else error c (Printf.sprintf "expected %S" s)
+
+let skip_ws c =
+  let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false in
+  while (match peek c with Some ch -> is_ws ch | None -> false) do
+    advance c
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_name_char ch | None -> false) do
+    advance c
+  done;
+  if c.pos = start then error c "expected a name";
+  String.sub c.input start (c.pos - start)
+
+let decode_entities c s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      match String.index_from_opt s !i ';' with
+      | None -> error c "unterminated entity reference"
+      | Some j ->
+        let entity = String.sub s (!i + 1) (j - !i - 1) in
+        let add =
+          match entity with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "quot" -> "\""
+          | "apos" -> "'"
+          | _ ->
+            if String.length entity > 1 && entity.[0] = '#' then
+              let code =
+                if entity.[1] = 'x' then
+                  int_of_string_opt ("0x" ^ String.sub entity 2 (String.length entity - 2))
+                else int_of_string_opt (String.sub entity 1 (String.length entity - 1))
+              in
+              match code with
+              | Some code when code < 128 -> String.make 1 (Char.chr code)
+              | Some _ -> "?"
+              | None -> error c ("bad character reference &" ^ entity ^ ";")
+            else error c ("unknown entity &" ^ entity ^ ";")
+        in
+        Buffer.add_string buf add;
+        i := j + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* Namespace environment: prefix -> URI. The default namespace is the ""
+   prefix. *)
+let resolve_qname env ~is_attribute raw =
+  match String.index_opt raw ':' with
+  | Some i ->
+    let prefix = String.sub raw 0 i in
+    let local = String.sub raw (i + 1) (String.length raw - i - 1) in
+    let uri = try List.assoc prefix env with Not_found -> "" in
+    Qname.make ~uri local
+  | None ->
+    (* Unprefixed attributes are in no namespace per the spec. *)
+    if is_attribute then Qname.local raw
+    else
+      let uri = try List.assoc "" env with Not_found -> "" in
+      Qname.make ~uri raw
+
+let skip_misc c =
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    skip_ws c;
+    if looking_at c "<!--" then begin
+      progressed := true;
+      match
+        let rec find i =
+          if i + 3 > String.length c.input then None
+          else if String.sub c.input i 3 = "-->" then Some i
+          else find (i + 1)
+        in
+        find c.pos
+      with
+      | Some i -> c.pos <- i + 3
+      | None -> error c "unterminated comment"
+    end
+    else if looking_at c "<?" then begin
+      progressed := true;
+      match String.index_from_opt c.input c.pos '>' with
+      | Some i -> c.pos <- i + 1
+      | None -> error c "unterminated processing instruction"
+    end
+  done
+
+let read_attr_value c =
+  let quote =
+    match peek c with
+    | Some (('"' | '\'') as q) ->
+      advance c;
+      q
+    | _ -> error c "expected attribute value"
+  in
+  let start = c.pos in
+  while (match peek c with Some ch -> ch <> quote | None -> false) do
+    advance c
+  done;
+  (match peek c with Some _ -> () | None -> error c "unterminated attribute value");
+  let raw = String.sub c.input start (c.pos - start) in
+  advance c;
+  decode_entities c raw
+
+let rec parse_element c env =
+  expect c "<";
+  let raw_name = read_name c in
+  let rec read_attrs attrs env =
+    skip_ws c;
+    match peek c with
+    | Some ('>' | '/') -> (List.rev attrs, env)
+    | _ ->
+      let name = read_name c in
+      skip_ws c;
+      expect c "=";
+      skip_ws c;
+      let value = read_attr_value c in
+      if name = "xmlns" then read_attrs attrs (("", value) :: env)
+      else if String.length name > 6 && String.sub name 0 6 = "xmlns:" then
+        let prefix = String.sub name 6 (String.length name - 6) in
+        read_attrs attrs ((prefix, value) :: env)
+      else read_attrs ((name, value) :: attrs) env
+  in
+  let raw_attrs, env = read_attrs [] env in
+  let name = resolve_qname env ~is_attribute:false raw_name in
+  let attributes =
+    List.map
+      (fun (n, v) ->
+        (resolve_qname env ~is_attribute:true n, Atomic.Untyped v))
+      raw_attrs
+  in
+  match peek c with
+  | Some '/' ->
+    advance c;
+    expect c ">";
+    Node.element ~attributes name []
+  | Some '>' ->
+    advance c;
+    let children = parse_content c env in
+    expect c "</";
+    let close = read_name c in
+    if close <> raw_name then
+      error c (Printf.sprintf "mismatched close tag </%s> for <%s>" close raw_name);
+    skip_ws c;
+    expect c ">";
+    Node.element ~attributes name children
+  | _ -> error c "malformed start tag"
+
+and parse_content c env =
+  let children = ref [] in
+  let flush_text start stop =
+    if stop > start then begin
+      let raw = String.sub c.input start (stop - start) in
+      let decoded = decode_entities c raw in
+      if String.trim decoded <> "" then children := Node.text decoded :: !children
+    end
+  in
+  let rec loop text_start =
+    if looking_at c "</" then flush_text text_start c.pos
+    else if looking_at c "<!--" then begin
+      flush_text text_start c.pos;
+      skip_misc c;
+      loop c.pos
+    end
+    else if looking_at c "<![CDATA[" then begin
+      flush_text text_start c.pos;
+      c.pos <- c.pos + 9;
+      let rec find i =
+        if i + 3 > String.length c.input then error c "unterminated CDATA"
+        else if String.sub c.input i 3 = "]]>" then i
+        else find (i + 1)
+      in
+      let stop = find c.pos in
+      children := Node.text (String.sub c.input c.pos (stop - c.pos)) :: !children;
+      c.pos <- stop + 3;
+      loop c.pos
+    end
+    else if looking_at c "<?" then begin
+      flush_text text_start c.pos;
+      skip_misc c;
+      loop c.pos
+    end
+    else if looking_at c "<" then begin
+      flush_text text_start c.pos;
+      let child = parse_element c env in
+      children := child :: !children;
+      loop c.pos
+    end
+    else
+      match peek c with
+      | Some _ ->
+        advance c;
+        loop text_start
+      | None -> error c "unexpected end of input inside element"
+  in
+  loop c.pos;
+  List.rev !children
+
+let parse input =
+  let c = { input; pos = 0 } in
+  try
+    skip_misc c;
+    if looking_at c "<?xml" then skip_misc c;
+    skip_misc c;
+    let root = parse_element c [] in
+    skip_misc c;
+    if c.pos < String.length c.input then error c "trailing content after document element";
+    Ok root
+  with Parse_error msg -> Error msg
+
+let parse_fragment input =
+  let c = { input; pos = 0 } in
+  try
+    let rec loop acc =
+      skip_misc c;
+      if c.pos >= String.length c.input then List.rev acc
+      else loop (parse_element c [] :: acc)
+    in
+    Ok (loop [])
+  with Parse_error msg -> Error msg

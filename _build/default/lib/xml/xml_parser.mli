@@ -1,0 +1,15 @@
+(** A small, dependency-free XML parser for the file adaptor.
+
+    Supports elements, attributes, character data with the five predefined
+    entities, numeric character references, comments, processing
+    instructions, CDATA sections, and [xmlns]/[xmlns:p] namespace
+    declarations. Parsed character data enters the tree untyped; the schema
+    validator ({!Schema.validate}) turns it into typed content, matching
+    ALDSP's rule that file sources are validated at registration time. *)
+
+val parse : string -> (Node.t, string) result
+(** Parses a complete XML document (a single root element, optionally
+    preceded by an XML declaration). *)
+
+val parse_fragment : string -> (Node.t list, string) result
+(** Parses a sequence of top-level elements (no declaration required). *)

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Aldsp_core Aldsp_demo Aldsp_xml Diag Eval List Metadata Normalize Optimizer Printf QCheck Random Server Typecheck Xq_parser

@@ -1,0 +1,1 @@
+test/test_observed.ml: Alcotest Aldsp_core Aldsp_demo Aldsp_relational Aldsp_services Aldsp_xml Cexpr Database Item List Metadata Observed Qname Result Server Sql_value Table Web_service

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Aldsp_core Aldsp_demo Aldsp_xml Atomic Cexpr Diag Eval Item List Metadata Normalize Optimizer Qname Rewrite Typecheck Xq_parser

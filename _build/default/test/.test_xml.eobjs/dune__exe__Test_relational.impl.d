@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Aldsp_relational Aldsp_xml Array Buffer Database List QCheck QCheck_alcotest Sql_ast Sql_exec Sql_parser Sql_print Sql_value Str String Table Txn

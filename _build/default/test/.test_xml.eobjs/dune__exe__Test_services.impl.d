@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Aldsp_services Aldsp_xml Atomic Custom_function Node Qname Schema String Unix Web_service

@@ -1,0 +1,1 @@
+test/test_tokens.ml: Alcotest Aldsp_tokens Aldsp_xml Atomic Buffer Gen Item List Node Printf QCheck QCheck_alcotest Qname Seq Token Token_stream Tuple

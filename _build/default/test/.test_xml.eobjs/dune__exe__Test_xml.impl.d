@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Aldsp_xml Atomic Int Item List Node QCheck QCheck_alcotest Qname Schema Xml_parser

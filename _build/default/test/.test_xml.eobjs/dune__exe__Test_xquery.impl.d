@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Aldsp_core Aldsp_demo Aldsp_xml Atomic Cexpr Diag Format Item List Metadata Normalize Printf QCheck QCheck_alcotest Qname Server Stype Typecheck Xq_ast Xq_parser

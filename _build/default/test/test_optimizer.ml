@@ -1,0 +1,269 @@
+(* Tests for the optimizer: view unfolding, source-access elimination, join
+   introduction, join method selection, inverse functions, the view
+   sub-optimizer cache — plus equivalence checks that optimization
+   preserves semantics. *)
+
+open Aldsp_core
+open Aldsp_xml
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let setup ?customers:(n = 6) () = Aldsp_demo.Demo.create ~customers:n ()
+
+let stages ?optimizer_options demo q =
+  let open Aldsp_demo.Demo in
+  let diag = Diag.collector Diag.Fail_fast in
+  let ctx =
+    Normalize.context ~schema_lookup:(Metadata.find_schema demo.registry) diag
+  in
+  let core = Normalize.expr ctx (ok_exn (Xq_parser.parse_expr q)) in
+  let env = Typecheck.env demo.registry diag in
+  let _, typed = Typecheck.check env core in
+  let opt = Optimizer.create ?options:optimizer_options demo.registry in
+  let optimized, stats = Optimizer.optimize opt typed in
+  let final = Optimizer.select_methods opt optimized in
+  (typed, optimized, final, stats, opt)
+
+let eval demo e =
+  let rt = Eval.runtime demo.Aldsp_demo.Demo.registry in
+  ok_exn (Eval.eval rt e)
+
+let rule_fired stats name = List.mem_assoc name stats.Rewrite.applications
+
+let rec find_join e acc =
+  let acc =
+    match e with
+    | Cexpr.Flwor { clauses; _ } ->
+      List.fold_left
+        (fun acc c ->
+          match c with Cexpr.Join { method_; _ } -> method_ :: acc | _ -> acc)
+        acc clauses
+    | _ -> acc
+  in
+  let r = ref acc in
+  ignore
+    (Cexpr.map_children
+       (fun c ->
+         r := find_join c !r;
+         c)
+       e);
+  !r
+
+(* ------------------------------------------------------------------ *)
+
+let test_view_unfolding () =
+  let demo = setup () in
+  let _, _, final, stats, _ =
+    stages demo "for $n in getCustomerNames() return $n"
+  in
+  check_bool "inline fired" true (rule_fired stats "inline-view");
+  let calls = ref 0 in
+  let rec scan e =
+    (match e with
+    | Cexpr.Call { fn; _ } when fn.Qname.local = "getCustomerNames" ->
+      incr calls
+    | _ -> ());
+    ignore (Cexpr.map_children (fun c -> scan c; c) e)
+  in
+  scan final;
+  check_int "no residual view calls" 0 !calls
+
+let test_source_access_elimination () =
+  (* only LAST_NAME is used: the plan must not call the rating service *)
+  let demo = setup () in
+  let _, _, final, _, _ =
+    stages demo "for $p in getProfile() return $p/LAST_NAME"
+  in
+  let mentions = ref [] in
+  let rec scan e =
+    (match e with
+    | Cexpr.Call { fn; _ } -> mentions := fn.Qname.local :: !mentions
+    | _ -> ());
+    ignore (Cexpr.map_children (fun c -> scan c; c) e)
+  in
+  scan final;
+  check_bool "no rating call survives" false (List.mem "getRating" !mentions)
+
+let test_constructor_elimination_example () =
+  (* the paper's §4.2 example: the ORDERS branch disappears entirely *)
+  let demo = setup () in
+  let q =
+    "let $x := <CUSTOMER><LAST_NAME>{\"Li\"}</LAST_NAME><ORDERS>{ORDER_T()}</ORDERS></CUSTOMER> \
+     return fn:data($x/LAST_NAME)"
+  in
+  let _, _, final, _, _ = stages demo q in
+  check_bool "reduced to the constant" true
+    (final = Cexpr.Const (Atomic.String "Li")
+    || final = Cexpr.Data (Cexpr.Const (Atomic.String "Li")));
+  check_bool "evaluates" true
+    (Item.equal_sequence (eval demo final) [ Item.string "Li" ])
+
+let test_join_introduction_inner () =
+  let demo = setup () in
+  let _, _, final, stats, _ =
+    stages demo
+      "for $c in CUSTOMER(), $o in ORDER_T() where $c/CID eq $o/CID return $o/OID"
+  in
+  check_bool "join introduced" true (rule_fired stats "join-introduction");
+  check_bool "INL selected for independent equi join" true
+    (List.mem Cexpr.Index_nested_loop (find_join final []))
+
+let test_outer_join_from_nested_flwor () =
+  let demo = setup () in
+  let _, _, final, stats, _ =
+    stages demo
+      "for $c in CUSTOMER() return <C>{$c/CID, for $o in ORDER_T() where $o/CID eq $c/CID return $o/OID}</C>"
+  in
+  check_bool "hoist fired" true (rule_fired stats "return-flwor-hoist");
+  let kinds = ref [] in
+  let rec scan e =
+    (match e with
+    | Cexpr.Flwor { clauses; _ } ->
+      List.iter
+        (function
+          | Cexpr.Join { kind; export = Cexpr.Grouped _; _ } ->
+            kinds := kind :: !kinds
+          | _ -> ())
+        clauses
+    | _ -> ());
+    ignore (Cexpr.map_children (fun c -> scan c; c) e)
+  in
+  scan final;
+  check_bool "grouped left outer join" true (List.mem Cexpr.J_left_outer !kinds)
+
+let test_let_count_to_outer_join () =
+  let demo = setup () in
+  let _, _, _, stats, _ =
+    stages demo
+      "for $c in CUSTOMER() let $n := count(for $o in ORDER_T() where $o/CID eq $c/CID return $o) return <C>{$c/CID, $n}</C>"
+  in
+  check_bool "outer-join rewrite fired" true
+    (rule_fired stats "let-flwor-to-outer-join"
+    || rule_fired stats "return-flwor-hoist")
+
+let test_inverse_function_rewrite () =
+  let demo = setup () in
+  let q =
+    "for $p in getProfile() where $p/SINCE gt xs:dateTime(\"1970-01-03T00:00:00Z\") return $p/CID"
+  in
+  let _, _, final, stats, _ = stages demo q in
+  check_bool "inverse rule fired" true (rule_fired stats "inverse-function");
+  let names = ref [] in
+  let rec scan e =
+    (match e with
+    | Cexpr.Call { fn; _ } -> names := fn.Qname.local :: !names
+    | _ -> ());
+    ignore (Cexpr.map_children (fun c -> scan c; c) e)
+  in
+  scan final;
+  check_bool "date2int introduced" true (List.mem "date2int" !names)
+
+let test_inverse_disabled_by_option () =
+  let demo = setup () in
+  let options =
+    { Optimizer.default_options with Optimizer.use_inverse_functions = false }
+  in
+  let _, _, _, stats, _ =
+    stages ~optimizer_options:options demo
+      "for $p in getProfile() where $p/SINCE gt xs:dateTime(\"1970-01-03T00:00:00Z\") return $p/CID"
+  in
+  check_bool "rule off" false (rule_fired stats "inverse-function")
+
+let test_view_cache () =
+  let demo = setup () in
+  let opt = Optimizer.create demo.Aldsp_demo.Demo.registry in
+  let q = "for $n in getCustomerNames() return $n" in
+  let compile () =
+    let diag = Diag.collector Diag.Fail_fast in
+    let ctx =
+      Normalize.context
+        ~schema_lookup:(Metadata.find_schema demo.Aldsp_demo.Demo.registry)
+        diag
+    in
+    let core = Normalize.expr ctx (ok_exn (Xq_parser.parse_expr q)) in
+    let env = Typecheck.env demo.Aldsp_demo.Demo.registry diag in
+    let _, typed = Typecheck.check env core in
+    ignore (Optimizer.optimize opt typed)
+  in
+  compile ();
+  let misses_after_first = Optimizer.view_cache_misses opt in
+  compile ();
+  compile ();
+  check_bool "first compile misses" true (misses_after_first >= 1);
+  check_int "no further misses" misses_after_first
+    (Optimizer.view_cache_misses opt);
+  check_bool "hits recorded" true (Optimizer.view_cache_hits opt >= 2)
+
+let test_cacheable_functions_not_inlined () =
+  let demo = setup () in
+  Metadata.set_cacheable demo.Aldsp_demo.Demo.registry
+    (Qname.make ~uri:"fn" "getCustomerNames")
+    true;
+  let _, _, final, _, _ = stages demo "getCustomerNames()" in
+  match final with
+  | Cexpr.Call { fn; _ } when fn.Qname.local = "getCustomerNames" -> ()
+  | e ->
+    Alcotest.failf "cache-enabled view was inlined: %s" (Cexpr.to_string e)
+
+let test_equi_join_keys () =
+  let on_ =
+    Cexpr.Ebv
+      (Cexpr.Binop
+         ( Cexpr.And,
+           Cexpr.Ebv (Cexpr.Binop (Cexpr.V_eq, Cexpr.Var "l", Cexpr.Var "r")),
+           Cexpr.Ebv
+             (Cexpr.Binop
+                (Cexpr.V_gt, Cexpr.Var "l2", Cexpr.Const (Atomic.Integer 3)))
+         ))
+  in
+  match Optimizer.equi_join_keys ~right_vars:[ "r" ] on_ with
+  | Some ([ (Cexpr.Var "l", Cexpr.Var "r") ], residual) ->
+    check_int "one residual" 1 (List.length residual)
+  | _ -> Alcotest.fail "equi key extraction"
+
+let equivalence_queries =
+  [ "for $c in CUSTOMER() where $c/CID eq \"CUST0002\" return $c/LAST_NAME";
+    "for $c in CUSTOMER(), $o in ORDER_T() where $c/CID eq $o/CID return <R>{$c/CID, $o/OID}</R>";
+    "for $c in CUSTOMER() return <C>{$c/CID, for $o in ORDER_T() where $o/CID eq $c/CID return $o/OID}</C>";
+    "for $c in CUSTOMER() group $c as $g by $c/LAST_NAME as $l return <G>{$l, count($g)}</G>";
+    "for $c in CUSTOMER() order by $c/CID descending return $c/LAST_NAME";
+    "for $c in CUSTOMER() where some $o in ORDER_T() satisfies $o/CID eq $c/CID return $c/CID";
+    "fn:subsequence(for $c in CUSTOMER() order by $c/CID return $c/CID, 2, 3)";
+    "for $p in getProfile() return $p/RATING";
+    "getProfileByID(\"CUST0003\")" ]
+
+let test_optimizer_preserves_semantics () =
+  let demo = setup ~customers:5 () in
+  List.iter
+    (fun q ->
+      let typed, _, final, _, _ = stages demo q in
+      let before = eval demo typed in
+      let after = eval demo final in
+      if not (Item.serialize before = Item.serialize after) then
+        Alcotest.failf "query %s changed: %s vs %s" q (Item.serialize before)
+          (Item.serialize after))
+    equivalence_queries
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "optimizer"
+    [ ( "rules",
+        [ t "view unfolding" test_view_unfolding;
+          t "source access elimination" test_source_access_elimination;
+          t "constructor elimination" test_constructor_elimination_example;
+          t "join introduction" test_join_introduction_inner;
+          t "nested flwor -> outer join" test_outer_join_from_nested_flwor;
+          t "let count -> outer join" test_let_count_to_outer_join;
+          t "inverse functions" test_inverse_function_rewrite;
+          t "inverse off" test_inverse_disabled_by_option;
+          t "equi keys" test_equi_join_keys ] );
+      ( "view cache",
+        [ t "memoized" test_view_cache;
+          t "cacheable not inlined" test_cacheable_functions_not_inlined ] );
+      ( "equivalence",
+        [ t "optimized = unoptimized" test_optimizer_preserves_semantics ] ) ]

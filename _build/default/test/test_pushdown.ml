@@ -1,0 +1,290 @@
+(* Tests for SQL pushdown: every pattern of Tables 1 and 2, parameter
+   passing, vendor capability gating, join parameterization for PP-k, and
+   pushed-vs-middleware result equivalence. *)
+
+open Aldsp_core
+open Aldsp_xml
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let setup ?customers:(n = 6) () = Aldsp_demo.Demo.create ~customers:n ()
+
+(* full pipeline via the server, returning pushed SQL + result *)
+let compile_run demo q =
+  let open Aldsp_demo.Demo in
+  let compiled = ok_exn (Result.map_error (fun ds -> String.concat ";" (List.map Diag.to_string ds)) (Server.compile demo.server q)) in
+  let result = ok_exn (Server.run demo.server q) in
+  (compiled.Server.sql, result)
+
+(* middleware-only compile: optimizer with everything on, but no pushdown *)
+let run_unpushed demo q =
+  let open Aldsp_demo.Demo in
+  let diag = Diag.collector Diag.Fail_fast in
+  let ctx =
+    Normalize.context ~schema_lookup:(Metadata.find_schema demo.registry) diag
+  in
+  let core = Normalize.expr ctx (ok_exn (Xq_parser.parse_expr q)) in
+  let env = Typecheck.env demo.registry diag in
+  let _, typed = Typecheck.check env core in
+  let rt = Eval.runtime demo.registry in
+  ok_exn (Eval.eval rt typed)
+
+let assert_equivalent demo q =
+  let _, pushed = compile_run demo q in
+  let unpushed = run_unpushed demo q in
+  if Item.serialize pushed <> Item.serialize unpushed then
+    Alcotest.failf "pushdown changed %s:\n%s\nvs\n%s" q (Item.serialize pushed)
+      (Item.serialize unpushed)
+
+let sql_of demo q =
+  let sqls, _ = compile_run demo q in
+  String.concat "\n" (List.map snd sqls)
+
+(* ------------------------------------------------------------------ *)
+(* Patterns of Tables 1 and 2                                          *)
+
+let test_t1a_select_project () =
+  let demo = setup () in
+  let q = "for $c in CUSTOMER() where $c/CID eq \"CUST0001\" return $c/FIRST_NAME" in
+  let sql = sql_of demo q in
+  check_bool "where pushed" true (contains sql "WHERE t");
+  check_bool "literal" true (contains sql "'CUST0001'");
+  assert_equivalent demo q
+
+let test_t1b_inner_join () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER(), $o in ORDER_T() where $c/CID eq $o/CID return <CO>{$c/CID, $o/OID}</CO>"
+  in
+  let sql = sql_of demo q in
+  check_bool "join" true (contains sql "JOIN \"ORDER_T\"");
+  check_bool "not outer" false (contains sql "LEFT OUTER JOIN");
+  assert_equivalent demo q
+
+let test_t1c_outer_join () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER() return <CUSTOMER>{$c/CID, for $o in ORDER_T() where $c/CID eq $o/CID return $o/OID}</CUSTOMER>"
+  in
+  let sql = sql_of demo q in
+  check_bool "left outer join" true (contains sql "LEFT OUTER JOIN \"ORDER_T\"");
+  assert_equivalent demo q
+
+let test_t1d_if_then_else_case () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER() return <C>{data(if ($c/CID eq \"CUST0001\") then $c/LAST_NAME else $c/SSN)}</C>"
+  in
+  let sql = sql_of demo q in
+  check_bool "CASE pushed" true (contains sql "CASE WHEN");
+  assert_equivalent demo q
+
+let test_t1e_group_by_aggregation () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER() group $c as $p by $c/LAST_NAME as $l return <G>{$l, count($p)}</G>"
+  in
+  let sql = sql_of demo q in
+  check_bool "GROUP BY" true (contains sql "GROUP BY t");
+  check_bool "COUNT(*)" true (contains sql "COUNT(*)");
+  assert_equivalent demo q
+
+let test_t1f_distinct () =
+  let demo = setup () in
+  let q = "for $c in CUSTOMER() group by $c/LAST_NAME as $l return $l" in
+  let sql = sql_of demo q in
+  check_bool "DISTINCT" true (contains sql "SELECT DISTINCT");
+  assert_equivalent demo q
+
+let test_t2g_outer_join_aggregation () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER() return <C>{$c/CID, <N>{count(for $o in ORDER_T() where $o/CID eq $c/CID return $o)}</N>}</C>"
+  in
+  let sql = sql_of demo q in
+  check_bool "outer join" true (contains sql "LEFT OUTER JOIN");
+  check_bool "count of right col" true (contains sql "COUNT(t");
+  check_bool "group by" true (contains sql "GROUP BY");
+  assert_equivalent demo q
+
+let test_t2h_exists_semijoin () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER() where some $o in ORDER_T() satisfies $c/CID eq $o/CID return $c/CID"
+  in
+  let sql = sql_of demo q in
+  check_bool "EXISTS" true (contains sql "EXISTS(SELECT 1");
+  assert_equivalent demo q
+
+let test_t2i_subsequence_window () =
+  let demo = setup () in
+  let q =
+    "let $cs := for $c in CUSTOMER() let $oc := count(for $o in ORDER_T() where $c/CID eq $o/CID return $o) order by $oc descending return <C>{data($c/CID), $oc}</C> return subsequence($cs, 2, 3)"
+  in
+  let sql = sql_of demo q in
+  (* CustomerDB is Oracle in the demo: ROWNUM wrapper *)
+  check_bool "ROWNUM" true (contains sql "ROWNUM");
+  check_bool "order by count desc" true (contains sql "ORDER BY COUNT(");
+  assert_equivalent demo q
+
+(* ------------------------------------------------------------------ *)
+(* Parameters, capabilities, cross-database joins                      *)
+
+let test_parameterized_nonpushable () =
+  (* the §4.5 example: int2date is opaque until the inverse rewrites it,
+     then date2int($start) ships as a parameter *)
+  let demo = setup () in
+  let q =
+    "for $p in getProfile() where $p/SINCE gt xs:dateTime(\"1970-01-03T00:00:00Z\") return $p/CID"
+  in
+  let sql = sql_of demo q in
+  check_bool "SINCE > ?" true (contains sql "\"SINCE\" > ?");
+  assert_equivalent demo q
+
+let test_string_function_pushdown () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER() return <U>{fn:upper-case($c/LAST_NAME)}</U>"
+  in
+  let sql = sql_of demo q in
+  check_bool "UPPER pushed" true (contains sql "UPPER(t");
+  assert_equivalent demo q
+
+let test_cross_database_ppk () =
+  let demo = setup () in
+  let q =
+    "for $c in CUSTOMER(), $k in CREDIT_CARD() where $c/CID eq $k/CID return <CK>{$c/CID, $k/NUM}</CK>"
+  in
+  let compiled =
+    match Server.compile demo.Aldsp_demo.Demo.server q with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "compile"
+  in
+  (* the CardDB side must be a parameterized query *)
+  let card_sql =
+    List.filter (fun (db, _) -> db = "CardDB") compiled.Server.sql
+  in
+  check_int "one CardDB region" 1 (List.length card_sql);
+  check_bool "parameterized" true (contains (snd (List.hd card_sql)) "= ?");
+  (* and the join must be PP-k *)
+  let rec has_ppk e =
+    let found = ref false in
+    (match e with
+    | Cexpr.Flwor { clauses; _ } ->
+      List.iter
+        (function
+          | Cexpr.Join { method_ = Cexpr.Ppk _; _ } -> found := true
+          | _ -> ())
+        clauses
+    | _ -> ());
+    ignore (Cexpr.map_children (fun c -> (if has_ppk c then found := true); c) e);
+    !found
+  in
+  check_bool "PP-k selected" true (has_ppk compiled.Server.plan);
+  assert_equivalent demo q
+
+let test_sql92_conservative () =
+  (* a Generic_sql92 source must not receive CASE or windows *)
+  let open Aldsp_relational in
+  let db = Database.create ~vendor:Database.Generic_sql92 "plain" in
+  Database.add_table db
+    (Table.create ~primary_key:[ "K" ] "T"
+       [ Table.column ~nullable:false "K" Table.T_int;
+         Table.column ~nullable:false "S" Table.T_varchar ]);
+  Result.get_ok (Table.insert (Result.get_ok (Database.find_table db "T")) [| Sql_value.Int 1; Sql_value.Str "a" |]);
+  let reg = Metadata.create () in
+  Metadata.introspect_relational reg db;
+  let server = Server.create reg in
+  let q = "for $t in T() return <R>{data(if ($t/K eq 1) then $t/S else $t/S)}</R>" in
+  let compiled = ok_exn (Result.map_error (fun _ -> "compile") (Server.compile server q)) in
+  check_bool "no CASE for SQL92" false
+    (List.exists (fun (_, sql) -> contains sql "CASE") compiled.Server.sql);
+  (* and it still evaluates correctly in the middleware *)
+  match Server.run server q with
+  | Ok items -> check_bool "value" true (contains (Item.serialize items) "<R>a</R>")
+  | Error m -> Alcotest.fail m
+
+let test_unused_columns_pruned () =
+  let demo = setup () in
+  let q = "for $c in CUSTOMER() return $c/LAST_NAME" in
+  let sql = sql_of demo q in
+  check_bool "SSN not fetched" false (contains sql "SSN");
+  check_bool "LAST_NAME fetched" true (contains sql "LAST_NAME");
+  assert_equivalent demo q
+
+let test_whole_row_reconstruction () =
+  (* returning $c itself must reconstruct the row element with NULLs as
+     missing elements *)
+  let demo = setup ~customers:8 () in
+  let q = "for $c in CUSTOMER() where $c/CID eq \"CUST0007\" return $c" in
+  let _, result = compile_run demo q in
+  match result with
+  | [ Item.Node n ] ->
+    (* customer 7 has a NULL first name: element absent *)
+    check_int "no FIRST_NAME child" 0
+      (List.length (Node.child_elements n (Qname.local "FIRST_NAME")));
+    check_int "CID child present" 1
+      (List.length (Node.child_elements n (Qname.local "CID")))
+  | other -> Alcotest.failf "unexpected: %s" (Item.serialize other)
+
+let test_roundtrips_counted () =
+  (* a fully pushed query executes exactly one statement *)
+  let demo = setup () in
+  let q = "for $c in CUSTOMER() where $c/CID eq \"CUST0002\" return $c/LAST_NAME" in
+  ignore (compile_run demo q);
+  Aldsp_demo.Demo.reset_stats demo;
+  ignore (ok_exn (Server.run demo.Aldsp_demo.Demo.server q));
+  check_int "single roundtrip" 1
+    demo.Aldsp_demo.Demo.customer_db.Aldsp_relational.Database.stats
+      .Aldsp_relational.Database.statements
+
+(* Property: pushdown preserves results across a family of queries with a
+   random filter literal. *)
+let prop_pushdown_equivalence =
+  QCheck.Test.make ~name:"pushdown preserves semantics on random filters"
+    ~count:25
+    QCheck.(int_range 1 9)
+    (fun i ->
+      let demo = setup ~customers:9 () in
+      let q =
+        Printf.sprintf
+          "for $c in CUSTOMER() where $c/CID eq \"CUST%04d\" return <R>{$c/LAST_NAME, count(for $o in ORDER_T() where $o/CID eq $c/CID return $o)}</R>"
+          i
+      in
+      let _, pushed = compile_run demo q in
+      let unpushed = run_unpushed demo q in
+      Item.serialize pushed = Item.serialize unpushed)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "pushdown"
+    [ ( "table1",
+        [ t "(a) select-project" test_t1a_select_project;
+          t "(b) inner join" test_t1b_inner_join;
+          t "(c) outer join" test_t1c_outer_join;
+          t "(d) if-then-else CASE" test_t1d_if_then_else_case;
+          t "(e) group-by aggregation" test_t1e_group_by_aggregation;
+          t "(f) distinct" test_t1f_distinct ] );
+      ( "table2",
+        [ t "(g) outer join aggregation" test_t2g_outer_join_aggregation;
+          t "(h) exists semijoin" test_t2h_exists_semijoin;
+          t "(i) subsequence window" test_t2i_subsequence_window ] );
+      ( "mechanics",
+        [ t "parameterized non-pushable" test_parameterized_nonpushable;
+          t "string functions" test_string_function_pushdown;
+          t "cross-db PP-k" test_cross_database_ppk;
+          t "SQL92 conservative" test_sql92_conservative;
+          t "column pruning" test_unused_columns_pruned;
+          t "row reconstruction" test_whole_row_reconstruction;
+          t "roundtrip accounting" test_roundtrips_counted;
+          QCheck_alcotest.to_alcotest prop_pushdown_equivalence ] ) ]

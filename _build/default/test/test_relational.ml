@@ -1,0 +1,501 @@
+(* Tests for the relational substrate: values & 3VL, tables, the SQL
+   parser, the executor, dialect printing, DML, and transactions. *)
+
+open Aldsp_relational
+module V = Sql_value
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+let check_string = check Alcotest.string
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let err_exn = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error msg -> msg
+
+(* Demo database mirroring the paper's running example. *)
+let make_db () =
+  let db = Database.create ~vendor:Database.Oracle "CustomerDB" in
+  let customer =
+    Table.create ~primary_key:[ "CID" ] "CUSTOMER"
+      [ Table.column ~nullable:false "CID" Table.T_varchar;
+        Table.column ~nullable:false "LAST_NAME" Table.T_varchar;
+        Table.column "FIRST_NAME" Table.T_varchar;
+        Table.column "SINCE" Table.T_int ]
+  in
+  let order_ =
+    Table.create ~primary_key:[ "OID" ]
+      ~foreign_keys:
+        [ { Table.fk_columns = [ "CID" ];
+            references_table = "CUSTOMER";
+            references_columns = [ "CID" ] } ]
+      "ORDER_T"
+      [ Table.column ~nullable:false "OID" Table.T_int;
+        Table.column ~nullable:false "CID" Table.T_varchar;
+        Table.column "AMOUNT" Table.T_decimal ]
+  in
+  Database.add_table db customer;
+  Database.add_table db order_;
+  let ins t row = ok_exn (Table.insert t row) in
+  ins customer [| V.Str "C1"; V.Str "Jones"; V.Str "Ann"; V.Int 1000 |];
+  ins customer [| V.Str "C2"; V.Str "Smith"; V.Str "Bob"; V.Int 2000 |];
+  ins customer [| V.Str "C3"; V.Str "Jones"; V.Null; V.Int 3000 |];
+  ins order_ [| V.Int 1; V.Str "C1"; V.Float 10. |];
+  ins order_ [| V.Int 2; V.Str "C1"; V.Float 20. |];
+  ins order_ [| V.Int 3; V.Str "C2"; V.Float 30. |];
+  db
+
+let run db sql =
+  match ok_exn (Sql_parser.parse sql) with
+  | Sql_ast.Query s -> ok_exn (Sql_exec.query db s)
+  | Sql_ast.Dml _ -> Alcotest.fail "expected a query"
+
+let run_dml db ?params sql =
+  match ok_exn (Sql_parser.parse sql) with
+  | Sql_ast.Dml d -> ok_exn (Sql_exec.execute_dml db ?params d)
+  | Sql_ast.Query _ -> Alcotest.fail "expected DML"
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+
+let test_three_valued_logic () =
+  check_bool "null = null is unknown" true
+    (V.truth_of_comparison (( = ) 0) V.Null V.Null = V.Unknown);
+  check_bool "unknown AND false = false" true
+    (V.and_ V.Unknown V.False = V.False);
+  check_bool "unknown OR true = true" true (V.or_ V.Unknown V.True = V.True);
+  check_bool "not unknown" true (V.not_ V.Unknown = V.Unknown);
+  check_bool "grouping equality treats nulls equal" true (V.equal V.Null V.Null)
+
+let test_value_conversions () =
+  check_bool "null -> missing" true (V.to_atomic V.Null = None);
+  check_bool "int" true
+    (V.to_atomic (V.Int 3) = Some (Aldsp_xml.Atomic.Integer 3));
+  check_bool "atomic roundtrip" true
+    (V.of_atomic (Aldsp_xml.Atomic.String "x") = V.Str "x");
+  check_string "literal escaping" "'O''Brien'" (V.to_string (V.Str "O'Brien"))
+
+(* ------------------------------------------------------------------ *)
+(* Table constraints                                                   *)
+
+let test_table_constraints () =
+  let t =
+    Table.create ~primary_key:[ "K" ] "T"
+      [ Table.column ~nullable:false "K" Table.T_int;
+        Table.column "S" Table.T_varchar ]
+  in
+  ignore (ok_exn (Table.insert t [| V.Int 1; V.Str "a" |]));
+  ignore (err_exn (Table.insert t [| V.Int 1; V.Str "dup" |]));
+  ignore (err_exn (Table.insert t [| V.Null; V.Str "null key" |]));
+  ignore (err_exn (Table.insert t [| V.Str "wrong type"; V.Null |]));
+  ignore (err_exn (Table.insert t [| V.Int 2 |]));
+  check_int "rows" 1 (Table.row_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                            *)
+
+let test_select_project () =
+  let db = make_db () in
+  let r = run db "SELECT c.FIRST_NAME FROM CUSTOMER c WHERE c.CID = 'C1'" in
+  check_int "one row" 1 (List.length r.Sql_exec.rows);
+  check_bool "value" true ((List.hd r.Sql_exec.rows).(0) = V.Str "Ann")
+
+let test_where_null_filtered () =
+  let db = make_db () in
+  (* C3 has NULL first name: comparison yields unknown -> filtered out *)
+  let r = run db "SELECT c.CID FROM CUSTOMER c WHERE c.FIRST_NAME <> 'Ann'" in
+  check_int "only C2" 1 (List.length r.Sql_exec.rows)
+
+let test_inner_join () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT c.CID, o.OID FROM CUSTOMER c JOIN ORDER_T o ON c.CID = o.CID"
+  in
+  check_int "three pairs" 3 (List.length r.Sql_exec.rows)
+
+let test_left_outer_join () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT c.CID, o.OID FROM CUSTOMER c LEFT OUTER JOIN ORDER_T o ON c.CID = o.CID ORDER BY c.CID"
+  in
+  check_int "3 + null-extended C3" 4 (List.length r.Sql_exec.rows);
+  let last = List.nth r.Sql_exec.rows 3 in
+  check_bool "C3 null extended" true (last.(1) = V.Null)
+
+let test_group_by_aggregates () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT c.LAST_NAME, COUNT(*) AS n FROM CUSTOMER c GROUP BY c.LAST_NAME ORDER BY c.LAST_NAME"
+  in
+  check_int "two groups" 2 (List.length r.Sql_exec.rows);
+  let jones = List.hd r.Sql_exec.rows in
+  check_bool "Jones x2" true (jones.(0) = V.Str "Jones" && jones.(1) = V.Int 2)
+
+let test_outer_join_aggregation () =
+  (* Table 2(g): per-customer order count, zero included *)
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT c.CID, COUNT(o.CID) AS n FROM CUSTOMER c LEFT OUTER JOIN ORDER_T o ON c.CID = o.CID GROUP BY c.CID ORDER BY c.CID"
+  in
+  check_int "three customers" 3 (List.length r.Sql_exec.rows);
+  let counts = List.map (fun row -> row.(1)) r.Sql_exec.rows in
+  check_bool "counts 2,1,0" true (counts = [ V.Int 2; V.Int 1; V.Int 0 ])
+
+let test_aggregates_skip_nulls () =
+  let db = make_db () in
+  let r =
+    run db "SELECT COUNT(c.FIRST_NAME) AS n, COUNT(*) AS m FROM CUSTOMER c"
+  in
+  let row = List.hd r.Sql_exec.rows in
+  check_bool "count col skips null" true (row.(0) = V.Int 2);
+  check_bool "count star does not" true (row.(1) = V.Int 3)
+
+let test_sum_avg_min_max () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT SUM(o.AMOUNT) AS s, AVG(o.AMOUNT) AS a, MIN(o.OID) AS mn, MAX(o.OID) AS mx FROM ORDER_T o"
+  in
+  let row = List.hd r.Sql_exec.rows in
+  check_bool "sum" true (row.(0) = V.Float 60.);
+  check_bool "avg" true (row.(1) = V.Float 20.);
+  check_bool "min" true (row.(2) = V.Int 1);
+  check_bool "max" true (row.(3) = V.Int 3)
+
+let test_distinct () =
+  let db = make_db () in
+  let r = run db "SELECT DISTINCT c.LAST_NAME FROM CUSTOMER c" in
+  check_int "two distinct names" 2 (List.length r.Sql_exec.rows)
+
+let test_exists_semijoin () =
+  (* Table 2(h) *)
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT c.CID FROM CUSTOMER c WHERE EXISTS(SELECT 1 AS one FROM ORDER_T o WHERE c.CID = o.CID) ORDER BY c.CID"
+  in
+  check_int "customers with orders" 2 (List.length r.Sql_exec.rows)
+
+let test_case_expression () =
+  (* Table 1(d) *)
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT CASE WHEN c.CID = 'C1' THEN c.FIRST_NAME ELSE c.LAST_NAME END AS v FROM CUSTOMER c ORDER BY c.CID"
+  in
+  let values = List.map (fun row -> row.(0)) r.Sql_exec.rows in
+  check_bool "case per row" true
+    (values = [ V.Str "Ann"; V.Str "Smith"; V.Str "Jones" ])
+
+let test_scalar_subquery_and_in () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT c.CID FROM CUSTOMER c WHERE c.CID IN (SELECT o.CID FROM ORDER_T o) ORDER BY c.CID"
+  in
+  check_int "in-select" 2 (List.length r.Sql_exec.rows);
+  let r2 =
+    run db
+      "SELECT (SELECT COUNT(*) AS n FROM ORDER_T o WHERE o.CID = c.CID) AS cnt FROM CUSTOMER c WHERE c.CID = 'C1'"
+  in
+  check_bool "correlated scalar" true ((List.hd r2.Sql_exec.rows).(0) = V.Int 2)
+
+let test_order_by_desc_and_window () =
+  let db = make_db () in
+  let select =
+    { (ok_exn (Sql_parser.parse_select
+                 "SELECT o.OID FROM ORDER_T o ORDER BY o.OID DESC"))
+      with Sql_ast.window = Some { Sql_ast.start = 2; count = Some 1 } }
+  in
+  let r = ok_exn (Sql_exec.query db select) in
+  check_int "windowed" 1 (List.length r.Sql_exec.rows);
+  check_bool "second row of desc order" true
+    ((List.hd r.Sql_exec.rows).(0) = V.Int 2)
+
+let test_select_star () =
+  let db = make_db () in
+  let r = run db "SELECT * FROM ORDER_T o WHERE o.OID = 1" in
+  check_int "all columns" 3 (List.length r.Sql_exec.columns)
+
+let test_params () =
+  let db = make_db () in
+  let s = ok_exn (Sql_parser.parse_select "SELECT c.CID FROM CUSTOMER c WHERE c.SINCE > ?") in
+  let r = ok_exn (Sql_exec.query db ~params:[| V.Int 1500 |] s) in
+  check_int "two customers" 2 (List.length r.Sql_exec.rows)
+
+let test_disjunctive_param_query () =
+  (* the PP-k request shape: WHERE (c = ?) OR (c = ?) ... *)
+  let db = make_db () in
+  let s =
+    ok_exn
+      (Sql_parser.parse_select
+         "SELECT o.OID FROM ORDER_T o WHERE o.CID = ? OR o.CID = ?")
+  in
+  let r = ok_exn (Sql_exec.query db ~params:[| V.Str "C1"; V.Str "C2" |] s) in
+  check_int "all three orders" 3 (List.length r.Sql_exec.rows)
+
+let test_string_functions_like () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT UPPER(c.FIRST_NAME) AS u FROM CUSTOMER c WHERE c.LAST_NAME LIKE 'Jo%' AND c.FIRST_NAME IS NOT NULL"
+  in
+  check_bool "upper+like" true ((List.hd r.Sql_exec.rows).(0) = V.Str "ANN")
+
+let test_derived_table () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT t.n AS n FROM (SELECT COUNT(*) AS n FROM ORDER_T o) t"
+  in
+  check_bool "derived" true ((List.hd r.Sql_exec.rows).(0) = V.Int 3)
+
+let test_having () =
+  let db = make_db () in
+  let r =
+    run db
+      "SELECT c.LAST_NAME, COUNT(*) AS n FROM CUSTOMER c GROUP BY c.LAST_NAME HAVING COUNT(*) > 1"
+  in
+  check_int "only Jones" 1 (List.length r.Sql_exec.rows)
+
+let test_error_cases () =
+  let db = make_db () in
+  (match Sql_parser.parse "SELECT c.NOPE FROM CUSTOMER c" with
+  | Ok (Sql_ast.Query s) -> ignore (err_exn (Sql_exec.query db s))
+  | _ -> Alcotest.fail "parse failed");
+  (match Sql_parser.parse "SELECT x.y FROM NO_TABLE x" with
+  | Ok (Sql_ast.Query s) -> ignore (err_exn (Sql_exec.query db s))
+  | _ -> Alcotest.fail "parse failed");
+  ignore (err_exn (Sql_parser.parse "SELECT FROM"));
+  ignore (err_exn (Sql_parser.parse "SELECT 1 AS x FROM T WHERE"))
+
+(* ------------------------------------------------------------------ *)
+(* DML + transactions                                                  *)
+
+let test_dml_roundtrip () =
+  let db = make_db () in
+  check_int "insert" 1
+    (run_dml db
+       "INSERT INTO ORDER_T (OID, CID, AMOUNT) VALUES (4, 'C3', 5.5)");
+  check_int "update" 2
+    (run_dml db "UPDATE ORDER_T SET AMOUNT = 99.0 WHERE CID = 'C1'");
+  let r = run db "SELECT o.AMOUNT FROM ORDER_T o WHERE o.OID = 1" in
+  check_bool "updated" true ((List.hd r.Sql_exec.rows).(0) = V.Float 99.);
+  check_int "delete" 1 (run_dml db "DELETE FROM ORDER_T WHERE OID = 4")
+
+let test_optimistic_update_where () =
+  (* update conditioned on original values, as submit generates (§6) *)
+  let db = make_db () in
+  check_int "matches original value" 1
+    (run_dml db
+       "UPDATE CUSTOMER SET LAST_NAME = 'Smith' WHERE CID = 'C1' AND LAST_NAME = 'Jones'");
+  check_int "stale original misses" 0
+    (run_dml db
+       "UPDATE CUSTOMER SET LAST_NAME = 'Again' WHERE CID = 'C1' AND LAST_NAME = 'Jones'")
+
+let test_transaction_rollback () =
+  let db = make_db () in
+  let result =
+    Txn.with_transaction db (fun () ->
+        ignore (run_dml db "DELETE FROM ORDER_T WHERE OID = 1");
+        Error "boom")
+  in
+  ignore (err_exn result);
+  check_int "rolled back" 3
+    (List.length (run db "SELECT o.OID FROM ORDER_T o").Sql_exec.rows)
+
+let test_two_phase_commit () =
+  let db1 = make_db () in
+  let db2 = make_db () in
+  let outcome =
+    Txn.two_phase_commit ~participants:[ db1; db2 ] ~work:(fun () ->
+        ignore (run_dml db1 "UPDATE CUSTOMER SET LAST_NAME = 'A' WHERE CID = 'C1'");
+        ignore (run_dml db2 "UPDATE CUSTOMER SET LAST_NAME = 'B' WHERE CID = 'C1'");
+        Error "second source failed")
+  in
+  (match outcome with
+  | Txn.Rolled_back _ -> ()
+  | Txn.Committed -> Alcotest.fail "should have rolled back");
+  let name db =
+    (List.hd (run db "SELECT c.LAST_NAME FROM CUSTOMER c WHERE c.CID = 'C1'").Sql_exec.rows).(0)
+  in
+  check_bool "db1 restored" true (name db1 = V.Str "Jones");
+  check_bool "db2 restored" true (name db2 = V.Str "Jones")
+
+let test_stats_accounting () =
+  let db = make_db () in
+  Database.reset_stats db;
+  ignore (run db "SELECT c.CID FROM CUSTOMER c");
+  ignore (run db "SELECT o.OID FROM ORDER_T o");
+  check_int "two roundtrips" 2 db.Database.stats.Database.statements;
+  check_int "rows shipped" 6 db.Database.stats.Database.rows_shipped
+
+(* ------------------------------------------------------------------ *)
+(* Dialect printing                                                    *)
+
+let parse_select_exn s = ok_exn (Sql_parser.parse_select s)
+
+let test_print_simple_select_paper_shape () =
+  (* Table 1(a) *)
+  let s =
+    parse_select_exn
+      "SELECT t1.FIRST_NAME AS c1 FROM CUSTOMER t1 WHERE t1.CID = 'CUST001'"
+  in
+  check_string "pattern (a)"
+    "SELECT t1.\"FIRST_NAME\" AS c1 FROM \"CUSTOMER\" t1 WHERE t1.\"CID\" = 'CUST001'"
+    (Sql_print.select_to_string Database.Oracle s)
+
+let test_print_outer_join () =
+  let s =
+    parse_select_exn
+      "SELECT t1.CID AS c1, t2.OID AS c2 FROM CUSTOMER t1 LEFT OUTER JOIN ORDER_T t2 ON t1.CID = t2.CID"
+  in
+  check_string "pattern (c)"
+    "SELECT t1.\"CID\" AS c1, t2.\"OID\" AS c2 FROM \"CUSTOMER\" t1 LEFT OUTER JOIN \"ORDER_T\" t2 ON t1.\"CID\" = t2.\"CID\""
+    (Sql_print.select_to_string Database.Oracle s)
+
+let test_print_case_group () =
+  let s =
+    parse_select_exn
+      "SELECT t1.LAST_NAME AS c1, COUNT(*) AS c2 FROM CUSTOMER t1 GROUP BY t1.LAST_NAME"
+  in
+  check_string "pattern (e)"
+    "SELECT t1.\"LAST_NAME\" AS c1, COUNT(*) AS c2 FROM \"CUSTOMER\" t1 GROUP BY t1.\"LAST_NAME\""
+    (Sql_print.select_to_string Database.Db2 s)
+
+let test_print_window_dialects () =
+  let base =
+    { (parse_select_exn
+         "SELECT t1.CID AS c1 FROM CUSTOMER t1 ORDER BY t1.CID")
+      with Sql_ast.window = Some { Sql_ast.start = 10; count = Some 10 } }
+  in
+  let oracle = Sql_print.select_to_string Database.Oracle base in
+  check_bool "oracle uses ROWNUM wrapper" true
+    (let re = Str.regexp_string "ROWNUM" in
+     try ignore (Str.search_forward re oracle 0); true with Not_found -> false);
+  (* SQL92 cannot push a window *)
+  (try
+     ignore (Sql_print.select_to_string Database.Generic_sql92 base);
+     Alcotest.fail "SQL92 accepted a window"
+   with Sql_print.Unsupported _ -> ());
+  (* top-1 page on SQL Server uses TOP *)
+  let top =
+    { base with Sql_ast.window = Some { Sql_ast.start = 1; count = Some 5 } }
+  in
+  let mssql = Sql_print.select_to_string Database.Sql_server top in
+  check_bool "TOP" true
+    (try ignore (Str.search_forward (Str.regexp_string "TOP 5") mssql 0); true
+     with Not_found -> false)
+
+let test_print_concat_operator () =
+  let s = ok_exn (Sql_parser.parse_expr "a.X || a.Y") in
+  check_string "oracle ||" "a.\"X\" || a.\"Y\""
+    (Sql_print.expr_to_string Database.Oracle s);
+  check_string "mssql +" "a.\"X\" + a.\"Y\""
+    (Sql_print.expr_to_string Database.Sql_server s)
+
+let test_print_parse_roundtrip () =
+  (* printing then reparsing yields an equivalent query (executes same) *)
+  let db = make_db () in
+  let sqls =
+    [ "SELECT c.CID, o.OID FROM CUSTOMER c JOIN ORDER_T o ON c.CID = o.CID WHERE o.AMOUNT > 15.0 ORDER BY o.OID DESC";
+      "SELECT c.LAST_NAME, COUNT(*) AS n FROM CUSTOMER c GROUP BY c.LAST_NAME HAVING COUNT(*) > 0";
+      "SELECT DISTINCT c.LAST_NAME FROM CUSTOMER c" ]
+  in
+  List.iter
+    (fun sql ->
+      let s = parse_select_exn sql in
+      let printed = Sql_print.select_to_string Database.Generic_sql92 s in
+      let s2 = parse_select_exn printed in
+      let r1 = ok_exn (Sql_exec.query db s) in
+      let r2 = ok_exn (Sql_exec.query db s2) in
+      check_bool ("roundtrip: " ^ sql) true (r1.Sql_exec.rows = r2.Sql_exec.rows))
+    sqls
+
+(* Property: LIKE matching agrees with a reference regex translation. *)
+let prop_like =
+  let pat_gen =
+    QCheck.Gen.string_size ~gen:(QCheck.Gen.oneofl [ 'a'; 'b'; '%'; '_' ])
+      (QCheck.Gen.int_range 0 6)
+  in
+  let txt_gen =
+    QCheck.Gen.string_size ~gen:(QCheck.Gen.oneofl [ 'a'; 'b' ])
+      (QCheck.Gen.int_range 0 6)
+  in
+  QCheck.Test.make ~name:"LIKE agrees with regex reference" ~count:500
+    (QCheck.make (QCheck.Gen.pair pat_gen txt_gen))
+    (fun (pattern, text) ->
+      let regex =
+        let buf = Buffer.create 16 in
+        String.iter
+          (function
+            | '%' -> Buffer.add_string buf ".*"
+            | '_' -> Buffer.add_char buf '.'
+            | c -> Buffer.add_char buf c)
+          pattern;
+        Str.regexp ("^" ^ Buffer.contents buf ^ "$")
+      in
+      let expected = Str.string_match regex text 0 in
+      let db = Database.create "t" in
+      let tbl = Table.create "T" [ Table.column "S" Table.T_varchar ] in
+      (match Table.insert tbl [| V.Str text |] with Ok () -> () | Error _ -> ());
+      Database.add_table db tbl;
+      let s =
+        match Sql_parser.parse_select "SELECT t.S FROM T t WHERE t.S LIKE ?" with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      match Sql_exec.query db ~params:[| V.Str pattern |] s with
+      | Ok r -> List.length r.Sql_exec.rows = if expected then 1 else 0
+      | Error e -> failwith e)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "relational"
+    [ ( "values",
+        [ t "three-valued logic" test_three_valued_logic;
+          t "conversions" test_value_conversions ] );
+      ("table", [ t "constraints" test_table_constraints ]);
+      ( "executor",
+        [ t "select-project" test_select_project;
+          t "where null" test_where_null_filtered;
+          t "inner join" test_inner_join;
+          t "left outer join" test_left_outer_join;
+          t "group by" test_group_by_aggregates;
+          t "outer join + agg" test_outer_join_aggregation;
+          t "aggregates skip nulls" test_aggregates_skip_nulls;
+          t "sum/avg/min/max" test_sum_avg_min_max;
+          t "distinct" test_distinct;
+          t "exists semijoin" test_exists_semijoin;
+          t "case" test_case_expression;
+          t "subqueries" test_scalar_subquery_and_in;
+          t "order+window" test_order_by_desc_and_window;
+          t "select *" test_select_star;
+          t "params" test_params;
+          t "disjunctive params (PP-k shape)" test_disjunctive_param_query;
+          t "string funcs + like" test_string_functions_like;
+          t "derived table" test_derived_table;
+          t "having" test_having;
+          t "errors" test_error_cases;
+          QCheck_alcotest.to_alcotest prop_like ] );
+      ( "dml+txn",
+        [ t "dml" test_dml_roundtrip;
+          t "optimistic where" test_optimistic_update_where;
+          t "rollback" test_transaction_rollback;
+          t "two-phase commit" test_two_phase_commit;
+          t "stats" test_stats_accounting ] );
+      ( "dialects",
+        [ t "paper pattern (a)" test_print_simple_select_paper_shape;
+          t "outer join" test_print_outer_join;
+          t "group-by" test_print_case_group;
+          t "window dialects" test_print_window_dialects;
+          t "concat operator" test_print_concat_operator;
+          t "print/parse roundtrip" test_print_parse_roundtrip ] ) ]

@@ -1,0 +1,460 @@
+(* Tests for the runtime: join methods (incl. PP-k block accounting),
+   streaming group-by, async/fail-over/timeout, the function cache, the
+   plan cache, security filtering, and the server APIs. *)
+
+open Aldsp_core
+open Aldsp_xml
+open Aldsp_relational
+open Aldsp_services
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let err_exn = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error msg -> msg
+
+let setup ?customers ?orders_per_customer ?service_latency ?function_cache
+    ?security ?audit () =
+  Aldsp_demo.Demo.create ?customers ?orders_per_customer ?service_latency
+    ?function_cache ?security ?audit ()
+
+let run demo q = ok_exn (Server.run demo.Aldsp_demo.Demo.server q)
+
+(* ------------------------------------------------------------------ *)
+(* Join methods                                                        *)
+
+let cross_db_join demo ~k =
+  (* force a specific PP-k block size via optimizer options *)
+  let options = { Optimizer.default_options with Optimizer.ppk_k = k } in
+  let server =
+    Server.create ~optimizer_options:options demo.Aldsp_demo.Demo.registry
+  in
+  ok_exn
+    (Server.run server
+       "for $c in CUSTOMER(), $x in CREDIT_CARD() where $c/CID eq $x/CID return <R>{$c/CID, $x/NUM}</R>")
+
+let test_ppk_roundtrips_scale_with_k () =
+  (* n=20 left tuples: k=5 -> 4 card-db roundtrips; k=20 -> 1 *)
+  let demo = setup ~customers:20 () in
+  let count_roundtrips k =
+    Aldsp_demo.Demo.reset_stats demo;
+    let r = cross_db_join demo ~k in
+    check_int "result size stable" 20 (List.length r);
+    demo.Aldsp_demo.Demo.card_db.Database.stats.Database.statements
+  in
+  let r5 = count_roundtrips 5 in
+  let r20 = count_roundtrips 20 in
+  let r1 = count_roundtrips 1 in
+  check_int "k=5 -> 4 blocks" 4 r5;
+  check_int "k=20 -> 1 block" 1 r20;
+  check_int "k=1 -> one per tuple" 20 r1
+
+let test_ppk_results_match_nl () =
+  let demo = setup ~customers:7 () in
+  let ppk = cross_db_join demo ~k:3 in
+  (* nested loop reference: disable join introduction entirely *)
+  let options =
+    { Optimizer.default_options with Optimizer.introduce_joins = false }
+  in
+  let server =
+    Server.create ~optimizer_options:options demo.Aldsp_demo.Demo.registry
+  in
+  let nl =
+    ok_exn
+      (Server.run server
+         "for $c in CUSTOMER(), $x in CREDIT_CARD() where $c/CID eq $x/CID return <R>{$c/CID, $x/NUM}</R>")
+  in
+  check_bool "PP-k == NL" true (Item.serialize ppk = Item.serialize nl)
+
+let test_streaming_group_constant_memory_shape () =
+  (* the pre-clustered group operator must be streaming: consuming the
+     first group must not force the whole input *)
+  let demo = setup ~customers:50 ~orders_per_customer:2 () in
+  let stream =
+    ok_exn
+      (Server.run_stream demo.Aldsp_demo.Demo.server
+         "for $c in CUSTOMER() return <C>{$c/CID, for $o in ORDER_T() where $o/CID eq $c/CID return $o/OID}</C>")
+  in
+  (* just forcing the head must succeed *)
+  match stream () with
+  | Seq.Cons (_, _) -> ()
+  | Seq.Nil -> Alcotest.fail "empty stream"
+
+let test_group_fallback_sorts () =
+  (* unclustered group-by still groups correctly *)
+  let demo = setup ~customers:9 () in
+  let r =
+    run demo
+      "for $c in CUSTOMER() group $c as $g by $c/LAST_NAME as $l order by $l return <G name=\"{$l}\">{count($g)}</G>"
+  in
+  let total =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Item.Node n -> acc + int_of_string (Node.string_value n)
+        | _ -> acc)
+      0 r
+  in
+  check_int "groups partition the input" 9 total
+
+(* ------------------------------------------------------------------ *)
+(* Async / fail-over / timeout (§5.4-5.6)                              *)
+
+let test_async_overlaps_latency () =
+  let demo = setup ~customers:1 ~service_latency:0.05 () in
+  let q_sync =
+    "<R>{getRating(<getRating><lName>{\"a\"}</lName><ssn>{\"1\"}</ssn></getRating>), \
+     getRating(<getRating><lName>{\"b\"}</lName><ssn>{\"2\"}</ssn></getRating>), \
+     getRating(<getRating><lName>{\"c\"}</lName><ssn>{\"3\"}</ssn></getRating>)}</R>"
+  in
+  let q_async =
+    "<R>{fn-bea:async(getRating(<getRating><lName>{\"a\"}</lName><ssn>{\"1\"}</ssn></getRating>)), \
+     fn-bea:async(getRating(<getRating><lName>{\"b\"}</lName><ssn>{\"2\"}</ssn></getRating>)), \
+     fn-bea:async(getRating(<getRating><lName>{\"c\"}</lName><ssn>{\"3\"}</ssn></getRating>))}</R>"
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_sync, r_sync = time (fun () -> run demo q_sync) in
+  let t_async, r_async = time (fun () -> run demo q_async) in
+  check_bool "same results" true
+    (Item.serialize r_sync = Item.serialize r_async);
+  check_bool "sync pays 3 latencies" true (t_sync >= 0.14);
+  check_bool "async overlaps" true (t_async < t_sync /. 1.5)
+
+let test_fail_over_to_alternate () =
+  let demo = setup ~customers:2 () in
+  Web_service.set_unavailable demo.Aldsp_demo.Demo.rating_service true;
+  let r =
+    run demo
+      "fn-bea:fail-over(fn:data(getRating(<getRating><lName>{\"x\"}</lName><ssn>{\"9\"}</ssn></getRating>)/getRatingResult), 0)"
+  in
+  check_bool "alternate returned" true
+    (Item.equal_sequence r [ Item.integer 0 ]);
+  Web_service.set_unavailable demo.Aldsp_demo.Demo.rating_service false;
+  let r2 =
+    run demo
+      "fn-bea:fail-over(fn:data(getRating(<getRating><lName>{\"x\"}</lName><ssn>{\"9\"}</ssn></getRating>)/getRatingResult), 0)"
+  in
+  check_bool "primary when healthy" true (r2 <> [ Item.integer 0 ])
+
+let test_fail_over_empty_partial_result () =
+  (* "if a partial result is desired, the empty sequence can be returned as
+     the alternate" *)
+  let demo = setup ~customers:2 () in
+  Web_service.set_unavailable demo.Aldsp_demo.Demo.rating_service true;
+  let r =
+    run demo
+      "<P>{fn-bea:fail-over(getRating(<getRating><lName>{\"x\"}</lName><ssn>{\"9\"}</ssn></getRating>), ())}</P>"
+  in
+  check_bool "empty partial" true (Item.serialize r = "<P/>")
+
+let test_timeout_slow_source () =
+  let demo = setup ~customers:1 ~service_latency:0.2 () in
+  let q =
+    "fn-bea:timeout(fn:data(getRating(<getRating><lName>{\"x\"}</lName><ssn>{\"9\"}</ssn></getRating>)/getRatingResult), 30, -1)"
+  in
+  let r = run demo q in
+  check_bool "timed out to alternate" true
+    (Item.equal_sequence r [ Item.integer (-1) ]);
+  (* generous budget: primary completes *)
+  demo.Aldsp_demo.Demo.rating_service.Web_service.latency <- 0.0;
+  let r2 =
+    run demo
+      "fn-bea:timeout(fn:data(getRating(<getRating><lName>{\"x\"}</lName><ssn>{\"9\"}</ssn></getRating>)/getRatingResult), 500, -1)"
+  in
+  check_bool "primary result" true (r2 <> [ Item.integer (-1) ])
+
+let test_timeout_failure_also_fails_over () =
+  let demo = setup ~customers:1 () in
+  Web_service.set_unavailable demo.Aldsp_demo.Demo.rating_service true;
+  let r =
+    run demo
+      "fn-bea:timeout(fn:data(getRating(<getRating><lName>{\"x\"}</lName><ssn>{\"9\"}</ssn></getRating>)/getRatingResult), 200, -1)"
+  in
+  check_bool "failure within window fails over" true
+    (Item.equal_sequence r [ Item.integer (-1) ])
+
+(* ------------------------------------------------------------------ *)
+(* Function cache (§5.5)                                               *)
+
+let make_cache ?clock () =
+  let cache_db = Database.create "CacheDB" in
+  Function_cache.create ?clock cache_db
+
+let test_function_cache_hits () =
+  let now = ref 0. in
+  let cache = make_cache ~clock:(fun () -> !now) () in
+  let demo = setup ~customers:3 ~function_cache:cache () in
+  let name = Qname.make ~uri:"fn" "getCustomerNames" in
+  Metadata.set_cacheable demo.Aldsp_demo.Demo.registry name true;
+  Function_cache.enable cache name ~ttl_seconds:60.;
+  let r1 = ok_exn (Server.call demo.Aldsp_demo.Demo.server name []) in
+  check_int "first call misses" 1 (Function_cache.misses cache);
+  Aldsp_demo.Demo.reset_stats demo;
+  let r2 = ok_exn (Server.call demo.Aldsp_demo.Demo.server name []) in
+  check_int "second call hits" 1 (Function_cache.hits cache);
+  check_bool "same result" true (Item.serialize r1 = Item.serialize r2);
+  (* the backing source is NOT touched on a hit *)
+  check_int "no customer-db statement" 0
+    demo.Aldsp_demo.Demo.customer_db.Database.stats.Database.statements;
+  (* TTL expiry forces recompute *)
+  now := 120.;
+  ignore (ok_exn (Server.call demo.Aldsp_demo.Demo.server name []));
+  check_int "stale entry missed" 2 (Function_cache.misses cache)
+
+let test_function_cache_requires_designer_permission () =
+  let cache = make_cache () in
+  let demo = setup ~customers:3 ~function_cache:cache () in
+  let name = Qname.make ~uri:"fn" "getCustomerNames" in
+  (* enabled administratively but NOT designer-allowed: no caching *)
+  Function_cache.enable cache name ~ttl_seconds:60.;
+  ignore (ok_exn (Server.call demo.Aldsp_demo.Demo.server name []));
+  ignore (ok_exn (Server.call demo.Aldsp_demo.Demo.server name []));
+  check_int "no hits" 0 (Function_cache.hits cache)
+
+let test_function_cache_args_distinguish () =
+  let cache = make_cache () in
+  let demo = setup ~customers:3 ~function_cache:cache () in
+  let name = Qname.make ~uri:"fn" "getProfileByID" in
+  Metadata.set_cacheable demo.Aldsp_demo.Demo.registry name true;
+  Function_cache.enable cache name ~ttl_seconds:60.;
+  let r1 =
+    ok_exn
+      (Server.call demo.Aldsp_demo.Demo.server name [ [ Item.string "CUST0001" ] ])
+  in
+  let r2 =
+    ok_exn
+      (Server.call demo.Aldsp_demo.Demo.server name [ [ Item.string "CUST0002" ] ])
+  in
+  check_bool "different args, different results" true
+    (Item.serialize r1 <> Item.serialize r2);
+  check_int "both missed" 2 (Function_cache.misses cache)
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+
+let test_plan_cache () =
+  let demo = setup ~customers:3 () in
+  let q = "for $c in CUSTOMER() return $c/CID" in
+  ignore (run demo q);
+  ignore (run demo q);
+  ignore (run demo q);
+  check_bool "hits" true (Server.plan_cache_hits demo.Aldsp_demo.Demo.server >= 2)
+
+let test_plan_cache_lru () =
+  let cache = Plan_cache.create ~capacity:2 in
+  Plan_cache.add cache "a" 1;
+  Plan_cache.add cache "b" 2;
+  ignore (Plan_cache.find cache "a");
+  Plan_cache.add cache "c" 3;
+  (* b was least recently used *)
+  check_bool "b evicted" true (Plan_cache.find cache "b" = None);
+  check_bool "a kept" true (Plan_cache.find cache "a" = Some 1);
+  check_int "size bounded" 2 (Plan_cache.size cache)
+
+(* ------------------------------------------------------------------ *)
+(* Security (§7)                                                       *)
+
+let test_function_acl () =
+  let demo = setup ~customers:2 () in
+  let sec = Server.security demo.Aldsp_demo.Demo.server in
+  let name = Qname.make ~uri:"fn" "getProfile" in
+  Security.restrict_function sec name ~roles:[ "hr" ];
+  let clerk = { Security.user_name = "clerk"; roles = [ "support" ] } in
+  let hr = { Security.user_name = "pat"; roles = [ "hr" ] } in
+  ignore (err_exn (Server.call demo.Aldsp_demo.Demo.server ~user:clerk name []));
+  ignore (ok_exn (Server.call demo.Aldsp_demo.Demo.server ~user:hr name []))
+
+let test_element_level_filtering () =
+  let demo = setup ~customers:2 () in
+  let sec = Server.security demo.Aldsp_demo.Demo.server in
+  Security.add_resource sec
+    { Security.resource_label = "ssn-ish";
+      resource_path = [ Qname.local "PROFILE"; Qname.local "RATING" ];
+      allowed_roles = [ "credit" ];
+      on_deny = Security.Replace (Atomic.String "***") };
+  Security.add_resource sec
+    { Security.resource_label = "orders";
+      resource_path = [ Qname.local "PROFILE"; Qname.local "ORDERS" ];
+      allowed_roles = [ "sales" ];
+      on_deny = Security.Remove };
+  let clerk = { Security.user_name = "clerk"; roles = [ "support" ] } in
+  let r =
+    ok_exn
+      (Server.run demo.Aldsp_demo.Demo.server ~user:clerk
+         "getProfileByID(\"CUST0001\")")
+  in
+  let text = Item.serialize r in
+  check_bool "rating masked" true
+    (let rec contains i =
+       i + 16 <= String.length text
+       && (String.sub text i 16 = "<RATING>***</RAT" || contains (i + 1))
+     in
+     contains 0);
+  check_bool "orders removed" false
+    (let rec contains i =
+       i + 8 <= String.length text
+       && (String.sub text i 8 = "<ORDERS>" || contains (i + 1))
+     in
+     contains 0);
+  (* admin sees everything *)
+  let r_admin =
+    ok_exn (Server.run demo.Aldsp_demo.Demo.server "getProfileByID(\"CUST0001\")")
+  in
+  let t_admin = Item.serialize r_admin in
+  check_bool "admin unfiltered" true
+    (let rec contains i =
+       i + 8 <= String.length t_admin
+       && (String.sub t_admin i 8 = "<ORDERS>" || contains (i + 1))
+     in
+     contains 0)
+
+let test_security_after_cache () =
+  (* cache stores the unfiltered result; a restricted user still gets the
+     filtered view on a cache hit (§7) *)
+  let cache = make_cache () in
+  let demo = setup ~customers:2 ~function_cache:cache () in
+  let sec = Server.security demo.Aldsp_demo.Demo.server in
+  let name = Qname.make ~uri:"fn" "getProfileByID" in
+  Metadata.set_cacheable demo.Aldsp_demo.Demo.registry name true;
+  Function_cache.enable cache name ~ttl_seconds:60.;
+  Security.add_resource sec
+    { Security.resource_label = "rating";
+      resource_path = [ Qname.local "PROFILE"; Qname.local "RATING" ];
+      allowed_roles = [ "credit" ];
+      on_deny = Security.Remove };
+  (* admin populates the cache with the full result *)
+  ignore
+    (ok_exn
+       (Server.call demo.Aldsp_demo.Demo.server name [ [ Item.string "CUST0001" ] ]));
+  let clerk = { Security.user_name = "clerk"; roles = [] } in
+  let r =
+    ok_exn
+      (Server.call demo.Aldsp_demo.Demo.server ~user:clerk name
+         [ [ Item.string "CUST0001" ] ])
+  in
+  check_int "served from cache" 1 (Function_cache.hits cache);
+  check_bool "still filtered" false
+    (let t = Item.serialize r in
+     let rec contains i =
+       i + 8 <= String.length t && (String.sub t i 8 = "<RATING>" || contains (i + 1))
+     in
+     contains 0)
+
+let test_audit_records () =
+  let audit = Audit.create ~level:Audit.Summary () in
+  let demo = setup ~customers:2 ~audit () in
+  ignore
+    (ok_exn
+       (Server.call demo.Aldsp_demo.Demo.server
+          (Qname.make ~uri:"fn" "getCustomerNames")
+          []));
+  check_bool "service calls audited" true
+    (List.exists
+       (fun e -> e.Audit.category = "service-call")
+       (Audit.events audit));
+  (* detail level gating *)
+  check_bool "summary drops detail" true
+    (List.for_all (fun e -> e.Audit.detail = None) (Audit.events audit))
+
+(* ------------------------------------------------------------------ *)
+(* Server APIs                                                          *)
+
+let test_design_time_check_reports_all () =
+  let demo = setup ~customers:2 () in
+  let diags =
+    Server.design_time_check demo.Aldsp_demo.Demo.server
+      {|declare function a:bad1() { $nope };
+declare function a:bad2() { fn:no-such(1) };
+declare function a:good() { 1 };|}
+  in
+  check_bool "multiple diagnostics" true (List.length diags >= 2);
+  (* and the live registry is untouched *)
+  check_bool "not registered" true
+    (Metadata.find_function demo.Aldsp_demo.Demo.registry
+       (Qname.make ~uri:"urn:a" "good") 0
+    = None)
+
+let test_prolog_variables () =
+  let demo = setup ~customers:5 () in
+  let q =
+    "declare variable $threshold := 2000;\n     declare variable $label := \"CUST\";\n     for $c in CUSTOMER() where $c/SINCE gt $threshold and fn:starts-with($c/CID, $label) return $c/CID"
+  in
+  let r = run demo q in
+  check_bool "variables usable in the body" true (List.length r > 0);
+  (* and inside declared functions *)
+  let q2 =
+    "declare namespace my = \"urn:my\";\n     declare variable $base := 40;\n     declare function my:f($x as xs:integer) as xs:integer { $x + $base };\n     my:f(2)"
+  in
+  check_bool "variables usable in functions" true
+    (Item.serialize (run demo q2) = "42")
+
+let test_declarative_hints () =
+  (* §9 roadmap: query-level hints tune the optimizer per compilation *)
+  let demo = setup ~customers:12 () in
+  let hinted =
+    "(::pragma hint ppk-k=\"4\" ::)\nfor $c in CUSTOMER(), $x in CREDIT_CARD() where $c/CID eq $x/CID return <R>{$c/CID}</R>"
+  in
+  Aldsp_demo.Demo.reset_stats demo;
+  let r = run demo hinted in
+  check_int "result intact" 12 (List.length r);
+  check_int "k=4 over 12 tuples -> 3 blocks" 3
+    demo.Aldsp_demo.Demo.card_db.Database.stats.Database.statements;
+  (* inline-views="false" keeps the view call visible in the plan *)
+  let no_inline =
+    "(::pragma hint inline-views=\"false\" ::)\ngetCustomerNames()"
+  in
+  (match Server.compile demo.Aldsp_demo.Demo.server no_inline with
+  | Ok compiled -> (
+    match compiled.Server.plan with
+    | Cexpr.Call { fn; _ } ->
+      check_bool "call preserved" true (fn.Qname.local = "getCustomerNames")
+    | p -> Alcotest.failf "view inlined despite hint: %s" (Cexpr.to_string p))
+  | Error _ -> Alcotest.fail "compile failed")
+
+let test_run_stream () =
+  let demo = setup ~customers:2 () in
+  let stream =
+    ok_exn (Server.run_stream demo.Aldsp_demo.Demo.server "getCustomerNames()")
+  in
+  let items = ok_exn (Aldsp_tokens.Token_stream.to_items stream) in
+  check_int "two names" 2 (List.length items)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "runtime"
+    [ ( "joins",
+        [ t "PP-k roundtrips scale with k" test_ppk_roundtrips_scale_with_k;
+          t "PP-k matches NL" test_ppk_results_match_nl;
+          t "streaming group" test_streaming_group_constant_memory_shape;
+          t "group fallback" test_group_fallback_sorts ] );
+      ( "resilience",
+        [ t "async overlap" test_async_overlaps_latency;
+          t "fail-over" test_fail_over_to_alternate;
+          t "fail-over empty" test_fail_over_empty_partial_result;
+          t "timeout slow" test_timeout_slow_source;
+          t "timeout on failure" test_timeout_failure_also_fails_over ] );
+      ( "function-cache",
+        [ t "hit/miss/ttl" test_function_cache_hits;
+          t "designer permission" test_function_cache_requires_designer_permission;
+          t "args distinguish" test_function_cache_args_distinguish ] );
+      ( "plan-cache",
+        [ t "server reuses plans" test_plan_cache; t "LRU" test_plan_cache_lru ] );
+      ( "security",
+        [ t "function ACL" test_function_acl;
+          t "element filtering" test_element_level_filtering;
+          t "filter after cache" test_security_after_cache;
+          t "audit" test_audit_records ] );
+      ( "server",
+        [ t "design-time check" test_design_time_check_reports_all;
+          t "prolog variables" test_prolog_variables;
+          t "declarative hints" test_declarative_hints;
+          t "streaming API" test_run_stream ] ) ]

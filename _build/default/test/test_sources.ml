@@ -1,0 +1,366 @@
+(* Tests for the remaining source kinds of §2.2 and their integration:
+   CSV (delimited) file sources, XML file sources, stored procedures —
+   plus the design view (Figure 1) and the extended function library. *)
+
+open Aldsp_core
+open Aldsp_xml
+open Aldsp_relational
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_string = Alcotest.check Alcotest.string
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let err_exn = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error msg -> msg
+
+(* ------------------------------------------------------------------ *)
+(* CSV parsing                                                         *)
+
+let test_csv_parse_basic () =
+  let rows = ok_exn (Aldsp_services.Csv_source.parse "a,b,c\n1,2,3\n") in
+  check_bool "rows" true (rows = [ [ "a"; "b"; "c" ]; [ "1"; "2"; "3" ] ])
+
+let test_csv_parse_quoting () =
+  let rows =
+    ok_exn
+      (Aldsp_services.Csv_source.parse
+         "name,note\n\"Jones, Ann\",\"said \"\"hi\"\"\"\n\"multi\nline\",x\n")
+  in
+  check_bool "quoted comma" true
+    (List.nth rows 1 = [ "Jones, Ann"; "said \"hi\"" ]);
+  check_bool "embedded newline" true (List.nth rows 2 = [ "multi\nline"; "x" ])
+
+let test_csv_parse_crlf_and_separator () =
+  let rows =
+    ok_exn (Aldsp_services.Csv_source.parse ~separator:';' "a;b\r\n1;2\r\n")
+  in
+  check_bool "crlf + custom separator" true
+    (rows = [ [ "a"; "b" ]; [ "1"; "2" ] ]);
+  ignore (err_exn (Aldsp_services.Csv_source.parse "\"unterminated"))
+
+let rate_schema =
+  Schema.element_decl (Qname.local "RATE")
+    (Schema.Complex
+       [ Schema.particle (Schema.simple (Qname.local "CODE") Atomic.T_string);
+         Schema.particle (Schema.simple (Qname.local "BASIS") Atomic.T_integer);
+         Schema.particle ~occurs:Schema.Optional
+           (Schema.simple (Qname.local "NOTE") Atomic.T_string) ])
+
+let test_csv_typed_rows () =
+  let nodes =
+    ok_exn
+      (Aldsp_services.Csv_source.load ~schema:rate_schema
+         "CODE,BASIS,NOTE\nUSD,100,base\nEUR,92,\n")
+  in
+  check_int "two rows" 2 (List.length nodes);
+  let eur = List.nth nodes 1 in
+  (* BASIS enters typed *)
+  (match Node.child_elements eur (Qname.local "BASIS") with
+  | [ b ] -> check_bool "typed integer" true (Node.typed_value b = [ Atomic.Integer 92 ])
+  | _ -> Alcotest.fail "BASIS missing");
+  (* empty NOTE field = absent optional element *)
+  check_int "NOTE absent" 0
+    (List.length (Node.child_elements eur (Qname.local "NOTE")))
+
+let test_csv_errors () =
+  ignore
+    (err_exn
+       (Aldsp_services.Csv_source.load ~schema:rate_schema
+          "WRONG,HEADER,ROW\nUSD,100,x\n"));
+  ignore
+    (err_exn
+       (Aldsp_services.Csv_source.load ~schema:rate_schema
+          "CODE,BASIS,NOTE\nUSD,not-a-number,x\n"));
+  (* missing required field *)
+  ignore
+    (err_exn
+       (Aldsp_services.Csv_source.load ~schema:rate_schema
+          "CODE,BASIS,NOTE\nUSD,,x\n"))
+
+let test_csv_registered_and_queryable () =
+  let registry = Metadata.create () in
+  ok_exn
+    (Metadata.register_csv_source registry ~name:"RATES" ~schema:rate_schema
+       "CODE,BASIS,NOTE\nUSD,100,base\nEUR,92,\nGBP,80,brexit\n");
+  let server = Server.create registry in
+  let r =
+    ok_exn
+      (Server.run server
+         "for $r in RATES() where $r/BASIS lt 95 return $r/CODE")
+  in
+  check_string "filtered codes" "<CODE>EUR</CODE> <CODE>GBP</CODE>"
+    (Item.serialize r)
+
+(* ------------------------------------------------------------------ *)
+(* XML file sources                                                    *)
+
+let test_xml_file_source () =
+  let registry = Metadata.create () in
+  let docs =
+    [ ok_exn (Xml_parser.parse "<RATE><CODE>JPY</CODE><BASIS>70</BASIS></RATE>");
+      ok_exn (Xml_parser.parse "<RATE><CODE>CHF</CODE><BASIS>105</BASIS></RATE>") ]
+  in
+  ok_exn
+    (Metadata.register_file_source registry ~name:"XRATES" ~schema:rate_schema
+       docs);
+  let server = Server.create registry in
+  let r =
+    ok_exn
+      (Server.run server "for $r in XRATES() return fn:data($r/BASIS)")
+  in
+  (* file data is typed at registration time (§5.3) *)
+  check_bool "typed integers" true
+    (Item.equal_sequence r [ Item.integer 70; Item.integer 105 ]);
+  (* invalid documents are rejected at registration *)
+  let bad = [ ok_exn (Xml_parser.parse "<RATE><CODE>X</CODE></RATE>") ] in
+  ignore
+    (err_exn
+       (Metadata.register_file_source registry ~name:"BAD" ~schema:rate_schema
+          bad))
+
+(* ------------------------------------------------------------------ *)
+(* Stored procedures                                                   *)
+
+let proc_db () =
+  let db = Database.create "ProcDB" in
+  Database.add_table db
+    (Table.create ~primary_key:[ "ID" ] "ACCOUNT"
+       [ Table.column ~nullable:false "ID" Table.T_int;
+         Table.column ~nullable:false "BALANCE" Table.T_decimal ]);
+  let t = Result.get_ok (Database.find_table db "ACCOUNT") in
+  List.iter
+    (fun r -> Result.get_ok (Table.insert t r))
+    [ [| Sql_value.Int 1; Sql_value.Float 100. |];
+      [| Sql_value.Int 2; Sql_value.Float 250. |];
+      [| Sql_value.Int 3; Sql_value.Float 40. |] ];
+  Procedure.register db
+    { Procedure.proc_name = "RICH_ACCOUNTS";
+      proc_params = [ ("threshold", Table.T_decimal) ];
+      result =
+        Procedure.Returns_rows
+          [ ("ID", Table.T_int); ("BALANCE", Table.T_decimal) ];
+      body =
+        (fun db args ->
+          match args with
+          | [ threshold ] -> (
+            match
+              Sql_exec.query db
+                ~params:[| threshold |]
+                (Result.get_ok
+                   (Sql_parser.parse_select
+                      "SELECT a.ID, a.BALANCE FROM ACCOUNT a WHERE a.BALANCE >= ? ORDER BY a.ID"))
+            with
+            | Ok r -> Ok r.Sql_exec.rows
+            | Error m -> Error m)
+          | _ -> Error "bad args") };
+  Procedure.register db
+    { Procedure.proc_name = "TOTAL_BALANCE";
+      proc_params = [];
+      result = Procedure.Returns_scalar Table.T_decimal;
+      body =
+        (fun db _ ->
+          match
+            Sql_exec.query db
+              (Result.get_ok
+                 (Sql_parser.parse_select
+                    "SELECT SUM(a.BALANCE) AS s FROM ACCOUNT a"))
+          with
+          | Ok { Sql_exec.rows = [ row ]; _ } -> Ok [ row ]
+          | Ok _ -> Error "unexpected"
+          | Error m -> Error m) };
+  db
+
+let test_procedure_call_direct () =
+  let db = proc_db () in
+  let rows =
+    ok_exn (Procedure.call db "RICH_ACCOUNTS" [ Sql_value.Float 100. ])
+  in
+  check_int "two rich accounts" 2 (List.length rows);
+  ignore (err_exn (Procedure.call db "RICH_ACCOUNTS" []));
+  ignore (err_exn (Procedure.call db "RICH_ACCOUNTS" [ Sql_value.Str "x" ]));
+  ignore (err_exn (Procedure.call db "NOPE" []))
+
+let test_procedure_as_xquery_function () =
+  let db = proc_db () in
+  let registry = Metadata.create () in
+  Metadata.introspect_procedure registry db
+    (Option.get (Procedure.find db "RICH_ACCOUNTS"));
+  Metadata.introspect_procedure registry db
+    (Option.get (Procedure.find db "TOTAL_BALANCE"));
+  let server = Server.create registry in
+  let r =
+    ok_exn
+      (Server.run server
+         "for $a in RICH_ACCOUNTS(50.0) return $a/ID")
+  in
+  check_string "rows as elements" "<ID>1</ID> <ID>2</ID>" (Item.serialize r);
+  let total = ok_exn (Server.run server "TOTAL_BALANCE()") in
+  check_bool "scalar result" true
+    (Item.serialize total = "390");
+  (* roundtrip accounting: one statement per call on the hosting db *)
+  Database.reset_stats db;
+  ignore (ok_exn (Server.run server "RICH_ACCOUNTS(0.0)"));
+  check_bool "statements counted" true
+    (db.Database.stats.Database.statements >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Design view (Figure 1)                                              *)
+
+let test_design_view () =
+  let demo = Aldsp_demo.Demo.create ~customers:2 () in
+  let text =
+    ok_exn (Design_view.render demo.Aldsp_demo.Demo.registry "ProfileDS")
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "read methods listed" true (contains "getProfileByID");
+  check_bool "lineage provider shown" true (contains "lineage provider");
+  check_bool "dependencies shown" true (contains "RatingService");
+  check_bool "customer dependency" true (contains "CustomerDB.CUSTOMER");
+  ignore (err_exn (Design_view.render demo.Aldsp_demo.Demo.registry "Nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Extended function library                                           *)
+
+let run_scalar q =
+  let registry = Metadata.create () in
+  let server = Server.create registry in
+  Item.serialize (ok_exn (Server.run server q))
+
+let test_string_functions () =
+  check_string "ends-with" "true" (run_scalar "fn:ends-with(\"aldsp\", \"sp\")");
+  check_string "substring-before" "2006"
+    (run_scalar "fn:substring-before(\"2006-09-12\", \"-\")");
+  check_string "substring-after" "09-12"
+    (run_scalar "fn:substring-after(\"2006-09-12\", \"-\")");
+  check_string "translate" "ALDSP"
+    (run_scalar "fn:translate(\"aldsp\", \"alds p\", \"ALDS P\")");
+  check_string "string-join" "a-b-c"
+    (run_scalar "fn:string-join((\"a\", \"b\", \"c\"), \"-\")")
+
+let test_sequence_functions () =
+  check_string "index-of" "2 4" (run_scalar "fn:index-of((1, 7, 3, 7), 7)");
+  check_string "remove" "1 3" (run_scalar "fn:remove((1, 2, 3), 2)");
+  check_string "reverse" "3 2 1" (run_scalar "fn:reverse((1, 2, 3))");
+  check_string "insert-before" "1 9 2"
+    (run_scalar "fn:insert-before((1, 2), 2, 9)");
+  check_string "distinct-values" "1 2 3"
+    (run_scalar "fn:distinct-values((1, 2, 1, 3, 2))");
+  check_string "exactly-one ok" "5" (run_scalar "fn:exactly-one((5))");
+  (match
+     Server.run (Server.create (Metadata.create ())) "fn:exactly-one((1, 2))"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "exactly-one accepted a pair")
+
+let test_date_functions () =
+  check_string "year" "2006"
+    (run_scalar "fn:year-from-dateTime(xs:dateTime(\"2006-09-12T08:00:00Z\"))");
+  check_string "month" "9"
+    (run_scalar "fn:month-from-dateTime(xs:dateTime(\"2006-09-12T08:00:00Z\"))");
+  check_string "day" "12"
+    (run_scalar "fn:day-from-dateTime(xs:dateTime(\"2006-09-12T08:00:00Z\"))")
+
+(* ------------------------------------------------------------------ *)
+(* SDO create / delete (§6)                                            *)
+
+let provider = Qname.make ~uri:"fn" "getProfile"
+
+let test_sdo_insert () =
+  (* insertion goes through the physical data service, whose lineage
+     covers every column (the logical PROFILE shape cannot supply the
+     NOT-NULL SSN — submit correctly refuses that, tested below) *)
+  let demo = Aldsp_demo.Demo.create ~customers:2 ~orders_per_customer:0 () in
+  let new_row =
+    Node.element (Qname.local "CUSTOMER")
+      [ Node.element (Qname.local "CID") [ Node.atom (Atomic.String "CUST9999") ];
+        Node.element (Qname.local "LAST_NAME") [ Node.atom (Atomic.String "New") ];
+        Node.element (Qname.local "SSN") [ Node.atom (Atomic.String "999-99-9999") ];
+        Node.element (Qname.local "SINCE") [ Node.atom (Atomic.Integer 86400) ] ]
+  in
+  let sdo =
+    Aldsp_sdo.Sdo.create ~ds_function:(Qname.local "CUSTOMER") new_row
+  in
+  let report =
+    ok_exn (Aldsp_sdo.Submit.submit demo.Aldsp_demo.Demo.registry [ sdo ])
+  in
+  check_bool "insert statement" true
+    (List.exists
+       (fun u ->
+         let s = u.Aldsp_sdo.Submit.tu_sql in
+         String.length s >= 6 && String.sub s 0 6 = "INSERT")
+       report.Aldsp_sdo.Submit.updates);
+  let r =
+    ok_exn
+      (Server.run demo.Aldsp_demo.Demo.server
+         "for $c in CUSTOMER() where $c/CID eq \"CUST9999\" return fn:data($c/LAST_NAME)")
+  in
+  check_bool "row visible" true (Item.equal_sequence r [ Item.string "New" ]);
+  (* a logical-shape insert that cannot supply a NOT NULL column fails
+     atomically *)
+  let incomplete =
+    Node.element (Qname.local "PROFILE")
+      [ Node.element (Qname.local "CID") [ Node.atom (Atomic.String "CUST8888") ];
+        Node.element (Qname.local "LAST_NAME") [ Node.atom (Atomic.String "X") ];
+        Node.element (Qname.local "SINCE") [ Node.atom (Atomic.Date_time 0.) ] ]
+  in
+  let bad = Aldsp_sdo.Sdo.create ~ds_function:provider incomplete in
+  ignore (err_exn (Aldsp_sdo.Submit.submit demo.Aldsp_demo.Demo.registry [ bad ]))
+
+let test_sdo_delete () =
+  let demo = Aldsp_demo.Demo.create ~customers:3 ~orders_per_customer:0 () in
+  let sdo =
+    match
+      Server.run demo.Aldsp_demo.Demo.server "getProfileByID(\"CUST0002\")"
+    with
+    | Ok [ Item.Node n ] -> Aldsp_sdo.Sdo.of_result ~ds_function:provider n
+    | _ -> Alcotest.fail "read failed"
+  in
+  Aldsp_sdo.Sdo.mark_deleted sdo;
+  check_bool "deleted counts as changed" true (Aldsp_sdo.Sdo.is_changed sdo);
+  let report =
+    ok_exn (Aldsp_sdo.Submit.submit demo.Aldsp_demo.Demo.registry [ sdo ])
+  in
+  check_bool "delete statement" true
+    (List.exists
+       (fun u ->
+         let s = u.Aldsp_sdo.Submit.tu_sql in
+         String.length s >= 6 && String.sub s 0 6 = "DELETE")
+       report.Aldsp_sdo.Submit.updates);
+  let remaining =
+    ok_exn
+      (Server.run demo.Aldsp_demo.Demo.server
+         "count(for $c in CUSTOMER() return $c)")
+  in
+  check_bool "two customers left" true
+    (Item.equal_sequence remaining [ Item.integer 2 ])
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sources"
+    [ ( "csv",
+        [ t "parse basic" test_csv_parse_basic;
+          t "quoting" test_csv_parse_quoting;
+          t "crlf+separator" test_csv_parse_crlf_and_separator;
+          t "typed rows" test_csv_typed_rows;
+          t "errors" test_csv_errors;
+          t "registered + queryable" test_csv_registered_and_queryable ] );
+      ("xml-file", [ t "typed + validated" test_xml_file_source ]);
+      ( "procedures",
+        [ t "direct call" test_procedure_call_direct;
+          t "as XQuery function" test_procedure_as_xquery_function ] );
+      ("design-view", [ t "figure 1" test_design_view ]);
+      ( "fn-lib",
+        [ t "strings" test_string_functions;
+          t "sequences" test_sequence_functions;
+          t "dates" test_date_functions ] );
+      ( "sdo-lifecycle",
+        [ t "insert" test_sdo_insert; t "delete" test_sdo_delete ] ) ]

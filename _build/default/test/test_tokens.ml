@@ -1,0 +1,263 @@
+(* Tests for the token-stream substrate: stream <-> tree conversions and the
+   three tuple representations of Figure 4. *)
+
+open Aldsp_xml
+open Aldsp_tokens
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let sample_node =
+  Node.element
+    ~attributes:[ (Qname.local "id", Atomic.Integer 5) ]
+    (Qname.local "CUSTOMER")
+    [ Node.element (Qname.local "CID") [ Node.atom (Atomic.Integer 100) ];
+      Node.element (Qname.local "LAST_NAME")
+        [ Node.atom (Atomic.String "al") ];
+      Node.text "note" ]
+
+let test_stream_roundtrip () =
+  let stream = Token_stream.of_node sample_node in
+  match ok_exn (Token_stream.to_items stream) with
+  | [ Item.Node n ] -> check_bool "roundtrip" true (Node.equal n sample_node)
+  | _ -> Alcotest.fail "expected one node"
+
+let test_stream_of_sequence () =
+  let seq = [ Item.integer 1; Item.Node sample_node; Item.string "x" ] in
+  let items = ok_exn (Token_stream.to_items (Token_stream.of_sequence seq)) in
+  check_bool "sequence roundtrip" true (Item.equal_sequence seq items)
+
+let test_stream_malformed () =
+  let bad = List.to_seq [ Token.Start_element (Qname.local "a") ] in
+  (match Token_stream.to_items bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated element accepted");
+  let bad2 = List.to_seq [ Token.End_element ] in
+  match Token_stream.to_items bad2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stray end accepted"
+
+let test_box_unbox () =
+  let stream = Token_stream.of_node sample_node in
+  let boxed = Token_stream.box stream in
+  let items = ok_exn (Token_stream.to_items (Token_stream.unbox boxed)) in
+  check_bool "box/unbox" true
+    (Item.equal_sequence [ Item.Node sample_node ] items);
+  (* boxed tokens are transparent to to_items *)
+  let items2 = ok_exn (Token_stream.to_items (Seq.return boxed)) in
+  check_bool "transparent" true
+    (Item.equal_sequence [ Item.Node sample_node ] items2)
+
+let test_stream_laziness () =
+  (* of_node must not force the whole tree: consuming one token from a big
+     element is fine even if we never finish. *)
+  let wide =
+    Node.element (Qname.local "R")
+      (List.init 10000 (fun i ->
+           Node.element (Qname.local "X") [ Node.atom (Atomic.Integer i) ]))
+  in
+  match (Token_stream.of_node wide) () with
+  | Seq.Cons (Token.Start_element n, _) ->
+    check_bool "first token" true (Qname.equal n (Qname.local "R"))
+  | _ -> Alcotest.fail "expected start element"
+
+(* ------------------------------------------------------------------ *)
+(* Tuples (Figure 4)                                                   *)
+
+let reprs = [ Tuple.Stream_repr; Tuple.Single_repr; Tuple.Array_repr ]
+
+let fields_fixture : Item.sequence list =
+  [ [ Item.integer 100 ]; [ Item.string "al" ]; [ Item.Node sample_node ] ]
+
+let test_tuple_field_access () =
+  List.iter
+    (fun repr ->
+      let t = Tuple.of_sequences repr fields_fixture in
+      check_int "width" 3 (Tuple.width t);
+      List.iteri
+        (fun i expected ->
+          check_bool
+            (Printf.sprintf "field %d" i)
+            true
+            (Item.equal_sequence expected (Tuple.field_items t i)))
+        fields_fixture)
+    reprs
+
+let test_tuple_concat_subtuple () =
+  List.iter
+    (fun repr ->
+      let a = Tuple.of_sequences repr [ [ Item.integer 1 ]; [ Item.integer 2 ] ] in
+      let b = Tuple.of_sequences repr [ [ Item.string "x" ] ] in
+      let c = Tuple.concat a b in
+      check_int "concat width" 3 (Tuple.width c);
+      check_bool "concat keeps repr" true (Tuple.repr c = repr);
+      check_bool "last field" true
+        (Item.equal_sequence [ Item.string "x" ] (Tuple.field_items c 2));
+      let sub = Tuple.subtuple c 1 2 in
+      check_int "subtuple width" 2 (Tuple.width sub);
+      check_bool "subtuple field" true
+        (Item.equal_sequence [ Item.integer 2 ] (Tuple.field_items sub 0)))
+    reprs
+
+let test_tuple_convert_equal () =
+  let base = Tuple.of_sequences Tuple.Array_repr fields_fixture in
+  List.iter
+    (fun repr ->
+      let converted = Tuple.convert repr base in
+      check_bool "repr set" true (Tuple.repr converted = repr);
+      check_bool "equal across reprs" true (Tuple.equal base converted))
+    reprs
+
+let test_tuple_stream_encoding () =
+  let t =
+    Tuple.of_sequences Tuple.Stream_repr
+      [ [ Item.integer 100 ]; [ Item.string "al" ] ]
+  in
+  let tokens = List.of_seq (Tuple.to_stream t) in
+  check_bool "delimited form" true
+    (match tokens with
+    | Token.Begin_tuple :: Token.Atom (Atomic.Integer 100)
+      :: Token.Field_separator :: Token.Atom (Atomic.String "al")
+      :: [ Token.End_tuple ] ->
+      true
+    | _ -> false)
+
+let test_tuple_empty_field () =
+  (* empty sequences in fields must survive all representations *)
+  List.iter
+    (fun repr ->
+      let t = Tuple.of_sequences repr [ []; [ Item.integer 9 ] ] in
+      check_int "width with empty" 2 (Tuple.width t);
+      check_bool "empty field" true (Tuple.field_items t 0 = []);
+      check_bool "second field" true
+        (Item.equal_sequence [ Item.integer 9 ] (Tuple.field_items t 1)))
+    reprs
+
+(* ------------------------------------------------------------------ *)
+(* Streaming serialization                                             *)
+
+let test_serialize_stream_matches_tree () =
+  let buf = Buffer.create 64 in
+  Token_stream.serialize_to buf (Token_stream.of_node sample_node);
+  Alcotest.check Alcotest.string "same as tree serialization"
+    (Node.serialize sample_node) (Buffer.contents buf)
+
+let test_serialize_stream_incremental () =
+  (* chunks appear without forcing the whole stream *)
+  let wide =
+    Node.element (Qname.local "R")
+      (List.init 1000 (fun i ->
+           Node.element (Qname.local "X") [ Node.atom (Atomic.Integer i) ]))
+  in
+  let chunks = Token_stream.serialize_chunks (Token_stream.of_node wide) in
+  (match chunks () with
+  | Seq.Cons (first, _) -> Alcotest.check Alcotest.string "first chunk" "<R" first
+  | Seq.Nil -> Alcotest.fail "no chunks")
+
+let test_serialize_escaping_and_empty () =
+  let node =
+    Node.element
+      ~attributes:[ (Qname.local "a", Atomic.String "x<y") ]
+      (Qname.local "E")
+      [ Node.text "a&b" ]
+  in
+  let buf = Buffer.create 32 in
+  Token_stream.serialize_to buf (Token_stream.of_node node);
+  Alcotest.check Alcotest.string "escaped" "<E a=\"x&lt;y\">a&amp;b</E>"
+    (Buffer.contents buf);
+  let empty = Node.element (Qname.local "Z") [] in
+  let buf2 = Buffer.create 8 in
+  Token_stream.serialize_to buf2 (Token_stream.of_node empty);
+  Alcotest.check Alcotest.string "self-closing" "<Z/>" (Buffer.contents buf2)
+
+let test_serialize_malformed () =
+  let bad = List.to_seq [ Token.End_element ] in
+  match Token_stream.serialize_to (Buffer.create 4) bad with
+  | () -> Alcotest.fail "accepted unbalanced stream"
+  | exception Invalid_argument _ -> ()
+
+(* Property: streaming serialization of any shallow tree equals the tree
+   serializer. *)
+let prop_serialize_agree =
+  let leaf_gen =
+    QCheck.Gen.oneof
+      [ QCheck.Gen.map (fun i -> Node.atom (Atomic.Integer i)) QCheck.Gen.small_signed_int;
+        QCheck.Gen.map (fun s -> Node.text ("t" ^ s)) QCheck.Gen.small_string ]
+  in
+  let node_gen =
+    QCheck.Gen.map
+      (fun leaves ->
+        Node.element (Qname.local "R")
+          (List.map
+             (fun l -> Node.element (Qname.local "C") [ l ])
+             leaves))
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 0 6) leaf_gen)
+  in
+  QCheck.Test.make ~name:"streaming serializer agrees with tree serializer"
+    ~count:200 (QCheck.make node_gen) (fun tree ->
+      let buf = Buffer.create 64 in
+      Token_stream.serialize_to buf (Token_stream.of_node tree);
+      Buffer.contents buf = Node.serialize tree)
+
+(* Property: conversion between representations preserves equality. *)
+let prop_tuple_roundtrip =
+  let field_gen =
+    QCheck.map
+      (fun xs -> List.map (fun i -> Item.integer i) xs)
+      QCheck.(list_of_size (Gen.int_range 0 3) small_signed_int)
+  in
+  let tuple_gen = QCheck.(list_of_size (Gen.int_range 1 5) field_gen) in
+  QCheck.Test.make ~name:"tuple repr conversions preserve value" ~count:200
+    tuple_gen (fun fields ->
+      let a = Tuple.of_sequences Tuple.Array_repr fields in
+      let s = Tuple.convert Tuple.Stream_repr a in
+      let g = Tuple.convert Tuple.Single_repr s in
+      Tuple.equal a s && Tuple.equal s g
+      && Tuple.equal (Tuple.convert Tuple.Array_repr g) a)
+
+let prop_stream_roundtrip =
+  (* random shallow trees survive streaming *)
+  let leaf_gen =
+    QCheck.Gen.oneof
+      [ QCheck.Gen.map (fun i -> Node.atom (Atomic.Integer i)) QCheck.Gen.small_signed_int;
+        QCheck.Gen.map (fun s -> Node.text ("t" ^ s)) QCheck.Gen.small_string ]
+  in
+  let tree_gen =
+    QCheck.Gen.map
+      (fun leaves -> Node.element (Qname.local "R") leaves)
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 0 8) leaf_gen)
+  in
+  QCheck.Test.make ~name:"token stream roundtrips trees" ~count:200
+    (QCheck.make tree_gen) (fun tree ->
+      match Token_stream.to_items (Token_stream.of_node tree) with
+      | Ok [ Item.Node n ] -> Node.equal n tree
+      | _ -> false)
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "tokens"
+    [ ( "stream",
+        [ t "roundtrip" test_stream_roundtrip;
+          t "sequence" test_stream_of_sequence;
+          t "malformed" test_stream_malformed;
+          t "box/unbox" test_box_unbox;
+          t "laziness" test_stream_laziness;
+          QCheck_alcotest.to_alcotest prop_stream_roundtrip ] );
+      ( "serialize",
+        [ t "matches tree" test_serialize_stream_matches_tree;
+          t "incremental" test_serialize_stream_incremental;
+          t "escaping + empty" test_serialize_escaping_and_empty;
+          t "malformed" test_serialize_malformed;
+          QCheck_alcotest.to_alcotest prop_serialize_agree ] );
+      ( "tuple",
+        [ t "field access" test_tuple_field_access;
+          t "concat/subtuple" test_tuple_concat_subtuple;
+          t "convert+equal" test_tuple_convert_equal;
+          t "stream encoding" test_tuple_stream_encoding;
+          t "empty field" test_tuple_empty_field;
+          QCheck_alcotest.to_alcotest prop_tuple_roundtrip ] ) ]

@@ -1,0 +1,349 @@
+(* Tests for the XML/XDM substrate: atomic values, node trees, the XML
+   parser, and schema validation. *)
+
+open Aldsp_xml
+
+let check = Alcotest.check
+let check_string = check Alcotest.string
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let err_exn = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error msg -> msg
+
+(* ------------------------------------------------------------------ *)
+(* Qname                                                               *)
+
+let test_qname_roundtrip () =
+  let q = Qname.make ~uri:"urn:demo" "CUSTOMER" in
+  check_bool "equal after roundtrip" true
+    (Qname.equal q (Qname.of_string (Qname.to_string q)));
+  check_string "clark" "{urn:demo}CUSTOMER" (Qname.to_string q);
+  check_string "no-ns" "CID" (Qname.to_string (Qname.local "CID"))
+
+let test_qname_compare () =
+  let a = Qname.make ~uri:"a" "x" and b = Qname.make ~uri:"b" "x" in
+  check_bool "uri orders first" true (Qname.compare a b < 0);
+  check_bool "same" true (Qname.compare a a = 0);
+  check_bool "local breaks ties" true
+    (Qname.compare (Qname.local "a") (Qname.local "b") < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic                                                              *)
+
+let test_atomic_lexical () =
+  check_string "integer" "42" (Atomic.to_string (Atomic.Integer 42));
+  check_string "negative" "-7" (Atomic.to_string (Atomic.Integer (-7)));
+  check_string "boolean" "true" (Atomic.to_string (Atomic.Boolean true));
+  check_string "decimal whole" "3" (Atomic.to_string (Atomic.Decimal 3.));
+  check_string "decimal frac" "3.25" (Atomic.to_string (Atomic.Decimal 3.25));
+  check_string "date" "2006-09-12"
+    (Atomic.to_string (Atomic.Date { year = 2006; month = 9; day = 12 }))
+
+let test_atomic_parse () =
+  check_bool "int" true (Atomic.parse Atomic.T_integer "17" = Ok (Atomic.Integer 17));
+  check_bool "bool" true (Atomic.parse Atomic.T_boolean "false" = Ok (Atomic.Boolean false));
+  check_bool "trim" true (Atomic.parse Atomic.T_integer " 5 " = Ok (Atomic.Integer 5));
+  ignore (err_exn (Atomic.parse Atomic.T_integer "abc"));
+  ignore (err_exn (Atomic.parse Atomic.T_date "not-a-date"))
+
+let test_datetime_roundtrip () =
+  let lex = "2006-09-12T08:30:00Z" in
+  let t = ok_exn (Atomic.date_time_of_string lex) in
+  check_string "roundtrip" lex (Atomic.date_time_to_string t);
+  (* epoch zero *)
+  check_string "epoch" "1970-01-01T00:00:00Z" (Atomic.date_time_to_string 0.)
+
+let test_date_conversions () =
+  let d = { Atomic.year = 2000; month = 3; day = 1 } in
+  check_bool "date roundtrip" true
+    (Atomic.date_of_epoch (Atomic.epoch_of_date d) = d);
+  (* leap year boundary *)
+  let feb29 = { Atomic.year = 2004; month = 2; day = 29 } in
+  check_bool "leap day" true
+    (Atomic.date_of_epoch (Atomic.epoch_of_date feb29) = feb29)
+
+let test_atomic_compare () =
+  let ok_cmp a b = ok_exn (Atomic.compare_values a b) in
+  check_int "int/int" (-1) (ok_cmp (Atomic.Integer 1) (Atomic.Integer 2));
+  check_int "int/decimal promote" 0
+    (ok_cmp (Atomic.Integer 2) (Atomic.Decimal 2.));
+  check_int "untyped as double vs int" 0
+    (ok_cmp (Atomic.Untyped "3") (Atomic.Integer 3));
+  check_int "string" 1 (ok_cmp (Atomic.String "b") (Atomic.String "a"));
+  check_int "date vs dateTime" (-1)
+    (ok_cmp
+       (Atomic.Date { year = 2005; month = 1; day = 1 })
+       (Atomic.Date_time (Atomic.epoch_of_date { year = 2005; month = 1; day = 2 })));
+  ignore (err_exn (Atomic.compare_values (Atomic.Boolean true) (Atomic.Integer 1)))
+
+let test_atomic_arith () =
+  check_bool "int add stays int" true
+    (Atomic.add (Atomic.Integer 2) (Atomic.Integer 3) = Ok (Atomic.Integer 5));
+  check_bool "div yields decimal" true
+    (Atomic.div (Atomic.Integer 7) (Atomic.Integer 2) = Ok (Atomic.Decimal 3.5));
+  check_bool "idiv" true
+    (Atomic.idiv (Atomic.Integer 7) (Atomic.Integer 2) = Ok (Atomic.Integer 3));
+  check_bool "mod" true
+    (Atomic.modulo (Atomic.Integer 7) (Atomic.Integer 2) = Ok (Atomic.Integer 1));
+  ignore (err_exn (Atomic.div (Atomic.Integer 1) (Atomic.Integer 0)));
+  check_bool "double contaminates" true
+    (Atomic.add (Atomic.Integer 1) (Atomic.Double 0.5) = Ok (Atomic.Double 1.5));
+  check_bool "dateTime + seconds" true
+    (Atomic.add (Atomic.Date_time 100.) (Atomic.Integer 20)
+    = Ok (Atomic.Date_time 120.))
+
+let test_atomic_cast () =
+  check_bool "string->int" true
+    (Atomic.cast Atomic.T_integer (Atomic.String "12") = Ok (Atomic.Integer 12));
+  check_bool "int->string" true
+    (Atomic.cast Atomic.T_string (Atomic.Integer 12) = Ok (Atomic.String "12"));
+  check_bool "int->dateTime (epoch)" true
+    (Atomic.cast Atomic.T_date_time (Atomic.Integer 86400)
+    = Ok (Atomic.Date_time 86400.));
+  check_bool "date->dateTime" true
+    (Atomic.cast Atomic.T_date_time (Atomic.Date { year = 1970; month = 1; day = 2 })
+    = Ok (Atomic.Date_time 86400.));
+  ignore (err_exn (Atomic.cast Atomic.T_integer (Atomic.String "oops")))
+
+let test_atomic_ebv () =
+  check_bool "empty string" true (Atomic.ebv (Atomic.String "") = Ok false);
+  check_bool "nonzero" true (Atomic.ebv (Atomic.Integer 5) = Ok true);
+  check_bool "zero" true (Atomic.ebv (Atomic.Integer 0) = Ok false);
+  ignore (err_exn (Atomic.ebv (Atomic.Date { year = 2000; month = 1; day = 1 })))
+
+(* Property: date conversions invert each other over a wide range. *)
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"civil date <-> epoch roundtrip" ~count:500
+    QCheck.(int_range (-200000) 200000)
+    (fun day ->
+      let date = Atomic.date_of_epoch (float_of_int (day * 86400)) in
+      Atomic.epoch_of_date date = float_of_int (day * 86400))
+
+let prop_compare_antisym =
+  let gen =
+    QCheck.oneof
+      [ QCheck.map (fun i -> Atomic.Integer i) QCheck.small_signed_int;
+        QCheck.map (fun f -> Atomic.Decimal f) (QCheck.float_bound_inclusive 1000.);
+        QCheck.map (fun s -> Atomic.String s) QCheck.small_printable_string ]
+  in
+  QCheck.Test.make ~name:"compare_values antisymmetric" ~count:500
+    (QCheck.pair gen gen) (fun (a, b) ->
+      match (Atomic.compare_values a b, Atomic.compare_values b a) with
+      | Ok x, Ok y -> Int.compare x 0 = Int.compare 0 y
+      | Error _, Error _ -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Node                                                                *)
+
+let customer =
+  Node.element (Qname.local "CUSTOMER")
+    [ Node.element (Qname.local "CID") [ Node.atom (Atomic.Integer 1) ];
+      Node.element (Qname.local "LAST_NAME") [ Node.atom (Atomic.String "Jones") ] ]
+
+let test_node_access () =
+  check_int "children" 2 (List.length (Node.children customer));
+  let cid = List.hd (Node.child_elements customer (Qname.local "CID")) in
+  check_string "string value" "1" (Node.string_value cid);
+  check_bool "typed value keeps type" true
+    (Node.typed_value cid = [ Atomic.Integer 1 ]);
+  check_bool "absent child" true
+    (Node.child_elements customer (Qname.local "NOPE") = [])
+
+let test_node_typed_value_mixed () =
+  let n =
+    Node.element (Qname.local "X")
+      [ Node.element (Qname.local "Y") [ Node.text "a" ] ]
+  in
+  (* element with element children atomizes to untyped string value *)
+  check_bool "complex content -> untyped" true
+    (Node.typed_value n = [ Atomic.Untyped "a" ])
+
+let test_node_serialize () =
+  check_string "serialization"
+    "<CUSTOMER><CID>1</CID><LAST_NAME>Jones</LAST_NAME></CUSTOMER>"
+    (Node.serialize customer);
+  let with_attr =
+    Node.element
+      ~attributes:[ (Qname.local "name", Atomic.String "Jones") ]
+      (Qname.local "CUSTOMER_IDS")
+      []
+  in
+  check_string "attributes + empty" "<CUSTOMER_IDS name=\"Jones\"/>"
+    (Node.serialize with_attr);
+  let escaped = Node.element (Qname.local "E") [ Node.text "a<b&c" ] in
+  check_string "escaping" "<E>a&lt;b&amp;c</E>" (Node.serialize escaped)
+
+let test_node_equal () =
+  check_bool "equal" true (Node.equal customer customer);
+  check_bool "text vs atom differ" false
+    (Node.equal
+       (Node.element (Qname.local "E") [ Node.text "1" ])
+       (Node.element (Qname.local "E") [ Node.atom (Atomic.Integer 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Item                                                                *)
+
+let test_item_atomize () =
+  let seq = [ Item.Node customer; Item.integer 9 ] in
+  let atoms = ok_exn (Item.atomize seq) in
+  (* CUSTOMER has element children -> single untyped; then the 9 *)
+  check_int "two atoms" 2 (List.length atoms)
+
+let test_item_ebv () =
+  check_bool "empty false" true (Item.ebv [] = Ok false);
+  check_bool "node true" true (Item.ebv [ Item.Node customer ] = Ok true);
+  check_bool "singleton bool" true
+    (Item.ebv [ Item.boolean false ] = Ok false);
+  ignore (err_exn (Item.ebv [ Item.integer 1; Item.integer 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Xml_parser                                                          *)
+
+let test_parse_simple () =
+  let doc = ok_exn (Xml_parser.parse "<a x=\"1\"><b>hi</b><c/></a>") in
+  check_int "children" 2 (List.length (Node.children doc));
+  check_bool "attr" true
+    (Node.attribute doc (Qname.local "x") = Some (Atomic.Untyped "1"));
+  check_string "text" "hi" (Node.string_value doc)
+
+let test_parse_entities () =
+  let doc = ok_exn (Xml_parser.parse "<a>x &lt;&amp;&gt; y &#65;</a>") in
+  check_string "decoded" "x <&> y A" (Node.string_value doc)
+
+let test_parse_namespaces () =
+  let doc =
+    ok_exn
+      (Xml_parser.parse
+         "<p:a xmlns:p=\"urn:x\" xmlns=\"urn:d\"><b/></p:a>")
+  in
+  check_bool "prefixed" true
+    (Node.name doc = Some (Qname.make ~uri:"urn:x" "a"));
+  match Node.children doc with
+  | [ child ] ->
+    check_bool "default ns" true
+      (Node.name child = Some (Qname.make ~uri:"urn:d" "b"))
+  | _ -> Alcotest.fail "expected one child"
+
+let test_parse_cdata_comment () =
+  let doc =
+    ok_exn (Xml_parser.parse "<a><!-- note --><![CDATA[<raw>]]></a>")
+  in
+  check_string "cdata kept raw" "<raw>" (Node.string_value doc)
+
+let test_parse_errors () =
+  ignore (err_exn (Xml_parser.parse "<a><b></a>"));
+  ignore (err_exn (Xml_parser.parse "<a>"));
+  ignore (err_exn (Xml_parser.parse "<a/><b/>"));
+  check_bool "fragment allows siblings" true
+    (match Xml_parser.parse_fragment "<a/><b/>" with
+    | Ok [ _; _ ] -> true
+    | _ -> false)
+
+let test_parse_serialize_roundtrip () =
+  let input = "<r><a k=\"v\">t</a><b><c>1</c></b></r>" in
+  let doc = ok_exn (Xml_parser.parse input) in
+  let again = ok_exn (Xml_parser.parse (Node.serialize doc)) in
+  check_bool "roundtrip" true (Node.equal doc again)
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let profile_schema =
+  Schema.element_decl (Qname.local "PROFILE")
+    (Schema.Complex
+       [ Schema.particle (Schema.simple (Qname.local "CID") Atomic.T_integer);
+         Schema.particle ~occurs:Schema.Optional
+           (Schema.simple (Qname.local "LAST_NAME") Atomic.T_string);
+         Schema.particle ~occurs:Schema.Zero_or_more
+           (Schema.simple (Qname.local "ORDER_ID") Atomic.T_integer) ])
+
+let test_schema_validate_types_content () =
+  let raw =
+    ok_exn
+      (Xml_parser.parse
+         "<PROFILE><CID>7</CID><LAST_NAME>Smith</LAST_NAME><ORDER_ID>1</ORDER_ID><ORDER_ID>2</ORDER_ID></PROFILE>")
+  in
+  let typed = ok_exn (Schema.validate profile_schema raw) in
+  let cid = List.hd (Node.child_elements typed (Qname.local "CID")) in
+  check_bool "CID becomes integer" true
+    (Node.typed_value cid = [ Atomic.Integer 7 ]);
+  check_int "repeated ok" 2
+    (List.length (Node.child_elements typed (Qname.local "ORDER_ID")))
+
+let test_schema_occurrence_violations () =
+  let missing = ok_exn (Xml_parser.parse "<PROFILE></PROFILE>") in
+  ignore (err_exn (Schema.validate profile_schema missing));
+  let dup =
+    ok_exn (Xml_parser.parse "<PROFILE><CID>1</CID><CID>2</CID></PROFILE>")
+  in
+  ignore (err_exn (Schema.validate profile_schema dup))
+
+let test_schema_undeclared () =
+  let bad =
+    ok_exn (Xml_parser.parse "<PROFILE><CID>1</CID><HUH/></PROFILE>")
+  in
+  ignore (err_exn (Schema.validate profile_schema bad))
+
+let test_schema_lexical_error () =
+  let bad = ok_exn (Xml_parser.parse "<PROFILE><CID>xyz</CID></PROFILE>") in
+  ignore (err_exn (Schema.validate profile_schema bad))
+
+let test_schema_attributes () =
+  let decl =
+    Schema.element_decl
+      ~attributes:
+        [ Schema.attribute_decl ~required:true (Qname.local "id")
+            Atomic.T_integer ]
+      (Qname.local "E") Schema.Empty_content
+  in
+  let ok_doc = ok_exn (Xml_parser.parse "<E id=\"3\"/>") in
+  let typed = ok_exn (Schema.validate decl ok_doc) in
+  check_bool "typed attribute" true
+    (Node.attribute typed (Qname.local "id") = Some (Atomic.Integer 3));
+  let missing = ok_exn (Xml_parser.parse "<E/>") in
+  ignore (err_exn (Schema.validate decl missing))
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "xml"
+    [ ( "qname",
+        [ t "roundtrip" test_qname_roundtrip; t "compare" test_qname_compare ]
+      );
+      ( "atomic",
+        [ t "lexical" test_atomic_lexical;
+          t "parse" test_atomic_parse;
+          t "datetime roundtrip" test_datetime_roundtrip;
+          t "date conversions" test_date_conversions;
+          t "compare" test_atomic_compare;
+          t "arith" test_atomic_arith;
+          t "cast" test_atomic_cast;
+          t "ebv" test_atomic_ebv;
+          QCheck_alcotest.to_alcotest prop_date_roundtrip;
+          QCheck_alcotest.to_alcotest prop_compare_antisym ] );
+      ( "node",
+        [ t "access" test_node_access;
+          t "typed value mixed" test_node_typed_value_mixed;
+          t "serialize" test_node_serialize;
+          t "equal" test_node_equal ] );
+      ( "item",
+        [ t "atomize" test_item_atomize; t "ebv" test_item_ebv ] );
+      ( "parser",
+        [ t "simple" test_parse_simple;
+          t "entities" test_parse_entities;
+          t "namespaces" test_parse_namespaces;
+          t "cdata+comment" test_parse_cdata_comment;
+          t "errors" test_parse_errors;
+          t "roundtrip" test_parse_serialize_roundtrip ] );
+      ( "schema",
+        [ t "types content" test_schema_validate_types_content;
+          t "occurrence violations" test_schema_occurrence_violations;
+          t "undeclared" test_schema_undeclared;
+          t "lexical error" test_schema_lexical_error;
+          t "attributes" test_schema_attributes ] ) ]
