@@ -33,6 +33,16 @@ val relational_select :
   (Sql_exec.result_set, string) result
 (** Executes generated SQL with middleware-computed parameter bindings. *)
 
+val relational_select_async :
+  Pool.t ->
+  Database.t ->
+  Sql_ast.select ->
+  params:Sql_value.t array ->
+  ((Sql_exec.result_set, string) result * float) Future.t
+(** {!relational_select} submitted to the worker pool — the asynchronous
+    adaptor call of §6. The float is the roundtrip's wall time in seconds,
+    measured on the worker. *)
+
 val service_call :
   Web_service.t -> operation:string -> Item.sequence -> (Item.sequence, string) result
 (** Document-style call: the argument must be a single element (the request

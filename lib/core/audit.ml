@@ -6,17 +6,27 @@ type event = {
   detail : string option;
 }
 
-type t = { mutable lvl : level; mutable log : event list }
+(* events arrive from worker-pool threads too; the cons onto [log] is a
+   read-modify-write that needs the lock *)
+type t = { mutable lvl : level; mutable log : event list; lock : Mutex.t }
 
-let create ?(level = Off) () = { lvl = level; log = [] }
+let create ?(level = Off) () = { lvl = level; log = []; lock = Mutex.create () }
 let set_level t lvl = t.lvl <- lvl
 let level t = t.lvl
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
 
 let record t ~category ?detail summary =
   match t.lvl with
   | Off -> ()
-  | Summary -> t.log <- { category; summary; detail = None } :: t.log
-  | Detailed -> t.log <- { category; summary; detail } :: t.log
+  | Summary ->
+    locked t (fun () -> t.log <- { category; summary; detail = None } :: t.log)
+  | Detailed ->
+    locked t (fun () -> t.log <- { category; summary; detail } :: t.log)
 
-let events t = List.rev t.log
-let clear t = t.log <- []
+let events t = List.rev (locked t (fun () -> t.log))
+let clear t = locked t (fun () -> t.log <- [])

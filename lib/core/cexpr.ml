@@ -5,7 +5,7 @@ type var = string
 type join_method =
   | Nested_loop
   | Index_nested_loop
-  | Ppk of { k : int; inner : inner_method }
+  | Ppk of { k : int; prefetch : int; inner : inner_method }
 
 and inner_method = Inner_nl | Inner_inl
 
@@ -467,8 +467,9 @@ let binop_name = function
 let method_name = function
   | Nested_loop -> "nl"
   | Index_nested_loop -> "inl"
-  | Ppk { k; inner } ->
-    Printf.sprintf "pp-%d/%s" k
+  | Ppk { k; prefetch; inner } ->
+    Printf.sprintf "pp-%d%s/%s" k
+      (if prefetch > 0 then Printf.sprintf "+%d" prefetch else "")
       (match inner with Inner_nl -> "nl" | Inner_inl -> "inl")
 
 let rec pp ppf e =

@@ -21,11 +21,14 @@ open Aldsp_xml
 type var = string
 
 (** Physical join methods of §5.2. PP-k fetches the right side in blocks of
-    [k] left tuples via a disjunctive parameterized query. *)
+    [k] left tuples via a disjunctive parameterized query; [prefetch] is the
+    pipeline depth — how many block queries may be in flight on the worker
+    pool ahead of the block the middleware join is consuming (0 = strictly
+    sequential roundtrips). *)
 type join_method =
   | Nested_loop
   | Index_nested_loop
-  | Ppk of { k : int; inner : inner_method }
+  | Ppk of { k : int; prefetch : int; inner : inner_method }
 
 and inner_method = Inner_nl | Inner_inl
 

@@ -7,8 +7,10 @@ exception Eval_error of string
 
 let error fmt = Printf.ksprintf (fun m -> raise (Eval_error m)) fmt
 
-(* Bindings are either materialized or futures (spawned by fn-bea:async). *)
-type binding = Now of Item.sequence | Later of Item.sequence Future.t
+(* Bindings are either materialized or futures running on the worker pool
+   (fn-bea:async, concurrent independent lets); the pool rides along so
+   awaiting from a worker thread can help-drain instead of deadlocking. *)
+type binding = Now of Item.sequence | Later of Pool.t * Item.sequence Future.t
 
 module Env = Map.Make (String)
 
@@ -22,15 +24,18 @@ type rt = {
   registry : Metadata.t;
   call_wrapper : call_wrapper;
   max_depth : int;
+  pool : Pool.t;
+  observed : Observed.t option;
 }
 
-let runtime ?(call_wrapper = fun _ _ k -> k ()) registry =
-  { registry; call_wrapper; max_depth = 256 }
+let runtime ?(call_wrapper = fun _ _ k -> k ()) ?pool ?observed registry =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  { registry; call_wrapper; max_depth = 256; pool; observed }
 
 let lookup env v =
   match Env.find_opt v env with
   | Some (Now seq) -> seq
-  | Some (Later fut) -> Future.await fut
+  | Some (Later (pool, fut)) -> Pool.await pool fut
   | None -> error "unbound variable $%s at runtime" v
 
 let bind env v seq = Env.add v (Now seq) env
@@ -161,6 +166,24 @@ let arith op a b =
 
 type frame = { rt : rt; depth : int }
 
+(* The PP-k blocking step: lazy, the last block may be short, k <= 1
+   degenerates to singleton blocks. *)
+let batch_seq k (input : 'a Seq.t) : 'a list Seq.t =
+  let k = max 1 k in
+  let rec take n seq acc =
+    if n = 0 then (List.rev acc, seq)
+    else
+      match seq () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons (x, rest) -> take (n - 1) rest (x :: acc)
+  in
+  let rec go seq () =
+    match take k seq [] with
+    | [], _ -> Seq.Nil
+    | block, rest -> Seq.Cons (block, go rest)
+  in
+  go input
+
 let rec eval_expr fr env (e : C.t) : Item.sequence =
   match e with
   | C.Const a -> [ Item.Atom a ]
@@ -248,20 +271,20 @@ let rec eval_expr fr env (e : C.t) : Item.sequence =
     [ Item.boolean (matches_stype (eval_expr fr env input) ty) ]
   | C.Error_expr msg -> error "evaluated an error expression: %s" msg
 
-(* fn-bea:async children are spawned before their siblings are evaluated,
-   so independent slow calls overlap (§5.4). *)
+(* fn-bea:async children are submitted to the worker pool before their
+   siblings are evaluated, so independent slow calls overlap (§5.4). *)
 and eval_children fr env es =
   let started =
     List.map
       (fun e ->
         match e with
         | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
-          Later (Future.spawn (fun () -> eval_expr fr env arg))
+          Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env arg))
         | _ -> Now (eval_expr fr env e))
       es
   in
   List.concat_map
-    (function Now seq -> seq | Later fut -> Future.await fut)
+    (function Now seq -> seq | Later (pool, fut) -> Pool.await pool fut)
     started
 
 and eval_element fr env name optional attrs content =
@@ -378,7 +401,9 @@ and eval_call fr env fn args =
         | Some (Atomic.Integer i) -> i
         | _ -> error "fn-bea:timeout expects an integer milliseconds argument"
       in
-      let fut = Future.spawn (fun () -> eval_expr fr env prim) in
+      (* a dedicated thread, not a pool worker: past the deadline the
+         computation is abandoned and must not occupy the bounded pool *)
+      let fut = Future.detach (fun () -> eval_expr fr env prim) in
       match Future.await_timeout fut (float_of_int ms /. 1000.) with
       | Some v -> v
       | None -> eval_expr fr env alt
@@ -464,6 +489,15 @@ and eval_external _fr source fd values =
 and tuples fr env0 (input : env Seq.t) (clauses : C.clause list) : env Seq.t =
   match clauses with
   | [] -> input
+  | C.Let _ :: _ ->
+    (* a maximal run of adjacent lets binds as one step so independent
+       source calls within it can be submitted to the pool together *)
+    let rec split run = function
+      | (C.Let _ as l) :: rest -> split (l :: run) rest
+      | rest -> (List.rev run, rest)
+    in
+    let run, rest = split [] clauses in
+    tuples fr env0 (Seq.map (fun env -> bind_let_run fr env run) input) rest
   | clause :: rest ->
     let stream =
       match clause with
@@ -473,16 +507,7 @@ and tuples fr env0 (input : env Seq.t) (clauses : C.clause list) : env Seq.t =
             let items = eval_expr fr env source in
             Seq.map (fun item -> bind env var [ item ]) (List.to_seq items))
           input
-      | C.Let { var; value } ->
-        Seq.map
-          (fun env ->
-            match value with
-            | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
-              Env.add var
-                (Later (Future.spawn (fun () -> eval_expr fr env arg)))
-                env
-            | _ -> bind env var (eval_expr fr env value))
-          input
+      | C.Let _ -> assert false
       | C.Where cond ->
         Seq.filter (fun env -> ebv (eval_expr fr env cond)) input
       | C.Group { aggs; keys; clustered } -> eval_group fr input aggs keys clustered
@@ -493,6 +518,50 @@ and tuples fr env0 (input : env Seq.t) (clauses : C.clause list) : env Seq.t =
         Seq.concat_map (fun env -> rel_stream fr env r) input
     in
     tuples fr env0 stream rest
+
+(* Concurrent independent source calls (§5.4, §6 async adaptors): within a
+   run of adjacent lets, a let whose value is an external-function call
+   with no data dependence on the other lets of the run is submitted to
+   the worker pool immediately and awaited at first use — exactly the
+   fn-bea:async treatment, applied automatically. Dependent or
+   non-external lets evaluate in place, preserving today's semantics. *)
+and external_call_value fr e =
+  match e with
+  | C.Call { fn; args } -> (
+    match Metadata.resolve_call fr.rt.registry fn (List.length args) with
+    | Some fd -> (
+      match fd.Metadata.fd_impl with
+      | Metadata.External _ -> true
+      | Metadata.Body _ -> false)
+    | None -> false)
+  | _ -> false
+
+and bind_let_run fr env run =
+  let run_vars =
+    List.filter_map (function C.Let { var; _ } -> Some var | _ -> None) run
+  in
+  let independent e =
+    let fv = C.free_vars e () in
+    not (List.exists (fun v -> Hashtbl.mem fv v) run_vars)
+  in
+  List.fold_left
+    (fun env cl ->
+      match cl with
+      | C.Let { var; value } -> (
+        match value with
+        | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
+          Env.add var
+            (Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env arg)))
+            env
+        | value
+          when List.length run_vars > 1
+               && external_call_value fr value && independent value ->
+          Env.add var
+            (Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env value)))
+            env
+        | value -> bind env var (eval_expr fr env value))
+      | _ -> env)
+    env run
 
 and eval_group fr input aggs keys clustered =
   (* the runtime has one grouping operator, which requires input clustered
@@ -632,11 +701,11 @@ and eval_join fr env0 left kind method_ right on_ export =
     | Some (pairs, residual) ->
       inl_join fr env0 left kind right pairs residual export
     | None -> nl_join fr left kind right on_ export)
-  | C.Ppk { k; inner } -> (
+  | C.Ppk { k; prefetch; inner } -> (
     match right with
     | C.Rel r :: rest_lets
       when List.for_all (function C.Let _ -> true | _ -> false) rest_lets ->
-      ppk_join fr left kind r rest_lets ~k ~inner on_ export
+      ppk_join fr left kind r rest_lets ~k ~prefetch ~inner on_ export
     | _ -> nl_join fr left kind right on_ export)
 
 and join_matches fr left_env right on_ =
@@ -736,73 +805,99 @@ and rel_stream fr env (r : C.sql_access) : env Seq.t =
 
 (* PP-k: fetch k left tuples, issue one disjunctive parameterized query for
    the block, middleware-join, repeat (§4.2). [rest_lets] are per-candidate
-   clauses (row reconstruction) applied after binding a fetched row. *)
-and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~inner on_ export =
+   clauses (row reconstruction) applied after binding a fetched row.
+
+   With [prefetch] > 0 the block queries are pipelined: parameter
+   evaluation and SQL generation happen on the consumer thread while
+   forcing the block sequence, only the source roundtrip itself runs on
+   the pool, and [Pool.pipeline] keeps up to [prefetch] + 1 roundtrips in
+   flight while emitting blocks strictly in submission order — so the
+   result is byte-identical at every depth. *)
+and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~prefetch ~inner on_
+    export =
   let db =
     match Metadata.find_database fr.rt.registry r.C.db with
     | Some db -> db
     | None -> error "unknown database %s" r.C.db
   in
   let n_params = List.length r.C.sql_params in
-  let batches = batch_seq k left in
-  Seq.concat_map
-    (fun (block : env list) ->
-      let m = List.length block in
-      (* the block query: WHERE (p_1..p_n) OR ... OR (p shifted (m-1)n) *)
-      let select = disjunctive_select r.C.select n_params m in
-      let params =
-        Array.concat
-          (List.map
-             (fun env ->
-               Array.of_list
-                 (List.map
-                    (fun p ->
-                      Adaptors.atomic_to_sql
-                        (singleton_atom "sql parameter" (eval_expr fr env p)))
-                    r.C.sql_params))
-             block)
+  let obs = fr.rt.observed in
+  (* stage 1, consumer thread: the block query — WHERE (p_1..p_n) OR ...
+     OR (p shifted (m-1)n) — and its middleware-computed parameters *)
+  let prepare (block : env list) =
+    let m = List.length block in
+    let select = disjunctive_select r.C.select n_params m in
+    let params =
+      Array.concat
+        (List.map
+           (fun env ->
+             Array.of_list
+               (List.map
+                  (fun p ->
+                    Adaptors.atomic_to_sql
+                      (singleton_atom "sql parameter" (eval_expr fr env p)))
+                  r.C.sql_params))
+           block)
+    in
+    (block, select, params)
+  in
+  (* stage 2, pool worker: the latency-bound source roundtrip *)
+  let roundtrip (block, select, params) =
+    let t0 = Unix.gettimeofday () in
+    let result = Adaptors.relational_select db select ~params in
+    let wall = Unix.gettimeofday () -. t0 in
+    Option.iter (fun o -> Observed.record_roundtrip o ~wall) obs;
+    (block, result, wall)
+  in
+  (* stage 3, consumer thread: middleware join of the block *)
+  let middleware_join (block, result, _wall) =
+    match result with
+    | Error msg -> error "%s" msg
+    | Ok result ->
+      let col_index =
+        List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
       in
-      match Adaptors.relational_select db select ~params with
-      | Error msg -> error "%s" msg
-      | Ok result ->
-        let col_index =
-          List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
-        in
-        ignore inner;
-        (* middleware join of the block against the fetched tuples *)
-        List.to_seq block
-        |> Seq.concat_map (fun left_env ->
-               let candidates =
-                 List.map
-                   (fun row -> bind_sql_row r.C.binds col_index left_env row)
-                   result.Aldsp_relational.Sql_exec.rows
-               in
-               let candidates =
-                 List.concat_map
-                   (fun env ->
-                     List.of_seq (tuples fr env (Seq.return env) rest_lets))
-                   candidates
-               in
-               let matches =
-                 List.filter (fun env -> ebv (eval_expr fr env on_)) candidates
-               in
-               export_tuples fr left_env (List.to_seq matches) kind export))
-    batches
-
-and batch_seq k (input : 'a Seq.t) : 'a list Seq.t =
-  let rec take n seq acc =
-    if n = 0 then (List.rev acc, seq)
-    else
-      match seq () with
-      | Seq.Nil -> (List.rev acc, Seq.empty)
-      | Seq.Cons (x, rest) -> take (n - 1) rest (x :: acc)
+      ignore inner;
+      List.to_seq block
+      |> Seq.concat_map (fun left_env ->
+             let candidates =
+               List.map
+                 (fun row -> bind_sql_row r.C.binds col_index left_env row)
+                 result.Aldsp_relational.Sql_exec.rows
+             in
+             let candidates =
+               List.concat_map
+                 (fun env ->
+                   List.of_seq (tuples fr env (Seq.return env) rest_lets))
+                 candidates
+             in
+             let matches =
+               List.filter (fun env -> ebv (eval_expr fr env on_)) candidates
+             in
+             export_tuples fr left_env (List.to_seq matches) kind export)
   in
-  let rec go seq () =
-    match take k seq [] with
-    | [], _ -> Seq.Nil
-    | block, rest -> Seq.Cons (block, go rest)
+  let prepared = Seq.map prepare (batch_seq k left) in
+  let completed =
+    Pool.pipeline fr.rt.pool ~depth:(max 0 prefetch) roundtrip prepared
   in
-  go input
+  (* overlap accounting: each pull blocks only for the part of the
+     roundtrip not already hidden behind the previous block's join *)
+  let with_overlap seq =
+    match obs with
+    | None -> seq
+    | Some o ->
+      let rec timed seq () =
+        let t0 = Unix.gettimeofday () in
+        match seq () with
+        | Seq.Nil -> Seq.Nil
+        | Seq.Cons (((_, _, wall) as x), rest) ->
+          let blocked = Unix.gettimeofday () -. t0 in
+          Observed.record_overlap o (wall -. blocked);
+          Seq.Cons (x, timed rest)
+      in
+      timed seq
+  in
+  Seq.concat_map middleware_join (with_overlap completed)
 
 (* Build the m-way disjunctive version of a 1-tuple parameterized select:
    the WHERE clause is OR-ed m times with parameter indices shifted. *)

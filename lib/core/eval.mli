@@ -9,10 +9,17 @@
     nested loop, index nested loop (a hash probe on extracted equi-keys),
     or PP-k — parameter passing in blocks of [k]: fetch [k] left tuples,
     issue one disjunctive parameterized SQL query for all their matches,
-    middleware-join the block, repeat (§4.2). The [fn-bea:] functions are
-    evaluated as special forms: [async] arguments start on their own
-    threads ahead of time so independent source calls overlap (§5.4);
-    [fail-over] and [timeout] guard slow or unavailable sources (§5.6).
+    middleware-join the block, repeat (§4.2). With a prefetch depth > 0
+    the block queries are pipelined on the worker pool: while the
+    middleware join consumes block [n], the disjunctive select for block
+    [n+1] (and up to [depth] more) is already in flight; blocks are still
+    emitted strictly in order, so results are identical at every depth.
+
+    Source latency overlap (§5.4, §6 asynchronous adaptors): [fn-bea:async]
+    arguments and [let]-bound external-function calls with no data
+    dependence on their sibling lets are submitted to the bounded worker
+    pool ahead of time and awaited at first use; [fail-over] and [timeout]
+    guard slow or unavailable sources (§5.6).
 
     A hook lets the server interpose the function cache (§5.5) and security
     filters (§7) around data-service function calls. *)
@@ -29,7 +36,22 @@ type call_wrapper =
   Metadata.function_def -> Item.sequence list -> (unit -> Item.sequence) ->
   Item.sequence
 
-val runtime : ?call_wrapper:call_wrapper -> Metadata.t -> rt
+val runtime :
+  ?call_wrapper:call_wrapper ->
+  ?pool:Pool.t ->
+  ?observed:Observed.t ->
+  Metadata.t ->
+  rt
+(** [pool] (default {!Pool.default}) runs asynchronous source work —
+    PP-k prefetch, [fn-bea:async], concurrent independent lets. [observed]
+    receives roundtrip counts and overlap-time-saved accounting from the
+    PP-k pipeline in addition to whatever the call wrapper records. *)
+
+val batch_seq : int -> 'a Seq.t -> 'a list Seq.t
+(** Groups a sequence into blocks of at most [k] (the PP-k blocking step);
+    the last block may be short, an empty input yields no blocks, and
+    [k <= 1] degenerates to singleton blocks. Lazy: forcing block [n]
+    consumes exactly the first [n*k] input elements. *)
 
 val eval :
   rt ->

@@ -8,9 +8,17 @@ type t = {
   ttls : (Qname.t, float) Hashtbl.t;
   (* typed values per key, so hits keep their type annotations *)
   materialized : (string, Item.sequence) Hashtbl.t;
+  (* worker-pool calls hit the cache concurrently: the lock covers the
+     counters, the ttl/materialized tables, and makes store's
+     DELETE+INSERT atomic with respect to concurrent lookups *)
+  lock : Mutex.t;
   mutable hit_count : int;
   mutable miss_count : int;
 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let table_name = "ALDSP_FN_CACHE"
 
@@ -30,12 +38,15 @@ let create ?(clock = Unix.gettimeofday) storage =
     clock;
     ttls = Hashtbl.create 16;
     materialized = Hashtbl.create 64;
+    lock = Mutex.create ();
     hit_count = 0;
     miss_count = 0 }
 
-let enable t fn ~ttl_seconds = Hashtbl.replace t.ttls fn ttl_seconds
-let disable t fn = Hashtbl.remove t.ttls fn
-let is_enabled t fn = Hashtbl.mem t.ttls fn
+let enable t fn ~ttl_seconds =
+  locked t (fun () -> Hashtbl.replace t.ttls fn ttl_seconds)
+
+let disable t fn = locked t (fun () -> Hashtbl.remove t.ttls fn)
+let is_enabled t fn = locked t (fun () -> Hashtbl.mem t.ttls fn)
 
 let key_of fn args =
   let arg_str = String.concat "\x00" (List.map Item.serialize args) in
@@ -50,6 +61,7 @@ let select_entry =
 
 let lookup t fn args =
   let key = key_of fn args in
+  locked t @@ fun () ->
   match
     Sql_exec.query t.storage ~params:[| Sql_value.Str key |] select_entry
   with
@@ -85,6 +97,7 @@ let lookup t fn args =
 
 let store t fn args value =
   let key = key_of fn args in
+  locked t @@ fun () ->
   let ttl = Option.value (Hashtbl.find_opt t.ttls fn) ~default:60. in
   let expires = t.clock () +. ttl in
   ignore
@@ -107,6 +120,7 @@ let store t fn args value =
 
 let invalidate t fn =
   let prefix = Qname.to_string fn ^ "(" in
+  locked t @@ fun () ->
   ignore
     (Sql_exec.execute_dml t.storage
        (Sql.Delete
@@ -134,9 +148,10 @@ let wrapper t fd args compute =
       value
   else compute ()
 
-let hits t = t.hit_count
-let misses t = t.miss_count
+let hits t = locked t (fun () -> t.hit_count)
+let misses t = locked t (fun () -> t.miss_count)
 
 let reset_stats t =
-  t.hit_count <- 0;
-  t.miss_count <- 0
+  locked t (fun () ->
+      t.hit_count <- 0;
+      t.miss_count <- 0)

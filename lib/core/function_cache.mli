@@ -15,7 +15,14 @@
     Caching must be {e allowed} by the data service designer
     ([fd_cacheable]) and then {e enabled} administratively with a TTL per
     function. The cache stores unfiltered results; security filtering
-    applies after the cache so entries are shared across users (§7). *)
+    applies after the cache so entries are shared across users (§7).
+
+    All operations are safe to call from worker-pool threads: a single
+    lock guards the statistics, the TTL and materialized tables, and makes
+    {!store}'s DELETE+INSERT atomic with respect to concurrent {!lookup}s.
+    Result computation on a miss runs outside the lock, so two concurrent
+    misses may both compute; the later {!store} wins, which is harmless
+    for an idempotent cache. *)
 
 open Aldsp_xml
 

@@ -6,17 +6,38 @@ type 'a t = {
   done_ : Condition.t;
 }
 
-let spawn f =
-  let fut = { result = None; mutex = Mutex.create (); done_ = Condition.create () } in
-  let run () =
-    let outcome = try Value (f ()) with e -> Raised e in
-    Mutex.lock fut.mutex;
+let create () =
+  { result = None; mutex = Mutex.create (); done_ = Condition.create () }
+
+let resolve fut outcome =
+  Mutex.lock fut.mutex;
+  (* first writer wins; late timers/duplicate fulfills are ignored *)
+  if fut.result = None then begin
     fut.result <- Some outcome;
-    Condition.broadcast fut.done_;
-    Mutex.unlock fut.mutex
-  in
-  ignore (Thread.create run ());
+    Condition.broadcast fut.done_
+  end;
+  Mutex.unlock fut.mutex
+
+let fulfill_with fut f =
+  let outcome = try Value (f ()) with e -> Raised e in
+  resolve fut outcome
+
+let detach f =
+  let fut = create () in
+  ignore (Thread.create (fun () -> fulfill_with fut f) ());
   fut
+
+let peek fut =
+  Mutex.lock fut.mutex;
+  let result = fut.result in
+  Mutex.unlock fut.mutex;
+  result
+
+let poll fut =
+  match peek fut with
+  | Some (Value v) -> Some v
+  | Some (Raised e) -> raise e
+  | None -> None
 
 let await fut =
   Mutex.lock fut.mutex;
@@ -30,28 +51,30 @@ let await fut =
   | Some (Raised e) -> raise e
   | None -> assert false
 
-(* [Condition] has no timed wait in the stdlib, so poll with a short sleep;
-   granularity of 0.5ms is far below the latencies being simulated. *)
+(* [Condition] has no timed wait in the stdlib, so the deadline is driven
+   by a timer thread that broadcasts [done_] when the window closes; the
+   waiter sleeps on the condition variable the whole time (no polling). *)
 let await_timeout fut seconds =
   let deadline = Unix.gettimeofday () +. seconds in
-  let rec poll () =
-    Mutex.lock fut.mutex;
-    let result = fut.result in
-    Mutex.unlock fut.mutex;
-    match result with
-    | Some (Value v) -> Some v
-    | Some (Raised e) -> raise e
-    | None ->
-      if Unix.gettimeofday () >= deadline then None
-      else begin
-        Thread.delay 0.0005;
-        poll ()
-      end
-  in
-  poll ()
-
-let is_done fut =
   Mutex.lock fut.mutex;
-  let d = fut.result <> None in
+  let timer_armed = fut.result = None in
+  if timer_armed then
+    ignore
+      (Thread.create
+         (fun () ->
+           Thread.delay seconds;
+           Mutex.lock fut.mutex;
+           Condition.broadcast fut.done_;
+           Mutex.unlock fut.mutex)
+         ());
+  while fut.result = None && Unix.gettimeofday () < deadline do
+    Condition.wait fut.done_ fut.mutex
+  done;
+  let result = fut.result in
   Mutex.unlock fut.mutex;
-  d
+  match result with
+  | Some (Value v) -> Some v
+  | Some (Raised e) -> raise e
+  | None -> None
+
+let is_done fut = peek fut <> None

@@ -4,28 +4,68 @@ type sample = {
   calls : int;
   mean_latency : float;
   mean_cardinality : float;
+  total_latency : float;
 }
 
-type t = (Qname.t, sample) Hashtbl.t
+type t = {
+  samples : (Qname.t, sample) Hashtbl.t;
+  lock : Mutex.t;
+  (* async-orchestration counters (worker pool, PP-k pipelining) *)
+  mutable roundtrips : int;
+  mutable overlap_saved : float;
+  mutable source_wall : float;
+}
 
-let create () : t = Hashtbl.create 32
+let create () =
+  { samples = Hashtbl.create 32;
+    lock = Mutex.create ();
+    roundtrips = 0;
+    overlap_saved = 0.;
+    source_wall = 0. }
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
 
 let alpha = 0.2
 
 let record t fn ~latency ~cardinality =
   let card = float_of_int cardinality in
-  let sample =
-    match Hashtbl.find_opt t fn with
-    | None -> { calls = 1; mean_latency = latency; mean_cardinality = card }
-    | Some s ->
-      { calls = s.calls + 1;
-        mean_latency = ((1. -. alpha) *. s.mean_latency) +. (alpha *. latency);
-        mean_cardinality =
-          ((1. -. alpha) *. s.mean_cardinality) +. (alpha *. card) }
-  in
-  Hashtbl.replace t fn sample
+  locked t (fun () ->
+      let sample =
+        match Hashtbl.find_opt t.samples fn with
+        | None ->
+          { calls = 1;
+            mean_latency = latency;
+            mean_cardinality = card;
+            total_latency = latency }
+        | Some s ->
+          { calls = s.calls + 1;
+            mean_latency =
+              ((1. -. alpha) *. s.mean_latency) +. (alpha *. latency);
+            mean_cardinality =
+              ((1. -. alpha) *. s.mean_cardinality) +. (alpha *. card);
+            total_latency = s.total_latency +. latency }
+      in
+      t.source_wall <- t.source_wall +. latency;
+      Hashtbl.replace t.samples fn sample)
 
-let observed t fn = Hashtbl.find_opt t fn
+let record_roundtrip t ~wall =
+  locked t (fun () ->
+      t.roundtrips <- t.roundtrips + 1;
+      t.source_wall <- t.source_wall +. wall)
+
+let record_overlap t saved =
+  if saved > 0. then
+    locked t (fun () -> t.overlap_saved <- t.overlap_saved +. saved)
+
+let observed t fn = locked t (fun () -> Hashtbl.find_opt t.samples fn)
+
+let roundtrips t = locked t (fun () -> t.roundtrips)
+let overlap_saved t = locked t (fun () -> t.overlap_saved)
+let source_wall t = locked t (fun () -> t.source_wall)
 
 (* per-item processing charge: 2us — small against any real source call,
    enough to order two in-memory sources by cardinality *)
@@ -46,6 +86,7 @@ let wrapper t fd args compute =
   result
 
 let report t =
-  Hashtbl.fold (fun fn s acc -> (fn, s) :: acc) t []
+  locked t (fun () ->
+      Hashtbl.fold (fun fn s acc -> (fn, s) :: acc) t.samples [])
   |> List.sort (fun (_, a) (_, b) ->
          Float.compare b.mean_latency a.mean_latency)

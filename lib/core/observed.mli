@@ -20,6 +20,7 @@ type sample = {
   calls : int;
   mean_latency : float;  (** Seconds. *)
   mean_cardinality : float;  (** Items returned. *)
+  total_latency : float;  (** Accumulated wall time inside this source. *)
 }
 
 type t
@@ -28,7 +29,22 @@ val create : unit -> t
 
 val record : t -> Qname.t -> latency:float -> cardinality:int -> unit
 (** Exponentially-weighted accumulation (alpha = 0.2) so behaviour shifts
-    are tracked without unbounded memory. *)
+    are tracked without unbounded memory. All recording is mutex-guarded:
+    with the worker pool, source calls complete on many threads. *)
+
+val record_roundtrip : t -> wall:float -> unit
+(** One middleware-issued source roundtrip (e.g. a PP-k block query);
+    [wall] is its measured duration, accumulated into {!source_wall}. *)
+
+val record_overlap : t -> float -> unit
+(** Seconds of source latency hidden by overlapping a roundtrip with other
+    work (negative/zero contributions are dropped). *)
+
+val roundtrips : t -> int
+val overlap_saved : t -> float
+val source_wall : t -> float
+(** Total wall time spent inside instrumented source calls — with the pool
+    this can exceed elapsed time, which is exactly the overlap win. *)
 
 val observed : t -> Qname.t -> sample option
 

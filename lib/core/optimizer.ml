@@ -7,6 +7,7 @@ type options = {
   eliminate_constructors : bool;
   use_inverse_functions : bool;
   ppk_k : int;
+  ppk_prefetch : int;
   view_cache_size : int;
 }
 
@@ -16,6 +17,7 @@ let default_options =
     eliminate_constructors = true;
     use_inverse_functions = true;
     ppk_k = 20;
+    ppk_prefetch = 1;
     view_cache_size = 64 }
 
 type t = {
@@ -168,7 +170,7 @@ let equi_join_keys ~right_vars on_ =
 (* --- view unfolding: function inlining ----------------------------- *)
 
 let rec query_independent_rules t =
-  [ rule_let_substitution;
+  [ rule_let_substitution t;
     rule_flwor_flatten t;
     rule_filter_to_where t;
     rule_filter_over_flwor t;
@@ -243,12 +245,29 @@ and used_as_agg_input v clauses =
   in
   List.exists in_clause clauses
 
-and rule_let_substitution =
+and rule_let_substitution t =
   { Rewrite.rule_name = "let-substitute";
     apply =
       (fun e ->
         match e with
         | C.Flwor { clauses; return_ } ->
+          (* a let binding a direct external-function call stays a let even
+             when used once: the evaluator submits independent source-call
+             lets to the worker pool together, and inlining the call into
+             its use site would serialize them again *)
+          let latency_bound value =
+            match value with
+            | C.Call { fn; args } -> (
+              match
+                Metadata.resolve_call t.registry fn (List.length args)
+              with
+              | Some fd -> (
+                match fd.Metadata.fd_impl with
+                | Metadata.External _ -> true
+                | Metadata.Body _ -> false)
+              | None -> false)
+            | _ -> false
+          in
           let rec find before = function
             | [] -> None
             | (C.Let { var; value } as l) :: rest
@@ -260,7 +279,7 @@ and rule_let_substitution =
                 match value with C.Var _ | C.Const _ | C.Empty -> true | _ -> false
               in
               let uses = count_var_clauses var rest return_ in
-              if cheap || uses <= 1 then
+              if (cheap || uses <= 1) && not (latency_bound value) then
                 match
                   C.substitute [ (var, value) ]
                     (C.Flwor { clauses = rest; return_ })
@@ -988,7 +1007,10 @@ let rec select_methods_clauses t bound clauses =
                          && List.for_all
                               (function C.Let _ -> true | _ -> false)
                               rest_lets ->
-                    C.Ppk { k = t.opts.ppk_k; inner = C.Inner_inl }
+                    C.Ppk
+                      { k = t.opts.ppk_k;
+                        prefetch = max 0 t.opts.ppk_prefetch;
+                        inner = C.Inner_inl }
                   | _ ->
                     let depends_on_left =
                       references_any bound

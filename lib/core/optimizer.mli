@@ -33,6 +33,11 @@ type options = {
   eliminate_constructors : bool;
   use_inverse_functions : bool;
   ppk_k : int;  (** PP-k block size; the paper's default is 20. *)
+  ppk_prefetch : int;
+      (** How many PP-k block queries may be in flight on the worker pool
+          ahead of the block being consumed (pipelined parameter passing).
+          0 = strictly sequential roundtrips (the pre-pipelining
+          behaviour); default 1. Results are identical at any depth. *)
   view_cache_size : int;
 }
 

@@ -1,0 +1,182 @@
+type task = Task : 'a Future.t * (unit -> 'a) -> task
+
+type t = {
+  workers : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  worker_ids : (int, unit) Hashtbl.t;  (* Thread.id of each worker *)
+  mutable started : bool;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable busy : int;
+  mutable max_busy : int;
+  mutable helped : int;
+  mutable max_queue_depth : int;
+}
+
+type stats = {
+  st_workers : int;
+  st_submitted : int;
+  st_completed : int;
+  st_queue_depth : int;
+  st_max_queue_depth : int;
+  st_busy : int;
+  st_max_busy : int;
+  st_helped : int;
+}
+
+let create ?(workers = 4) () =
+  { workers = max 1 workers;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    worker_ids = Hashtbl.create 8;
+    started = false;
+    submitted = 0;
+    completed = 0;
+    busy = 0;
+    max_busy = 0;
+    helped = 0;
+    max_queue_depth = 0 }
+
+let size t = t.workers
+
+(* [helper] marks execution by an awaiting thread rather than a worker:
+   it is tallied separately so [st_max_busy] counts pool threads only and
+   stays within the configured bound *)
+let run_task ?(helper = false) t (Task (fut, f)) =
+  if helper then t.helped <- t.helped + 1
+  else begin
+    t.busy <- t.busy + 1;
+    if t.busy > t.max_busy then t.max_busy <- t.busy
+  end;
+  Mutex.unlock t.mutex;
+  Future.fulfill_with fut f;
+  Mutex.lock t.mutex;
+  if not helper then t.busy <- t.busy - 1;
+  t.completed <- t.completed + 1
+
+let worker_loop t () =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.worker_ids (Thread.id (Thread.self ())) ();
+  while true do
+    while Queue.is_empty t.queue do
+      Condition.wait t.work_ready t.mutex
+    done;
+    run_task t (Queue.pop t.queue)
+  done
+
+(* workers start on first submission, so pools created for configuration
+   only (or never used) cost nothing *)
+let ensure_started t =
+  if not t.started then begin
+    t.started <- true;
+    for _ = 1 to t.workers do
+      ignore (Thread.create (worker_loop t) ())
+    done
+  end
+
+let submit t f =
+  let fut = Future.create () in
+  Mutex.lock t.mutex;
+  ensure_started t;
+  t.submitted <- t.submitted + 1;
+  Queue.push (Task (fut, f)) t.queue;
+  let depth = Queue.length t.queue in
+  if depth > t.max_queue_depth then t.max_queue_depth <- depth;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.mutex;
+  fut
+
+(* Awaiting inside the pool must not deadlock when every worker is blocked
+   on a not-yet-scheduled task: while the future is unresolved, the waiter
+   (worker or client thread alike) drains queued tasks itself. *)
+let await t fut =
+  let rec help () =
+    match Future.poll fut with
+    | Some v -> v
+    | None ->
+      Mutex.lock t.mutex;
+      (match Queue.take_opt t.queue with
+      | Some task ->
+        run_task ~helper:true t task;
+        Mutex.unlock t.mutex;
+        help ()
+      | None ->
+        Mutex.unlock t.mutex;
+        Future.await fut)
+  in
+  help ()
+
+(* Ordered pipelining: map [f] over [seq] keeping up to [depth] + 1
+   applications in flight (the one being awaited plus [depth] prefetched
+   ahead). Elements are pulled from [seq] and results emitted strictly in
+   order — tasks may complete out of order but consumers never observe
+   that. Forcing of [seq] happens on the consumer's thread, so effectful
+   sources need no synchronization of their own. *)
+let pipeline t ~depth f seq =
+  if depth <= 0 then Seq.map f seq
+  else
+    let rec fill pending n seq =
+      if n = 0 then (pending, seq)
+      else
+        match seq () with
+        | Seq.Nil -> (pending, Seq.empty)
+        | Seq.Cons (x, rest) ->
+          fill (pending @ [ submit t (fun () -> f x) ]) (n - 1) rest
+    in
+    let rec go pending seq () =
+      let pending, seq = fill pending (depth + 1 - List.length pending) seq in
+      match pending with
+      | [] -> Seq.Nil
+      | fut :: pending -> Seq.Cons (await t fut, go pending seq)
+    in
+    go [] seq
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    { st_workers = t.workers;
+      st_submitted = t.submitted;
+      st_completed = t.completed;
+      st_queue_depth = Queue.length t.queue;
+      st_max_queue_depth = t.max_queue_depth;
+      st_busy = t.busy;
+      st_max_busy = t.max_busy;
+      st_helped = t.helped }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  t.submitted <- 0;
+  t.completed <- 0;
+  t.max_busy <- 0;
+  t.helped <- 0;
+  t.max_queue_depth <- 0;
+  Mutex.unlock t.mutex
+
+let is_worker_thread t =
+  Mutex.lock t.mutex;
+  let r = Hashtbl.mem t.worker_ids (Thread.id (Thread.self ())) in
+  Mutex.unlock t.mutex;
+  r
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let workers = min 16 (max 4 (Domain.recommended_domain_count ())) in
+      let p = create ~workers () in
+      default_pool := Some p;
+      p
+  in
+  Mutex.unlock default_mutex;
+  p

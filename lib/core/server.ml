@@ -16,15 +16,26 @@ type t = {
   security : Security.t;
   audit : Audit.t;
   observed : Observed.t option;
+  pool : Pool.t;
   runtime : Eval.rt;
 }
 
+type stats = {
+  st_plan_cache_hits : int;
+  st_plan_cache_misses : int;
+  st_pool : Pool.stats;
+  st_roundtrips : int;  (** Middleware-issued source roundtrips (PP-k). *)
+  st_overlap_saved : float;  (** Seconds of source latency hidden. *)
+  st_source_wall : float;  (** Total wall time inside sources. *)
+}
+
 let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
-    ?security ?audit ?observed registry =
+    ?security ?audit ?observed ?pool registry =
   let audit = match audit with Some a -> a | None -> Audit.create () in
   let security =
     match security with Some s -> s | None -> Security.create ~audit ()
   in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let call_wrapper fd args compute =
     Audit.record audit ~category:"service-call"
       (Printf.sprintf "call %s/%d"
@@ -46,12 +57,25 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     security;
     audit;
     observed;
-    runtime = Eval.runtime ~call_wrapper registry }
+    pool;
+    runtime = Eval.runtime ~call_wrapper ~pool ?observed registry }
 
 let registry t = t.registry
 let optimizer t = t.optimizer
 let security t = t.security
 let function_cache t = t.function_cache
+let pool t = t.pool
+
+let stats t =
+  { st_plan_cache_hits = Plan_cache.hits t.plan_cache;
+    st_plan_cache_misses = Plan_cache.misses t.plan_cache;
+    st_pool = Pool.stats t.pool;
+    st_roundtrips =
+      (match t.observed with Some o -> Observed.roundtrips o | None -> 0);
+    st_overlap_saved =
+      (match t.observed with Some o -> Observed.overlap_saved o | None -> 0.);
+    st_source_wall =
+      (match t.observed with Some o -> Observed.source_wall o | None -> 0.) }
 
 (* ------------------------------------------------------------------ *)
 (* Data service registration                                           *)
@@ -201,6 +225,7 @@ let design_time_check t source =
 (* Declarative hints (§9): (::pragma hint k="v" ... ::) ahead of the
    query body tunes this compilation. Supported hints:
      ppk-k="N"              PP-k block size
+     ppk-prefetch="N"       PP-k pipeline depth (0 = sequential)
      inline-views="bool"    view unfolding on/off
      inverse-functions="bool"
      join-introduction="bool" *)
@@ -225,6 +250,13 @@ let apply_hints base_options (query : Xq_ast.query) =
           (match List.assoc_opt "ppk-k" hint_attrs with
           | Some v -> ( match int_of_string_opt v with Some k when k > 0 -> k | _ -> base_options.ppk_k)
           | None -> base_options.ppk_k);
+        ppk_prefetch =
+          (match List.assoc_opt "ppk-prefetch" hint_attrs with
+          | Some v -> (
+            match int_of_string_opt v with
+            | Some d when d >= 0 -> d
+            | _ -> base_options.ppk_prefetch)
+          | None -> base_options.ppk_prefetch);
         inline_views = bool_hint "inline-views" base_options.inline_views;
         use_inverse_functions =
           bool_hint "inverse-functions" base_options.use_inverse_functions;

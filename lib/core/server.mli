@@ -26,6 +26,15 @@ type compiled = {
   sql : (string * string) list;  (** Pushed (database, SQL) regions. *)
 }
 
+type stats = {
+  st_plan_cache_hits : int;
+  st_plan_cache_misses : int;
+  st_pool : Pool.stats;
+  st_roundtrips : int;  (** Middleware-issued source roundtrips (PP-k). *)
+  st_overlap_saved : float;  (** Seconds of source latency hidden. *)
+  st_source_wall : float;  (** Total wall time inside sources. *)
+}
+
 val create :
   ?optimizer_options:Optimizer.options ->
   ?plan_cache_capacity:int ->
@@ -33,15 +42,24 @@ val create :
   ?security:Security.t ->
   ?audit:Audit.t ->
   ?observed:Observed.t ->
+  ?pool:Pool.t ->
   Metadata.t ->
   t
 (** [observed] turns on source instrumentation and observed-cost
-    reordering of independent source accesses (§9 roadmap item). *)
+    reordering of independent source accesses (§9 roadmap item).
+    [pool] (default {!Pool.default}) runs asynchronous source work:
+    PP-k prefetch, [fn-bea:async], and concurrent independent lets. *)
 
 val registry : t -> Metadata.t
 val optimizer : t -> Optimizer.t
 val security : t -> Security.t
 val function_cache : t -> Function_cache.t option
+val pool : t -> Pool.t
+
+val stats : t -> stats
+(** A consolidated snapshot of the server's runtime counters: plan-cache
+    hit rates, worker-pool utilization, and (when [observed] is
+    configured) source roundtrips and overlap accounting. *)
 
 (** {2 Data service registration} *)
 

@@ -1,0 +1,317 @@
+(* Tests for the asynchronous source orchestration: the bounded worker
+   pool, pipelined PP-k prefetch (determinism across depths and pool
+   sizes), concurrent independent let-bound source calls, the
+   condition-variable await_timeout, and concurrency safety of the
+   function cache. *)
+
+open Aldsp_core
+open Aldsp_xml
+open Aldsp_relational
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_string = Alcotest.check Alcotest.string
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* batch_seq                                                           *)
+
+let blocks k l = List.of_seq (Seq.map Array.of_list (Eval.batch_seq k (List.to_seq l)))
+
+let test_batch_seq_edges () =
+  check_int "empty input -> no blocks" 0 (List.length (blocks 3 []));
+  check_bool "k=1 -> singletons" true
+    (blocks 1 [ 1; 2; 3 ] = [ [| 1 |]; [| 2 |]; [| 3 |] ]);
+  check_bool "k > input -> one short block" true
+    (blocks 10 [ 1; 2; 3 ] = [ [| 1; 2; 3 |] ]);
+  check_bool "non-multiple length -> short last block" true
+    (blocks 2 [ 1; 2; 3; 4; 5 ] = [ [| 1; 2 |]; [| 3; 4 |]; [| 5 |] ]);
+  check_bool "k=0 treated as 1" true (blocks 0 [ 1; 2 ] = [ [| 1 |]; [| 2 |] ]);
+  check_bool "negative k treated as 1" true
+    (blocks (-4) [ 1; 2 ] = [ [| 1 |]; [| 2 |] ])
+
+let test_batch_seq_lazy () =
+  (* forcing block n consumes exactly the first n*k elements *)
+  let pulled = ref 0 in
+  let input =
+    Seq.map
+      (fun i ->
+        incr pulled;
+        i)
+      (Seq.init 100 Fun.id)
+  in
+  let bs = Eval.batch_seq 10 input in
+  (match bs () with
+  | Seq.Cons (b, _) -> check_int "first block" 10 (List.length b)
+  | Seq.Nil -> Alcotest.fail "expected a block");
+  check_int "only one block's worth pulled" 10 !pulled
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_bound_and_completion () =
+  let workers = 3 in
+  let pool = Pool.create ~workers () in
+  let futs =
+    List.init 40 (fun i ->
+        Pool.submit pool (fun () ->
+            Thread.delay 0.002;
+            i * i))
+  in
+  List.iteri
+    (fun i fut -> check_int "task result" (i * i) (Pool.await pool fut))
+    futs;
+  let s = Pool.stats pool in
+  check_int "all submitted" 40 s.Pool.st_submitted;
+  check_bool "thread bound respected" true (s.Pool.st_max_busy <= workers);
+  check_bool "queue drained" true (s.Pool.st_queue_depth = 0)
+
+let test_pool_nested_await () =
+  (* a task that submits and awaits further tasks must not deadlock even
+     on a single-worker pool (the waiter helps drain the queue) *)
+  let pool = Pool.create ~workers:1 () in
+  let outer =
+    Pool.submit pool (fun () ->
+        let inner = List.init 5 (fun i -> Pool.submit pool (fun () -> i + 1)) in
+        List.fold_left (fun acc f -> acc + Pool.await pool f) 0 inner)
+  in
+  check_int "nested submit/await" 15 (Pool.await pool outer)
+
+let test_pool_exception () =
+  let pool = Pool.create ~workers:2 () in
+  let fut = Pool.submit pool (fun () -> failwith "boom") in
+  (match Pool.await pool fut with
+  | _ -> Alcotest.fail "expected the task's exception"
+  | exception Failure m -> check_string "exception propagates" "boom" m);
+  (* the worker survives the exception *)
+  check_int "pool still works" 7 (Pool.await pool (Pool.submit pool (fun () -> 7)))
+
+let test_pipeline_ordered () =
+  let pool = Pool.create ~workers:4 () in
+  (* later tasks finish first; output order must be input order *)
+  let f i =
+    Thread.delay (float_of_int ((17 * i) mod 5) *. 0.001);
+    i * 10
+  in
+  List.iter
+    (fun depth ->
+      let out =
+        List.of_seq (Pool.pipeline pool ~depth f (Seq.init 20 Fun.id))
+      in
+      check_bool
+        (Printf.sprintf "depth %d preserves order" depth)
+        true
+        (out = List.init 20 (fun i -> i * 10)))
+    [ 0; 1; 3; 8; 50 ];
+  check_int "empty input" 0
+    (List.length (List.of_seq (Pool.pipeline pool ~depth:2 f Seq.empty)))
+
+(* ------------------------------------------------------------------ *)
+(* Future.await_timeout                                                *)
+
+let test_await_timeout () =
+  let never = Future.create () in
+  let t0 = Unix.gettimeofday () in
+  check_bool "times out -> None" true (Future.await_timeout never 0.05 = None);
+  let waited = Unix.gettimeofday () -. t0 in
+  check_bool "waited about the timeout" true (waited >= 0.045 && waited < 1.0);
+  let fut = Future.create () in
+  let _ =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.01;
+        Future.fulfill_with fut (fun () -> 42))
+      ()
+  in
+  check_bool "resolves before the deadline" true
+    (Future.await_timeout fut 5.0 = Some 42)
+
+(* ------------------------------------------------------------------ *)
+(* PP-k pipelining: determinism across prefetch depths and pool sizes   *)
+
+let ppk_query =
+  "for $c in CUSTOMER(), $x in CREDIT_CARD() where $c/CID eq $x/CID return <R>{$c/CID, $x/NUM}</R>"
+
+let run_ppk demo ~k ~prefetch ~workers =
+  let options =
+    { Optimizer.default_options with
+      Optimizer.ppk_k = k;
+      Optimizer.ppk_prefetch = prefetch }
+  in
+  let pool = Pool.create ~workers () in
+  let server =
+    Server.create ~optimizer_options:options ~pool
+      demo.Aldsp_demo.Demo.registry
+  in
+  (Item.serialize (ok_exn (Server.run server ppk_query)), pool)
+
+let test_ppk_determinism () =
+  let demo = Aldsp_demo.Demo.create ~customers:33 ~orders_per_customer:0 () in
+  let reference, _ = run_ppk demo ~k:5 ~prefetch:0 ~workers:1 in
+  check_bool "reference non-empty" true (String.length reference > 0);
+  List.iter
+    (fun (prefetch, workers) ->
+      let out, pool = run_ppk demo ~k:5 ~prefetch ~workers in
+      check_string
+        (Printf.sprintf "prefetch=%d workers=%d identical" prefetch workers)
+        reference out;
+      let s = Pool.stats pool in
+      check_bool "bound respected" true (s.Pool.st_max_busy <= workers);
+      if prefetch > 0 then
+        check_bool "block queries actually went through the pool" true
+          (s.Pool.st_submitted > 0))
+    [ (0, 4); (1, 1); (1, 4); (4, 1); (4, 4); (4, 8) ]
+
+let test_ppk_prefetch_hint () =
+  (* the declarative hint reaches the compiled plan *)
+  let demo = Aldsp_demo.Demo.create ~customers:6 ~orders_per_customer:0 () in
+  let q = "(::pragma hint ppk-k=\"3\" ppk-prefetch=\"2\"::) " ^ ppk_query in
+  match Server.compile demo.Aldsp_demo.Demo.server q with
+  | Error ds ->
+    Alcotest.failf "compile failed: %s"
+      (String.concat "; " (List.map Diag.to_string ds))
+  | Ok compiled ->
+    let plan = Cexpr.to_string compiled.Server.plan in
+    check_bool "plan names pp-3+2"
+      true
+      (try
+         ignore (Str.search_forward (Str.regexp_string "pp-3+2") plan 0);
+         true
+       with Not_found -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent independent let-bound source calls                        *)
+
+let rating name ssn =
+  Printf.sprintf
+    "getRating(<getRating><lName>{\"%s\"}</lName><ssn>{\"%s\"}</ssn></getRating>)"
+    name ssn
+
+let test_concurrent_lets () =
+  let latency = 0.04 in
+  let demo = Aldsp_demo.Demo.create ~customers:1 ~service_latency:latency () in
+  let q =
+    Printf.sprintf
+      "let $a := %s let $b := %s let $c := %s return <R>{$a/getRatingResult, $b/getRatingResult, $c/getRatingResult}</R>"
+      (rating "a" "1") (rating "b" "2") (rating "c" "3")
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = ok_exn (Server.run demo.Aldsp_demo.Demo.server q) in
+  let wall = Unix.gettimeofday () -. t0 in
+  check_int "one result element" 1 (List.length r);
+  check_int "three service calls" 3
+    demo.Aldsp_demo.Demo.rating_service.Aldsp_services.Web_service.stats
+      .Aldsp_services.Web_service.calls;
+  (* sequential would be >= 3 x latency; overlapped is ~1 x latency *)
+  check_bool
+    (Printf.sprintf "independent lets overlap (%.0f ms < %.0f ms)"
+       (wall *. 1000.)
+       (2.2 *. latency *. 1000.))
+    true
+    (wall < 2.2 *. latency)
+
+let test_dependent_lets_still_correct () =
+  (* $b depends on $a, so it must see $a's value; and an unused async-ish
+     let must not change results *)
+  let demo = Aldsp_demo.Demo.create ~customers:2 () in
+  let q =
+    "let $a := 2 let $b := $a + 3 let $r := " ^ rating "x" "9"
+    ^ " return <R>{$b, $r/getRatingResult}</R>"
+  in
+  let r = ok_exn (Server.run demo.Aldsp_demo.Demo.server q) in
+  let s = Item.serialize r in
+  check_bool "dependent let sees its input" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "5") s 0);
+       true
+     with Not_found -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Function cache under concurrency                                    *)
+
+let test_function_cache_hammer () =
+  let cache = Function_cache.create (Database.create "CacheDB") in
+  let fn = Qname.local "f" in
+  Function_cache.enable cache fn ~ttl_seconds:600.;
+  let threads = 8 and per_thread = 50 in
+  let errors = ref 0 in
+  let err_lock = Mutex.create () in
+  let worker tid () =
+    for i = 1 to per_thread do
+      let args = [ [ Item.integer ((tid + i) mod 4) ] ] in
+      let value = [ Item.integer (((tid + i) mod 4) * 100) ] in
+      Function_cache.store cache fn args value;
+      match Function_cache.lookup cache fn args with
+      | Some got when Item.serialize got = Item.serialize value -> ()
+      | Some _ | None ->
+        (* a concurrent store of the same key writes the same value, so a
+           fresh hit must return it *)
+        Mutex.lock err_lock;
+        incr errors;
+        Mutex.unlock err_lock
+    done
+  in
+  let ts = List.init threads (fun tid -> Thread.create (worker tid) ()) in
+  List.iter Thread.join ts;
+  check_int "no lost or torn entries" 0 !errors;
+  check_int "every lookup hit" (threads * per_thread)
+    (Function_cache.hits cache)
+
+(* ------------------------------------------------------------------ *)
+(* Server.stats                                                        *)
+
+let test_server_stats () =
+  let demo = Aldsp_demo.Demo.create ~customers:20 ~orders_per_customer:0 () in
+  let obs = Observed.create () in
+  let pool = Pool.create ~workers:2 () in
+  let options =
+    { Optimizer.default_options with
+      Optimizer.ppk_k = 4;
+      Optimizer.ppk_prefetch = 2 }
+  in
+  let server =
+    Server.create ~optimizer_options:options ~pool ~observed:obs
+      demo.Aldsp_demo.Demo.registry
+  in
+  ignore (ok_exn (Server.run server ppk_query));
+  let s = Server.stats server in
+  check_bool "roundtrips counted" true (s.Server.st_roundtrips >= 5);
+  check_bool "pool saw the block queries" true
+    (s.Server.st_pool.Pool.st_submitted >= 5);
+  check_bool "source wall accumulated" true (s.Server.st_source_wall > 0.);
+  check_bool "overlap never negative" true (s.Server.st_overlap_saved >= 0.);
+  check_bool "pool bound respected" true
+    (s.Server.st_pool.Pool.st_max_busy <= 2);
+  check_int "plan compiled once" 1 s.Server.st_plan_cache_misses
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "async"
+    [ ( "batch-seq",
+        [ Alcotest.test_case "edge cases" `Quick test_batch_seq_edges;
+          Alcotest.test_case "laziness" `Quick test_batch_seq_lazy ] );
+      ( "pool",
+        [ Alcotest.test_case "bound + completion" `Quick
+            test_pool_bound_and_completion;
+          Alcotest.test_case "nested await" `Quick test_pool_nested_await;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "pipeline ordering" `Quick test_pipeline_ordered ] );
+      ( "future",
+        [ Alcotest.test_case "await_timeout" `Quick test_await_timeout ] );
+      ( "ppk-pipeline",
+        [ Alcotest.test_case "determinism" `Quick test_ppk_determinism;
+          Alcotest.test_case "prefetch hint" `Quick test_ppk_prefetch_hint ] );
+      ( "concurrent-lets",
+        [ Alcotest.test_case "independent overlap" `Quick test_concurrent_lets;
+          Alcotest.test_case "dependent stay correct" `Quick
+            test_dependent_lets_still_correct ] );
+      ( "function-cache",
+        [ Alcotest.test_case "concurrent hammer" `Quick
+            test_function_cache_hammer ] );
+      ( "server-stats",
+        [ Alcotest.test_case "visibility" `Quick test_server_stats ] ) ]
