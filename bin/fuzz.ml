@@ -1,0 +1,139 @@
+(* fuzz — long-running differential fuzzer for the query processor.
+
+   Generates seeded random catalogs (all five SQL dialects), queries and
+   runtime configurations, compares the optimized pipeline byte-for-byte
+   against the reference configuration (no rewrites, no pushdown, one
+   worker, sequential lets), interleaves scripted fault-schedule
+   scenarios, and round-trips every pushed SQL statement through the
+   parser. Failures are shrunk to minimal counterexamples and written
+   out with their reproduction seed.
+
+   Fully deterministic for a given --seed. Exit status: 0 all scenarios
+   passed, 1 a counterexample was found (and written), 2 usage error. *)
+
+open Cmdliner
+open Aldsp_check
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let seed_arg =
+  let doc = "Random seed; the whole run is a pure function of it." in
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"N" ~doc)
+
+let count_arg =
+  let doc = "Number of query/config scenarios to run." in
+  Arg.(value & opt int 500 & info [ "n"; "count" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc =
+    "Directory for counterexample files (created if missing); also the \
+     corpus format used by test/corpus."
+  in
+  Arg.(value & opt string "fuzz-out" & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+
+let mutate_arg =
+  let doc =
+    "Self-test: plant the dropped-Where rewrite bug into the subject \
+     pipeline; the run $(b,must) find and shrink a counterexample, so the \
+     exit status is inverted (0 = bug caught)."
+  in
+  Arg.(value & flag & info [ "mutate" ] ~doc)
+
+let no_faults_arg =
+  let doc = "Skip the interleaved fault-schedule scenarios." in
+  Arg.(value & flag & info [ "no-faults" ] ~doc)
+
+let no_roundtrip_arg =
+  let doc = "Skip SQL round-trip checking of generated queries." in
+  Arg.(value & flag & info [ "no-sql-roundtrip" ] ~doc)
+
+let kind_name = function
+  | Harness.K_oracle -> "oracle"
+  | Harness.K_fault -> "fault"
+  | Harness.K_mutation -> "mutation"
+
+let report_cx out cx =
+  let text = Harness.cx_to_string cx in
+  (try if not (Sys.is_directory out) then failwith "not a directory"
+   with Sys_error _ -> Unix.mkdir out 0o755);
+  let path =
+    Filename.concat out
+      (Printf.sprintf "cx-%s-seed%d-i%d.txt" (kind_name cx.Harness.cx_kind)
+         cx.Harness.cx_seed cx.Harness.cx_index)
+  in
+  write_file path text;
+  Printf.eprintf
+    "counterexample (%s, shrunk with %d re-checks) written to %s:\n%s\n"
+    (kind_name cx.Harness.cx_kind) cx.Harness.cx_shrink_checks path text
+
+(* SQL round-trip sweep over the same deterministic scenario stream the
+   oracle ran: every pushed region must re-parse and re-execute. *)
+let roundtrip_sweep ~seed ~count =
+  let failure = ref None in
+  let regions = ref 0 in
+  let index = ref 0 in
+  while !index < count && !failure = None do
+    let s = Harness.scenario_of ~seed ~index:!index in
+    let cat = Catalog.build s.Shrink.spec in
+    let server = Oracle.subject_server cat s.Shrink.config in
+    (match Sql_roundtrip.check_query server (Gen.render s.Shrink.query) with
+    | Ok n -> regions := !regions + n
+    | Error e ->
+      failure :=
+        Some
+          (Printf.sprintf "sql round-trip failed at seed %d index %d:\n%s"
+             seed !index e));
+    incr index
+  done;
+  match !failure with None -> Ok !regions | Some e -> Error e
+
+let fuzz seed count out mutate no_faults no_roundtrip =
+  let log msg = Printf.printf "%s\n%!" msg in
+  let finish code =
+    Oracle.shutdown_pools ();
+    code
+  in
+  if mutate then begin
+    log "mutation self-test: planting a dropped-Where bug...";
+    match Harness.run ~mutate:true ~with_faults:false ~log ~seed ~count () with
+    | Ok n ->
+      Printf.eprintf
+        "MUTATION NOT CAUGHT: %d scenarios passed with a planted bug\n" n;
+      finish 1
+    | Error cx ->
+      report_cx out cx;
+      log "mutation caught and shrunk — harness is alive";
+      finish 0
+  end
+  else
+    match
+      Harness.run ~with_faults:(not no_faults) ~log ~seed ~count ()
+    with
+    | Error cx ->
+      report_cx out cx;
+      finish 1
+    | Ok n -> (
+      log (Printf.sprintf "%d scenarios passed the oracle comparison" n);
+      if no_roundtrip then finish 0
+      else
+        match roundtrip_sweep ~seed ~count with
+        | Ok regions ->
+          log
+            (Printf.sprintf "%d pushed SQL regions round-tripped" regions);
+          finish 0
+        | Error e ->
+          prerr_endline e;
+          finish 1)
+
+let () =
+  let doc = "differential fuzzer for the query processor" in
+  let info = Cmd.info "fuzz" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const fuzz $ seed_arg $ count_arg $ out_arg $ mutate_arg
+            $ no_faults_arg $ no_roundtrip_arg)))

@@ -1,0 +1,277 @@
+open Aldsp_xml
+open Aldsp_relational
+open Aldsp_services
+open Aldsp_core
+module V = Sql_value
+
+type spec = {
+  seed : int;
+  main_vendor : Database.vendor;
+  card_vendor : Database.vendor;
+  customers : int;
+  orders_per_customer : int;
+  cards_per_customer : int;
+  regions : int;
+}
+
+type t = {
+  spec : spec;
+  main_db : Database.t;
+  card_db : Database.t;
+  rating : Web_service.t;
+  registry : Metadata.t;
+}
+
+let vendors =
+  [| Database.Oracle; Database.Db2; Database.Sql_server; Database.Sybase;
+     Database.Generic_sql92 |]
+
+let vendor_to_string = function
+  | Database.Oracle -> "oracle"
+  | Database.Db2 -> "db2"
+  | Database.Sql_server -> "sqlserver"
+  | Database.Sybase -> "sybase"
+  | Database.Generic_sql92 -> "sql92"
+
+let vendor_of_string = function
+  | "oracle" -> Some Database.Oracle
+  | "db2" -> Some Database.Db2
+  | "sqlserver" -> Some Database.Sql_server
+  | "sybase" -> Some Database.Sybase
+  | "sql92" -> Some Database.Generic_sql92
+  | _ -> None
+
+let last_names =
+  [| "Jones"; "Smith"; "Chen"; "Garcia"; "Okafor"; "Patel"; "Kim"; "Novak" |]
+
+let first_names = [| "Ann"; "Bob"; "Carla"; "Dev"; "Elena"; "Farid" |]
+
+let region_names = [| "North"; "South"; "East"; "West"; "Centre"; "Rim" |]
+
+(* Main-database dialect cycles with the seed so any run of five
+   consecutive scenario seeds covers all five printers; everything else is
+   drawn from the generator state. *)
+let generate st ~seed =
+  { seed;
+    main_vendor = vendors.(abs seed mod Array.length vendors);
+    card_vendor = vendors.(Random.State.int st (Array.length vendors));
+    customers = 1 + Random.State.int st 9;
+    orders_per_customer = Random.State.int st 4;
+    cards_per_customer = Random.State.int st 3;
+    regions = 1 + Random.State.int st 5 }
+
+(* ------------------------------------------------------------------ *)
+
+let view_source =
+  {|(::pragma function kind="read" ::)
+declare function getSummary() as element(SUMMARY)* {
+  for $c in CUSTOMER()
+  return
+    <SUMMARY>
+      <CID>{fn:data($c/CID)}</CID>
+      <LAST_NAME>{fn:data($c/LAST_NAME)}</LAST_NAME>
+      <TOTAL>{sum(for $o in ORDER_T() where $o/CID eq $c/CID return $o/AMOUNT)}</TOTAL>
+    </SUMMARY>
+};
+(::pragma function kind="read" ::)
+declare function getSummaryByID($id as xs:string) as element(SUMMARY)* {
+  getSummary()[CID eq $id]
+};|}
+
+let rating_request_schema =
+  Schema.element_decl (Qname.local "getRating")
+    (Schema.Complex
+       [ Schema.particle (Schema.simple (Qname.local "lName") Atomic.T_string);
+         Schema.particle (Schema.simple (Qname.local "ssn") Atomic.T_string) ])
+
+let rating_response_schema =
+  Schema.element_decl (Qname.local "getRatingResponse")
+    (Schema.Complex
+       [ Schema.particle
+           (Schema.simple (Qname.local "getRatingResult") Atomic.T_integer) ])
+
+let make_rating_service () =
+  let implementation request =
+    let ssn =
+      match Node.child_elements request (Qname.local "ssn") with
+      | [ n ] -> Node.string_value n
+      | _ -> ""
+    in
+    (* pure function of the request, so any evaluation order agrees *)
+    let rating = 500 + (Hashtbl.hash ssn mod 350) in
+    Ok
+      (Node.element (Qname.local "getRatingResponse")
+         [ Node.element (Qname.local "getRatingResult")
+             [ Node.text (string_of_int rating) ] ])
+  in
+  Web_service.create ~wsdl_url:"http://ratings.check.example/rate?wsdl"
+    "RatingService"
+    [ Web_service.operation ~name:"getRating" ~input:rating_request_schema
+        ~output:rating_response_schema implementation ]
+
+let region_schema =
+  Schema.element_decl (Qname.local "REGION")
+    (Schema.Complex
+       [ Schema.particle (Schema.simple (Qname.local "CODE") Atomic.T_string);
+         Schema.particle (Schema.simple (Qname.local "NAME") Atomic.T_string);
+         Schema.particle (Schema.simple (Qname.local "POP") Atomic.T_integer) ])
+
+let build spec =
+  (* a private state derived from the recorded seed: build does not depend
+     on the generator's state, so replay needs only the spec *)
+  let st = Random.State.make [| spec.seed; 0x5eed |] in
+  let main_db =
+    Database.create ~vendor:spec.main_vendor "CustomerDB"
+  in
+  let customer =
+    Table.create ~primary_key:[ "CID" ] "CUSTOMER"
+      [ Table.column ~nullable:false "CID" Table.T_varchar;
+        Table.column ~nullable:false "LAST_NAME" Table.T_varchar;
+        Table.column "FIRST_NAME" Table.T_varchar;
+        Table.column ~nullable:false "SSN" Table.T_varchar;
+        Table.column ~nullable:false "SINCE" Table.T_int ]
+  in
+  let order_ =
+    Table.create ~primary_key:[ "OID" ]
+      ~foreign_keys:
+        [ { Table.fk_columns = [ "CID" ];
+            references_table = "CUSTOMER";
+            references_columns = [ "CID" ] } ]
+      "ORDER_T"
+      [ Table.column ~nullable:false "OID" Table.T_int;
+        Table.column ~nullable:false "CID" Table.T_varchar;
+        Table.column "AMOUNT" Table.T_decimal ]
+  in
+  Database.add_table main_db customer;
+  Database.add_table main_db order_;
+  let oid = ref 0 in
+  for i = 1 to spec.customers do
+    let cid = Printf.sprintf "CUST%04d" i in
+    let first =
+      if Random.State.int st 5 = 0 then V.Null
+      else V.Str first_names.(Random.State.int st (Array.length first_names))
+    in
+    Result.get_ok
+      (Table.insert customer
+         [| V.Str cid;
+            V.Str last_names.(Random.State.int st (Array.length last_names));
+            first;
+            V.Str
+              (Printf.sprintf "%03d-%02d-%04d" i
+                 (Random.State.int st 100)
+                 (Random.State.int st 10000));
+            V.Int (1 + Random.State.int st 999999) |]);
+    (* ragged: a customer has 0..orders_per_customer orders *)
+    let n_orders =
+      if spec.orders_per_customer = 0 then 0
+      else Random.State.int st (spec.orders_per_customer + 1)
+    in
+    for _ = 1 to n_orders do
+      incr oid;
+      Result.get_ok
+        (Table.insert order_
+           [| V.Int (1000 + !oid);
+              V.Str cid;
+              V.Float (float_of_int (5 * (1 + Random.State.int st 100))) |])
+    done
+  done;
+  let card_db = Database.create ~vendor:spec.card_vendor "CardDB" in
+  let card =
+    Table.create ~primary_key:[ "CCID" ] "CREDIT_CARD"
+      [ Table.column ~nullable:false "CCID" Table.T_int;
+        Table.column ~nullable:false "CID" Table.T_varchar;
+        Table.column ~nullable:false "NUM" Table.T_varchar;
+        Table.column "LIMIT_" Table.T_decimal ]
+  in
+  Database.add_table card_db card;
+  for i = 1 to spec.customers do
+    for j = 1 to spec.cards_per_customer do
+      Result.get_ok
+        (Table.insert card
+           [| V.Int ((i * 100) + j);
+              V.Str (Printf.sprintf "CUST%04d" i);
+              V.Str
+                (Printf.sprintf "4400-%04d-%04d" i (Random.State.int st 10000));
+              V.Float (float_of_int (500 * (1 + Random.State.int st 6))) |])
+    done
+  done;
+  let rating = make_rating_service () in
+  let registry = Metadata.create () in
+  Metadata.introspect_relational registry main_db;
+  Metadata.introspect_relational registry card_db;
+  Metadata.introspect_service registry rating;
+  let csv =
+    let rows =
+      List.init spec.regions (fun i ->
+          Printf.sprintf "R%02d,%s,%d" (i + 1)
+            region_names.(Random.State.int st (Array.length region_names))
+            (1 + Random.State.int st 100000))
+    in
+    String.concat "\n" ("CODE,NAME,POP" :: rows)
+  in
+  (match
+     Metadata.register_csv_source registry ~name:"REGION"
+       ~schema:region_schema csv
+   with
+  | Ok () -> ()
+  | Error msg -> failwith ("check catalog: REGION source: " ^ msg));
+  (* the view layer registers through a throwaway server over the shared
+     registry; every server built on this registry sees the functions *)
+  let setup = Server.reference registry in
+  (match Server.register_data_service setup ~name:"SummaryDS" view_source with
+  | Ok () -> ()
+  | Error ds ->
+    failwith
+      ("check catalog: view registration failed: "
+      ^ String.concat "; " (List.map Diag.to_string ds)));
+  { spec; main_db; card_db; rating; registry }
+
+(* ------------------------------------------------------------------ *)
+
+let spec_to_string s =
+  Printf.sprintf
+    "seed=%d main=%s card=%s customers=%d orders=%d cards=%d regions=%d"
+    s.seed
+    (vendor_to_string s.main_vendor)
+    (vendor_to_string s.card_vendor)
+    s.customers s.orders_per_customer s.cards_per_customer s.regions
+
+let spec_of_string line =
+  let fields =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' (String.trim line))
+  in
+  let int_field k =
+    match List.assoc_opt k fields with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "spec: %s is not an integer: %s" k v))
+    | None -> Error (Printf.sprintf "spec: missing field %s" k)
+  in
+  let vendor_field k =
+    match List.assoc_opt k fields with
+    | Some v -> (
+      match vendor_of_string v with
+      | Some vd -> Ok vd
+      | None -> Error (Printf.sprintf "spec: unknown vendor %s" v))
+    | None -> Error (Printf.sprintf "spec: missing field %s" k)
+  in
+  let ( let* ) = Result.bind in
+  let* seed = int_field "seed" in
+  let* main_vendor = vendor_field "main" in
+  let* card_vendor = vendor_field "card" in
+  let* customers = int_field "customers" in
+  let* orders_per_customer = int_field "orders" in
+  let* cards_per_customer = int_field "cards" in
+  let* regions = int_field "regions" in
+  Ok
+    { seed; main_vendor; card_vendor; customers; orders_per_customer;
+      cards_per_customer; regions }

@@ -1,0 +1,29 @@
+(** Deterministic fault-schedule scenarios: scripted per-call
+    latency/failure sequences injected into the rating web service and
+    the relational adaptor, asserting the fail-over/timeout/retry
+    semantics of §5.4–5.6.
+
+    Each scenario is absolute (semantics under faults), not differential:
+    the expected value is computed from the schedule — a healthy or
+    merely slow-within-budget primary must win, an injected failure or
+    budget overrun must yield the alternate — and the sources' call
+    counters must show the primary was attempted exactly once (no
+    double execution). *)
+
+type scenario = {
+  sc_name : string;
+  sc_run : Catalog.t -> (unit, string) result;
+      (** Runs against a fresh catalog; [Error] describes the violated
+          expectation. Leaves the catalog's schedules exhausted. *)
+}
+
+val scenarios : scenario list
+(** The fixed regression set: fail-over with a healthy primary, with an
+    injected failure, recovery on the next call, timeout tripping on a
+    scripted stall, timeout honouring a generous budget, fail-over
+    around a scripted relational failure. *)
+
+val run_random : Catalog.t -> Random.State.t -> (unit, string) result
+(** One randomized scenario: draws an adaptor ([fail-over] or [timeout])
+    and a scripted event for the rating service, predicts the outcome
+    from the script, and checks prediction, result, and call counters. *)

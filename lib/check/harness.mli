@@ -1,0 +1,60 @@
+(** The fuzzing harness: seeded scenario generation, oracle comparison,
+    fault scenarios, shrinking, and the counterexample/corpus text
+    format.
+
+    Determinism contract: every scenario derives all randomness from
+    [Random.State.make [| seed; index |]], and a catalog is rebuilt from
+    its recorded spec alone, so [run ~seed] is fully reproducible and a
+    single scenario replays standalone from its [(seed, index)] pair or
+    from its printed counterexample. *)
+
+type kind = K_oracle | K_fault | K_mutation
+
+type counterexample = {
+  cx_seed : int;
+  cx_index : int;
+  cx_kind : kind;
+  cx_scenario : Shrink.scenario;  (** Already shrunk for oracle/mutation. *)
+  cx_report : string;  (** Human-readable description of the failure. *)
+  cx_shrink_checks : int;  (** Re-checks the shrinker spent. *)
+}
+
+val check : ?mutate:bool -> Shrink.scenario -> string option
+(** Builds the catalog and compares reference vs subject on the rendered
+    query; [Some report] on disagreement. [mutate] plants the
+    dropped-Where bug into the subject (see {!Oracle.run_mutated}). *)
+
+val scenario_of : seed:int -> index:int -> Shrink.scenario
+(** The deterministic scenario for this seed/index pair. *)
+
+val run_one : ?mutate:bool -> seed:int -> index:int -> unit ->
+  (unit, counterexample) result
+(** One oracle scenario; failures are shrunk before being returned. *)
+
+val run :
+  ?mutate:bool ->
+  ?with_faults:bool ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  (int, counterexample) result
+(** [count] scenarios from [seed]: oracle comparisons, with every fifth
+    index additionally running a randomized fault scenario when
+    [with_faults] (default true). Stops at the first failure, shrunk.
+    [Ok n] is the number of scenarios that ran. *)
+
+val cx_to_string : counterexample -> string
+(** The corpus text format: [kind:]/[seed:]/[index:]/[spec:]/[config:]/
+    [query:] lines followed by the report as [#] comments. *)
+
+val corpus_entry_of_string :
+  string -> (Catalog.spec * Oracle.config * string, string) result
+(** Parses a corpus entry: the spec and config lines plus the query as
+    raw text (replay does not need the structured form). [#] comment
+    lines and [kind:]/[seed:]/[index:] lines are ignored. *)
+
+val replay_corpus : string -> (unit, string) result
+(** Replays one corpus entry's spec/config/query through the oracle
+    comparison; [Error] if the entry (a previously shrunk
+    counterexample) disagrees again. *)

@@ -1,0 +1,135 @@
+open Aldsp_core
+
+type config = { workers : int; ppk_k : int; ppk_prefetch : int }
+
+let reference_config = { workers = 1; ppk_k = 1; ppk_prefetch = 0 }
+
+let generate_config st =
+  { workers = 1 + Random.State.int st 6;
+    ppk_k = [| 1; 2; 3; 5; 8 |].(Random.State.int st 5);
+    ppk_prefetch = [| 0; 1; 2; 4 |].(Random.State.int st 4) }
+
+let config_to_string c =
+  Printf.sprintf "workers=%d k=%d prefetch=%d" c.workers c.ppk_k c.ppk_prefetch
+
+let config_of_string line =
+  let fields =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' (String.trim line))
+  in
+  let int_field k =
+    match List.assoc_opt k fields with
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "config: %s is not an integer: %s" k v))
+    | None -> Error (Printf.sprintf "config: missing field %s" k)
+  in
+  let ( let* ) = Result.bind in
+  let* workers = int_field "workers" in
+  let* ppk_k = int_field "k" in
+  let* ppk_prefetch = int_field "prefetch" in
+  Ok { workers; ppk_k; ppk_prefetch }
+
+(* one pool per worker count, shared by every scenario in the run: pools
+   start threads lazily but never stop them, so per-scenario pools would
+   leak a few threads each across a long fuzzing run *)
+let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool_for workers =
+  match Hashtbl.find_opt pools workers with
+  | Some p -> p
+  | None ->
+    let p = Pool.create ~workers () in
+    Hashtbl.add pools workers p;
+    p
+
+let shutdown_pools () =
+  Hashtbl.iter (fun _ p -> Pool.shutdown p) pools;
+  Hashtbl.reset pools
+
+let reference_server (cat : Catalog.t) = Server.reference cat.Catalog.registry
+
+let subject_server (cat : Catalog.t) config =
+  Server.create
+    ~optimizer_options:
+      { Optimizer.default_options with
+        Optimizer.ppk_k = config.ppk_k;
+        ppk_prefetch = config.ppk_prefetch }
+    ~pool:(pool_for config.workers) cat.Catalog.registry
+
+let run_serialized server q =
+  Result.map Aldsp_xml.Item.serialize (Server.run server q)
+
+(* ------------------------------------------------------------------ *)
+(* The planted bug: drop the first Where clause of the plan            *)
+
+let drop_first_where plan =
+  let dropped = ref false in
+  let strip_clauses clauses =
+    List.filter
+      (fun c ->
+        match c with
+        | Cexpr.Where _ when not !dropped ->
+          dropped := true;
+          false
+        | _ -> true)
+      clauses
+  in
+  let rec go e =
+    if !dropped then e
+    else
+      match e with
+      | Cexpr.Flwor { clauses; return_ }
+        when List.exists
+               (function Cexpr.Where _ -> true | _ -> false)
+               clauses ->
+        Cexpr.Flwor { clauses = strip_clauses clauses; return_ }
+      | e -> Cexpr.map_children go e
+  in
+  let mutated = go plan in
+  if !dropped then Some mutated else None
+
+let run_mutated server q =
+  match Server.compile server q with
+  | Error ds ->
+    Error
+      ("compile failed: " ^ String.concat "; " (List.map Diag.to_string ds))
+  | Ok compiled ->
+    (* a plan with no Where clause cannot express the bug: evaluate it
+       unchanged so such queries count as agreement, keeping the shrinker
+       honest about *why* a mutated scenario fails *)
+    let plan =
+      match drop_first_where compiled.Server.plan with
+      | Some mutated -> mutated
+      | None -> compiled.Server.plan
+    in
+    let rt = Eval.runtime (Server.registry server) in
+    Result.map Aldsp_xml.Item.serialize (Eval.eval rt plan)
+
+(* ------------------------------------------------------------------ *)
+
+let describe = function
+  | Ok s -> "result: " ^ s
+  | Error e -> "error: " ^ e
+
+let compare_query cat config ?(mutate = false) q =
+  let reference = run_serialized (reference_server cat) q in
+  let subject =
+    if mutate then run_mutated (subject_server cat config) q
+    else run_serialized (subject_server cat config) q
+  in
+  match (reference, subject) with
+  | Ok a, Ok b when String.equal a b -> Ok ()
+  | Error a, Error b when String.equal a b -> Ok ()
+  | _ ->
+    Error
+      (Printf.sprintf "reference %s\nsubject   %s" (describe reference)
+         (describe subject))

@@ -1,0 +1,49 @@
+(** The differential oracle: the reference configuration (no rewrites, no
+    pushdown, one worker, zero prefetch, sequential lets — a server that
+    evaluates the normalized expression essentially as written) compared
+    byte-for-byte against an optimized configuration.
+
+    The paper's §4–§6 machinery — rewrites, SQL generation across the
+    dialect printers, PP-k block joins with prefetch, concurrent lets —
+    must all be invisible in results; any byte of difference is a bug in
+    one of them. *)
+
+open Aldsp_core
+
+(** The optimized side's degrees of freedom. Vendors (and so dialects)
+    live in {!Catalog.spec}; these are the runtime knobs. *)
+type config = { workers : int; ppk_k : int; ppk_prefetch : int }
+
+val reference_config : config
+(** [{workers = 1; ppk_k = 1; ppk_prefetch = 0}] (informational). *)
+
+val generate_config : Random.State.t -> config
+val config_to_string : config -> string
+val config_of_string : string -> (config, string) result
+
+val pool_for : int -> Pool.t
+(** A process-wide pool per worker count, shared across scenarios so long
+    fuzzing runs do not accumulate threads. *)
+
+val shutdown_pools : unit -> unit
+(** {!Pool.shutdown} on every cached pool (end of a fuzzing run). *)
+
+val reference_server : Catalog.t -> Server.t
+val subject_server : Catalog.t -> config -> Server.t
+
+val run_serialized : Server.t -> string -> (string, string) result
+(** Compile + evaluate + {!Aldsp_xml.Item.serialize}. *)
+
+val run_mutated : Server.t -> string -> (string, string) result
+(** Compiles the query, then deliberately mis-rewrites the plan — the
+    first [Where] clause is dropped, the classic over-eager predicate
+    elimination — and evaluates that. Plans with no [Where] clause are
+    evaluated unchanged (they cannot express the bug, so they agree).
+    Used by the harness's mutation check: the oracle must catch this and
+    shrink it. *)
+
+val compare_query : Catalog.t -> config -> ?mutate:bool -> string ->
+  (unit, string) result
+(** Runs the query on both servers ([mutate] swaps the subject evaluation
+    for {!run_mutated}); [Error report] describes the disagreement, with
+    both results. Matching errors on both sides count as agreement. *)

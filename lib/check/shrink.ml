@@ -1,0 +1,73 @@
+type scenario = {
+  spec : Catalog.spec;
+  config : Oracle.config;
+  query : Gen.query;
+}
+
+let scenario_size s =
+  Gen.size s.query + s.spec.Catalog.customers
+  + s.spec.Catalog.orders_per_customer + s.spec.Catalog.cards_per_customer
+  + s.spec.Catalog.regions + s.config.Oracle.workers + s.config.Oracle.ppk_k
+  + s.config.Oracle.ppk_prefetch
+
+(* halve-then-floor steps for one integer field; [floor] is the smallest
+   admissible value *)
+let int_steps v ~floor =
+  if v <= floor then []
+  else if v > 2 * (floor + 1) then [ floor; v / 2 ]
+  else [ floor ]
+
+let spec_candidates (spec : Catalog.spec) =
+  List.concat
+    [ List.map
+        (fun v -> { spec with Catalog.customers = v })
+        (int_steps spec.Catalog.customers ~floor:1);
+      List.map
+        (fun v -> { spec with Catalog.orders_per_customer = v })
+        (int_steps spec.Catalog.orders_per_customer ~floor:0);
+      List.map
+        (fun v -> { spec with Catalog.cards_per_customer = v })
+        (int_steps spec.Catalog.cards_per_customer ~floor:0);
+      List.map
+        (fun v -> { spec with Catalog.regions = v })
+        (int_steps spec.Catalog.regions ~floor:1) ]
+
+let config_candidates (c : Oracle.config) =
+  List.concat
+    [ List.map
+        (fun v -> { c with Oracle.workers = v })
+        (int_steps c.Oracle.workers ~floor:1);
+      List.map
+        (fun v -> { c with Oracle.ppk_k = v })
+        (int_steps c.Oracle.ppk_k ~floor:1);
+      List.map
+        (fun v -> { c with Oracle.ppk_prefetch = v })
+        (int_steps c.Oracle.ppk_prefetch ~floor:0) ]
+
+let candidates s =
+  let all =
+    List.map (fun q -> { s with query = q }) (Gen.shrink_candidates s.query)
+    @ List.map (fun spec -> { s with spec }) (spec_candidates s.spec)
+    @ List.map (fun config -> { s with config }) (config_candidates s.config)
+  in
+  let sz = scenario_size s in
+  List.filter (fun c -> scenario_size c < sz) all
+
+let minimize ?(max_checks = 400) ~fails s0 =
+  let checks = ref 0 in
+  let rec go s =
+    let rec try_ = function
+      | [] -> s
+      | c :: rest ->
+        if !checks >= max_checks then s
+        else begin
+          incr checks;
+          if fails c then go c else try_ rest
+        end
+    in
+    try_ (candidates s)
+  in
+  (* bind before reading the counter: tuple components evaluate
+     right-to-left *)
+  let final = go s0 in
+  (final, !checks)

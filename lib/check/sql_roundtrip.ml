@@ -1,0 +1,125 @@
+open Aldsp_relational
+open Aldsp_core
+
+let rel_regions plan =
+  let acc = ref [] in
+  let rec expr e =
+    match e with
+    | Cexpr.Flwor { clauses; return_ } ->
+      List.iter clause clauses;
+      expr return_
+    | e ->
+      ignore
+        (Cexpr.map_children
+           (fun sub ->
+             expr sub;
+             sub)
+           e)
+  and clause = function
+    | Cexpr.Rel r ->
+      acc := r :: !acc;
+      List.iter expr r.Cexpr.sql_params
+    | Cexpr.For { source; _ } -> expr source
+    | Cexpr.Let { value; _ } -> expr value
+    | Cexpr.Where e -> expr e
+    | Cexpr.Group { keys; _ } -> List.iter (fun (k, _) -> expr k) keys
+    | Cexpr.Order { keys } -> List.iter (fun (k, _) -> expr k) keys
+    | Cexpr.Join { right; on_; _ } ->
+      List.iter clause right;
+      expr on_
+  in
+  expr plan;
+  List.rev !acc
+
+let result_sets_equal (a : Sql_exec.result_set) (b : Sql_exec.result_set) =
+  a.Sql_exec.columns = b.Sql_exec.columns && a.Sql_exec.rows = b.Sql_exec.rows
+
+(* [Ok true] = round-tripped, [Ok false] = vendor-gate OK but the
+   statement uses features SQL92 cannot express (skipped) *)
+let check_region registry (r : Cexpr.sql_access) =
+  match Metadata.find_database registry r.Cexpr.db with
+  | None -> Error (Printf.sprintf "unknown database %s in plan" r.Cexpr.db)
+  | Some db -> (
+    let vendor = db.Database.vendor in
+    let dialect = Database.vendor_name vendor in
+    match Sql_print.select_to_string vendor r.Cexpr.select with
+    | exception Sql_print.Unsupported msg ->
+      Error
+        (Printf.sprintf
+           "pushdown emitted a statement the %s dialect cannot express \
+            (capability gate missed it): %s"
+           dialect msg)
+    | _vendor_text -> (
+    let dialect = "SQL92" in
+    match Sql_print.select_to_string Database.Generic_sql92 r.Cexpr.select with
+    | exception Sql_print.Unsupported _ -> Ok false
+    | text -> (
+      match Sql_parser.parse_select text with
+      | Error e ->
+        Error
+          (Printf.sprintf "emitted %s SQL does not re-parse: %s\nsql: %s"
+             dialect e text)
+      | Ok reparsed -> (
+        (* fixpoint after one normalizing round-trip: print(parse(text))
+           must be stable under a further parse+print *)
+        let text2 = Sql_print.select_to_string Database.Generic_sql92 reparsed in
+        match Sql_parser.parse_select text2 with
+        | Error e ->
+          Error
+            (Printf.sprintf
+               "reprinted %s SQL does not re-parse: %s\nsql: %s" dialect e
+               text2)
+        | Ok reparsed2 ->
+          let text3 =
+            Sql_print.select_to_string Database.Generic_sql92 reparsed2
+          in
+          if text2 <> text3 then
+            Error
+              (Printf.sprintf
+                 "%s print/parse/print is not a fixpoint:\nfirst:  \
+                  %s\nsecond: %s"
+                 dialect text2 text3)
+          else
+            let n = Sql_ast.param_count (Sql_ast.Query r.Cexpr.select) in
+            let params = Array.make n Sql_value.Null in
+            (* both sides see identical NULL bindings, so the original
+               and re-parsed ASTs must produce the same table *)
+            (match
+               ( Sql_exec.query db ~params r.Cexpr.select,
+                 Sql_exec.query db ~params reparsed )
+             with
+            | Ok a, Ok b ->
+              if result_sets_equal a b then Ok true
+              else
+                Error
+                  (Printf.sprintf
+                     "%s round-tripped SQL executes differently\nsql: %s"
+                     dialect text)
+            | Error e, _ ->
+              Error
+                (Printf.sprintf "emitted SQL failed to execute: %s\nsql: %s"
+                   e text)
+            | _, Error e ->
+              Error
+                (Printf.sprintf
+                   "re-parsed SQL failed to execute: %s\nsql: %s" e text))))))
+
+let check_plan registry plan =
+  let regions = rel_regions plan in
+  let rec go n = function
+    | [] -> Ok n
+    | r :: rest -> (
+      match check_region registry r with
+      | Ok true -> go (n + 1) rest
+      | Ok false -> go n rest
+      | Error e -> Error e)
+  in
+  go 0 regions
+
+let check_query server q =
+  match Server.compile server q with
+  | Error ds ->
+    Error
+      (Printf.sprintf "compile failed: %s"
+         (String.concat "; " (List.map Diag.to_string ds)))
+  | Ok compiled -> check_plan (Server.registry server) compiled.Server.plan

@@ -1,0 +1,28 @@
+(** SQL round-trip checking (§4.4).
+
+    Two obligations per pushed {!Aldsp_core.Cexpr.clause-Rel} region:
+
+    {ol
+    {- The owning database's own dialect printer must accept the
+       statement — {!Aldsp_relational.Sql_print.Unsupported} here means
+       the pushdown capability gates let through a feature the dialect
+       cannot express, and is reported as a failure.}
+    {- The SQL92 rendering of the statement must survive a full text
+       round-trip: re-parse via {!Aldsp_relational.Sql_parser}, reprint
+       to a byte-identical fixpoint, and execute (both ASTs, every
+       positional parameter bound to NULL on both sides) to the same
+       result table. Regions using vendor-only features SQL92 cannot
+       express (row windows) are skipped — that dialect text is
+       display-oriented and outside the parser's contract.}} *)
+
+open Aldsp_core
+
+val rel_regions : Cexpr.t -> Cexpr.sql_access list
+(** All pushed relational regions of a compiled plan, in plan order. *)
+
+val check_plan : Metadata.t -> Cexpr.t -> (int, string) result
+(** Round-trips every region of the plan; [Ok n] is the number of
+    regions checked (possibly 0 for plans with no pushdown). *)
+
+val check_query : Server.t -> string -> (int, string) result
+(** Compiles the query on the server and round-trips its plan. *)

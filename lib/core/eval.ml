@@ -26,11 +26,23 @@ type rt = {
   max_depth : int;
   pool : Pool.t;
   observed : Observed.t option;
+  concurrent_lets : bool;
 }
 
-let runtime ?(call_wrapper = fun _ _ k -> k ()) ?pool ?observed registry =
+let runtime ?(call_wrapper = fun _ _ k -> k ()) ?pool ?observed
+    ?(concurrent_lets = true) registry =
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  { registry; call_wrapper; max_depth = 256; pool; observed }
+  { registry; call_wrapper; max_depth = 256; pool; observed; concurrent_lets }
+
+(* Which exceptions the fail-over/timeout adaptors (§5.6) may recover
+   from: evaluation errors, and runtime failures a source call can
+   legitimately surface — [Failure] from a crashed pool worker or source
+   implementation, transport-level [Unix_error]s. Asynchronous/fatal
+   exceptions (Out_of_memory, Stack_overflow, Assert_failure, ...) are
+   never swallowed: an adaptor that masked those would hide real bugs. *)
+let recoverable_failure = function
+  | Eval_error _ | Failure _ | Unix.Unix_error _ | Not_found -> true
+  | _ -> false
 
 let lookup env v =
   match Env.find_opt v env with
@@ -391,7 +403,11 @@ and eval_call fr env fn args =
   else if Qname.equal fn Names.fail_over then
     match args with
     | [ prim; alt ] -> (
-      try eval_expr fr env prim with Eval_error _ -> eval_expr fr env alt)
+      (* the primary may fail inside a pool worker (e.g. a concurrent-let
+         future), which surfaces as the task's own exception rather than
+         Eval_error — those are recoverable too (§5.6) *)
+      try eval_expr fr env prim
+      with e when recoverable_failure e -> eval_expr fr env alt)
     | _ -> error "fn-bea:fail-over expects two arguments"
   else if Qname.equal fn Names.timeout then
     match args with
@@ -407,7 +423,7 @@ and eval_call fr env fn args =
       match Future.await_timeout fut (float_of_int ms /. 1000.) with
       | Some v -> v
       | None -> eval_expr fr env alt
-      | exception Eval_error _ -> eval_expr fr env alt)
+      | exception e when recoverable_failure e -> eval_expr fr env alt)
     | _ -> error "fn-bea:timeout expects three arguments"
   else
     let arity = List.length args in
@@ -549,12 +565,14 @@ and bind_let_run fr env run =
       match cl with
       | C.Let { var; value } -> (
         match value with
-        | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
+        | C.Call { fn; args = [ arg ] }
+          when Qname.equal fn Names.async && fr.rt.concurrent_lets ->
           Env.add var
             (Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env arg)))
             env
         | value
-          when List.length run_vars > 1
+          when fr.rt.concurrent_lets
+               && List.length run_vars > 1
                && external_call_value fr value && independent value ->
           Env.add var
             (Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env value)))

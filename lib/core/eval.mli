@@ -40,12 +40,25 @@ val runtime :
   ?call_wrapper:call_wrapper ->
   ?pool:Pool.t ->
   ?observed:Observed.t ->
+  ?concurrent_lets:bool ->
   Metadata.t ->
   rt
 (** [pool] (default {!Pool.default}) runs asynchronous source work —
     PP-k prefetch, [fn-bea:async], concurrent independent lets. [observed]
     receives roundtrip counts and overlap-time-saved accounting from the
-    PP-k pipeline in addition to whatever the call wrapper records. *)
+    PP-k pipeline in addition to whatever the call wrapper records.
+    [concurrent_lets] (default true) allows [fn-bea:async] arguments and
+    independent let-bound source calls to be submitted to the pool ahead of
+    use; false evaluates every binding in place, in clause order — the
+    strictly sequential behaviour the differential harness's reference
+    configuration relies on. *)
+
+val recoverable_failure : exn -> bool
+(** Whether the fail-over/timeout adaptors (§5.6) may recover from this
+    exception by taking the alternate branch: evaluation errors and
+    runtime/transport failures a source call can legitimately surface are
+    recoverable; fatal exceptions (Out_of_memory, Stack_overflow,
+    Assert_failure, ...) never are. *)
 
 val batch_seq : int -> 'a Seq.t -> 'a list Seq.t
 (** Groups a sequence into blocks of at most [k] (the PP-k blocking step);

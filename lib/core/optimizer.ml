@@ -6,6 +6,7 @@ type options = {
   introduce_joins : bool;
   eliminate_constructors : bool;
   use_inverse_functions : bool;
+  pushdown : bool;
   ppk_k : int;
   ppk_prefetch : int;
   view_cache_size : int;
@@ -16,8 +17,23 @@ let default_options =
     introduce_joins = true;
     eliminate_constructors = true;
     use_inverse_functions = true;
+    pushdown = true;
     ppk_k = 20;
     ppk_prefetch = 1;
+    view_cache_size = 64 }
+
+(* The differential-testing baseline: every compilation choice the paper
+   treats as cost-only (§4, §5.2) switched off, so the plan is the
+   normalized expression interpreted directly with strictly sequential
+   source roundtrips. *)
+let reference_options =
+  { inline_views = false;
+    introduce_joins = false;
+    eliminate_constructors = false;
+    use_inverse_functions = false;
+    pushdown = false;
+    ppk_k = 1;
+    ppk_prefetch = 0;
     view_cache_size = 64 }
 
 type t = {

@@ -32,6 +32,10 @@ type options = {
   introduce_joins : bool;
   eliminate_constructors : bool;
   use_inverse_functions : bool;
+  pushdown : bool;
+      (** Compile same-database regions to SQL (§4.3-4.4). Off, every
+          source access is a full scan evaluated by the middleware engine —
+          the reference configuration of the differential harness. *)
   ppk_k : int;  (** PP-k block size; the paper's default is 20. *)
   ppk_prefetch : int;
       (** How many PP-k block queries may be in flight on the worker pool
@@ -42,6 +46,14 @@ type options = {
 }
 
 val default_options : options
+
+val reference_options : options
+(** The differential-testing baseline (see {!Aldsp_check}): no view
+    inlining, no join introduction, no constructor elimination, no inverse
+    functions, no SQL pushdown, PP-k degenerate and strictly sequential.
+    Every knob the paper claims changes only cost is switched off, so a
+    server built on these options is the oracle that optimized
+    configurations are compared against byte-for-byte. *)
 
 type t
 

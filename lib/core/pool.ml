@@ -7,6 +7,7 @@ type t = {
   work_ready : Condition.t;
   worker_ids : (int, unit) Hashtbl.t;  (* Thread.id of each worker *)
   mutable started : bool;
+  mutable stopping : bool;
   mutable submitted : int;
   mutable completed : int;
   mutable busy : int;
@@ -33,6 +34,7 @@ let create ?(workers = 4) () =
     work_ready = Condition.create ();
     worker_ids = Hashtbl.create 8;
     started = false;
+    stopping = false;
     submitted = 0;
     completed = 0;
     busy = 0;
@@ -60,12 +62,17 @@ let run_task ?(helper = false) t (Task (fut, f)) =
 let worker_loop t () =
   Mutex.lock t.mutex;
   Hashtbl.replace t.worker_ids (Thread.id (Thread.self ())) ();
-  while true do
-    while Queue.is_empty t.queue do
+  let running = ref true in
+  while !running do
+    while Queue.is_empty t.queue && not t.stopping do
       Condition.wait t.work_ready t.mutex
     done;
-    run_task t (Queue.pop t.queue)
-  done
+    match Queue.take_opt t.queue with
+    | Some task -> run_task t task
+    | None -> running := false  (* stopping with a drained queue *)
+  done;
+  Hashtbl.remove t.worker_ids (Thread.id (Thread.self ()));
+  Mutex.unlock t.mutex
 
 (* workers start on first submission, so pools created for configuration
    only (or never used) cost nothing *)
@@ -156,6 +163,15 @@ let reset_stats t =
   t.max_busy <- 0;
   t.helped <- 0;
   t.max_queue_depth <- 0;
+  Mutex.unlock t.mutex
+
+(* Terminal: workers exit once the queue drains. Tasks submitted after
+   shutdown still complete — awaiting threads help-drain the queue — they
+   just no longer overlap. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
   Mutex.unlock t.mutex
 
 let is_worker_thread t =

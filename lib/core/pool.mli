@@ -57,6 +57,13 @@ val stats : t -> stats
 val reset_stats : t -> unit
 (** Clears the counters and high-water marks (not the queue). *)
 
+val shutdown : t -> unit
+(** Asks the workers to exit once the queue drains (terminal; idempotent).
+    Tasks submitted afterwards still complete correctly — {!await} helps
+    drain them on the calling thread — they just stop overlapping. Long
+    fuzzing/benchmark drivers that create many pools call this so worker
+    threads do not accumulate. *)
+
 val default : unit -> t
 (** The process-wide shared pool (sized from the machine's core count,
     clamped to [4, 16]), created on first use. Servers without an explicit

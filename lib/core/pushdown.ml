@@ -1109,7 +1109,9 @@ let rec push_windows st e =
     in
     match (window, Metadata.find_database st.registry r.C.db) with
     | Some w, Some db
-      when (Sql_print.capabilities db.Database.vendor).Sql_print.supports_window
+      when (let caps = Sql_print.capabilities db.Database.vendor in
+            caps.Sql_print.supports_window
+            && (w.Sql.start <= 1 || caps.Sql_print.supports_window_offset))
            && r.C.select.Sql.window = None ->
       C.Flwor
         { clauses =

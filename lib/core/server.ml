@@ -30,7 +30,7 @@ type stats = {
 }
 
 let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
-    ?security ?audit ?observed ?pool registry =
+    ?security ?audit ?observed ?pool ?concurrent_lets registry =
   let audit = match audit with Some a -> a | None -> Audit.create () in
   let security =
     match security with Some s -> s | None -> Security.create ~audit ()
@@ -58,7 +58,16 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     audit;
     observed;
     pool;
-    runtime = Eval.runtime ~call_wrapper ~pool ?observed registry }
+    runtime = Eval.runtime ~call_wrapper ~pool ?observed ?concurrent_lets registry }
+
+(* The differential-testing oracle (see lib/check): every cost-only
+   compilation and execution choice disabled — no pushdown, a single
+   worker, no prefetch, sequential lets — so results depend only on query
+   semantics. *)
+let reference ?plan_cache_capacity ?function_cache ?security ?audit registry =
+  create ~optimizer_options:Optimizer.reference_options
+    ~pool:(Pool.create ~workers:1 ()) ~concurrent_lets:false
+    ?plan_cache_capacity ?function_cache ?security ?audit registry
 
 let registry t = t.registry
 let optimizer t = t.optimizer
@@ -303,11 +312,13 @@ let compile_no_cache t source =
           | None -> typed
         in
         let optimized, _stats = Optimizer.optimize optimizer typed in
-        let pushed = Pushdown.push t.registry optimized in
+        let do_push = (Optimizer.options optimizer).Optimizer.pushdown in
+        let push e = if do_push then Pushdown.push t.registry e else e in
+        let pushed = push optimized in
         let cleaned = Optimizer.cleanup optimizer pushed in
         (* a second pass prunes columns whose only consumer the cleanup
            removed (source-access elimination, §4.2) *)
-        let pushed = Pushdown.push t.registry cleaned in
+        let pushed = push cleaned in
         let plan = Optimizer.select_methods optimizer pushed in
         Ok
           { source;

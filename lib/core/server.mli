@@ -43,12 +43,28 @@ val create :
   ?audit:Audit.t ->
   ?observed:Observed.t ->
   ?pool:Pool.t ->
+  ?concurrent_lets:bool ->
   Metadata.t ->
   t
 (** [observed] turns on source instrumentation and observed-cost
     reordering of independent source accesses (§9 roadmap item).
     [pool] (default {!Pool.default}) runs asynchronous source work:
-    PP-k prefetch, [fn-bea:async], and concurrent independent lets. *)
+    PP-k prefetch, [fn-bea:async], and concurrent independent lets.
+    [concurrent_lets] (default true) may be switched off to force
+    strictly in-place, in-order evaluation of let bindings. *)
+
+val reference :
+  ?plan_cache_capacity:int ->
+  ?function_cache:Function_cache.t ->
+  ?security:Security.t ->
+  ?audit:Audit.t ->
+  Metadata.t ->
+  t
+(** The differential-testing oracle configuration: a server compiled with
+    {!Optimizer.reference_options} (no pushdown, no rewrites), a
+    single-worker pool, zero prefetch, and sequential lets. The harness in
+    [lib/check] compares optimized configurations against this server's
+    serialized results byte-for-byte. *)
 
 val registry : t -> Metadata.t
 val optimizer : t -> Optimizer.t

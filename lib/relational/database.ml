@@ -1,5 +1,7 @@
 type vendor = Oracle | Db2 | Sql_server | Sybase | Generic_sql92
 
+type fault = Fault_ok | Fault_delay of float | Fault_fail | Fault_fail_after of float
+
 type stats = {
   mutable statements : int;
   mutable rows_shipped : int;
@@ -12,6 +14,8 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   stats : stats;
   mutable roundtrip_latency : float;
+  mutable schedule : fault list;
+  schedule_lock : Mutex.t;
 }
 
 let create ?(vendor = Generic_sql92) ?(roundtrip_latency = 0.) db_name =
@@ -19,7 +23,9 @@ let create ?(vendor = Generic_sql92) ?(roundtrip_latency = 0.) db_name =
     vendor;
     tables = Hashtbl.create 16;
     stats = { statements = 0; rows_shipped = 0; params_bound = 0 };
-    roundtrip_latency }
+    roundtrip_latency;
+    schedule = [];
+    schedule_lock = Mutex.create () }
 
 let add_table t table = Hashtbl.replace t.tables table.Table.table_name table
 
@@ -43,6 +49,45 @@ let reset_stats t =
   t.stats.statements <- 0;
   t.stats.rows_shipped <- 0;
   t.stats.params_bound <- 0
+
+let set_schedule t faults =
+  Mutex.lock t.schedule_lock;
+  t.schedule <- faults;
+  Mutex.unlock t.schedule_lock
+
+let schedule_remaining t =
+  Mutex.lock t.schedule_lock;
+  let n = List.length t.schedule in
+  Mutex.unlock t.schedule_lock;
+  n
+
+let take_fault t =
+  Mutex.lock t.schedule_lock;
+  let f =
+    match t.schedule with
+    | [] -> None
+    | f :: rest ->
+      t.schedule <- rest;
+      Some f
+  in
+  Mutex.unlock t.schedule_lock;
+  f
+
+(* Applies the next scripted event of the schedule to this statement:
+   [Ok ()] to proceed (after any scripted stall), [Error _] for a scripted
+   transport failure. With PP-k prefetch, statements execute on pool
+   workers, so consumption is mutex-guarded. *)
+let apply_fault t =
+  match take_fault t with
+  | None | Some Fault_ok -> Ok ()
+  | Some (Fault_delay d) ->
+    if d > 0. then Unix.sleepf d;
+    Ok ()
+  | Some Fault_fail ->
+    Error (Printf.sprintf "database %s: scripted transport failure" t.db_name)
+  | Some (Fault_fail_after d) ->
+    if d > 0. then Unix.sleepf d;
+    Error (Printf.sprintf "database %s: scripted transport failure" t.db_name)
 
 let record_statement t ~params ~rows =
   t.stats.statements <- t.stats.statements + 1;

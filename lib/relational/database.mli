@@ -8,6 +8,11 @@
 
 type vendor = Oracle | Db2 | Sql_server | Sybase | Generic_sql92
 
+(** One scripted per-statement event of a fault schedule: proceed
+    normally, stall then proceed, fail, or stall then fail. Mirrors
+    {!Aldsp_services.Web_service.fault} for the queryable-source side. *)
+type fault = Fault_ok | Fault_delay of float | Fault_fail | Fault_fail_after of float
+
 type stats = {
   mutable statements : int;  (** Statements executed (= roundtrips). *)
   mutable rows_shipped : int;  (** Result rows returned to the caller. *)
@@ -22,6 +27,10 @@ type t = {
   mutable roundtrip_latency : float;
       (** Simulated seconds of network+parse cost per statement; applied
           with [Unix.sleepf] when positive. *)
+  mutable schedule : fault list;
+      (** Scripted per-statement behaviour; statement [n] consumes entry
+          [n]. Use {!set_schedule}; consumption is thread-safe. *)
+  schedule_lock : Mutex.t;
 }
 
 val create : ?vendor:vendor -> ?roundtrip_latency:float -> string -> t
@@ -33,6 +42,20 @@ val table_names : t -> string list
 val vendor_name : vendor -> string
 
 val reset_stats : t -> unit
+
+val set_schedule : t -> fault list -> unit
+(** Installs a scripted per-statement fault schedule: the [n]-th subsequent
+    statement consumes the [n]-th entry; an exhausted script reverts to
+    normal execution. Lets the differential harness test fail-over and
+    timeout around the relational adaptor deterministically (§5.4-5.6). *)
+
+val schedule_remaining : t -> int
+(** Entries of the current schedule not yet consumed. *)
+
+val apply_fault : t -> (unit, string) result
+(** Consumes and applies the next scripted event: sleeps any scripted
+    stall, then returns [Error] for a scripted transport failure. Called
+    by the executor at the start of every statement. *)
 
 val record_statement : t -> params:int -> rows:int -> unit
 (** Accounts one roundtrip and applies the simulated latency. Used by the

@@ -500,14 +500,25 @@ let root_context db params =
   { env = []; outer = None; group = None; params; db }
 
 let query db ?(params = [||]) s =
-  match run_select (root_context db params) s with
-  | result ->
-    Database.record_statement db ~params:(Array.length params)
-      ~rows:(List.length result.rows);
-    Ok result
-  | exception Sql_error msg -> Error msg
+  match Database.apply_fault db with
+  | Error msg ->
+    (* the statement reached the wire: account the roundtrip *)
+    Database.record_statement db ~params:(Array.length params) ~rows:0;
+    Error msg
+  | Ok () -> (
+    match run_select (root_context db params) s with
+    | result ->
+      Database.record_statement db ~params:(Array.length params)
+        ~rows:(List.length result.rows);
+      Ok result
+    | exception Sql_error msg -> Error msg)
 
 let execute_dml db ?(params = [||]) dml =
+  match Database.apply_fault db with
+  | Error msg ->
+    Database.record_statement db ~params:(Array.length params) ~rows:0;
+    Error msg
+  | Ok () ->
   let ctx = root_context db params in
   match dml with
   | Insert { table; columns; values } -> (

@@ -2,6 +2,7 @@ open Sql_ast
 
 type capabilities = {
   supports_window : bool;
+  supports_window_offset : bool;
   supports_case : bool;
   supports_string_concat : bool;
   concat_operator : string;
@@ -9,20 +10,25 @@ type capabilities = {
 
 let capabilities = function
   | Database.Oracle ->
-    { supports_window = true; supports_case = true;
-      supports_string_concat = true; concat_operator = "||" }
+    { supports_window = true; supports_window_offset = true;
+      supports_case = true; supports_string_concat = true;
+      concat_operator = "||" }
   | Database.Db2 ->
-    { supports_window = true; supports_case = true;
-      supports_string_concat = true; concat_operator = "||" }
+    { supports_window = true; supports_window_offset = false;
+      supports_case = true; supports_string_concat = true;
+      concat_operator = "||" }
   | Database.Sql_server ->
-    { supports_window = true; supports_case = true;
-      supports_string_concat = true; concat_operator = "+" }
+    { supports_window = true; supports_window_offset = true;
+      supports_case = true; supports_string_concat = true;
+      concat_operator = "+" }
   | Database.Sybase ->
-    { supports_window = false; supports_case = true;
-      supports_string_concat = true; concat_operator = "+" }
+    { supports_window = false; supports_window_offset = false;
+      supports_case = true; supports_string_concat = true;
+      concat_operator = "+" }
   | Database.Generic_sql92 ->
-    { supports_window = false; supports_case = false;
-      supports_string_concat = true; concat_operator = "||" }
+    { supports_window = false; supports_window_offset = false;
+      supports_case = false; supports_string_concat = true;
+      concat_operator = "||" }
 
 exception Unsupported of string
 

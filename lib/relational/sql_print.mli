@@ -12,6 +12,10 @@
 type capabilities = {
   supports_window : bool;
       (** Can a row window ([fn:subsequence]) be pushed at all? *)
+  supports_window_offset : bool;
+      (** Can the window start past row 1? DB2's conservative printer only
+          emits [FETCH FIRST] (no offset), so windows with [start > 1]
+          must not be pushed there. *)
   supports_case : bool;
   supports_string_concat : bool;
   concat_operator : string;  (** ["||"] or ["+"]. *)

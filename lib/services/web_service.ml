@@ -9,6 +9,8 @@ type operation = {
   implementation : Node.t -> (Node.t, string) result;
 }
 
+type fault = Fault_ok | Fault_delay of float | Fault_fail | Fault_fail_after of float
+
 type t = {
   service_name : string;
   wsdl_url : string;
@@ -17,6 +19,8 @@ type t = {
   mutable latency : float;
   mutable fail_next : int;
   mutable unavailable : bool;
+  mutable schedule : fault list;
+  schedule_lock : Mutex.t;
   stats : stats;
 }
 
@@ -25,7 +29,8 @@ and stats = { mutable calls : int; mutable failures : int }
 let create ?(style = Document_literal) ?(latency = 0.) ~wsdl_url service_name
     operations =
   { service_name; wsdl_url; style; operations; latency; fail_next = 0;
-    unavailable = false; stats = { calls = 0; failures = 0 } }
+    unavailable = false; schedule = []; schedule_lock = Mutex.create ();
+    stats = { calls = 0; failures = 0 } }
 
 let operation ~name ~input ~output implementation =
   { op_name = name; input_schema = input; output_schema = output;
@@ -33,6 +38,31 @@ let operation ~name ~input ~output implementation =
 
 let find_operation t name =
   List.find_opt (fun op -> String.equal op.op_name name) t.operations
+
+let set_schedule t faults =
+  Mutex.lock t.schedule_lock;
+  t.schedule <- faults;
+  Mutex.unlock t.schedule_lock
+
+let schedule_remaining t =
+  Mutex.lock t.schedule_lock;
+  let n = List.length t.schedule in
+  Mutex.unlock t.schedule_lock;
+  n
+
+(* Consume the next scripted event, if any; with the worker pool, calls
+   complete on many threads, so consumption must be atomic. *)
+let take_fault t =
+  Mutex.lock t.schedule_lock;
+  let f =
+    match t.schedule with
+    | [] -> None
+    | f :: rest ->
+      t.schedule <- rest;
+      Some f
+  in
+  Mutex.unlock t.schedule_lock;
+  f
 
 let invoke t op_name input =
   t.stats.calls <- t.stats.calls + 1;
@@ -49,7 +79,20 @@ let invoke t op_name input =
       fail (Printf.sprintf "service %s.%s: invalid request: %s" t.service_name op_name msg)
     | Ok typed_input ->
       if t.latency > 0. then Unix.sleepf t.latency;
-      if t.unavailable then
+      let scripted_failure =
+        match take_fault t with
+        | None | Some Fault_ok -> false
+        | Some (Fault_delay d) ->
+          if d > 0. then Unix.sleepf d;
+          false
+        | Some Fault_fail -> true
+        | Some (Fault_fail_after d) ->
+          if d > 0. then Unix.sleepf d;
+          true
+      in
+      if scripted_failure then
+        fail (Printf.sprintf "service %s.%s: scripted transport failure" t.service_name op_name)
+      else if t.unavailable then
         fail (Printf.sprintf "service %s is unavailable" t.service_name)
       else if t.fail_next > 0 then begin
         t.fail_next <- t.fail_next - 1;

@@ -14,6 +14,11 @@ open Aldsp_xml
 
 type style = Document_literal | Rpc_encoded
 
+(** One scripted per-call event of a fault schedule (§5.4-5.6 experiments):
+    succeed normally, succeed after an extra delay, fail immediately, or
+    fail after a delay (a stall followed by a transport error). *)
+type fault = Fault_ok | Fault_delay of float | Fault_fail | Fault_fail_after of float
+
 type operation = {
   op_name : string;
   input_schema : Schema.element_decl;
@@ -29,6 +34,10 @@ type t = {
   mutable latency : float;  (** Seconds of simulated call latency. *)
   mutable fail_next : int;  (** Fail this many upcoming calls. *)
   mutable unavailable : bool;  (** Hard-down: every call fails. *)
+  mutable schedule : fault list;
+      (** Scripted per-call behaviour; call [n] consumes entry [n]. Use
+          {!set_schedule}; consumption is thread-safe. *)
+  schedule_lock : Mutex.t;
   stats : stats;
 }
 
@@ -60,6 +69,16 @@ val find_operation : t -> string -> operation option
 
 val inject_failures : t -> int -> unit
 (** The next [n] calls raise a simulated transport error. *)
+
+val set_schedule : t -> fault list -> unit
+(** Installs a scripted per-call fault schedule: the [n]-th subsequent call
+    consumes the [n]-th entry (extra latency and/or a scripted transport
+    failure); once the script is exhausted, calls revert to the service's
+    default behaviour. Used by the differential harness to test the
+    fail-over/timeout/retry semantics of §5.4-5.6 deterministically. *)
+
+val schedule_remaining : t -> int
+(** Entries of the current schedule not yet consumed. *)
 
 val set_unavailable : t -> bool -> unit
 val reset_stats : t -> unit

@@ -130,7 +130,8 @@ let test_await_timeout () =
     (Future.await_timeout fut 5.0 = Some 42)
 
 (* ------------------------------------------------------------------ *)
-(* PP-k pipelining: determinism across prefetch depths and pool sizes   *)
+(* PP-k pipelining: byte equality as a property over random            *)
+(* (k, prefetch, workers) configurations                               *)
 
 let ppk_query =
   "for $c in CUSTOMER(), $x in CREDIT_CARD() where $c/CID eq $x/CID return <R>{$c/CID, $x/NUM}</R>"
@@ -146,24 +147,37 @@ let run_ppk demo ~k ~prefetch ~workers =
     Server.create ~optimizer_options:options ~pool
       demo.Aldsp_demo.Demo.registry
   in
-  (Item.serialize (ok_exn (Server.run server ppk_query)), pool)
+  let out = Item.serialize (ok_exn (Server.run server ppk_query)) in
+  let stats = Pool.stats pool in
+  Pool.shutdown pool;
+  (out, stats)
 
-let test_ppk_determinism () =
-  let demo = Aldsp_demo.Demo.create ~customers:33 ~orders_per_customer:0 () in
-  let reference, _ = run_ppk demo ~k:5 ~prefetch:0 ~workers:1 in
-  check_bool "reference non-empty" true (String.length reference > 0);
-  List.iter
-    (fun (prefetch, workers) ->
-      let out, pool = run_ppk demo ~k:5 ~prefetch ~workers in
-      check_string
-        (Printf.sprintf "prefetch=%d workers=%d identical" prefetch workers)
-        reference out;
-      let s = Pool.stats pool in
-      check_bool "bound respected" true (s.Pool.st_max_busy <= workers);
-      if prefetch > 0 then
-        check_bool "block queries actually went through the pool" true
-          (s.Pool.st_submitted > 0))
-    [ (0, 4); (1, 1); (1, 4); (4, 1); (4, 4); (4, 8) ]
+let ppk_demo =
+  lazy (Aldsp_demo.Demo.create ~customers:33 ~orders_per_customer:0 ())
+
+let ppk_reference =
+  lazy (fst (run_ppk (Lazy.force ppk_demo) ~k:1 ~prefetch:0 ~workers:1))
+
+let ppk_config =
+  QCheck.(triple (1 -- 8) (0 -- 8) (1 -- 8))
+
+let test_ppk_byte_equality =
+  QCheck.Test.make ~count:20 ~name:"ppk byte equality over random configs"
+    ppk_config (fun (k, prefetch, workers) ->
+      let reference = Lazy.force ppk_reference in
+      let out, s = run_ppk (Lazy.force ppk_demo) ~k ~prefetch ~workers in
+      if out <> reference then
+        QCheck.Test.fail_reportf
+          "k=%d prefetch=%d workers=%d changed the result bytes" k prefetch
+          workers;
+      if s.Pool.st_max_busy > workers then
+        QCheck.Test.fail_reportf "pool exceeded its %d-worker bound" workers;
+      (* with real prefetch depth and real blocks, the block queries must
+         actually go through the pool *)
+      if k >= 2 && prefetch >= 1 && s.Pool.st_submitted = 0 then
+        QCheck.Test.fail_reportf
+          "k=%d prefetch=%d submitted nothing to the pool" k prefetch;
+      true)
 
 let test_ppk_prefetch_hint () =
   (* the declarative hint reaches the compiled plan *)
@@ -261,6 +275,78 @@ let test_function_cache_hammer () =
     (Function_cache.hits cache)
 
 (* ------------------------------------------------------------------ *)
+(* Cache counter consistency as properties: replay a random operation
+   sequence against a trivial pure model and demand identical hit/miss
+   counters                                                            *)
+
+let test_function_cache_counters =
+  QCheck.Test.make ~count:30
+    ~name:"function-cache hit/miss counters match a pure model"
+    QCheck.(list (pair (int_bound 3) bool))
+    (fun ops ->
+      let cache = Function_cache.create (Database.create "CounterDB") in
+      let fn = Qname.local "g" in
+      Function_cache.enable cache fn ~ttl_seconds:600.;
+      let stored = Hashtbl.create 8 in
+      let hits = ref 0 and misses = ref 0 in
+      List.iter
+        (fun (key, is_store) ->
+          let args = [ [ Item.integer key ] ] in
+          if is_store then begin
+            Hashtbl.replace stored key ();
+            Function_cache.store cache fn args [ Item.integer (key * 7) ]
+          end
+          else begin
+            if Hashtbl.mem stored key then incr hits else incr misses;
+            ignore (Function_cache.lookup cache fn args)
+          end)
+        ops;
+      if Function_cache.hits cache <> !hits then
+        QCheck.Test.fail_reportf "hits: cache %d, model %d"
+          (Function_cache.hits cache) !hits;
+      if Function_cache.misses cache <> !misses then
+        QCheck.Test.fail_reportf "misses: cache %d, model %d"
+          (Function_cache.misses cache) !misses;
+      true)
+
+let plan_cache_queries = [| "1"; "1 + 1"; "\"x\""; "(1, 2, 3)" |]
+
+let test_plan_cache_counters =
+  QCheck.Test.make ~count:30
+    ~name:"plan-cache hit/miss counters match an LRU model"
+    QCheck.(pair (1 -- 4) (list_of_size (Gen.return 25) (int_bound 3)))
+    (fun (capacity, picks) ->
+      let server =
+        Server.create ~plan_cache_capacity:capacity (Metadata.create ())
+      in
+      let lru = ref [] in
+      let hits = ref 0 and misses = ref 0 in
+      List.iter
+        (fun i ->
+          let q = plan_cache_queries.(i) in
+          (match Server.run server q with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "query %S failed: %s" q e);
+          if List.mem q !lru then begin
+            incr hits;
+            lru := q :: List.filter (fun x -> x <> q) !lru
+          end
+          else begin
+            incr misses;
+            lru := q :: !lru;
+            if List.length !lru > capacity then
+              lru := List.filteri (fun idx _ -> idx < capacity) !lru
+          end)
+        picks;
+      if Server.plan_cache_hits server <> !hits then
+        QCheck.Test.fail_reportf "hits: server %d, model %d (capacity %d)"
+          (Server.plan_cache_hits server) !hits capacity;
+      if Server.plan_cache_misses server <> !misses then
+        QCheck.Test.fail_reportf "misses: server %d, model %d (capacity %d)"
+          (Server.plan_cache_misses server) !misses capacity;
+      true)
+
+(* ------------------------------------------------------------------ *)
 (* Server.stats                                                        *)
 
 let test_server_stats () =
@@ -304,7 +390,7 @@ let () =
       ( "future",
         [ Alcotest.test_case "await_timeout" `Quick test_await_timeout ] );
       ( "ppk-pipeline",
-        [ Alcotest.test_case "determinism" `Quick test_ppk_determinism;
+        [ QCheck_alcotest.to_alcotest test_ppk_byte_equality;
           Alcotest.test_case "prefetch hint" `Quick test_ppk_prefetch_hint ] );
       ( "concurrent-lets",
         [ Alcotest.test_case "independent overlap" `Quick test_concurrent_lets;
@@ -313,5 +399,8 @@ let () =
       ( "function-cache",
         [ Alcotest.test_case "concurrent hammer" `Quick
             test_function_cache_hammer ] );
+      ( "cache-counters",
+        [ QCheck_alcotest.to_alcotest test_function_cache_counters;
+          QCheck_alcotest.to_alcotest test_plan_cache_counters ] );
       ( "server-stats",
         [ Alcotest.test_case "visibility" `Quick test_server_stats ] ) ]
