@@ -9,7 +9,7 @@ type scenario = {
 let ( let* ) = Result.bind
 
 let default_config =
-  { Oracle.workers = 2; ppk_k = 2; ppk_prefetch = 1 }
+  { Oracle.workers = 2; ppk_k = 2; ppk_prefetch = 1; indexes = true }
 
 let plain_q ssn =
   Printf.sprintf
@@ -148,8 +148,10 @@ let run_random cat st =
   let config =
     { Oracle.workers = 1 + Random.State.int st 4;
       ppk_k = 1;
-      ppk_prefetch = 0 }
+      ppk_prefetch = 0;
+      indexes = Random.State.bool st }
   in
+  Oracle.set_indexes cat config.indexes;
   let server = Oracle.subject_server cat config in
   let ssn = string_of_int (Random.State.int st 1000) in
   let* primary = run server (plain_q ssn) in
@@ -186,4 +188,6 @@ let run_random cat st =
            (if use_timeout then "timeout" else "fail-over"))
       ~expected ~got
   in
-  check_calls cat ~calls:1 ~failures
+  let r = check_calls cat ~calls:1 ~failures in
+  Oracle.set_indexes cat true;
+  r

@@ -1,16 +1,24 @@
 open Aldsp_core
 
-type config = { workers : int; ppk_k : int; ppk_prefetch : int }
+type config = {
+  workers : int;
+  ppk_k : int;
+  ppk_prefetch : int;
+  indexes : bool;
+}
 
-let reference_config = { workers = 1; ppk_k = 1; ppk_prefetch = 0 }
+let reference_config =
+  { workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false }
 
 let generate_config st =
   { workers = 1 + Random.State.int st 6;
     ppk_k = [| 1; 2; 3; 5; 8 |].(Random.State.int st 5);
-    ppk_prefetch = [| 0; 1; 2; 4 |].(Random.State.int st 4) }
+    ppk_prefetch = [| 0; 1; 2; 4 |].(Random.State.int st 4);
+    indexes = Random.State.bool st }
 
 let config_to_string c =
-  Printf.sprintf "workers=%d k=%d prefetch=%d" c.workers c.ppk_k c.ppk_prefetch
+  Printf.sprintf "workers=%d k=%d prefetch=%d indexes=%b" c.workers c.ppk_k
+    c.ppk_prefetch c.indexes
 
 let config_of_string line =
   let fields =
@@ -32,11 +40,22 @@ let config_of_string line =
       | None -> Error (Printf.sprintf "config: %s is not an integer: %s" k v))
     | None -> Error (Printf.sprintf "config: missing field %s" k)
   in
+  (* absent in corpus lines that predate the knob: such scenarios ran
+     with indexes unconditionally on *)
+  let bool_field k ~default =
+    match List.assoc_opt k fields with
+    | None -> Ok default
+    | Some v -> (
+      match bool_of_string_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "config: %s is not a boolean: %s" k v))
+  in
   let ( let* ) = Result.bind in
   let* workers = int_field "workers" in
   let* ppk_k = int_field "k" in
   let* ppk_prefetch = int_field "prefetch" in
-  Ok { workers; ppk_k; ppk_prefetch }
+  let* indexes = bool_field "indexes" ~default:true in
+  Ok { workers; ppk_k; ppk_prefetch; indexes }
 
 (* one pool per worker count, shared by every scenario in the run: pools
    start threads lazily but never stop them, so per-scenario pools would
@@ -120,11 +139,27 @@ let describe = function
   | Ok s -> "result: " ^ s
   | Error e -> "error: " ^ e
 
+(* The backend access-path switch lives on the shared catalog databases,
+   so it is toggled around each side's run: the reference always executes
+   on scans and nested loops, the subject per its config. *)
+let set_indexes (cat : Catalog.t) flag =
+  List.iter
+    (fun db -> Aldsp_relational.Database.set_use_indexes db flag)
+    (Metadata.databases cat.Catalog.registry)
+
 let compare_query cat config ?(mutate = false) q =
-  let reference = run_serialized (reference_server cat) q in
+  let reference =
+    set_indexes cat false;
+    run_serialized (reference_server cat) q
+  in
   let subject =
-    if mutate then run_mutated (subject_server cat config) q
-    else run_serialized (subject_server cat config) q
+    set_indexes cat config.indexes;
+    let r =
+      if mutate then run_mutated (subject_server cat config) q
+      else run_serialized (subject_server cat config) q
+    in
+    set_indexes cat true;
+    r
   in
   match (reference, subject) with
   | Ok a, Ok b when String.equal a b -> Ok ()

@@ -11,11 +11,21 @@
 open Aldsp_core
 
 (** The optimized side's degrees of freedom. Vendors (and so dialects)
-    live in {!Catalog.spec}; these are the runtime knobs. *)
-type config = { workers : int; ppk_k : int; ppk_prefetch : int }
+    live in {!Catalog.spec}; these are the runtime knobs. [indexes]
+    switches the relational backend's access-path selection (index
+    probes, hash/index joins) — the reference side always runs on scans
+    and nested loops, so every scenario exercises the indexed executor
+    against the scan executor too. *)
+type config = {
+  workers : int;
+  ppk_k : int;
+  ppk_prefetch : int;
+  indexes : bool;
+}
 
 val reference_config : config
-(** [{workers = 1; ppk_k = 1; ppk_prefetch = 0}] (informational). *)
+(** [{workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false}]
+    (informational). *)
 
 val generate_config : Random.State.t -> config
 val config_to_string : config -> string
@@ -30,6 +40,11 @@ val shutdown_pools : unit -> unit
 
 val reference_server : Catalog.t -> Server.t
 val subject_server : Catalog.t -> config -> Server.t
+
+val set_indexes : Catalog.t -> bool -> unit
+(** Flips {!Aldsp_relational.Database.set_use_indexes} on every database
+    of the catalog. {!compare_query} does this itself around each side;
+    exposed for harnesses that drive servers directly. *)
 
 val run_serialized : Server.t -> string -> (string, string) result
 (** Compile + evaluate + {!Aldsp_xml.Item.serialize}. *)

@@ -9,6 +9,7 @@ let scenario_size s =
   + s.spec.Catalog.orders_per_customer + s.spec.Catalog.cards_per_customer
   + s.spec.Catalog.regions + s.config.Oracle.workers + s.config.Oracle.ppk_k
   + s.config.Oracle.ppk_prefetch
+  + (if s.config.Oracle.indexes then 1 else 0)
 
 (* halve-then-floor steps for one integer field; [floor] is the smallest
    admissible value *)
@@ -42,7 +43,9 @@ let config_candidates (c : Oracle.config) =
         (int_steps c.Oracle.ppk_k ~floor:1);
       List.map
         (fun v -> { c with Oracle.ppk_prefetch = v })
-        (int_steps c.Oracle.ppk_prefetch ~floor:0) ]
+        (int_steps c.Oracle.ppk_prefetch ~floor:0);
+      (if c.Oracle.indexes then [ { c with Oracle.indexes = false } ] else [])
+    ]
 
 let candidates s =
   let all =

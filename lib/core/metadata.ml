@@ -108,6 +108,10 @@ let set_cacheable t name flag =
 let add_database t db = Hashtbl.replace t.databases db.Database.db_name db
 let find_database t name = Hashtbl.find_opt t.databases name
 
+let databases t =
+  Hashtbl.fold (fun _ db acc -> db :: acc) t.databases []
+  |> List.sort (fun a b -> String.compare a.Database.db_name b.Database.db_name)
+
 let add_data_service t ds = Hashtbl.replace t.services ds.ds_name ds
 let find_data_service t name = Hashtbl.find_opt t.services name
 

@@ -82,6 +82,10 @@ val set_cacheable : t -> Qname.t -> bool -> unit
 val add_database : t -> Database.t -> unit
 val find_database : t -> string -> Database.t option
 
+val databases : t -> Database.t list
+(** All registered databases, sorted by name; used to roll backend
+    operator statistics up into {!Server.stats}. *)
+
 val add_data_service : t -> data_service -> unit
 val find_data_service : t -> string -> data_service option
 val data_services : t -> data_service list

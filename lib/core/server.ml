@@ -23,10 +23,15 @@ type t = {
 type stats = {
   st_plan_cache_hits : int;
   st_plan_cache_misses : int;
+  st_function_cache_hits : int;
+  st_function_cache_misses : int;
   st_pool : Pool.stats;
   st_roundtrips : int;  (** Middleware-issued source roundtrips (PP-k). *)
   st_overlap_saved : float;  (** Seconds of source latency hidden. *)
   st_source_wall : float;  (** Total wall time inside sources. *)
+  st_backend : Aldsp_relational.Database.stats;
+      (** Operator counters (scans, index probes, join algorithms) summed
+          over every registered database. *)
 }
 
 let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
@@ -76,15 +81,26 @@ let function_cache t = t.function_cache
 let pool t = t.pool
 
 let stats t =
+  let backend = Aldsp_relational.Database.zero_stats () in
+  List.iter
+    (fun db -> Aldsp_relational.Database.add_stats backend db.Aldsp_relational.Database.stats)
+    (Metadata.databases t.registry);
   { st_plan_cache_hits = Plan_cache.hits t.plan_cache;
     st_plan_cache_misses = Plan_cache.misses t.plan_cache;
+    st_function_cache_hits =
+      (match t.function_cache with Some c -> Function_cache.hits c | None -> 0);
+    st_function_cache_misses =
+      (match t.function_cache with
+      | Some c -> Function_cache.misses c
+      | None -> 0);
     st_pool = Pool.stats t.pool;
     st_roundtrips =
       (match t.observed with Some o -> Observed.roundtrips o | None -> 0);
     st_overlap_saved =
       (match t.observed with Some o -> Observed.overlap_saved o | None -> 0.);
     st_source_wall =
-      (match t.observed with Some o -> Observed.source_wall o | None -> 0.) }
+      (match t.observed with Some o -> Observed.source_wall o | None -> 0.);
+    st_backend = backend }
 
 (* ------------------------------------------------------------------ *)
 (* Data service registration                                           *)

@@ -29,10 +29,15 @@ type compiled = {
 type stats = {
   st_plan_cache_hits : int;
   st_plan_cache_misses : int;
+  st_function_cache_hits : int;
+  st_function_cache_misses : int;
   st_pool : Pool.stats;
   st_roundtrips : int;  (** Middleware-issued source roundtrips (PP-k). *)
   st_overlap_saved : float;  (** Seconds of source latency hidden. *)
   st_source_wall : float;  (** Total wall time inside sources. *)
+  st_backend : Aldsp_relational.Database.stats;
+      (** Operator counters (scans, index probes, join algorithms) summed
+          over every registered database at the time of the call. *)
 }
 
 val create :

@@ -6,6 +6,14 @@ type stats = {
   mutable statements : int;
   mutable rows_shipped : int;
   mutable params_bound : int;
+  (* operator-level execution counters *)
+  mutable full_scans : int;
+  mutable rows_scanned : int;
+  mutable index_lookups : int;
+  mutable index_rows : int;
+  mutable hash_joins : int;
+  mutable index_joins : int;
+  mutable nl_joins : int;
 }
 
 type t = {
@@ -16,16 +24,44 @@ type t = {
   mutable roundtrip_latency : float;
   mutable schedule : fault list;
   schedule_lock : Mutex.t;
+  mutable use_indexes : bool;
+  mutable last_plan : string list;
 }
+
+let zero_stats () =
+  { statements = 0;
+    rows_shipped = 0;
+    params_bound = 0;
+    full_scans = 0;
+    rows_scanned = 0;
+    index_lookups = 0;
+    index_rows = 0;
+    hash_joins = 0;
+    index_joins = 0;
+    nl_joins = 0 }
 
 let create ?(vendor = Generic_sql92) ?(roundtrip_latency = 0.) db_name =
   { db_name;
     vendor;
     tables = Hashtbl.create 16;
-    stats = { statements = 0; rows_shipped = 0; params_bound = 0 };
+    stats = zero_stats ();
     roundtrip_latency;
     schedule = [];
-    schedule_lock = Mutex.create () }
+    schedule_lock = Mutex.create ();
+    use_indexes = true;
+    last_plan = [] }
+
+let add_stats acc s =
+  acc.statements <- acc.statements + s.statements;
+  acc.rows_shipped <- acc.rows_shipped + s.rows_shipped;
+  acc.params_bound <- acc.params_bound + s.params_bound;
+  acc.full_scans <- acc.full_scans + s.full_scans;
+  acc.rows_scanned <- acc.rows_scanned + s.rows_scanned;
+  acc.index_lookups <- acc.index_lookups + s.index_lookups;
+  acc.index_rows <- acc.index_rows + s.index_rows;
+  acc.hash_joins <- acc.hash_joins + s.hash_joins;
+  acc.index_joins <- acc.index_joins + s.index_joins;
+  acc.nl_joins <- acc.nl_joins + s.nl_joins
 
 let add_table t table = Hashtbl.replace t.tables table.Table.table_name table
 
@@ -48,7 +84,23 @@ let vendor_name = function
 let reset_stats t =
   t.stats.statements <- 0;
   t.stats.rows_shipped <- 0;
-  t.stats.params_bound <- 0
+  t.stats.params_bound <- 0;
+  t.stats.full_scans <- 0;
+  t.stats.rows_scanned <- 0;
+  t.stats.index_lookups <- 0;
+  t.stats.index_rows <- 0;
+  t.stats.hash_joins <- 0;
+  t.stats.index_joins <- 0;
+  t.stats.nl_joins <- 0
+
+let set_use_indexes t flag = t.use_indexes <- flag
+
+let set_last_plan t plan = t.last_plan <- plan
+
+let explain_last t =
+  match t.last_plan with
+  | [] -> Printf.sprintf "-- %s: no statement executed" t.db_name
+  | lines -> String.concat "\n" lines
 
 let set_schedule t faults =
   Mutex.lock t.schedule_lock;

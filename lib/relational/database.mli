@@ -17,6 +17,13 @@ type stats = {
   mutable statements : int;  (** Statements executed (= roundtrips). *)
   mutable rows_shipped : int;  (** Result rows returned to the caller. *)
   mutable params_bound : int;
+  mutable full_scans : int;  (** Table accesses that read every row. *)
+  mutable rows_scanned : int;  (** Rows visited by full scans. *)
+  mutable index_lookups : int;  (** Index probes (one per key tuple). *)
+  mutable index_rows : int;  (** Candidate rows produced by probes. *)
+  mutable hash_joins : int;
+  mutable index_joins : int;  (** Index nested-loop joins. *)
+  mutable nl_joins : int;  (** Plain nested-loop joins. *)
 }
 
 type t = {
@@ -31,9 +38,31 @@ type t = {
       (** Scripted per-statement behaviour; statement [n] consumes entry
           [n]. Use {!set_schedule}; consumption is thread-safe. *)
   schedule_lock : Mutex.t;
+  mutable use_indexes : bool;
+      (** Backend access-path switch, independent of the middleware
+          optimizer: when false the executor only uses scans and nested
+          loops (the differential oracle's reference mode). Indexes are
+          maintained either way. Default [true]. *)
+  mutable last_plan : string list;
+      (** EXPLAIN-style access-path decisions of the most recent
+          statement, recorded by the executor. *)
 }
 
 val create : ?vendor:vendor -> ?roundtrip_latency:float -> string -> t
+
+val zero_stats : unit -> stats
+
+val add_stats : stats -> stats -> unit
+(** [add_stats acc s] accumulates [s] into [acc]; used to roll per-source
+    counters up into {!Aldsp_core.Server.stats}-level totals. *)
+
+val set_use_indexes : t -> bool -> unit
+
+val set_last_plan : t -> string list -> unit
+
+val explain_last : t -> string
+(** The recorded access-path decisions of the last statement, one line
+    per operator, rendered for humans. *)
 
 val add_table : t -> Table.t -> unit
 val find_table : t -> string -> (Table.t, string) result

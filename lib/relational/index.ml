@@ -1,0 +1,110 @@
+module V = Sql_value
+
+(* Normalized key parts. Two SQL values that compare equal under
+   [Sql_value.compare_sql] must normalize to structurally identical parts:
+   numerics (Int/Float/Timestamp) collapse to their float image, -0. is
+   canonicalized to 0., and every NaN payload to the same NaN, so the
+   polymorphic [compare] below treats them as one key. Distinct values may
+   still collide (two large ints with the same float image); probes are
+   therefore candidate generators and callers re-verify with the SQL
+   comparison. NULL is its own part so grouping probes can match it. *)
+type part = K_null | K_num of float | K_str of string | K_bool of bool
+
+type key = part array
+
+let canon_float f = if Float.is_nan f then Float.nan else if f = 0. then 0. else f
+
+let part_of_value = function
+  | V.Null -> K_null
+  | V.Int i -> K_num (canon_float (float_of_int i))
+  | V.Float f -> K_num (canon_float f)
+  | V.Timestamp f -> K_num (canon_float f)
+  | V.Str s -> K_str s
+  | V.Bool b -> K_bool b
+
+let key_of_values values = Array.map part_of_value values
+
+module Key = struct
+  type t = key
+
+  (* [compare] (not [=]) so K_num NaN equals itself; canonicalization makes
+     equal keys bitwise identical, so the generic hash agrees. *)
+  let equal a b = Stdlib.compare a b = 0
+  let hash (k : t) = Hashtbl.hash k
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
+type t = {
+  idx_name : string;
+  idx_cols : string list;  (* column names, in key order *)
+  idx_pos : int array;  (* positions of the key columns in a row *)
+  idx_unique : bool;
+  buckets : int list ref Key_tbl.t;  (* row ids, descending *)
+  mutable idx_entries : int;
+}
+
+let create ?(unique = false) ~name ~cols ~positions () =
+  { idx_name = name;
+    idx_cols = cols;
+    idx_pos = positions;
+    idx_unique = unique;
+    buckets = Key_tbl.create 64;
+    idx_entries = 0 }
+
+let name t = t.idx_name
+let columns t = t.idx_cols
+let positions t = t.idx_pos
+let unique t = t.idx_unique
+let entries t = t.idx_entries
+
+let key_of_row t row = key_of_values (Array.map (fun i -> row.(i)) t.idx_pos)
+
+(* Ids are kept descending so the common case — adding the freshest (and
+   largest) row id — is a cons; probes reverse to ascending scan order. *)
+let add t id row =
+  let k = key_of_row t row in
+  let bucket =
+    match Key_tbl.find_opt t.buckets k with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Key_tbl.add t.buckets k b;
+      b
+  in
+  let rec ins = function
+    | [] -> [ id ]
+    | x :: _ as l when id > x -> id :: l
+    | x :: rest -> x :: ins rest
+  in
+  bucket := ins !bucket;
+  t.idx_entries <- t.idx_entries + 1
+
+let remove t id row =
+  let k = key_of_row t row in
+  match Key_tbl.find_opt t.buckets k with
+  | None -> ()
+  | Some b ->
+    let n = List.length !b in
+    b := List.filter (fun x -> x <> id) !b;
+    t.idx_entries <- t.idx_entries - (n - List.length !b);
+    if !b = [] then Key_tbl.remove t.buckets k
+
+let clear t =
+  Key_tbl.reset t.buckets;
+  t.idx_entries <- 0
+
+let probe_key t k =
+  match Key_tbl.find_opt t.buckets k with
+  | Some b -> List.rev !b
+  | None -> []
+
+(* Grouping equality (NULL matches NULL): primary-key uniqueness and
+   GROUP BY semantics. *)
+let probe_grouping t values = probe_key t (key_of_values values)
+
+(* SQL equality: a NULL anywhere in the probe tuple can never compare
+   True, so it matches nothing. *)
+let probe t values =
+  if Array.exists V.is_null values then []
+  else probe_grouping t values

@@ -16,11 +16,15 @@ type context = {
   group : binding list list option;  (* rows of the current group *)
   params : V.t array;
   db : Database.t;
+  decisions : string list ref;  (* access-path log, newest first *)
 }
 
 exception Sql_error of string
 
 let error fmt = Printf.ksprintf (fun msg -> raise (Sql_error msg)) fmt
+
+let decide ctx fmt =
+  Printf.ksprintf (fun line -> ctx.decisions := line :: !(ctx.decisions)) fmt
 
 let lookup_in_binding b name =
   let rec go i =
@@ -101,6 +105,252 @@ let like_match pattern text =
       | c -> ti < nt && text.[ti] = c && go (pi + 1) (ti + 1)
   in
   go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* Access-path analysis.
+
+   The executor may replace a scan by an index probe, or a nested-loop
+   join by a hash/index join, only when the substitution is
+   undetectable: identical result rows in identical order AND identical
+   error behaviour. The differential oracle (lib/check) compares indexed
+   vs scan execution byte-for-byte including error strings, so the
+   analysis below is deliberately conservative — an expression whose
+   evaluation could raise on rows the fast path would skip ("not total")
+   disqualifies the optimization. *)
+
+(* One FROM/JOIN source as the analysis sees it. *)
+type src = {
+  s_alias : string;
+  s_cols : string list;
+  s_table : Table.t option;  (* None for derived tables *)
+}
+
+type colclass =
+  | C_local of src  (* resolves to this source's column *)
+  | C_ambiguous  (* unqualified name matching several sources *)
+  | C_missing  (* qualified by a local alias, column absent: errors *)
+  | C_outer  (* resolves (or fails) in an enclosing scope *)
+
+(* The select's sources in order (FROM first, then joins), or [None] when
+   analysis cannot be trusted: unknown table, duplicate aliases, or a
+   derived table whose projection list still contains a star. *)
+let sources_of ctx s =
+  let of_ref = function
+    | Table { table; alias } -> (
+      match Database.find_table ctx.db table with
+      | Ok t ->
+        Some
+          { s_alias = alias;
+            s_cols = List.map (fun c -> c.Table.col_name) t.Table.columns;
+            s_table = Some t }
+      | Error _ -> None)
+    | Derived { query; alias } ->
+      let cols = List.map snd query.projections in
+      if List.mem "*" cols then None
+      else Some { s_alias = alias; s_cols = cols; s_table = None }
+  in
+  let rec build acc = function
+    | [] -> Some (List.rev acc)
+    | r :: rest -> (
+      match of_ref r with Some s -> build (s :: acc) rest | None -> None)
+  in
+  match build [] (s.from :: List.map (fun j -> j.jtable) s.joins) with
+  | None -> None
+  | Some srcs ->
+    let aliases = List.map (fun s -> s.s_alias) srcs in
+    if List.length (List.sort_uniq String.compare aliases) <> List.length aliases
+    then None
+    else Some srcs
+
+let classify srcs alias name =
+  match alias with
+  | Some a -> (
+    match List.find_opt (fun s -> String.equal s.s_alias a) srcs with
+    | Some src -> if List.mem name src.s_cols then C_local src else C_missing
+    | None -> C_outer)
+  | None -> (
+    match List.filter (fun s -> List.mem name s.s_cols) srcs with
+    | [ src ] -> C_local src
+    | [] -> C_outer
+    | _ -> C_ambiguous)
+
+(* Outer references are constant for the whole select, so they can be
+   checked (and later evaluated) once against an environment with no
+   local bindings. *)
+let outer_lookup ctx alias name = lookup_col { ctx with env = [] } alias name
+
+(* [total_value]: evaluation cannot raise, in value position. Everything
+   not listed (arithmetic, LIKE, functions, CASE, subqueries, aggregates)
+   is treated as potentially raising. *)
+let rec total_value ctx srcs e =
+  match e with
+  | Lit _ -> true
+  | Param i -> i >= 1 && i <= Array.length ctx.params
+  | Col (alias, name) -> (
+    match classify srcs alias name with
+    | C_local _ | C_ambiguous -> true
+    | C_missing -> false
+    | C_outer -> outer_lookup ctx alias name <> None)
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | Concat), a, b) ->
+    total_value ctx srcs a && total_value ctx srcs b
+  | Binop ((And | Or), a, b) -> total_truth ctx srcs a && total_truth ctx srcs b
+  | Not a -> total_truth ctx srcs a
+  | Is_null a | Is_not_null a -> total_value ctx srcs a
+  | In_list (a, items) ->
+    total_value ctx srcs a && List.for_all (total_value ctx srcs) items
+  | _ -> false
+
+(* [total_truth]: additionally, [value_to_truth] of the result cannot
+   raise — the value is known to be boolean-ish (Bool/Int/Null). *)
+and total_truth ctx srcs e =
+  match e with
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or), _, _)
+  | Not _ | Is_null _ | Is_not_null _ | In_list _ ->
+    total_value ctx srcs e
+  | Lit (V.Bool _ | V.Null | V.Int _) -> true
+  | Col (alias, name) -> (
+    match classify srcs alias name with
+    | C_local { s_table = Some t; _ } -> (
+      match Table.column_type t name with
+      | Some (Table.T_boolean | Table.T_int) -> true
+      | _ -> false)
+    | C_local _ | C_ambiguous | C_missing -> false
+    | C_outer -> (
+      match outer_lookup ctx alias name with
+      | Some (V.Null | V.Bool _ | V.Int _) -> true
+      | _ -> false))
+  | Param i ->
+    i >= 1
+    && i <= Array.length ctx.params
+    && (match ctx.params.(i - 1) with
+       | V.Null | V.Bool _ | V.Int _ -> true
+       | _ -> false)
+  | _ -> false
+
+(* A probe key expression: total and constant across the scanned rows
+   (no reference to any of this select's own sources). Covers the PP-k
+   parameter shape (literals/params) and outer-correlated columns. *)
+let probe_value_ok ctx srcs e =
+  match e with
+  | Lit _ -> true
+  | Param i -> i >= 1 && i <= Array.length ctx.params
+  | Col (alias, name) -> (
+    match classify srcs alias name with
+    | C_outer -> outer_lookup ctx alias name <> None
+    | _ -> false)
+  | _ -> false
+
+let rec conjuncts e =
+  match e with Binop (And, a, b) -> conjuncts a @ conjuncts b | e -> [ e ]
+
+let rec disjuncts e =
+  match e with Binop (Or, a, b) -> disjuncts a @ disjuncts b | e -> [ e ]
+
+let base_col srcs base e =
+  match e with
+  | Col (alias, name) -> (
+    match classify srcs alias name with
+    | C_local src when src == base -> Some name
+    | _ -> None)
+  | _ -> None
+
+(* One OR-arm of a probe conjunct reduced to equality alternatives: the
+   arm can only be True when, for some alternative, all its (column =
+   value) equalities hold. IN-lists expand to one alternative per item;
+   a conjunctive arm contributes its equality conjuncts. *)
+let arm_alternatives ctx srcs base arm =
+  match arm with
+  | In_list (col, items)
+    when base_col srcs base col <> None
+         && List.for_all (probe_value_ok ctx srcs) items ->
+    let name = Option.get (base_col srcs base col) in
+    Some (List.map (fun item -> [ (name, item) ]) items)
+  | _ ->
+    let pairs =
+      List.filter_map
+        (fun c ->
+          match c with
+          | Binop (Eq, a, b) -> (
+            match base_col srcs base a with
+            | Some n when probe_value_ok ctx srcs b -> Some (n, b)
+            | _ -> (
+              match base_col srcs base b with
+              | Some n when probe_value_ok ctx srcs a -> Some (n, a)
+              | _ -> None))
+          | _ -> None)
+        (conjuncts arm)
+    in
+    if pairs = [] then None else Some [ pairs ]
+
+(* The index and probe-key expressions implied by [where] for the base
+   table, if some top-level conjunct is a disjunction of equality
+   alternatives covering an index. Soundness: every row on which [where]
+   could evaluate to True carries one of the returned keys. *)
+let probe_plan ctx srcs base where =
+  match base.s_table with
+  | None -> None
+  | Some table ->
+    if Table.indexes table = [] then None
+    else
+      let try_conjunct conj =
+        let arms = List.map (arm_alternatives ctx srcs base) (disjuncts conj) in
+        if List.exists Option.is_none arms then None
+        else
+          let alts = List.concat_map Option.get arms in
+          if alts = [] || List.length alts > 4096 then None
+          else
+            let common =
+              match alts with
+              | [] -> []
+              | first :: rest ->
+                List.filter_map
+                  (fun (n, _) ->
+                    if List.for_all (fun alt -> List.mem_assoc n alt) rest
+                    then Some n
+                    else None)
+                  first
+            in
+            let usable =
+              List.filter
+                (fun idx ->
+                  List.for_all (fun c -> List.mem c common) (Index.columns idx))
+                (Table.indexes table)
+            in
+            let best =
+              List.fold_left
+                (fun acc idx ->
+                  match acc with
+                  | None -> Some idx
+                  | Some b ->
+                    let len i = List.length (Index.columns i) in
+                    if
+                      len idx > len b
+                      || (len idx = len b && Index.unique idx
+                          && not (Index.unique b))
+                    then Some idx
+                    else acc)
+                None usable
+            in
+            match best with
+            | None -> None
+            | Some idx ->
+              Some
+                ( idx,
+                  List.map
+                    (fun alt ->
+                      List.map (fun c -> List.assoc c alt) (Index.columns idx))
+                    alts )
+      in
+      List.find_map try_conjunct (conjuncts where)
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+(* ------------------------------------------------------------------ *)
 
 let rec eval ctx e : V.t =
   match e with
@@ -279,13 +529,19 @@ and eval_agg ctx kind quantifier arg =
       | Avg -> numeric_binop Div total (V.Float (float_of_int (List.length values)))
       | _ -> assert false)
 
-(* FROM clause: produce the list of row environments. *)
+(* FROM clause: produce the list of row environments. Scanning a base
+   table accounts a full scan on the database's operator statistics. *)
 and scan_table_ref ctx ref_ : binding list list =
   match ref_ with
   | Table { table; alias } -> (
     match Database.find_table ctx.db table with
     | Error msg -> error "%s" msg
     | Ok t ->
+      let stats = ctx.db.Database.stats in
+      stats.Database.full_scans <- stats.Database.full_scans + 1;
+      stats.Database.rows_scanned <-
+        stats.Database.rows_scanned + Table.row_count t;
+      decide ctx "scan %s as %s (%d rows)" table alias (Table.row_count t);
       let cols = Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns) in
       List.map
         (fun row -> [ { alias; cols; values = row } ])
@@ -294,6 +550,76 @@ and scan_table_ref ctx ref_ : binding list list =
     let result = run_select { ctx with group = None } query in
     let cols = Array.of_list result.columns in
     List.map (fun row -> [ { alias; cols; values = row } ]) result.rows
+
+(* The base-table access path: an index probe when the WHERE implies one
+   and the whole filter/join pipeline is total (so skipped rows cannot
+   change error behaviour), otherwise the historical full scan. *)
+and scan_from ctx s srcs =
+  let fallback () = scan_table_ref ctx s.from in
+  match (srcs, s.from) with
+  | Some (base :: _ as srcs), Table { table; alias } -> (
+    let where_ok =
+      match s.where with
+      | Some w -> total_truth ctx srcs w
+      | None -> false
+    in
+    let joins_ok =
+      (* join ON conditions see only the sources bound so far *)
+      List.for_all2
+        (fun j n -> total_truth ctx (take (n + 2) srcs) j.on_condition)
+        s.joins
+        (List.mapi (fun i _ -> i) s.joins)
+    in
+    if not (where_ok && joins_ok) then fallback ()
+    else
+      match probe_plan ctx srcs base (Option.get s.where) with
+      | None -> fallback ()
+      | Some (idx, keys) -> (
+        match Database.find_table ctx.db table with
+        | Error msg -> error "%s" msg
+        | Ok t -> (
+          let ctx0 = { ctx with env = []; group = None } in
+          match
+            List.map
+              (fun key_exprs ->
+                Array.of_list (List.map (eval ctx0) key_exprs))
+              keys
+          with
+          | exception Sql_error _ ->
+            (* a probe value that raises means the scan path raises on
+               every row; reproduce that behaviour exactly *)
+            fallback ()
+          | key_values ->
+            let stats = ctx.db.Database.stats in
+            stats.Database.index_lookups <-
+              stats.Database.index_lookups + List.length key_values;
+            let seen = Hashtbl.create 64 in
+            List.iter
+              (fun values ->
+                List.iter
+                  (fun id -> Hashtbl.replace seen id ())
+                  (Index.probe idx values))
+              key_values;
+            let ids =
+              Hashtbl.fold (fun id () acc -> id :: acc) seen []
+              |> List.sort compare
+            in
+            stats.Database.index_rows <-
+              stats.Database.index_rows + List.length ids;
+            decide ctx "index probe %s.%s [%s] keys=%d rows=%d" table
+              (Index.name idx)
+              (String.concat "," (Index.columns idx))
+              (List.length key_values) (List.length ids);
+            let cols =
+              Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns)
+            in
+            List.filter_map
+              (fun id ->
+                match Table.get_row t id with
+                | Some row -> Some [ { alias; cols; values = row } ]
+                | None -> None)
+              ids)))
+  | _ -> fallback ()
 
 and null_binding ctx ref_ : binding =
   match ref_ with
@@ -307,17 +633,185 @@ and null_binding ctx ref_ : binding =
     let cols = Array.of_list (List.map snd query.projections) in
     { alias; cols; values = Array.make (Array.length cols) V.Null }
 
-and apply_join ctx left_rows join =
-  let right_rows = scan_table_ref ctx join.jtable in
-  let matches left =
-    List.filter_map
-      (fun right ->
-        let env = right @ left in
-        match value_to_truth (eval { ctx with env; group = None } join.on_condition) with
-        | V.True -> Some env
-        | V.False | V.Unknown -> None)
-      right_rows
+(* Join algorithm selection. [srcs] is the prefix of sources visible to
+   this join (base, earlier joins, then this join's source last). The
+   candidate-generating paths re-evaluate the full ON condition on every
+   candidate pair, so they agree with the nested loop exactly; they
+   require the ON condition to be total because the nested loop also
+   evaluates it on the pairs they skip. *)
+and apply_join ctx srcs left_rows join =
+  let stats = ctx.db.Database.stats in
+  let jalias =
+    match join.jtable with
+    | Table { alias; _ } | Derived { alias; _ } -> alias
   in
+  let nested_loop () =
+    stats.Database.nl_joins <- stats.Database.nl_joins + 1;
+    decide ctx "nested-loop join %s" jalias;
+    let right_rows = scan_table_ref ctx join.jtable in
+    let matches left =
+      List.filter_map
+        (fun right ->
+          let env = right @ left in
+          match
+            value_to_truth (eval { ctx with env; group = None } join.on_condition)
+          with
+          | V.True -> Some env
+          | V.False | V.Unknown -> None)
+        right_rows
+    in
+    join_shape ctx join matches left_rows
+  in
+  let equi =
+    match srcs with
+    | None -> None
+    | Some srcs ->
+      if not (total_truth ctx srcs join.on_condition) then None
+      else
+        let jsrc =
+          List.find_opt (fun s -> String.equal s.s_alias jalias) srcs
+        in
+        Option.bind jsrc (fun jsrc ->
+            let right_col e =
+              match e with
+              | Col (alias, name) -> (
+                match classify srcs alias name with
+                | C_local src when src == jsrc -> Some name
+                | _ -> None)
+              | _ -> None
+            in
+            (* a left key: total, constant w.r.t. the joined source, and
+               evaluable against the left environment alone *)
+            let left_ok e =
+              match e with
+              | Lit _ -> true
+              | Param i -> i >= 1 && i <= Array.length ctx.params
+              | Col (alias, name) -> (
+                match classify srcs alias name with
+                | C_local src -> src != jsrc
+                | C_ambiguous | C_missing -> false
+                | C_outer -> outer_lookup ctx alias name <> None)
+              | _ -> false
+            in
+            let pairs =
+              List.filter_map
+                (fun c ->
+                  match c with
+                  | Binop (Eq, a, b) -> (
+                    match right_col a with
+                    | Some n when left_ok b -> Some (n, b)
+                    | _ -> (
+                      match right_col b with
+                      | Some n when left_ok a -> Some (n, a)
+                      | _ -> None))
+                  | _ -> None)
+                (conjuncts join.on_condition)
+            in
+            if pairs = [] then None else Some (jsrc, pairs))
+  in
+  match equi with
+  | None -> nested_loop ()
+  | Some (jsrc, pairs) -> (
+    let right_cols = List.map fst pairs in
+    let index =
+      match jsrc.s_table with
+      | None -> None
+      | Some t ->
+        List.fold_left
+          (fun acc idx ->
+            if List.for_all (fun c -> List.mem c right_cols) (Index.columns idx)
+            then
+              match acc with
+              | Some (_, b)
+                when List.length (Index.columns b)
+                     >= List.length (Index.columns idx) ->
+                acc
+              | _ -> Some (t, idx)
+            else acc)
+          None (Table.indexes t)
+    in
+    match index with
+    | Some (t, idx) ->
+      (* index nested loop: probe the right table per left row *)
+      stats.Database.index_joins <- stats.Database.index_joins + 1;
+      decide ctx "index-nl join %s via %s.%s" jalias t.Table.table_name
+        (Index.name idx);
+      let key_exprs = List.map (fun c -> List.assoc c pairs) (Index.columns idx) in
+      let cols =
+        Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns)
+      in
+      let matches left =
+        let lctx = { ctx with env = left; group = None } in
+        let values = Array.of_list (List.map (eval lctx) key_exprs) in
+        stats.Database.index_lookups <- stats.Database.index_lookups + 1;
+        let ids = Index.probe idx values in
+        stats.Database.index_rows <- stats.Database.index_rows + List.length ids;
+        List.filter_map
+          (fun id ->
+            match Table.get_row t id with
+            | None -> None
+            | Some row ->
+              let env = { alias = jalias; cols; values = row } :: left in
+              (match
+                 value_to_truth
+                   (eval { ctx with env; group = None } join.on_condition)
+               with
+              | V.True -> Some env
+              | V.False | V.Unknown -> None))
+          ids
+      in
+      join_shape ctx join matches left_rows
+    | None ->
+      (* hash equi-join: build once over the right side, probe per left
+         row; buckets keep right-scan order *)
+      stats.Database.hash_joins <- stats.Database.hash_joins + 1;
+      decide ctx "hash join %s on [%s]" jalias (String.concat "," right_cols);
+      let right_rows = scan_table_ref ctx join.jtable in
+      let left_exprs = List.map snd pairs in
+      let tbl = Index.Key_tbl.create 256 in
+      List.iter
+        (fun right ->
+          match right with
+          | [ b ] -> (
+            let values =
+              Array.of_list
+                (List.map
+                   (fun c ->
+                     match lookup_in_binding b c with
+                     | Some v -> v
+                     | None -> V.Null)
+                   right_cols)
+            in
+            if not (Array.exists V.is_null values) then
+              let key = Index.key_of_values values in
+              match Index.Key_tbl.find_opt tbl key with
+              | Some bucket -> bucket := right :: !bucket
+              | None -> Index.Key_tbl.add tbl key (ref [ right ]))
+          | _ -> ())
+        right_rows;
+      Index.Key_tbl.iter (fun _ bucket -> bucket := List.rev !bucket) tbl;
+      let matches left =
+        let lctx = { ctx with env = left; group = None } in
+        let values = Array.of_list (List.map (eval lctx) left_exprs) in
+        if Array.exists V.is_null values then []
+        else
+          match Index.Key_tbl.find_opt tbl (Index.key_of_values values) with
+          | None -> []
+          | Some bucket ->
+            List.filter_map
+              (fun right ->
+                let env = right @ left in
+                match
+                  value_to_truth
+                    (eval { ctx with env; group = None } join.on_condition)
+                with
+                | V.True -> Some env
+                | V.False | V.Unknown -> None)
+              !bucket
+      in
+      join_shape ctx join matches left_rows)
+
+and join_shape ctx join matches left_rows =
   match join.jkind with
   | Inner -> List.concat_map matches left_rows
   | Left_outer ->
@@ -354,8 +848,15 @@ and expand_star ctx s =
 and run_select outer_ctx s : result_set =
   let ctx = { outer_ctx with outer = Some outer_ctx; group = None } in
   let s = expand_star ctx s in
-  let rows = scan_table_ref ctx s.from in
-  let rows = List.fold_left (fun acc j -> apply_join ctx acc j) rows s.joins in
+  let srcs = if ctx.db.Database.use_indexes then sources_of ctx s else None in
+  let rows = scan_from ctx s srcs in
+  let rows, _ =
+    List.fold_left
+      (fun (acc, i) j ->
+        let prefix = Option.map (take (i + 2)) srcs in
+        (apply_join ctx prefix acc j, i + 1))
+      (rows, 0) s.joins
+  in
   let rows =
     match s.where with
     | None -> rows
@@ -462,42 +963,70 @@ and run_select outer_ctx s : result_set =
       in
       List.map snd (List.stable_sort cmp keyed)
   in
-  let projected =
-    List.map
-      (fun (env, group) ->
-        Array.of_list
-          (List.map
-             (fun (e, _) -> eval { ctx with env; group = Some group } e)
-             s.projections))
-      logical_rows
-  in
-  let projected =
-    if not s.distinct then projected
-    else
-      List.rev
-        (List.fold_left
-           (fun acc row ->
-             if
-               List.exists
-                 (fun seen -> Array.for_all2 V.equal seen row)
-                 acc
-             then acc
-             else row :: acc)
-           [] projected)
+  let project (env, group) =
+    Array.of_list
+      (List.map
+         (fun (e, _) -> eval { ctx with env; group = Some group } e)
+         s.projections)
   in
   let projected =
     match s.window with
-    | None -> projected
+    | None ->
+      let projected = List.map project logical_rows in
+      if not s.distinct then projected
+      else
+        List.rev
+          (List.fold_left
+             (fun acc row ->
+               if
+                 List.exists
+                   (fun seen -> Array.for_all2 V.equal seen row)
+                   acc
+               then acc
+               else row :: acc)
+             [] projected)
     | Some { start; count } ->
-      let upper =
-        match count with Some n -> start + n | None -> max_int
-      in
-      List.filteri (fun i _ -> i + 1 >= start && i + 1 < upper) projected
+      (* early exit: project (and deduplicate) incrementally, stopping as
+         soon as the last requested row position has been produced, so
+         ROWNUM/FETCH FIRST pushdowns stop paying for discarded rows *)
+      let upper = match count with Some n -> Some (start + n - 1) | None -> None in
+      let seen = ref [] in
+      let kept = ref [] in
+      let pos = ref 0 in
+      let exception Done in
+      (try
+         List.iter
+           (fun lr ->
+             let row = project lr in
+             let fresh =
+               (not s.distinct)
+               ||
+               if List.exists (fun r -> Array.for_all2 V.equal r row) !seen
+               then false
+               else begin
+                 seen := row :: !seen;
+                 true
+               end
+             in
+             if fresh then begin
+               incr pos;
+               let within =
+                 !pos >= start
+                 && match upper with Some u -> !pos <= u | None -> true
+               in
+               if within then kept := row :: !kept;
+               match upper with
+               | Some u when !pos >= u -> raise Done
+               | _ -> ()
+             end)
+           logical_rows
+       with Done -> ());
+      List.rev !kept
   in
   { columns = List.map snd s.projections; rows = projected }
 
 let root_context db params =
-  { env = []; outer = None; group = None; params; db }
+  { env = []; outer = None; group = None; params; db; decisions = ref [] }
 
 let query db ?(params = [||]) s =
   match Database.apply_fault db with
@@ -506,12 +1035,16 @@ let query db ?(params = [||]) s =
     Database.record_statement db ~params:(Array.length params) ~rows:0;
     Error msg
   | Ok () -> (
-    match run_select (root_context db params) s with
+    let ctx = root_context db params in
+    match run_select ctx s with
     | result ->
+      Database.set_last_plan db (List.rev !(ctx.decisions));
       Database.record_statement db ~params:(Array.length params)
         ~rows:(List.length result.rows);
       Ok result
-    | exception Sql_error msg -> Error msg)
+    | exception Sql_error msg ->
+      Database.set_last_plan db (List.rev !(ctx.decisions));
+      Error msg)
 
 let execute_dml db ?(params = [||]) dml =
   match Database.apply_fault db with
@@ -555,35 +1088,34 @@ let execute_dml db ?(params = [||]) dml =
         let cols =
           Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns)
         in
-        let affected = ref 0 in
-        let updated =
-          List.map
-            (fun row ->
-              let env = [ { alias = table; cols; values = row } ] in
-              let selected =
-                match where with
-                | None -> true
-                | Some cond ->
-                  value_to_truth (eval { ctx with env } cond) = V.True
-              in
-              if not selected then row
-              else begin
-                incr affected;
-                let row' = Array.copy row in
-                List.iter
-                  (fun (c, e) ->
-                    match Table.column_index t c with
-                    | Some i -> row'.(i) <- eval { ctx with env } e
-                    | None -> error "no column %s in table %s" c table)
-                  assignments;
-                row'
-              end)
-            t.Table.rows
-        in
-        t.Table.rows <- updated;
+        (* decide every update first, then apply: an evaluation error
+           leaves the table untouched, as the historical list-rebuild
+           did *)
+        let updates = ref [] in
+        Table.iter_rows t (fun id row ->
+            let env = [ { alias = table; cols; values = row } ] in
+            let selected =
+              match where with
+              | None -> true
+              | Some cond ->
+                value_to_truth (eval { ctx with env } cond) = V.True
+            in
+            if selected then begin
+              let row' = Array.copy row in
+              List.iter
+                (fun (c, e) ->
+                  match Table.column_index t c with
+                  | Some i -> row'.(i) <- eval { ctx with env } e
+                  | None -> error "no column %s in table %s" c table)
+                assignments;
+              updates := (id, row') :: !updates
+            end);
+        let updates = List.rev !updates in
+        List.iter (fun (id, row') -> Table.update_row t id row') updates;
+        let affected = List.length updates in
         Database.record_statement db ~params:(Array.length params)
-          ~rows:!affected;
-        Ok !affected
+          ~rows:affected;
+        Ok affected
       with Sql_error msg -> Error msg))
   | Delete { table; where } -> (
     match Database.find_table db table with
@@ -593,18 +1125,19 @@ let execute_dml db ?(params = [||]) dml =
         let cols =
           Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns)
         in
-        let keep, drop =
-          List.partition
-            (fun row ->
-              let env = [ { alias = table; cols; values = row } ] in
+        let victims = ref [] in
+        Table.iter_rows t (fun id row ->
+            let env = [ { alias = table; cols; values = row } ] in
+            let selected =
               match where with
-              | None -> false
+              | None -> true
               | Some cond ->
-                value_to_truth (eval { ctx with env } cond) <> V.True)
-            t.Table.rows
-        in
-        t.Table.rows <- keep;
+                value_to_truth (eval { ctx with env } cond) = V.True
+            in
+            if selected then victims := id :: !victims);
+        List.iter (Table.delete_row t) !victims;
+        let dropped = List.length !victims in
         Database.record_statement db ~params:(Array.length params)
-          ~rows:(List.length drop);
-        Ok (List.length drop)
+          ~rows:dropped;
+        Ok dropped
       with Sql_error msg -> Error msg))

@@ -8,16 +8,22 @@ type foreign_key = {
   references_columns : string list;
 }
 
+(* Row storage is a growable array of slots; a row's slot number is its
+   stable id (insertion order), referenced by index entries. Deleted rows
+   leave a dead slot behind — scans skip them via [live] — so surviving
+   ids never shift. *)
 type t = {
   table_name : string;
   columns : column list;
   primary_key : string list;
   foreign_keys : foreign_key list;
-  mutable rows : Sql_value.t array list;
+  mutable store : Sql_value.t array array;
+  mutable size : int;  (* slots allocated so far; next fresh row id *)
+  mutable live : Bytes.t;  (* '\001' live, '\000' dead, per slot *)
+  mutable live_count : int;
+  mutable indexes : Index.t list;
+  mutable pk_index : Index.t option;  (* member of [indexes] *)
 }
-
-let create ?(primary_key = []) ?(foreign_keys = []) table_name columns =
-  { table_name; columns; primary_key; foreign_keys; rows = [] }
 
 let column ?(nullable = true) col_name col_type = { col_name; col_type; nullable }
 
@@ -33,6 +39,78 @@ let column_type t name =
   List.find_map
     (fun c -> if String.equal c.col_name name then Some c.col_type else None)
     t.columns
+
+let resolve_positions t cols =
+  let rec go acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | c :: rest -> (
+      match column_index t c with
+      | Some i -> go (i :: acc) rest
+      | None -> None)
+  in
+  if cols = [] then None else go [] cols
+
+let indexes t = t.indexes
+let pk_index t = t.pk_index
+
+let find_index t cols =
+  let sorted = List.sort String.compare cols in
+  List.find_opt
+    (fun idx -> List.sort String.compare (Index.columns idx) = sorted)
+    t.indexes
+
+(* Builds and registers an index over the current rows; [None] when some
+   key column is not in the schema (legacy schemas may declare keys over
+   absent columns — those fall back to scans, as before). *)
+let register_index t ?(unique = false) ~name cols =
+  match resolve_positions t cols with
+  | None -> None
+  | Some positions ->
+    let idx = Index.create ~unique ~name ~cols ~positions () in
+    for id = 0 to t.size - 1 do
+      if Bytes.get t.live id = '\001' then Index.add idx id t.store.(id)
+    done;
+    t.indexes <- t.indexes @ [ idx ];
+    Some idx
+
+let create_index t ~name cols =
+  if List.exists (fun idx -> String.equal (Index.name idx) name) t.indexes
+  then Error (Printf.sprintf "table %s: index %s already exists" t.table_name name)
+  else
+    match register_index t ~name cols with
+    | Some _ -> Ok ()
+    | None ->
+      Error
+        (Printf.sprintf "table %s: index %s names an unknown column"
+           t.table_name name)
+
+let create ?(primary_key = []) ?(foreign_keys = []) table_name columns =
+  let t =
+    { table_name;
+      columns;
+      primary_key;
+      foreign_keys;
+      store = [||];
+      size = 0;
+      live = Bytes.empty;
+      live_count = 0;
+      indexes = [];
+      pk_index = None }
+  in
+  if primary_key <> [] then
+    t.pk_index <- register_index t ~unique:true ~name:("pk_" ^ table_name)
+        primary_key;
+  List.iter
+    (fun fk ->
+      if find_index t fk.fk_columns = None then
+        ignore
+          (register_index t
+             ~name:
+               (Printf.sprintf "fk_%s_%s" table_name
+                  (String.concat "_" fk.fk_columns))
+             fk.fk_columns))
+    foreign_keys;
+  t
 
 let type_check ty v =
   match (ty, v) with
@@ -52,7 +130,68 @@ let key_of_row t row =
       | None -> Sql_value.Null)
     t.primary_key
 
-let insert t row =
+(* ------------------------------------------------------------------ *)
+(* Row access *)
+
+let is_live t id = id >= 0 && id < t.size && Bytes.get t.live id = '\001'
+
+let get_row t id = if is_live t id then Some t.store.(id) else None
+
+let iter_rows t f =
+  for id = 0 to t.size - 1 do
+    if Bytes.get t.live id = '\001' then f id t.store.(id)
+  done
+
+let all_rows t =
+  let acc = ref [] in
+  iter_rows t (fun _ row -> acc := row :: !acc);
+  List.rev !acc
+
+let row_count t = t.live_count
+
+(* ------------------------------------------------------------------ *)
+(* Mutation *)
+
+let ensure_capacity t =
+  if t.size >= Array.length t.store then begin
+    let cap = max 8 (2 * Array.length t.store) in
+    let store = Array.make cap [||] in
+    Array.blit t.store 0 store 0 t.size;
+    let live = Bytes.make cap '\000' in
+    Bytes.blit t.live 0 live 0 t.size;
+    t.store <- store;
+    t.live <- live
+  end
+
+let append_unchecked t row =
+  ensure_capacity t;
+  let id = t.size in
+  t.store.(id) <- row;
+  Bytes.set t.live id '\001';
+  t.size <- t.size + 1;
+  t.live_count <- t.live_count + 1;
+  List.iter (fun idx -> Index.add idx id row) t.indexes;
+  id
+
+let pk_duplicate t key =
+  match t.pk_index with
+  | Some idx ->
+    (* grouping probe: primary-key uniqueness treats NULL keys as equal,
+       matching [Sql_value.equal]; candidates are re-verified exactly *)
+    List.exists
+      (fun id -> List.for_all2 Sql_value.equal key (key_of_row t t.store.(id)))
+      (Index.probe_grouping idx (Array.of_list key))
+  | None ->
+    (* the declared key names a column the schema lacks: scan, as before *)
+    let dup = ref false in
+    iter_rows t (fun _ row ->
+        if
+          (not !dup)
+          && List.for_all2 Sql_value.equal key (key_of_row t row)
+        then dup := true);
+    !dup
+
+let validate t row =
   if Array.length row <> List.length t.columns then
     Error
       (Printf.sprintf "table %s: row has %d values, expected %d" t.table_name
@@ -71,30 +210,86 @@ let insert t row =
         (Printf.sprintf "table %s: constraint violation on column %s"
            t.table_name c.col_name)
     | [] ->
-      if t.primary_key <> [] then begin
-        let key = key_of_row t row in
-        let duplicate =
-          List.exists
-            (fun existing ->
-              List.for_all2 Sql_value.equal key (key_of_row t existing))
-            t.rows
-        in
-        if duplicate then
-          Error
-            (Printf.sprintf "table %s: duplicate primary key" t.table_name)
-        else begin
-          t.rows <- row :: t.rows;
-          Ok ()
-        end
-      end
-      else begin
-        t.rows <- row :: t.rows;
-        Ok ()
-      end
+      if t.primary_key <> [] && pk_duplicate t (key_of_row t row) then
+        Error (Printf.sprintf "table %s: duplicate primary key" t.table_name)
+      else Ok ()
 
-let all_rows t = List.rev t.rows
+let insert t row =
+  match validate t row with
+  | Error _ as e -> e
+  | Ok () ->
+    ignore (append_unchecked t row);
+    Ok ()
 
-let row_count t = List.length t.rows
+let delete_row t id =
+  if is_live t id then begin
+    let row = t.store.(id) in
+    List.iter (fun idx -> Index.remove idx id row) t.indexes;
+    Bytes.set t.live id '\000';
+    t.store.(id) <- [||];
+    t.live_count <- t.live_count - 1
+  end
+
+let insert_many t rows =
+  let inserted = ref [] in
+  let rec go n = function
+    | [] -> Ok n
+    | row :: rest -> (
+      match insert t row with
+      | Ok () ->
+        inserted := (t.size - 1) :: !inserted;
+        go (n + 1) rest
+      | Error _ as e ->
+        (* all-or-nothing: unwind the rows this call appended *)
+        List.iter (delete_row t) !inserted;
+        e)
+  in
+  go 0 rows
+
+(* The executor validated nothing on UPDATE historically; [update_row]
+   keeps that contract and only maintains the indexes. *)
+let update_row t id row =
+  if is_live t id then begin
+    let old = t.store.(id) in
+    List.iter
+      (fun idx ->
+        Index.remove idx id old;
+        Index.add idx id row)
+      t.indexes;
+    t.store.(id) <- row
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (transactions) *)
+
+type snapshot = {
+  snap_store : Sql_value.t array array;
+  snap_size : int;
+  snap_live : Bytes.t;
+  snap_live_count : int;
+}
+
+(* Shallow: row arrays are never mutated in place (UPDATE replaces the
+   slot with a fresh array), so sharing them with the snapshot is safe. *)
+let snapshot t =
+  { snap_store = Array.sub t.store 0 t.size;
+    snap_size = t.size;
+    snap_live = Bytes.sub t.live 0 t.size;
+    snap_live_count = t.live_count }
+
+let restore t snap =
+  let cap = max (Array.length t.store) snap.snap_size in
+  let store = Array.make cap [||] in
+  Array.blit snap.snap_store 0 store 0 snap.snap_size;
+  let live = Bytes.make cap '\000' in
+  Bytes.blit snap.snap_live 0 live 0 snap.snap_size;
+  t.store <- store;
+  t.live <- live;
+  t.size <- snap.snap_size;
+  t.live_count <- snap.snap_live_count;
+  List.iter Index.clear t.indexes;
+  iter_rows t (fun id row ->
+      List.iter (fun idx -> Index.add idx id row) t.indexes)
 
 let atomic_type_of_sql = function
   | T_int -> Aldsp_xml.Atomic.T_integer

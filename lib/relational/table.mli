@@ -1,8 +1,14 @@
 (** Table schemas and row storage.
 
-    Rows are value arrays positionally aligned with the column list. Primary
-    and foreign keys are part of the schema; ALDSP's introspector reads them
-    to generate read and navigation functions (§2.1). *)
+    Rows are value arrays positionally aligned with the column list, held
+    in a growable array: appends are O(1) amortized and every row has a
+    stable integer id (its insertion position) that indexes refer to.
+    Deletion tombstones the slot, so ids never shift. Primary and foreign
+    keys are part of the schema; ALDSP's introspector reads them to
+    generate read and navigation functions (§2.1), and the table
+    auto-builds a hash index on each (plus any {!create_index}
+    registrations), maintained incrementally across insert, update, delete
+    and snapshot restore. *)
 
 type sql_type = T_int | T_varchar | T_decimal | T_boolean | T_timestamp
 
@@ -14,12 +20,18 @@ type foreign_key = {
   references_columns : string list;
 }
 
-type t = {
+type t = private {
   table_name : string;
   columns : column list;
   primary_key : string list;
   foreign_keys : foreign_key list;
-  mutable rows : Sql_value.t array list;  (** Reverse insertion order. *)
+  mutable store : Sql_value.t array array;
+      (** Slots by row id; managed via the functions below. *)
+  mutable size : int;
+  mutable live : Bytes.t;
+  mutable live_count : int;
+  mutable indexes : Index.t list;
+  mutable pk_index : Index.t option;
 }
 
 val create :
@@ -28,22 +40,70 @@ val create :
   string ->
   column list ->
   t
+(** Builds the table and its automatic indexes: a unique [pk_<table>]
+    index when a primary key is declared (and resolvable against the
+    columns) and one [fk_<table>_<cols>] index per foreign key. *)
 
 val column : ?nullable:bool -> string -> sql_type -> column
 
 val column_index : t -> string -> int option
 val column_type : t -> string -> sql_type option
 
+val create_index : t -> name:string -> string list -> (unit, string) result
+(** CREATE INDEX-style explicit registration: builds a hash index over the
+    given columns, populated from the current rows and maintained from
+    then on. Errors on a duplicate name or unknown column. *)
+
+val indexes : t -> Index.t list
+val pk_index : t -> Index.t option
+
+val find_index : t -> string list -> Index.t option
+(** An index whose key columns are exactly the given set (order
+    insensitive), if one is registered. *)
+
 val insert : t -> Sql_value.t array -> (unit, string) result
 (** Validates arity, NOT NULL constraints, basic type conformance and
-    primary-key uniqueness, then appends the row. *)
+    primary-key uniqueness (an O(1) probe of the PK index), then appends
+    the row. *)
+
+val insert_many : t -> Sql_value.t array list -> (int, string) result
+(** Bulk insert with the same per-row validation, O(1) amortized per row.
+    All-or-nothing: on the first failure the rows already appended by this
+    call are removed and the error returned. [Ok n] is the number
+    inserted. *)
 
 val all_rows : t -> Sql_value.t array list
 (** Rows in insertion order. *)
 
 val row_count : t -> int
 
+val iter_rows : t -> (int -> Sql_value.t array -> unit) -> unit
+(** Live rows in insertion order, with their ids. *)
+
+val get_row : t -> int -> Sql_value.t array option
+(** The row at this id, if live. *)
+
+val is_live : t -> int -> bool
+
+val update_row : t -> int -> Sql_value.t array -> unit
+(** Replaces the row at [id] (no constraint validation, matching the
+    executor's historical UPDATE semantics) and fixes the indexes. The new
+    array must not be mutated afterwards. *)
+
+val delete_row : t -> int -> unit
+(** Tombstones the slot and unindexes the row; a no-op on dead ids. *)
+
 val type_check : sql_type -> Sql_value.t -> bool
+
+(** {2 Snapshots}
+
+    O(live rows) shallow copies used by {!Txn} for rollback; restore
+    rebuilds the indexes. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
 
 val atomic_type_of_sql : sql_type -> Aldsp_xml.Atomic.atomic_type
 (** The SQL-to-XML type mapping used when introspection builds the XML

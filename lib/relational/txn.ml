@@ -1,12 +1,12 @@
 type txn = {
   db : Database.t;
-  snapshot : (string * Sql_value.t array list) list;
+  snapshot : (string * Table.snapshot) list;
 }
 
 let begin_txn db =
   let snapshot =
     Hashtbl.fold
-      (fun name table acc -> (name, table.Table.rows) :: acc)
+      (fun name table acc -> (name, Table.snapshot table) :: acc)
       db.Database.tables []
   in
   { db; snapshot }
@@ -15,9 +15,9 @@ let commit _txn = ()
 
 let rollback txn =
   List.iter
-    (fun (name, rows) ->
+    (fun (name, snap) ->
       match Hashtbl.find_opt txn.db.Database.tables name with
-      | Some table -> table.Table.rows <- rows
+      | Some table -> Table.restore table snap
       | None -> ())
     txn.snapshot
 

@@ -420,6 +420,211 @@ let test_print_parse_roundtrip () =
       check_bool ("roundtrip: " ^ sql) true (r1.Sql_exec.rows = r2.Sql_exec.rows))
     sqls
 
+(* ------------------------------------------------------------------ *)
+(* Indexing and access-path selection                                  *)
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+let test_auto_indexes () =
+  let db = make_db () in
+  let customer = ok_exn (Database.find_table db "CUSTOMER") in
+  let order_ = ok_exn (Database.find_table db "ORDER_T") in
+  check_bool "customer pk index" true (Table.pk_index customer <> None);
+  check_bool "order fk index on CID" true
+    (Table.find_index order_ [ "CID" ] <> None);
+  check_int "customer: pk only" 1 (List.length (Table.indexes customer));
+  check_int "order: pk + fk" 2 (List.length (Table.indexes order_))
+
+let test_create_index () =
+  let db = make_db () in
+  let customer = ok_exn (Database.find_table db "CUSTOMER") in
+  ok_exn (Table.create_index customer ~name:"cust_name" [ "LAST_NAME" ]);
+  check_bool "registered" true
+    (Table.find_index customer [ "LAST_NAME" ] <> None);
+  ignore (err_exn (Table.create_index customer ~name:"cust_name" [ "CID" ]));
+  ignore (err_exn (Table.create_index customer ~name:"bad" [ "NOPE" ]));
+  Database.reset_stats db;
+  let r = run db "SELECT c.CID FROM CUSTOMER c WHERE c.LAST_NAME = 'Jones'" in
+  check_int "two Joneses" 2 (List.length r.Sql_exec.rows);
+  check_int "served by the new index" 0
+    db.Database.stats.Database.full_scans
+
+let test_index_access_path () =
+  let db = make_db () in
+  Database.reset_stats db;
+  let r = run db "SELECT c.FIRST_NAME FROM CUSTOMER c WHERE c.CID = 'C1'" in
+  check_bool "value" true ((List.hd r.Sql_exec.rows).(0) = V.Str "Ann");
+  check_int "no full scan" 0 db.Database.stats.Database.full_scans;
+  check_int "one probe" 1 db.Database.stats.Database.index_lookups;
+  check_bool "explain shows the probe" true
+    (contains (Database.explain_last db) "index probe");
+  Database.set_use_indexes db false;
+  Database.reset_stats db;
+  let r2 = run db "SELECT c.FIRST_NAME FROM CUSTOMER c WHERE c.CID = 'C1'" in
+  Database.set_use_indexes db true;
+  check_bool "same rows either way" true (r.Sql_exec.rows = r2.Sql_exec.rows);
+  check_int "scan path scans" 1 db.Database.stats.Database.full_scans;
+  check_bool "explain shows the scan" true
+    (contains (Database.explain_last db) "scan CUSTOMER")
+
+let test_join_algorithms () =
+  let db = make_db () in
+  (* right side carries the fk index on CID: index nested loop *)
+  Database.reset_stats db;
+  let r =
+    run db "SELECT c.CID, o.OID FROM CUSTOMER c JOIN ORDER_T o ON c.CID = o.CID"
+  in
+  check_int "pairs" 3 (List.length r.Sql_exec.rows);
+  check_int "index-nl join" 1 db.Database.stats.Database.index_joins;
+  check_int "no plain nested loop" 0 db.Database.stats.Database.nl_joins;
+  (* equi-join on an unindexed right column: hash join *)
+  Database.reset_stats db;
+  let r2 =
+    run db
+      "SELECT c.CID, d.CID FROM CUSTOMER c JOIN CUSTOMER d ON c.LAST_NAME = d.LAST_NAME"
+  in
+  check_int "name pairs" 5 (List.length r2.Sql_exec.rows);
+  check_int "hash join" 1 db.Database.stats.Database.hash_joins;
+  (* non-equality ON condition: nested loop remains *)
+  Database.reset_stats db;
+  let r3 =
+    run db "SELECT c.CID, o.OID FROM CUSTOMER c JOIN ORDER_T o ON c.CID <> o.CID"
+  in
+  check_int "anti pairs" 6 (List.length r3.Sql_exec.rows);
+  check_int "nested loop" 1 db.Database.stats.Database.nl_joins
+
+let test_insert_many_atomicity () =
+  let t =
+    Table.create ~primary_key:[ "K" ] "T"
+      [ Table.column ~nullable:false "K" Table.T_int ]
+  in
+  check_int "bulk ok" 3
+    (ok_exn (Table.insert_many t [ [| V.Int 1 |]; [| V.Int 2 |]; [| V.Int 3 |] ]));
+  ignore
+    (err_exn (Table.insert_many t [ [| V.Int 4 |]; [| V.Int 2 |]; [| V.Int 5 |] ]));
+  check_int "failed batch fully unwound" 3 (Table.row_count t);
+  (* the unwound key 4 is gone from the pk index too *)
+  check_int "re-insert unwound key" 1
+    (ok_exn (Table.insert_many t [ [| V.Int 4 |] ]))
+
+let test_rollback_rebuilds_indexes () =
+  let db = make_db () in
+  ignore
+    (err_exn
+       (Txn.with_transaction db (fun () ->
+            ignore (run_dml db "DELETE FROM ORDER_T WHERE CID = 'C1'");
+            ignore
+              (run_dml db
+                 "INSERT INTO ORDER_T (OID, CID, AMOUNT) VALUES (9, 'C3', 1.0)");
+            Error "boom")));
+  Database.reset_stats db;
+  let r = run db "SELECT o.OID FROM ORDER_T o WHERE o.CID = 'C1'" in
+  check_int "deletes rolled back, via index" 2 (List.length r.Sql_exec.rows);
+  check_int "no full scan" 0 db.Database.stats.Database.full_scans;
+  let r9 = run db "SELECT o.OID FROM ORDER_T o WHERE o.OID = 9" in
+  check_int "insert rolled back" 0 (List.length r9.Sql_exec.rows)
+
+let test_window_early_exit () =
+  let db = make_db () in
+  let with_window sql start count =
+    { (ok_exn (Sql_parser.parse_select sql)) with
+      Sql_ast.window = Some { Sql_ast.start; count } }
+  in
+  let rows s = (ok_exn (Sql_exec.query db s)).Sql_exec.rows in
+  let oids = with_window "SELECT o.OID FROM ORDER_T o ORDER BY o.OID" 1 (Some 2) in
+  check_bool "first two" true
+    (List.map (fun row -> row.(0)) (rows oids) = [ V.Int 1; V.Int 2 ]);
+  let distinct_page =
+    with_window "SELECT DISTINCT c.LAST_NAME FROM CUSTOMER c ORDER BY c.CID" 2
+      (Some 1)
+  in
+  check_bool "second distinct name" true
+    (List.map (fun row -> row.(0)) (rows distinct_page) = [ V.Str "Smith" ]);
+  check_int "page past the end" 0
+    (List.length (rows (with_window "SELECT c.CID FROM CUSTOMER c" 5 (Some 3))));
+  check_int "zero-row page" 0
+    (List.length (rows (with_window "SELECT c.CID FROM CUSTOMER c" 1 (Some 0))))
+
+(* Property (fixed derivation from the generated int): index and scan
+   access paths agree byte-for-byte on random tables with NULL and
+   duplicate keys, across point, IN-list, OR-of-equalities (the PP-k
+   probe shape) and join queries. *)
+let prop_index_scan_agree =
+  QCheck.Test.make ~name:"index and scan access paths agree" ~count:200
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let st = Random.State.make [| 0xA11CE; seed |] in
+      let db = Database.create "fuzzdb" in
+      let t1 =
+        Table.create "T1"
+          [ Table.column "K" Table.T_int; Table.column "S" Table.T_varchar ]
+      in
+      let t2 =
+        Table.create "T2"
+          [ Table.column "K" Table.T_int; Table.column "V" Table.T_int ]
+      in
+      (match Table.create_index t1 ~name:"t1_k" [ "K" ] with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      (match Table.create_index t2 ~name:"t2_k" [ "K" ] with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      Database.add_table db t1;
+      Database.add_table db t2;
+      let rand_key () =
+        if Random.State.int st 10 = 0 then V.Null
+        else V.Int (Random.State.int st 6)
+      in
+      for _ = 1 to 5 + Random.State.int st 40 do
+        match
+          Table.insert t1
+            [| rand_key ();
+               V.Str (String.make 1 (Char.chr (97 + Random.State.int st 4))) |]
+        with
+        | Ok () -> ()
+        | Error e -> failwith e
+      done;
+      for _ = 1 to Random.State.int st 20 do
+        match
+          Table.insert t2 [| rand_key (); V.Int (Random.State.int st 100) |]
+        with
+        | Ok () -> ()
+        | Error e -> failwith e
+      done;
+      let queries =
+        [ ("SELECT t.K, t.S FROM T1 t WHERE t.K = ?", [| rand_key () |]);
+          ( "SELECT t.K, t.S FROM T1 t WHERE t.K = ? OR t.K = ?",
+            [| rand_key (); rand_key () |] );
+          ("SELECT t.S FROM T1 t WHERE t.K IN (0, 1, ?)", [| rand_key () |]);
+          ("SELECT t.K FROM T1 t WHERE t.K = ? OR t.K IS NULL", [| rand_key () |]);
+          ("SELECT a.K, a.S, b.V FROM T1 a JOIN T2 b ON a.K = b.K", [||]);
+          ("SELECT a.K, b.V FROM T1 a LEFT OUTER JOIN T2 b ON a.K = b.K", [||])
+        ]
+      in
+      List.for_all
+        (fun (sql, params) ->
+          let s =
+            match Sql_parser.parse_select sql with
+            | Ok s -> s
+            | Error e -> failwith e
+          in
+          let run_with flag =
+            Database.set_use_indexes db flag;
+            Sql_exec.query db ~params s
+          in
+          let indexed = run_with true in
+          let scanned = run_with false in
+          Database.set_use_indexes db true;
+          match (indexed, scanned) with
+          | Ok a, Ok b -> a.Sql_exec.rows = b.Sql_exec.rows
+          | Error a, Error b -> String.equal a b
+          | _ -> false)
+        queries)
+
 (* Property: LIKE matching agrees with a reference regex translation. *)
 let prop_like =
   let pat_gen =
@@ -486,6 +691,15 @@ let () =
           t "having" test_having;
           t "errors" test_error_cases;
           QCheck_alcotest.to_alcotest prop_like ] );
+      ( "indexing",
+        [ t "auto pk/fk indexes" test_auto_indexes;
+          t "create index" test_create_index;
+          t "point lookup path" test_index_access_path;
+          t "join algorithms" test_join_algorithms;
+          t "insert_many atomicity" test_insert_many_atomicity;
+          t "rollback rebuilds indexes" test_rollback_rebuilds_indexes;
+          t "window early exit" test_window_early_exit;
+          QCheck_alcotest.to_alcotest prop_index_scan_agree ] );
       ( "dml+txn",
         [ t "dml" test_dml_roundtrip;
           t "optimistic where" test_optimistic_update_where;
