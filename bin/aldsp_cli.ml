@@ -41,9 +41,24 @@ let run_cmd =
     Term.(const action $ customers_arg $ query_arg)
 
 let explain_cmd =
-  let action customers query =
+  let analyze_arg =
+    let doc =
+      "Execute the plan before rendering (EXPLAIN ANALYZE): operator lines \
+       carry real row counts, roundtrips and cache hits, and each pushed \
+       region shows the backend's access-path plan. $(b,--analyze=false) \
+       renders the static tree with zero counters."
+    in
+    Arg.(value & opt bool true & info [ "analyze" ] ~docv:"BOOL" ~doc)
+  in
+  let timings_arg =
+    let doc =
+      "Add per-operator wall-clock fields (non-deterministic output)."
+    in
+    Arg.(value & flag & info [ "timings" ] ~doc)
+  in
+  let action customers analyze timings query =
     let demo = make_demo customers in
-    match Server.explain demo.Aldsp_demo.Demo.server query with
+    match Server.explain ~analyze ~timings demo.Aldsp_demo.Demo.server query with
     | Ok text ->
       print_string text;
       0
@@ -51,9 +66,12 @@ let explain_cmd =
       prerr_endline msg;
       1
   in
-  let doc = "show the compiled plan and pushed SQL for a query" in
+  let doc =
+    "show the unified plan: middleware operators with runtime counters and \
+     the SQL pushed to each source with its backend access path"
+  in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const action $ customers_arg $ query_arg)
+    Term.(const action $ customers_arg $ analyze_arg $ timings_arg $ query_arg)
 
 let check_cmd =
   let action customers file =

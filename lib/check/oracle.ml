@@ -147,23 +147,47 @@ let set_indexes (cat : Catalog.t) flag =
     (fun db -> Aldsp_relational.Database.set_use_indexes db flag)
     (Metadata.databases cat.Catalog.registry)
 
+(* Plan-cache determinism: the second execution of the same query on the
+   same server must hit the plan cache (zero new compilations — the
+   generator never emits prolog functions, so the metadata generation is
+   stable across runs) and serialize to the same bytes as the first. *)
+let recheck_cached server q first =
+  let misses_before = Server.plan_cache_misses server in
+  match run_serialized server q with
+  | Error e -> Error (Printf.sprintf "cached re-run failed: %s" e)
+  | Ok second ->
+    if not (String.equal first second) then
+      Error
+        (Printf.sprintf "cached re-run diverged\nfirst  result: %s\nsecond result: %s"
+           first second)
+    else if Server.plan_cache_misses server <> misses_before then
+      Error "cached re-run recompiled: expected a plan-cache hit"
+    else Ok ()
+
 let compare_query cat config ?(mutate = false) q =
   let reference =
     set_indexes cat false;
     run_serialized (reference_server cat) q
   in
-  let subject =
+  let subject, cached_check =
     set_indexes cat config.indexes;
-    let r =
-      if mutate then run_mutated (subject_server cat config) q
-      else run_serialized (subject_server cat config) q
+    let r, chk =
+      if mutate then (run_mutated (subject_server cat config) q, Ok ())
+      else
+        let server = subject_server cat config in
+        let r = run_serialized server q in
+        let chk =
+          match r with Ok first -> recheck_cached server q first | Error _ -> Ok ()
+        in
+        (r, chk)
     in
     set_indexes cat true;
-    r
+    (r, chk)
   in
-  match (reference, subject) with
-  | Ok a, Ok b when String.equal a b -> Ok ()
-  | Error a, Error b when String.equal a b -> Ok ()
+  match (reference, subject, cached_check) with
+  | Ok a, Ok b, Ok () when String.equal a b -> Ok ()
+  | Error a, Error b, Ok () when String.equal a b -> Ok ()
+  | _, _, Error report -> Error report
   | _ ->
     Error
       (Printf.sprintf "reference %s\nsubject   %s" (describe reference)

@@ -61,4 +61,9 @@ val compare_query : Catalog.t -> config -> ?mutate:bool -> string ->
   (unit, string) result
 (** Runs the query on both servers ([mutate] swaps the subject evaluation
     for {!run_mutated}); [Error report] describes the disagreement, with
-    both results. Matching errors on both sides count as agreement. *)
+    both results. Matching errors on both sides count as agreement.
+
+    When the subject run succeeds (and [mutate] is off), the query is
+    executed a second time on the same subject server: the re-run must be
+    served from the plan cache (zero new compilations) and serialize to
+    exactly the same bytes — the plan-cache determinism oracle. *)

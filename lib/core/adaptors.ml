@@ -46,6 +46,9 @@ let relational_scan db ~table ~row_name =
 
 let relational_select db select ~params = Sql_exec.query db ~params select
 
+let relational_select_explained db select ~params =
+  Sql_exec.query_explained db ~params select
+
 (* Asynchronous adaptor invocation (§6): the roundtrip runs on the worker
    pool while the query thread continues; the future carries the result
    set together with the roundtrip's wall time so the caller can account

@@ -33,6 +33,15 @@ val relational_select :
   (Sql_exec.result_set, string) result
 (** Executes generated SQL with middleware-computed parameter bindings. *)
 
+val relational_select_explained :
+  Database.t ->
+  Sql_ast.select ->
+  params:Sql_value.t array ->
+  (Sql_exec.result_set * string list, string) result
+(** {!relational_select} plus the backend's access-path plan lines for the
+    statement, captured race-free with the result (the plan executor
+    stitches them under the pushed region in unified EXPLAIN). *)
+
 val relational_select_async :
   Pool.t ->
   Database.t ->

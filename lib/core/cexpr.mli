@@ -150,6 +150,8 @@ val size : t -> int
 
 val equal : t -> t -> bool
 
+val binop_name : binop -> string
+
 val pp : Format.formatter -> t -> unit
 (** Plan-style rendering used by [explain]. *)
 

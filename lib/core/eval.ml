@@ -1,4 +1,5 @@
 open Aldsp_xml
+open Plan_ir
 module C = Cexpr
 module Sql = Aldsp_relational.Sql_ast
 module V = Aldsp_relational.Sql_value
@@ -27,12 +28,20 @@ type rt = {
   pool : Pool.t;
   observed : Observed.t option;
   concurrent_lets : bool;
+  (* Compiled function bodies, lazily lowered on first call and memoized
+     per (name, arity); dropped wholesale when the registry's generation
+     moves so a redefined function never runs its old plan. *)
+  body_plans : (Qname.t * int, Plan_ir.t) Hashtbl.t;
+  body_mu : Mutex.t;
+  mutable body_gen : int;
 }
 
 let runtime ?(call_wrapper = fun _ _ k -> k ()) ?pool ?observed
     ?(concurrent_lets = true) registry =
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  { registry; call_wrapper; max_depth = 256; pool; observed; concurrent_lets }
+  { registry; call_wrapper; max_depth = 256; pool; observed; concurrent_lets;
+    body_plans = Hashtbl.create 16; body_mu = Mutex.create ();
+    body_gen = Metadata.generation registry }
 
 (* Which exceptions the fail-over/timeout adaptors (§5.6) may recover
    from: evaluation errors, and runtime failures a source call can
@@ -174,7 +183,21 @@ let arith op a b =
   match r with Ok v -> v | Error m -> error "%s" m
 
 (* ------------------------------------------------------------------ *)
-(* The evaluator                                                       *)
+(* Counters                                                            *)
+
+let tally c n =
+  c.c_starts <- c.c_starts + 1;
+  c.c_rows <- c.c_rows + n
+
+let count_rows c seq =
+  Seq.map
+    (fun x ->
+      c.c_rows <- c.c_rows + 1;
+      x)
+    seq
+
+(* ------------------------------------------------------------------ *)
+(* The executor                                                        *)
 
 type frame = { rt : rt; depth : int }
 
@@ -196,34 +219,93 @@ let batch_seq k (input : 'a Seq.t) : 'a list Seq.t =
   in
   go input
 
-let rec eval_expr fr env (e : C.t) : Item.sequence =
-  match e with
-  | C.Const a -> [ Item.Atom a ]
-  | C.Empty -> []
-  | C.Seq es -> eval_children fr env es
-  | C.Var v -> lookup env v
-  | C.Elem { name; optional; attrs; content } ->
-    eval_element fr env name optional attrs content
-  | C.Flwor { clauses; return_ } ->
-    let stream = tuples fr env (List.to_seq [ env ]) clauses in
-    List.concat (List.of_seq (Seq.map (fun env' -> eval_expr fr env' return_) stream))
-  | C.If { cond; then_; else_ } ->
-    if ebv (eval_expr fr env cond) then eval_expr fr env then_
-    else eval_expr fr env else_
-  | C.Quantified { universal; var; source; pred } ->
-    let items = eval_expr fr env source in
-    let test item = ebv (eval_expr fr (bind env var [ item ]) pred) in
+(* Compiled function bodies, keyed on (name, arity), re-lowered whenever
+   the registry's generation moves. *)
+let body_plan rt fd body =
+  Mutex.lock rt.body_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock rt.body_mu)
+    (fun () ->
+      let gen = Metadata.generation rt.registry in
+      if rt.body_gen <> gen then begin
+        Hashtbl.reset rt.body_plans;
+        rt.body_gen <- gen
+      end;
+      let key =
+        (fd.Metadata.fd_name, List.length fd.Metadata.fd_params)
+      in
+      match Hashtbl.find_opt rt.body_plans key with
+      | Some plan -> plan
+      | None ->
+        let plan = Plan_ir.compile rt.registry body in
+        Hashtbl.add rt.body_plans key plan;
+        plan)
+
+let rec exec fr env (p : Plan_ir.t) : Item.sequence =
+  match p.node with
+  | P_const a -> [ Item.Atom a ]
+  | P_empty -> []
+  | P_seq es -> exec_children fr env es
+  | P_var v -> lookup env v
+  | P_construct { name; optional; attrs; content } ->
+    let v = exec_element fr env name optional attrs content in
+    tally p.counters (List.length v);
+    v
+  | P_pipeline { ops; return_ } ->
+    let stream = tuples fr env (List.to_seq [ env ]) ops in
+    let v =
+      List.concat
+        (List.of_seq (Seq.map (fun env' -> exec fr env' return_) stream))
+    in
+    tally p.counters (List.length v);
+    v
+  | P_if { cond; then_; else_ } ->
+    if ebv (exec fr env cond) then exec fr env then_ else exec fr env else_
+  | P_quantified { universal; var; source; pred } ->
+    let items = exec fr env source in
+    let test item = ebv (exec fr (bind env var [ item ]) pred) in
     [ Item.boolean
         (if universal then List.for_all test items else List.exists test items) ]
-  | C.Call { fn; args } -> eval_call fr env fn args
-  | C.Child (input, name) ->
+  | P_call { fn; args; _ } -> exec_call fr env p fn args
+  | P_async arg ->
+    let v = exec fr env arg in
+    tally p.counters (List.length v);
+    v
+  | P_fail_over { primary; alternate } ->
+    (* the primary may fail inside a pool worker (e.g. a concurrent-let
+       future), which surfaces as the task's own exception rather than
+       Eval_error — those are recoverable too (§5.6) *)
+    let v =
+      try exec fr env primary
+      with e when recoverable_failure e -> exec fr env alternate
+    in
+    tally p.counters (List.length v);
+    v
+  | P_timeout { primary; millis; alternate } ->
+    let ms =
+      match singleton_atom "fn-bea:timeout" (exec fr env millis) with
+      | Some (Atomic.Integer i) -> i
+      | _ -> error "fn-bea:timeout expects an integer milliseconds argument"
+    in
+    (* a dedicated thread, not a pool worker: past the deadline the
+       computation is abandoned and must not occupy the bounded pool *)
+    let fut = Future.detach (fun () -> exec fr env primary) in
+    let v =
+      match Future.await_timeout fut (float_of_int ms /. 1000.) with
+      | Some v -> v
+      | None -> exec fr env alternate
+      | exception e when recoverable_failure e -> exec fr env alternate
+    in
+    tally p.counters (List.length v);
+    v
+  | P_child (input, name) ->
     List.concat_map
       (function
         | Item.Node node ->
           List.map (fun n -> Item.Node n) (Node.child_elements node name)
         | Item.Atom _ -> error "child step on an atomic value")
-      (eval_expr fr env input)
-  | C.Child_wild input ->
+      (exec fr env input)
+  | P_child_wild input ->
     List.concat_map
       (function
         | Item.Node node ->
@@ -233,8 +315,8 @@ let rec eval_expr fr env (e : C.t) : Item.sequence =
               | Node.Text _ | Node.Atom _ -> None)
             (Node.children node)
         | Item.Atom _ -> error "child step on an atomic value")
-      (eval_expr fr env input)
-  | C.Attr_of (input, name) ->
+      (exec fr env input)
+  | P_attr_of (input, name) ->
     List.concat_map
       (function
         | Item.Node node -> (
@@ -242,15 +324,15 @@ let rec eval_expr fr env (e : C.t) : Item.sequence =
           | Some a -> [ Item.Atom a ]
           | None -> [])
         | Item.Atom _ -> error "attribute step on an atomic value")
-      (eval_expr fr env input)
-  | C.Filter { input; dot; pos; pred } ->
-    let items = eval_expr fr env input in
+      (exec fr env input)
+  | P_filter { input; dot; pos; pred } ->
+    let items = exec fr env input in
     List.filteri
       (fun i item ->
         let env' =
           bind (bind env dot [ item ]) pos [ Item.integer (i + 1) ]
         in
-        let result = eval_expr fr env' pred in
+        let result = exec fr env' pred in
         match result with
         | [ Item.Atom ((Atomic.Integer _ | Atomic.Decimal _ | Atomic.Double _) as a) ]
           -> (
@@ -261,61 +343,61 @@ let rec eval_expr fr env (e : C.t) : Item.sequence =
           | _ -> assert false)
         | r -> ebv r)
       items
-  | C.Data input -> List.map (fun a -> Item.Atom a) (atomize (eval_expr fr env input))
-  | C.Ebv input -> [ Item.boolean (ebv (eval_expr fr env input)) ]
-  | C.Binop (op, a, b) -> eval_binop fr env op a b
-  | C.Typematch (input, ty) ->
-    let v = eval_expr fr env input in
+  | P_data input -> List.map (fun a -> Item.Atom a) (atomize (exec fr env input))
+  | P_ebv input -> [ Item.boolean (ebv (exec fr env input)) ]
+  | P_binop (op, a, b) -> exec_binop fr env op a b
+  | P_typematch (input, ty) ->
+    let v = exec fr env input in
     if matches_stype v ty then v
     else error "typematch failed: value does not match %s" (Stype.to_string ty)
-  | C.Cast (input, ty) -> (
-    match singleton_atom "cast" (eval_expr fr env input) with
+  | P_cast (input, ty) -> (
+    match singleton_atom "cast" (exec fr env input) with
     | None -> []
     | Some a -> (
       match Atomic.cast ty a with
       | Ok v -> [ Item.Atom v ]
       | Error m -> error "%s" m))
-  | C.Castable (input, ty) -> (
-    match singleton_atom "castable" (eval_expr fr env input) with
+  | P_castable (input, ty) -> (
+    match singleton_atom "castable" (exec fr env input) with
     | None -> [ Item.boolean false ]
     | Some a -> [ Item.boolean (Result.is_ok (Atomic.cast ty a)) ])
-  | C.Instance_of (input, ty) ->
-    [ Item.boolean (matches_stype (eval_expr fr env input) ty) ]
-  | C.Error_expr msg -> error "evaluated an error expression: %s" msg
+  | P_instance_of (input, ty) ->
+    [ Item.boolean (matches_stype (exec fr env input) ty) ]
+  | P_error msg -> error "evaluated an error expression: %s" msg
 
 (* fn-bea:async children are submitted to the worker pool before their
    siblings are evaluated, so independent slow calls overlap (§5.4). *)
-and eval_children fr env es =
+and exec_children fr env es =
   let started =
     List.map
-      (fun e ->
-        match e with
-        | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
-          Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env arg))
-        | _ -> Now (eval_expr fr env e))
+      (fun (e : Plan_ir.t) ->
+        match e.node with
+        | P_async _ ->
+          Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> exec fr env e))
+        | _ -> Now (exec fr env e))
       es
   in
   List.concat_map
     (function Now seq -> seq | Later (pool, fut) -> Pool.await pool fut)
     started
 
-and eval_element fr env name optional attrs content =
+and exec_element fr env name optional attrs content =
   let attributes =
     List.concat_map
       (fun a ->
-        let value = eval_expr fr env a.C.avalue in
+        let value = exec fr env a.p_avalue in
         match atomize value with
         | [] ->
-          if a.C.aoptional then []
-          else [ (a.C.aname, Atomic.String "") ]
-        | [ atom ] -> [ (a.C.aname, atom) ]
+          if a.p_aoptional then []
+          else [ (a.p_aname, Atomic.String "") ]
+        | [ atom ] -> [ (a.p_aname, atom) ]
         | atoms ->
-          [ ( a.C.aname,
+          [ ( a.p_aname,
               Atomic.String
                 (String.concat " " (List.map Atomic.to_string atoms)) ) ])
       attrs
   in
-  let content_items = eval_expr fr env content in
+  let content_items = exec fr env content in
   if optional && content_items = [] && attributes = [] then []
   else
     let children =
@@ -327,17 +409,17 @@ and eval_element fr env name optional attrs content =
     in
     [ Item.Node (Node.element ~attributes name children) ]
 
-and eval_binop fr env op a b =
+and exec_binop fr env op a b =
   match op with
   | C.And ->
-    let truth = ebv (eval_expr fr env a) && ebv (eval_expr fr env b) in
+    let truth = ebv (exec fr env a) && ebv (exec fr env b) in
     [ Item.boolean truth ]
   | C.Or ->
-    let truth = ebv (eval_expr fr env a) || ebv (eval_expr fr env b) in
+    let truth = ebv (exec fr env a) || ebv (exec fr env b) in
     [ Item.boolean truth ]
   | C.V_eq | C.V_ne | C.V_lt | C.V_le | C.V_gt | C.V_ge -> (
-    let va = singleton_atom "value comparison" (eval_expr fr env a) in
-    let vb = singleton_atom "value comparison" (eval_expr fr env b) in
+    let va = singleton_atom "value comparison" (exec fr env a) in
+    let vb = singleton_atom "value comparison" (exec fr env b) in
     match (va, vb) with
     | None, _ | _, None -> []
     | Some x, Some y -> [ Item.boolean (value_compare op x y) ])
@@ -352,8 +434,8 @@ and eval_binop fr env op a b =
       | C.G_ge -> C.V_ge
       | _ -> assert false
     in
-    let xs = atomize (eval_expr fr env a) in
-    let ys = atomize (eval_expr fr env b) in
+    let xs = atomize (exec fr env a) in
+    let ys = atomize (exec fr env b) in
     (* general comparison is existential; untyped operands are coerced by
        the value comparison's promotion rules *)
     let holds =
@@ -377,14 +459,14 @@ and eval_binop fr env op a b =
     in
     [ Item.boolean holds ]
   | C.Add | C.Sub | C.Mul | C.Div | C.Idiv | C.Mod -> (
-    let va = singleton_atom "arithmetic" (eval_expr fr env a) in
-    let vb = singleton_atom "arithmetic" (eval_expr fr env b) in
+    let va = singleton_atom "arithmetic" (exec fr env a) in
+    let vb = singleton_atom "arithmetic" (exec fr env b) in
     match (va, vb) with
     | None, _ | _, None -> []
     | Some x, Some y -> [ Item.Atom (arith op x y) ])
   | C.Range -> (
-    let va = singleton_atom "range" (eval_expr fr env a) in
-    let vb = singleton_atom "range" (eval_expr fr env b) in
+    let va = singleton_atom "range" (exec fr env a) in
+    let vb = singleton_atom "range" (exec fr env b) in
     match (va, vb) with
     | Some (Atomic.Integer x), Some (Atomic.Integer y) ->
       if x > y then []
@@ -394,70 +476,62 @@ and eval_binop fr env op a b =
 
 (* --------------------------- calls -------------------------------- *)
 
-and eval_call fr env fn args =
-  (* fn-bea special forms first *)
-  if Qname.equal fn Names.async then
-    match args with
-    | [ arg ] -> eval_expr fr env arg
-    | _ -> error "fn-bea:async expects one argument"
+and exec_call fr env (p : Plan_ir.t) fn args =
+  (* correct-arity fn-bea special forms were lowered to dedicated guard
+     nodes; a call node still carrying one of those names is an arity
+     error *)
+  if Qname.equal fn Names.async then error "fn-bea:async expects one argument"
   else if Qname.equal fn Names.fail_over then
-    match args with
-    | [ prim; alt ] -> (
-      (* the primary may fail inside a pool worker (e.g. a concurrent-let
-         future), which surfaces as the task's own exception rather than
-         Eval_error — those are recoverable too (§5.6) *)
-      try eval_expr fr env prim
-      with e when recoverable_failure e -> eval_expr fr env alt)
-    | _ -> error "fn-bea:fail-over expects two arguments"
+    error "fn-bea:fail-over expects two arguments"
   else if Qname.equal fn Names.timeout then
-    match args with
-    | [ prim; millis; alt ] -> (
-      let ms =
-        match singleton_atom "fn-bea:timeout" (eval_expr fr env millis) with
-        | Some (Atomic.Integer i) -> i
-        | _ -> error "fn-bea:timeout expects an integer milliseconds argument"
-      in
-      (* a dedicated thread, not a pool worker: past the deadline the
-         computation is abandoned and must not occupy the bounded pool *)
-      let fut = Future.detach (fun () -> eval_expr fr env prim) in
-      match Future.await_timeout fut (float_of_int ms /. 1000.) with
-      | Some v -> v
-      | None -> eval_expr fr env alt
-      | exception e when recoverable_failure e -> eval_expr fr env alt)
-    | _ -> error "fn-bea:timeout expects three arguments"
+    error "fn-bea:timeout expects three arguments"
   else
     let arity = List.length args in
+    (* re-resolve at runtime so transiently registered prolog functions
+       and redefinitions keep working; the compile-time target on the node
+       is informational *)
     match Metadata.resolve_call fr.rt.registry fn arity with
-    | Some fd -> eval_metadata_call fr env fd args
+    | Some fd ->
+      let values = List.map (exec fr env) args in
+      let v = apply_plan_function fr (Some p.counters) fd values in
+      tally p.counters (List.length v);
+      v
     | None -> (
       match Fn_lib.find fn arity with
       | Some b -> (
-        let values = List.map (eval_expr fr env) args in
+        let values = List.map (exec fr env) args in
         match b.Fn_lib.eval values with
         | Ok v -> v
         | Error m -> error "%s" m)
       | None -> error "unknown function %s/%d" (Qname.to_string fn) arity)
 
-and eval_metadata_call fr env fd args =
-  let values = List.map (eval_expr fr env) args in
-  apply_function fr fd values
-
-and apply_function fr fd values =
+and apply_plan_function fr counters fd values =
   if fr.depth > fr.rt.max_depth then
     error "maximum recursion depth exceeded in %s"
       (Qname.to_string fd.Metadata.fd_name);
+  let computed = ref false in
   let compute () =
+    computed := true;
     match fd.Metadata.fd_impl with
     | Metadata.Body body ->
+      let plan = body_plan fr.rt fd body in
       let fn_env =
         List.fold_left2
           (fun acc (param, _) value -> bind acc param value)
           Env.empty fd.Metadata.fd_params values
       in
-      eval_expr { fr with depth = fr.depth + 1 } fn_env body
+      exec { fr with depth = fr.depth + 1 } fn_env plan
     | Metadata.External source -> eval_external fr source fd values
   in
-  fr.rt.call_wrapper fd values compute
+  let v = fr.rt.call_wrapper fd values compute in
+  (* a cacheable call site that came back without running its thunk was
+     served by the function cache (§5.5) *)
+  (match counters with
+  | Some c when fd.Metadata.fd_cacheable ->
+    if !computed then c.c_cache_misses <- c.c_cache_misses + 1
+    else c.c_cache_hits <- c.c_cache_hits + 1
+  | _ -> ());
+  v
 
 and eval_external _fr source fd values =
   match source with
@@ -500,93 +574,75 @@ and eval_external _fr source fd values =
     | Error m -> error "%s" m)
   | Metadata.File_docs docs -> List.map (fun d -> Item.Node d) docs
 
-(* --------------------------- clauses ------------------------------ *)
+(* --------------------------- operators ---------------------------- *)
 
-and tuples fr env0 (input : env Seq.t) (clauses : C.clause list) : env Seq.t =
-  match clauses with
+and tuples fr env0 (input : env Seq.t) (ops : op list) : env Seq.t =
+  match ops with
   | [] -> input
-  | C.Let _ :: _ ->
+  | { op_node = O_let _; _ } :: _ ->
     (* a maximal run of adjacent lets binds as one step so independent
        source calls within it can be submitted to the pool together *)
     let rec split run = function
-      | (C.Let _ as l) :: rest -> split (l :: run) rest
+      | ({ op_node = O_let _; _ } as o) :: rest -> split (o :: run) rest
       | rest -> (List.rev run, rest)
     in
-    let run, rest = split [] clauses in
-    tuples fr env0 (Seq.map (fun env -> bind_let_run fr env run) input) rest
-  | clause :: rest ->
+    let run, rest = split [] ops in
+    List.iter (fun o -> o.op_counters.c_starts <- o.op_counters.c_starts + 1) run;
+    let stream = Seq.map (fun env -> bind_let_run fr env run) input in
     let stream =
-      match clause with
-      | C.For { var; source } ->
-        Seq.concat_map
-          (fun env ->
-            let items = eval_expr fr env source in
-            Seq.map (fun item -> bind env var [ item ]) (List.to_seq items))
-          input
-      | C.Let _ -> assert false
-      | C.Where cond ->
-        Seq.filter (fun env -> ebv (eval_expr fr env cond)) input
-      | C.Group { aggs; keys; clustered } -> eval_group fr input aggs keys clustered
-      | C.Order { keys } -> eval_order fr input keys
-      | C.Join { kind; method_; right; on_; export } ->
-        eval_join fr env0 input kind method_ right on_ export
-      | C.Rel r ->
-        Seq.concat_map (fun env -> rel_stream fr env r) input
+      List.fold_left (fun s o -> count_rows o.op_counters s) stream run
     in
     tuples fr env0 stream rest
+  | op :: rest ->
+    op.op_counters.c_starts <- op.op_counters.c_starts + 1;
+    let stream =
+      match op.op_node with
+      | O_scan { var; source } ->
+        Seq.concat_map
+          (fun env ->
+            let items = exec fr env source in
+            Seq.map (fun item -> bind env var [ item ]) (List.to_seq items))
+          input
+      | O_let _ -> assert false
+      | O_select cond ->
+        Seq.filter (fun env -> ebv (exec fr env cond)) input
+      | O_group { aggs; keys; clustered } ->
+        exec_group fr input aggs keys clustered
+      | O_sort { keys } -> exec_order fr input keys
+      | O_join { kind; method_; right; on_; equi; export } ->
+        exec_join fr env0 input kind method_ right on_ equi export
+      | O_sql r ->
+        Seq.concat_map (fun env -> rel_stream fr op.op_counters env r) input
+    in
+    tuples fr env0 (count_rows op.op_counters stream) rest
 
-(* Concurrent independent source calls (§5.4, §6 async adaptors): within a
-   run of adjacent lets, a let whose value is an external-function call
-   with no data dependence on the other lets of the run is submitted to
-   the worker pool immediately and awaited at first use — exactly the
-   fn-bea:async treatment, applied automatically. Dependent or
-   non-external lets evaluate in place, preserving today's semantics. *)
-and external_call_value fr e =
-  match e with
-  | C.Call { fn; args } -> (
-    match Metadata.resolve_call fr.rt.registry fn (List.length args) with
-    | Some fd -> (
-      match fd.Metadata.fd_impl with
-      | Metadata.External _ -> true
-      | Metadata.Body _ -> false)
-    | None -> false)
-  | _ -> false
-
+(* Concurrent independent source calls (§5.4, §6 async adaptors): the
+   lowering marked each let of an adjacent run as plain, explicitly
+   async, or auto-submittable (an external-function call with no data
+   dependence on the other lets of the run — the fn-bea:async treatment,
+   applied automatically). The marks are honoured only when the runtime
+   allows concurrency, preserving the reference configuration's strictly
+   sequential, in-place evaluation. *)
 and bind_let_run fr env run =
-  let run_vars =
-    List.filter_map (function C.Let { var; _ } -> Some var | _ -> None) run
-  in
-  let independent e =
-    let fv = C.free_vars e () in
-    not (List.exists (fun v -> Hashtbl.mem fv v) run_vars)
-  in
   List.fold_left
-    (fun env cl ->
-      match cl with
-      | C.Let { var; value } -> (
-        match value with
-        | C.Call { fn; args = [ arg ] }
-          when Qname.equal fn Names.async && fr.rt.concurrent_lets ->
+    (fun env o ->
+      match o.op_node with
+      | O_let { var; value; mode } -> (
+        match mode with
+        | (L_async | L_concurrent) when fr.rt.concurrent_lets ->
           Env.add var
-            (Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env arg)))
+            (Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> exec fr env value)))
             env
-        | value
-          when fr.rt.concurrent_lets
-               && List.length run_vars > 1
-               && external_call_value fr value && independent value ->
-          Env.add var
-            (Later (fr.rt.pool, Pool.submit fr.rt.pool (fun () -> eval_expr fr env value)))
-            env
-        | value -> bind env var (eval_expr fr env value))
+        | _ -> bind env var (exec fr env value))
       | _ -> env)
     env run
 
-and eval_group fr input aggs keys clustered =
+and exec_group fr input aggs keys clustered =
   (* the runtime has one grouping operator, which requires input clustered
      on the keys (§5.2); when the optimizer has established clustering the
      operator streams in constant memory, otherwise it sorts first — the
      worst-case fallback *)
-  let key_of env = List.map (fun (e, _) -> atomize (eval_expr fr env e)) keys in
+  let key_of env = List.map (fun (e, _) -> atomize (exec fr env e)) keys in
   if clustered then
     (* constant-memory streaming: watch the key change tuple by tuple *)
     let rec stream pending seq () =
@@ -641,12 +697,12 @@ and make_group_env aggs keys (key, members) =
       bind acc v_out combined)
     env aggs
 
-and eval_order fr input keys =
+and exec_order fr input keys =
   let tuples = List.of_seq input in
   let keyed =
     List.map
       (fun env ->
-        (List.map (fun (e, _) -> atomize (eval_expr fr env e)) keys, env))
+        (List.map (fun (e, _) -> atomize (exec fr env e)) keys, env))
       tuples
   in
   let cmp (ka, _) (kb, _) =
@@ -672,77 +728,43 @@ and eval_order fr input keys =
 
 (* --------------------------- joins -------------------------------- *)
 
-and unwrap_ebv = function C.Ebv e -> e | e -> e
+and exec_residual fr env residual =
+  List.for_all (fun cond -> ebv (exec fr env cond)) residual
 
-and conjuncts pred =
-  match unwrap_ebv pred with
-  | C.Binop (C.And, a, b) -> conjuncts a @ conjuncts b
-  | e -> [ e ]
-
-and equi_keys right_vars on_ =
-  (* split the predicate into left-key = right-key pairs + residual *)
-  let is_right_only e =
-    let fv = C.free_vars e () in
-    Hashtbl.length fv > 0
-    && Hashtbl.fold (fun v _ acc -> acc && List.mem v right_vars) fv true
-  in
-  let touches_right e =
-    let fv = C.free_vars e () in
-    Hashtbl.fold (fun v _ acc -> acc || List.mem v right_vars) fv false
-  in
-  let classify e =
-    match unwrap_ebv e with
-    | C.Binop (C.V_eq, a, b) | C.Binop (C.G_eq, a, b) ->
-      if is_right_only b && not (touches_right a) then Some (a, b)
-      else if is_right_only a && not (touches_right b) then Some (b, a)
-      else None
-    | _ -> None
-  in
-  let pairs, residual =
-    List.fold_left
-      (fun (pairs, residual) conj ->
-        match classify conj with
-        | Some pair -> (pair :: pairs, residual)
-        | None -> (pairs, conj :: residual))
-      ([], []) (conjuncts on_)
-  in
-  if pairs = [] then None else Some (List.rev pairs, List.rev residual)
-
-and eval_residual fr env residual =
-  List.for_all (fun cond -> ebv (eval_expr fr env cond)) residual
-
-and eval_join fr env0 left kind method_ right on_ export =
+and exec_join fr env0 left kind method_ right on_ equi export =
   match method_ with
   | C.Nested_loop -> nl_join fr left kind right on_ export
   | C.Index_nested_loop -> (
-    match equi_keys (C.clause_vars right) on_ with
-    | Some (pairs, residual) ->
-      inl_join fr env0 left kind right pairs residual export
+    match equi with
+    | Some { eq_pairs; eq_residual } ->
+      inl_join fr env0 left kind right eq_pairs eq_residual export
     | None -> nl_join fr left kind right on_ export)
   | C.Ppk { k; prefetch; inner } -> (
     match right with
-    | C.Rel r :: rest_lets
-      when List.for_all (function C.Let _ -> true | _ -> false) rest_lets ->
-      ppk_join fr left kind r rest_lets ~k ~prefetch ~inner on_ export
+    | { op_node = O_sql r; op_counters = sqlc; _ } :: rest_lets
+      when List.for_all
+             (fun o -> match o.op_node with O_let _ -> true | _ -> false)
+             rest_lets ->
+      ppk_join fr sqlc left kind r rest_lets ~k ~prefetch ~inner on_ export
     | _ -> nl_join fr left kind right on_ export)
 
 and join_matches fr left_env right on_ =
   let right_stream = tuples fr left_env (List.to_seq [ left_env ]) right in
-  Seq.filter (fun env -> ebv (eval_expr fr env on_)) right_stream
+  Seq.filter (fun env -> ebv (exec fr env on_)) right_stream
 
 and export_tuples fr left_env matches kind export =
   let ms = List.of_seq matches in
   match export with
-  | C.Bindings -> (
+  | PE_bindings -> (
     match (ms, kind) with
     | [], C.J_left_outer -> Seq.return left_env  (* right vars unbound -> empty *)
     | [], C.J_inner -> Seq.empty
     | ms, _ -> List.to_seq ms)
-  | C.Grouped { gvar; gexpr } -> (
+  | PE_grouped { gvar; gexpr } -> (
     match (ms, kind) with
     | [], C.J_inner -> Seq.empty
     | ms, _ ->
-      let values = List.concat_map (fun menv -> eval_expr fr menv gexpr) ms in
+      let values = List.concat_map (fun menv -> exec fr menv gexpr) ms in
       Seq.return (bind left_env gvar values))
 
 and nl_join fr left kind right on_ export =
@@ -759,20 +781,20 @@ and inl_join fr env0 left kind right pairs residual export =
   let right_stream = tuples fr env0 (List.to_seq [ env0 ]) right in
   Seq.iter
     (fun renv ->
-      let key = List.map (fun (_, rk) -> atomize (eval_expr fr renv rk)) pairs in
+      let key = List.map (fun (_, rk) -> atomize (exec fr renv rk)) pairs in
       let bucket = Hashtbl.find_opt table key |> Option.value ~default:[] in
       Hashtbl.replace table key (renv :: bucket))
     right_stream;
   Seq.concat_map
     (fun left_env ->
-      let key = List.map (fun (lk, _) -> atomize (eval_expr fr left_env lk)) pairs in
+      let key = List.map (fun (lk, _) -> atomize (exec fr left_env lk)) pairs in
       let bucket = Hashtbl.find_opt table key |> Option.value ~default:[] in
       let matches =
         List.rev bucket
         |> List.filter_map (fun renv ->
                (* merge right bindings over the left env *)
                let merged = Env.union (fun _ _ r -> Some r) left_env renv in
-               if eval_residual fr merged residual then Some merged else None)
+               if exec_residual fr merged residual then Some merged else None)
       in
       export_tuples fr left_env (List.to_seq matches) kind export)
     left
@@ -796,29 +818,34 @@ and bind_sql_row binds col_index base_env row =
       bind acc b.C.bvar value)
     base_env binds
 
-and rel_stream fr env (r : C.sql_access) : env Seq.t =
+and rel_stream fr counters env (r : sql_region) : env Seq.t =
   let db =
-    match Metadata.find_database fr.rt.registry r.C.db with
+    match Metadata.find_database fr.rt.registry r.sql_db with
     | Some db -> db
-    | None -> error "unknown database %s" r.C.db
+    | None -> error "unknown database %s" r.sql_db
   in
   let params =
     Array.of_list
       (List.map
          (fun p ->
            Adaptors.atomic_to_sql
-             (singleton_atom "sql parameter" (eval_expr fr env p)))
-         r.C.sql_params)
+             (singleton_atom "sql parameter" (exec fr env p)))
+         r.sql_params)
   in
-  match Adaptors.relational_select db r.C.select ~params with
+  let t0 = Unix.gettimeofday () in
+  let result = Adaptors.relational_select_explained db r.sql_select ~params in
+  counters.c_roundtrips <- counters.c_roundtrips + 1;
+  counters.c_wall <- counters.c_wall +. (Unix.gettimeofday () -. t0);
+  match result with
   | Error m -> error "%s" m
-  | Ok result ->
+  | Ok (result, plan_lines) ->
+    r.sql_backend <- plan_lines;
     let col_index =
       List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
     in
     List.to_seq
       (List.map
-         (fun row -> bind_sql_row r.C.binds col_index env row)
+         (fun row -> bind_sql_row r.sql_binds col_index env row)
          result.Aldsp_relational.Sql_exec.rows)
 
 (* PP-k: fetch k left tuples, issue one disjunctive parameterized query for
@@ -830,21 +857,23 @@ and rel_stream fr env (r : C.sql_access) : env Seq.t =
    forcing the block sequence, only the source roundtrip itself runs on
    the pool, and [Pool.pipeline] keeps up to [prefetch] + 1 roundtrips in
    flight while emitting blocks strictly in submission order — so the
-   result is byte-identical at every depth. *)
-and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~prefetch ~inner on_
-    export =
+   result is byte-identical at every depth. The backend's plan lines ride
+   along with each block's result and are stored into the region on the
+   consumer thread, in block order, keeping EXPLAIN capture race-free. *)
+and ppk_join fr sqlc left kind (r : sql_region) rest_lets ~k ~prefetch ~inner
+    on_ export =
   let db =
-    match Metadata.find_database fr.rt.registry r.C.db with
+    match Metadata.find_database fr.rt.registry r.sql_db with
     | Some db -> db
-    | None -> error "unknown database %s" r.C.db
+    | None -> error "unknown database %s" r.sql_db
   in
-  let n_params = List.length r.C.sql_params in
+  let n_params = List.length r.sql_params in
   let obs = fr.rt.observed in
   (* stage 1, consumer thread: the block query — WHERE (p_1..p_n) OR ...
      OR (p shifted (m-1)n) — and its middleware-computed parameters *)
   let prepare (block : env list) =
     let m = List.length block in
-    let select = disjunctive_select r.C.select n_params m in
+    let select = disjunctive_select r.sql_select n_params m in
     let params =
       Array.concat
         (List.map
@@ -853,8 +882,8 @@ and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~prefetch ~inner on_
                (List.map
                   (fun p ->
                     Adaptors.atomic_to_sql
-                      (singleton_atom "sql parameter" (eval_expr fr env p)))
-                  r.C.sql_params))
+                      (singleton_atom "sql parameter" (exec fr env p)))
+                  r.sql_params))
            block)
     in
     (block, select, params)
@@ -862,16 +891,21 @@ and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~prefetch ~inner on_
   (* stage 2, pool worker: the latency-bound source roundtrip *)
   let roundtrip (block, select, params) =
     let t0 = Unix.gettimeofday () in
-    let result = Adaptors.relational_select db select ~params in
+    let result = Adaptors.relational_select_explained db select ~params in
     let wall = Unix.gettimeofday () -. t0 in
     Option.iter (fun o -> Observed.record_roundtrip o ~wall) obs;
+    sqlc.c_roundtrips <- sqlc.c_roundtrips + 1;
+    sqlc.c_wall <- sqlc.c_wall +. wall;
     (block, result, wall)
   in
   (* stage 3, consumer thread: middleware join of the block *)
   let middleware_join (block, result, _wall) =
     match result with
     | Error msg -> error "%s" msg
-    | Ok result ->
+    | Ok (result, plan_lines) ->
+      r.sql_backend <- plan_lines;
+      sqlc.c_rows <-
+        sqlc.c_rows + List.length result.Aldsp_relational.Sql_exec.rows;
       let col_index =
         List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
       in
@@ -880,7 +914,7 @@ and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~prefetch ~inner on_
       |> Seq.concat_map (fun left_env ->
              let candidates =
                List.map
-                 (fun row -> bind_sql_row r.C.binds col_index left_env row)
+                 (fun row -> bind_sql_row r.sql_binds col_index left_env row)
                  result.Aldsp_relational.Sql_exec.rows
              in
              let candidates =
@@ -890,7 +924,7 @@ and ppk_join fr left kind (r : C.sql_access) rest_lets ~k ~prefetch ~inner on_
                  candidates
              in
              let matches =
-               List.filter (fun env -> ebv (eval_expr fr env on_)) candidates
+               List.filter (fun env -> ebv (exec fr env on_)) candidates
              in
              export_tuples fr left_env (List.to_seq matches) kind export)
   in
@@ -957,11 +991,19 @@ and disjunctive_select (select : Sql.select) n_params m =
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
-let eval_exn rt ?(bindings = []) e =
+let execute_exn rt ?(bindings = []) plan =
   let env =
     List.fold_left (fun acc (v, seq) -> bind acc v seq) Env.empty bindings
   in
-  eval_expr { rt; depth = 0 } env e
+  exec { rt; depth = 0 } env plan
+
+let execute rt ?bindings plan =
+  match execute_exn rt ?bindings plan with
+  | v -> Ok v
+  | exception Eval_error m -> Error m
+
+let eval_exn rt ?bindings e =
+  execute_exn rt ?bindings (Plan_ir.compile rt.registry e)
 
 let eval rt ?bindings e =
   match eval_exn rt ?bindings e with
@@ -975,6 +1017,6 @@ let call_function rt fn args =
       (Printf.sprintf "no function %s/%d" (Qname.to_string fn)
          (List.length args))
   | Some fd -> (
-    match apply_function { rt; depth = 0 } fd args with
+    match apply_plan_function { rt; depth = 0 } None fd args with
     | v -> Ok v
     | exception Eval_error m -> Error m)

@@ -1,9 +1,14 @@
-(** The query evaluator (§5).
+(** The plan executor (§5).
 
-    Interprets the core algebra. FLWOR blocks run as lazy streams of
-    binding tuples, so pipelined operators (for/let/where, pre-clustered
-    grouping, joins over streamed inputs) work incrementally; only sorting,
-    hash-building and group-by over unclustered input materialize.
+    Executes compiled {!Plan_ir} plans. FLWOR pipelines run as lazy
+    streams of binding tuples, so pipelined operators (scan/let/select,
+    pre-clustered grouping, joins over streamed inputs) work
+    incrementally; only sorting, hash-building and group-by over
+    unclustered input materialize. As a plan runs, the executor fills in
+    each operator's {!Plan_ir.counters} (rows out, source roundtrips,
+    function-cache hits, wall time in roundtrips) and stores the backend's
+    access-path lines into each pushed region — the data unified EXPLAIN
+    renders.
 
     Join clauses execute with the method the optimizer picked (§5.2):
     nested loop, index nested loop (a hash probe on extracted equi-keys),
@@ -66,11 +71,31 @@ val batch_seq : int -> 'a Seq.t -> 'a list Seq.t
     [k <= 1] degenerates to singleton blocks. Lazy: forcing block [n]
     consumes exactly the first [n*k] input elements. *)
 
+val execute :
+  rt ->
+  ?bindings:(Cexpr.var * Item.sequence) list ->
+  Plan_ir.t ->
+  (Item.sequence, string) result
+(** Runs a compiled plan, accumulating per-operator counters into it.
+    Function bodies reached by calls are themselves lowered on first use
+    and memoized in the runtime, keyed on (name, arity) and invalidated
+    when {!Metadata.generation} moves. *)
+
+val execute_exn :
+  rt ->
+  ?bindings:(Cexpr.var * Item.sequence) list ->
+  Plan_ir.t ->
+  Item.sequence
+(** Like {!execute} but raises {!Eval_error}. *)
+
 val eval :
   rt ->
   ?bindings:(Cexpr.var * Item.sequence) list ->
   Cexpr.t ->
   (Item.sequence, string) result
+(** Convenience: {!Plan_ir.compile} then {!execute}. Each call lowers the
+    expression afresh; callers that run the same expression repeatedly
+    should compile once and {!execute} the plan. *)
 
 val eval_exn :
   rt -> ?bindings:(Cexpr.var * Item.sequence) list -> Cexpr.t -> Item.sequence

@@ -50,6 +50,7 @@ type t = {
   transforms : (Qname.t, Qname.t) Hashtbl.t;  (* directional: f -> inverse *)
   multi_inverses : (Qname.t, Qname.t list) Hashtbl.t;
       (* f(a1..an) -> per-argument projections g_i with a_i = g_i(f(..)) *)
+  mutable generation : int;
 }
 
 let create () =
@@ -60,7 +61,8 @@ let create () =
     custom = Custom_function.create_registry ();
     inverses = Hashtbl.create 8;
     transforms = Hashtbl.create 8;
-    multi_inverses = Hashtbl.create 4 }
+    multi_inverses = Hashtbl.create 4;
+    generation = 0 }
 
 let copy t =
   { functions = Hashtbl.copy t.functions;
@@ -70,9 +72,14 @@ let copy t =
     custom = t.custom;
     inverses = Hashtbl.copy t.inverses;
     transforms = Hashtbl.copy t.transforms;
-    multi_inverses = Hashtbl.copy t.multi_inverses }
+    multi_inverses = Hashtbl.copy t.multi_inverses;
+    generation = t.generation }
+
+let generation t = t.generation
+let bump t = t.generation <- t.generation + 1
 
 let add_function t fd =
+  bump t;
   Hashtbl.replace t.functions (fd.fd_name, List.length fd.fd_params) fd
 
 let find_function t name arity = Hashtbl.find_opt t.functions (name, arity)
@@ -100,31 +107,39 @@ let set_cacheable t name flag =
         if Qname.equal fd.fd_name name then (key, fd) :: acc else acc)
       t.functions []
   in
+  bump t;
   List.iter
     (fun (key, fd) ->
       Hashtbl.replace t.functions key { fd with fd_cacheable = flag })
     updates
 
-let add_database t db = Hashtbl.replace t.databases db.Database.db_name db
+let add_database t db =
+  bump t;
+  Hashtbl.replace t.databases db.Database.db_name db
 let find_database t name = Hashtbl.find_opt t.databases name
 
 let databases t =
   Hashtbl.fold (fun _ db acc -> db :: acc) t.databases []
   |> List.sort (fun a b -> String.compare a.Database.db_name b.Database.db_name)
 
-let add_data_service t ds = Hashtbl.replace t.services ds.ds_name ds
+let add_data_service t ds =
+  bump t;
+  Hashtbl.replace t.services ds.ds_name ds
 let find_data_service t name = Hashtbl.find_opt t.services name
 
 let data_services t =
   Hashtbl.fold (fun _ ds acc -> ds :: acc) t.services []
   |> List.sort (fun a b -> String.compare a.ds_name b.ds_name)
 
-let add_schema t decl = Hashtbl.replace t.schemas decl.Schema.elem_name decl
+let add_schema t decl =
+  bump t;
+  Hashtbl.replace t.schemas decl.Schema.elem_name decl
 let find_schema t name = Hashtbl.find_opt t.schemas name
 
 let custom_registry t = t.custom
 
 let register_inverse t ~f ~inverse =
+  bump t;
   Hashtbl.replace t.inverses f inverse;
   Hashtbl.replace t.inverses inverse f;
   (* the transformation rules of §4.5 are directional: comparisons against
@@ -136,6 +151,7 @@ let inverse_of t f = Hashtbl.find_opt t.inverses f
 let transform_of t f = Hashtbl.find_opt t.transforms f
 
 let register_multi_inverse t ~f ~projections =
+  bump t;
   Hashtbl.replace t.multi_inverses f projections
 
 let projections_of t f = Hashtbl.find_opt t.multi_inverses f

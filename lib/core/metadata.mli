@@ -67,6 +67,12 @@ val copy : t -> t
     service / schema tables — used by design-time checking so analysis
     never mutates the live registry. *)
 
+val generation : t -> int
+(** Monotonic counter bumped by every registry mutation (function or
+    source registration, cacheability change, inverse declaration).
+    {!Plan_cache} keys include it, so a compiled plan never outlives the
+    metadata it was compiled against. *)
+
 val add_function : t -> function_def -> unit
 val find_function : t -> Qname.t -> int -> function_def option
 

@@ -36,6 +36,15 @@ let reference_options =
     ppk_prefetch = 0;
     view_cache_size = 64 }
 
+(* Every field participates: two option records compile a query
+   differently exactly when their fingerprints differ, which is what the
+   plan cache keys on. *)
+let options_fingerprint o =
+  Printf.sprintf "iv=%b;ij=%b;ec=%b;inv=%b;pd=%b;k=%d;pf=%d;vc=%d"
+    o.inline_views o.introduce_joins o.eliminate_constructors
+    o.use_inverse_functions o.pushdown o.ppk_k o.ppk_prefetch
+    o.view_cache_size
+
 type t = {
   registry : Metadata.t;
   opts : options;

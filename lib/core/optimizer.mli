@@ -47,6 +47,10 @@ type options = {
 
 val default_options : options
 
+val options_fingerprint : options -> string
+(** A stable serialization of every option field, used (with the query
+    text and {!Metadata.generation}) as the {!Plan_cache} key. *)
+
 val reference_options : options
 (** The differential-testing baseline (see {!Aldsp_check}): no view
     inlining, no join introduction, no constructor elimination, no inverse

@@ -1,6 +1,14 @@
+type key = { k_query : string; k_options : string; k_generation : int }
+
+(* Keys are flattened to strings so the LRU list stays cheap; NUL can't
+   appear in either component (query text is source code, the fingerprint
+   is printf-built). *)
+let key_string k =
+  Printf.sprintf "%d\x00%s\x00%s" k.k_generation k.k_options k.k_query
+
 type 'plan t = {
   capacity : int;
-  table : (string, 'plan) Hashtbl.t;
+  table : (string, key * 'plan) Hashtbl.t;
   mutable lru : string list;  (* most recent first *)
   mutable hit_count : int;
   mutable miss_count : int;
@@ -14,17 +22,19 @@ let touch t key =
   t.lru <- key :: List.filter (fun k -> not (String.equal k key)) t.lru
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some plan ->
+  let ks = key_string key in
+  match Hashtbl.find_opt t.table ks with
+  | Some (_, plan) ->
     t.hit_count <- t.hit_count + 1;
-    touch t key;
+    touch t ks;
     Some plan
   | None ->
     t.miss_count <- t.miss_count + 1;
     None
 
 let add t key plan =
-  if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity
+  let ks = key_string key in
+  if not (Hashtbl.mem t.table ks) && Hashtbl.length t.table >= t.capacity
   then begin
     match List.rev t.lru with
     | oldest :: _ ->
@@ -32,8 +42,19 @@ let add t key plan =
       t.lru <- List.filter (fun k -> not (String.equal k oldest)) t.lru
     | [] -> ()
   end;
-  Hashtbl.replace t.table key plan;
-  touch t key
+  Hashtbl.replace t.table ks (key, plan);
+  touch t ks
+
+let purge_stale t ~generation =
+  let stale =
+    Hashtbl.fold
+      (fun ks (key, _) acc ->
+        if key.k_generation <> generation then ks :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale;
+  if stale <> [] then
+    t.lru <- List.filter (fun k -> Hashtbl.mem t.table k) t.lru
 
 let clear t =
   Hashtbl.reset t.table;

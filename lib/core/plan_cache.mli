@@ -2,19 +2,38 @@
 
     "ALDSP maintains a query plan cache in order to avoid repeatedly
     compiling popular queries from the same or different users." An LRU
-    map from query text to compiled plan; compiled plans are reusable
+    map from compilation key to compiled plan; compiled plans are reusable
     because parameters are bound at execution time and security filtering
-    happens post-evaluation (§7). *)
+    happens post-evaluation (§7).
+
+    A plan is only as good as what it was compiled from, so the key is not
+    the query text alone: it also carries a fingerprint of the optimizer
+    options in force (two servers over one registry may compile the same
+    text differently) and the registry's {!Metadata.generation} (a plan
+    compiled before a function was redefined or a source registered must
+    not be served afterwards). {!purge_stale} sweeps entries left behind
+    by older generations. *)
+
+type key = {
+  k_query : string;  (** The query text. *)
+  k_options : string;  (** {!Optimizer.options_fingerprint} in force. *)
+  k_generation : int;  (** {!Metadata.generation} at compile time. *)
+}
 
 type 'plan t
 
 val create : capacity:int -> 'plan t
 
-val find : 'plan t -> string -> 'plan option
+val find : 'plan t -> key -> 'plan option
 (** Refreshes the entry's recency on hit. *)
 
-val add : 'plan t -> string -> 'plan -> unit
+val add : 'plan t -> key -> 'plan -> unit
 (** Inserts, evicting the least recently used entry at capacity. *)
+
+val purge_stale : 'plan t -> generation:int -> unit
+(** Drops every entry compiled under a different metadata generation (the
+    invalidation sweep run after registry mutations). Does not touch hit /
+    miss statistics. *)
 
 val clear : 'plan t -> unit
 val size : 'plan t -> int

@@ -1,0 +1,630 @@
+open Aldsp_xml
+module C = Cexpr
+module Database = Aldsp_relational.Database
+module Sql_print = Aldsp_relational.Sql_print
+
+type counters = {
+  mutable c_starts : int;
+  mutable c_rows : int;
+  mutable c_roundtrips : int;
+  mutable c_cache_hits : int;
+  mutable c_cache_misses : int;
+  mutable c_wall : float;
+}
+
+type call_target =
+  | T_function of { cacheable : bool; external_ : bool }
+  | T_builtin
+  | T_unresolved
+
+type let_mode = L_plain | L_async | L_concurrent
+
+type t = { id : int; counters : counters; node : node }
+
+and node =
+  | P_const of Atomic.t
+  | P_empty
+  | P_seq of t list
+  | P_var of C.var
+  | P_construct of {
+      name : Qname.t;
+      optional : bool;
+      attrs : pattr list;
+      content : t;
+    }
+  | P_if of { cond : t; then_ : t; else_ : t }
+  | P_quantified of { universal : bool; var : C.var; source : t; pred : t }
+  | P_call of { fn : Qname.t; target : call_target; args : t list }
+  | P_async of t
+  | P_fail_over of { primary : t; alternate : t }
+  | P_timeout of { primary : t; millis : t; alternate : t }
+  | P_child of t * Qname.t
+  | P_child_wild of t
+  | P_attr_of of t * Qname.t
+  | P_filter of { input : t; dot : C.var; pos : C.var; pred : t }
+  | P_data of t
+  | P_ebv of t
+  | P_binop of C.binop * t * t
+  | P_typematch of t * Stype.t
+  | P_cast of t * Atomic.atomic_type
+  | P_castable of t * Atomic.atomic_type
+  | P_instance_of of t * Stype.t
+  | P_error of string
+  | P_pipeline of { ops : op list; return_ : t }
+
+and pattr = { p_aname : Qname.t; p_avalue : t; p_aoptional : bool }
+
+and op = { op_id : int; op_counters : counters; op_node : op_node }
+
+and op_node =
+  | O_scan of { var : C.var; source : t }
+  | O_let of { var : C.var; value : t; mode : let_mode }
+  | O_select of t
+  | O_group of {
+      aggs : (C.var * C.var) list;
+      keys : (t * C.var) list;
+      clustered : bool;
+    }
+  | O_sort of { keys : (t * bool) list }
+  | O_join of {
+      kind : C.join_kind;
+      method_ : C.join_method;
+      right : op list;
+      on_ : t;
+      equi : pequi option;
+      export : pexport;
+    }
+  | O_sql of sql_region
+
+and pequi = { eq_pairs : (t * t) list; eq_residual : t list }
+
+and pexport = PE_bindings | PE_grouped of { gvar : C.var; gexpr : t }
+
+and sql_region = {
+  sql_db : string;
+  sql_dialect : string;
+  sql_text : string;
+  sql_select : Aldsp_relational.Sql_ast.select;
+  sql_params : t list;
+  sql_binds : C.sql_bind list;
+  mutable sql_backend : string list;
+}
+
+let zero () =
+  { c_starts = 0; c_rows = 0; c_roundtrips = 0; c_cache_hits = 0;
+    c_cache_misses = 0; c_wall = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+
+let compile registry root =
+  let next = ref 0 in
+  let fresh () = incr next; !next in
+  let mk node = { id = fresh (); counters = zero (); node } in
+  let mk_op op_node = { op_id = fresh (); op_counters = zero (); op_node } in
+  let external_call = function
+    | C.Call { fn; args } -> (
+      match Metadata.resolve_call registry fn (List.length args) with
+      | Some fd -> (
+        match fd.Metadata.fd_impl with
+        | Metadata.External _ -> true
+        | Metadata.Body _ -> false)
+      | None -> false)
+    | _ -> false
+  in
+  let rec expr (e : C.t) : t =
+    match e with
+    | C.Const a -> mk (P_const a)
+    | C.Empty -> mk P_empty
+    | C.Seq es -> mk (P_seq (List.map expr es))
+    | C.Var v -> mk (P_var v)
+    | C.Elem { name; optional; attrs; content } ->
+      mk
+        (P_construct
+           { name;
+             optional;
+             attrs =
+               List.map
+                 (fun (a : C.attr) ->
+                   { p_aname = a.C.aname;
+                     p_avalue = expr a.C.avalue;
+                     p_aoptional = a.C.aoptional })
+                 attrs;
+             content = expr content })
+    | C.Flwor { clauses; return_ } ->
+      mk (P_pipeline { ops = lower_clauses clauses; return_ = expr return_ })
+    | C.If { cond; then_; else_ } ->
+      mk (P_if { cond = expr cond; then_ = expr then_; else_ = expr else_ })
+    | C.Quantified { universal; var; source; pred } ->
+      mk (P_quantified { universal; var; source = expr source; pred = expr pred })
+    | C.Call { fn; args = [ arg ] } when Qname.equal fn Names.async ->
+      mk (P_async (expr arg))
+    | C.Call { fn; args = [ prim; alt ] } when Qname.equal fn Names.fail_over ->
+      mk (P_fail_over { primary = expr prim; alternate = expr alt })
+    | C.Call { fn; args = [ prim; millis; alt ] }
+      when Qname.equal fn Names.timeout ->
+      mk
+        (P_timeout
+           { primary = expr prim; millis = expr millis; alternate = expr alt })
+    | C.Call { fn; args } ->
+      let arity = List.length args in
+      let target =
+        match Metadata.resolve_call registry fn arity with
+        | Some fd ->
+          T_function
+            { cacheable = fd.Metadata.fd_cacheable;
+              external_ =
+                (match fd.Metadata.fd_impl with
+                | Metadata.External _ -> true
+                | Metadata.Body _ -> false) }
+        | None -> (
+          match Fn_lib.find fn arity with
+          | Some _ -> T_builtin
+          | None -> T_unresolved)
+      in
+      mk (P_call { fn; target; args = List.map expr args })
+    | C.Child (input, n) -> mk (P_child (expr input, n))
+    | C.Child_wild input -> mk (P_child_wild (expr input))
+    | C.Attr_of (input, n) -> mk (P_attr_of (expr input, n))
+    | C.Filter { input; dot; pos; pred } ->
+      mk (P_filter { input = expr input; dot; pos; pred = expr pred })
+    | C.Data input -> mk (P_data (expr input))
+    | C.Ebv input -> mk (P_ebv (expr input))
+    | C.Binop (op, a, b) -> mk (P_binop (op, expr a, expr b))
+    | C.Typematch (input, ty) -> mk (P_typematch (expr input, ty))
+    | C.Cast (input, ty) -> mk (P_cast (expr input, ty))
+    | C.Castable (input, ty) -> mk (P_castable (expr input, ty))
+    | C.Instance_of (input, ty) -> mk (P_instance_of (expr input, ty))
+    | C.Error_expr msg -> mk (P_error msg)
+  (* A maximal run of adjacent lets is analyzed as one unit, mirroring the
+     executor's binding step: an explicit fn-bea:async value, or an
+     external-source call with no data dependence on the run's other
+     bindings, is marked for ahead-of-use submission (§5.4). *)
+  and lower_lets run =
+    let run_vars =
+      List.filter_map (function C.Let { var; _ } -> Some var | _ -> None) run
+    in
+    let independent e =
+      let fv = C.free_vars e () in
+      not (List.exists (fun v -> Hashtbl.mem fv v) run_vars)
+    in
+    List.map
+      (fun cl ->
+        match cl with
+        | C.Let { var; value } ->
+          let mode =
+            match value with
+            | C.Call { fn; args = [ _ ] } when Qname.equal fn Names.async ->
+              L_async
+            | value
+              when List.length run_vars > 1
+                   && external_call value && independent value ->
+              L_concurrent
+            | _ -> L_plain
+          in
+          mk_op (O_let { var; value = expr value; mode })
+        | _ -> assert false)
+      run
+  and lower_clauses clauses =
+    match clauses with
+    | [] -> []
+    | C.Let _ :: _ ->
+      let rec split run = function
+        | (C.Let _ as l) :: rest -> split (l :: run) rest
+        | rest -> (List.rev run, rest)
+      in
+      let run, rest = split [] clauses in
+      lower_lets run @ lower_clauses rest
+    | clause :: rest ->
+      let op =
+        match clause with
+        | C.For { var; source } -> mk_op (O_scan { var; source = expr source })
+        | C.Let _ -> assert false
+        | C.Where cond -> mk_op (O_select (expr cond))
+        | C.Group { aggs; keys; clustered } ->
+          mk_op
+            (O_group
+               { aggs;
+                 keys = List.map (fun (e, v) -> (expr e, v)) keys;
+                 clustered })
+        | C.Order { keys } ->
+          mk_op (O_sort { keys = List.map (fun (e, d) -> (expr e, d)) keys })
+        | C.Join { kind; method_; right; on_; export } ->
+          let equi =
+            match method_ with
+            | C.Index_nested_loop -> (
+              match
+                Optimizer.equi_join_keys ~right_vars:(C.clause_vars right) on_
+              with
+              | Some (pairs, residual) ->
+                Some
+                  { eq_pairs =
+                      List.map (fun (l, r) -> (expr l, expr r)) pairs;
+                    eq_residual = List.map expr residual }
+              | None -> None)
+            | C.Nested_loop | C.Ppk _ -> None
+          in
+          mk_op
+            (O_join
+               { kind;
+                 method_;
+                 right = lower_clauses right;
+                 on_ = expr on_;
+                 equi;
+                 export =
+                   (match export with
+                   | C.Bindings -> PE_bindings
+                   | C.Grouped { gvar; gexpr } ->
+                     PE_grouped { gvar; gexpr = expr gexpr }) })
+        | C.Rel r ->
+          let dialect, vendor =
+            match Metadata.find_database registry r.C.db with
+            | Some db ->
+              (Database.vendor_name db.Database.vendor, db.Database.vendor)
+            | None -> ("sql92", Database.Generic_sql92)
+          in
+          let sql_text =
+            try Sql_print.select_to_string vendor r.C.select
+            with Sql_print.Unsupported reason ->
+              "<unprintable: " ^ reason ^ ">"
+          in
+          mk_op
+            (O_sql
+               { sql_db = r.C.db;
+                 sql_dialect = dialect;
+                 sql_text;
+                 sql_select = r.C.select;
+                 sql_params = List.map expr r.C.sql_params;
+                 sql_binds = r.C.binds;
+                 sql_backend = [] })
+      in
+      op :: lower_clauses rest
+  in
+  expr root
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+
+let rec sub_plans p =
+  match p.node with
+  | P_const _ | P_empty | P_var _ | P_error _ -> []
+  | P_seq es -> es
+  | P_construct { attrs; content; _ } ->
+    List.map (fun a -> a.p_avalue) attrs @ [ content ]
+  | P_if { cond; then_; else_ } -> [ cond; then_; else_ ]
+  | P_quantified { source; pred; _ } -> [ source; pred ]
+  | P_call { args; _ } -> args
+  | P_async p -> [ p ]
+  | P_fail_over { primary; alternate } -> [ primary; alternate ]
+  | P_timeout { primary; millis; alternate } -> [ primary; millis; alternate ]
+  | P_child (p, _) | P_attr_of (p, _) | P_child_wild p -> [ p ]
+  | P_filter { input; pred; _ } -> [ input; pred ]
+  | P_data p | P_ebv p -> [ p ]
+  | P_binop (_, a, b) -> [ a; b ]
+  | P_typematch (p, _) | P_cast (p, _) | P_castable (p, _)
+  | P_instance_of (p, _) ->
+    [ p ]
+  | P_pipeline { ops; return_ } ->
+    List.concat_map op_sub_plans ops @ [ return_ ]
+
+and op_sub_plans o =
+  match o.op_node with
+  | O_scan { source; _ } -> [ source ]
+  | O_let { value; _ } -> [ value ]
+  | O_select p -> [ p ]
+  | O_group { keys; _ } -> List.map fst keys
+  | O_sort { keys } -> List.map fst keys
+  | O_join { right; on_; equi; export; _ } ->
+    List.concat_map op_sub_plans right
+    @ [ on_ ]
+    @ (match equi with
+      | None -> []
+      | Some { eq_pairs; eq_residual } ->
+        List.concat_map (fun (l, r) -> [ l; r ]) eq_pairs @ eq_residual)
+    @ (match export with PE_bindings -> [] | PE_grouped { gexpr; _ } -> [ gexpr ])
+  | O_sql r -> r.sql_params
+
+let rec iter_counters f p =
+  f p.counters;
+  (match p.node with
+  | P_pipeline { ops; _ } -> List.iter (iter_op_counters f) ops
+  | _ -> ());
+  List.iter (iter_counters f)
+    (match p.node with
+    | P_pipeline { return_; _ } -> [ return_ ]
+    | _ -> sub_plans p)
+
+and iter_op_counters f o =
+  f o.op_counters;
+  (match o.op_node with
+  | O_join { right; _ } -> List.iter (iter_op_counters f) right
+  | _ -> ());
+  List.iter (iter_counters f) (op_sub_plans o)
+
+let rec iter_regions f p =
+  (match p.node with
+  | P_pipeline { ops; _ } -> List.iter (iter_region_op f) ops
+  | _ -> ());
+  List.iter (iter_regions f)
+    (match p.node with
+    | P_pipeline { return_; _ } -> [ return_ ]
+    | _ -> sub_plans p)
+
+and iter_region_op f o =
+  (match o.op_node with
+  | O_sql r -> f r
+  | O_join { right; _ } -> List.iter (iter_region_op f) right
+  | _ -> ());
+  List.iter (iter_regions f) (op_sub_plans o)
+
+let regions p =
+  let acc = ref [] in
+  iter_regions (fun r -> acc := r :: !acc) p;
+  List.rev !acc
+
+let reset_counters p =
+  iter_counters
+    (fun c ->
+      c.c_starts <- 0;
+      c.c_rows <- 0;
+      c.c_roundtrips <- 0;
+      c.c_cache_hits <- 0;
+      c.c_cache_misses <- 0;
+      c.c_wall <- 0.)
+    p;
+  List.iter (fun r -> r.sql_backend <- []) (regions p)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+(* Compact one-line form of an expression subtree, for operator labels. *)
+let rec summary p =
+  match p.node with
+  | P_const a -> Format.asprintf "%a" Atomic.pp a
+  | P_empty -> "()"
+  | P_seq es -> "(" ^ String.concat ", " (List.map summary es) ^ ")"
+  | P_var v -> "$" ^ v
+  | P_construct { name; optional; content; _ } ->
+    Printf.sprintf "element %s%s {%s}" (Qname.to_string name)
+      (if optional then "?" else "")
+      (summary content)
+  | P_if { cond; then_; else_ } ->
+    Printf.sprintf "if (%s) then %s else %s" (summary cond) (summary then_)
+      (summary else_)
+  | P_quantified { universal; var; source; pred } ->
+    Printf.sprintf "%s $%s in %s satisfies %s"
+      (if universal then "every" else "some")
+      var (summary source) (summary pred)
+  | P_call { fn; args; _ } ->
+    Printf.sprintf "%s(%s)" (Qname.to_string fn)
+      (String.concat ", " (List.map summary args))
+  | P_async p -> Printf.sprintf "async(%s)" (summary p)
+  | P_fail_over { primary; alternate } ->
+    Printf.sprintf "fail-over(%s, %s)" (summary primary) (summary alternate)
+  | P_timeout { primary; millis; alternate } ->
+    Printf.sprintf "timeout(%s, %s, %s)" (summary primary) (summary millis)
+      (summary alternate)
+  | P_child (p, n) -> summary p ^ "/" ^ Qname.to_string n
+  | P_child_wild p -> summary p ^ "/*"
+  | P_attr_of (p, n) -> summary p ^ "/@" ^ Qname.to_string n
+  | P_filter { input; dot; pred; _ } ->
+    Printf.sprintf "%s[%s: %s]" (summary input) dot (summary pred)
+  | P_data p -> Printf.sprintf "data(%s)" (summary p)
+  | P_ebv p -> Printf.sprintf "ebv(%s)" (summary p)
+  | P_binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (summary a) (C.binop_name op) (summary b)
+  | P_typematch (p, ty) ->
+    Printf.sprintf "typematch(%s, %s)" (summary p) (Stype.to_string ty)
+  | P_cast (p, ty) ->
+    Printf.sprintf "cast(%s as %s)" (summary p) (Atomic.type_name ty)
+  | P_castable (p, ty) ->
+    Printf.sprintf "(%s castable as %s)" (summary p) (Atomic.type_name ty)
+  | P_instance_of (p, ty) ->
+    Printf.sprintf "(%s instance of %s)" (summary p) (Stype.to_string ty)
+  | P_error msg -> Printf.sprintf "error(%S)" msg
+  | P_pipeline _ -> "flwor {...}"
+
+let cap s = if String.length s > 90 then String.sub s 0 87 ^ "..." else s
+
+let method_label = function
+  | C.Nested_loop -> "nested-loop"
+  | C.Index_nested_loop -> "index-nl"
+  | C.Ppk { k; prefetch; inner } ->
+    Printf.sprintf "pp-k(k=%d, prefetch=%d, inner=%s)" k prefetch
+      (match inner with C.Inner_nl -> "nl" | C.Inner_inl -> "inl")
+
+(* Node kinds whose subtree is rendered as a tree rather than inlined:
+   the "operator" nodes themselves plus any container on the path to
+   one. *)
+let rec structural p =
+  match p.node with
+  | P_pipeline _ | P_construct _ | P_async _ | P_fail_over _ | P_timeout _ ->
+    true
+  | P_call { target = T_function _; _ } -> true
+  | _ -> List.exists structural (sub_plans p)
+
+let node_label p =
+  match p.node with
+  | P_pipeline _ -> "flwor"
+  | P_construct { name; optional; _ } ->
+    Printf.sprintf "construct <%s%s>" (Qname.to_string name)
+      (if optional then "?" else "")
+  | P_call { fn; target; args } ->
+    Printf.sprintf "call %s/%d%s" (Qname.to_string fn) (List.length args)
+      (match target with
+      | T_function { cacheable; external_ } ->
+        (if external_ then " [external]" else "")
+        ^ (if cacheable then " [cacheable]" else "")
+      | T_builtin -> " [builtin]"
+      | T_unresolved -> "")
+  | P_async _ -> "async"
+  | P_fail_over _ -> "fail-over"
+  | P_timeout _ -> "timeout"
+  | P_seq _ -> "seq"
+  | P_if { cond; _ } -> "if " ^ cap (summary cond)
+  | P_quantified { universal; var; _ } ->
+    Printf.sprintf "%s $%s"
+      (if universal then "every" else "some")
+      var
+  | P_filter { dot; pred; _ } ->
+    Printf.sprintf "filter [%s: %s]" dot (cap (summary pred))
+  | P_data _ -> "data"
+  | P_ebv _ -> "ebv"
+  | P_binop (op, _, _) -> "op " ^ C.binop_name op
+  | P_child (_, n) -> "child " ^ Qname.to_string n
+  | P_child_wild _ -> "child *"
+  | P_attr_of (_, n) -> "attr @" ^ Qname.to_string n
+  | P_typematch _ -> "typematch"
+  | P_cast (_, ty) -> "cast as " ^ Atomic.type_name ty
+  | P_castable (_, ty) -> "castable as " ^ Atomic.type_name ty
+  | P_instance_of _ -> "instance-of"
+  | P_const _ | P_empty | P_var _ | P_error _ -> cap (summary p)
+
+let op_label o =
+  match o.op_node with
+  | O_scan { var; source } ->
+    Printf.sprintf "scan $%s in %s" var (cap (summary source))
+  | O_let { var; value; mode } ->
+    Printf.sprintf "let%s $%s := %s"
+      (match mode with
+      | L_plain -> ""
+      | L_async -> "[async]"
+      | L_concurrent -> "[concurrent]")
+      var (cap (summary value))
+  | O_select p -> "select " ^ cap (summary p)
+  | O_group { aggs; keys; clustered } ->
+    Printf.sprintf "group-by%s %s by %s"
+      (if clustered then "[pre-clustered]" else "")
+      (String.concat ", "
+         (List.map (fun (a, b) -> Printf.sprintf "$%s as $%s" a b) aggs))
+      (String.concat ", "
+         (List.map
+            (fun (e, v) -> Printf.sprintf "%s as $%s" (cap (summary e)) v)
+            keys))
+  | O_sort { keys } ->
+    "sort "
+    ^ String.concat ", "
+        (List.map
+           (fun (e, desc) ->
+             cap (summary e) ^ if desc then " descending" else "")
+           keys)
+  | O_join { kind; method_; export; _ } ->
+    Printf.sprintf "join[%s] method=%s%s"
+      (match kind with C.J_inner -> "inner" | C.J_left_outer -> "left-outer")
+      (method_label method_)
+      (match export with
+      | PE_bindings -> ""
+      | PE_grouped { gvar; _ } -> Printf.sprintf " grouped as $%s" gvar)
+  | O_sql r -> Printf.sprintf "sql[%s dialect=%s]" r.sql_db r.sql_dialect
+
+let counters_suffix ~timings c =
+  let parts =
+    [ Printf.sprintf "rows=%d" c.c_rows ]
+    @ (if c.c_roundtrips > 0 then
+         [ Printf.sprintf "roundtrips=%d" c.c_roundtrips ]
+       else [])
+    @ (if c.c_cache_hits > 0 || c.c_cache_misses > 0 then
+         [ Printf.sprintf "cache-hits=%d cache-misses=%d" c.c_cache_hits
+             c.c_cache_misses ]
+       else [])
+    @
+    if timings && c.c_wall > 0. then
+      [ Printf.sprintf "wall=%.1fms" (c.c_wall *. 1000.) ]
+    else []
+  in
+  " (" ^ String.concat " " parts ^ ")"
+
+let render ?(timings = false) plan =
+  let buf = Buffer.create 1024 in
+  let line indent text =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    Buffer.add_string buf text;
+    Buffer.add_char buf '\n'
+  in
+  let rec node indent prefix p =
+    if structural p then begin
+      line indent
+        (prefix ^ node_label p ^ counters_suffix ~timings p.counters);
+      match p.node with
+      | P_pipeline { ops; return_ } ->
+        List.iter (op (indent + 1)) ops;
+        node (indent + 1) "return " return_
+      | P_construct { attrs; content; _ } ->
+        List.iter
+          (fun a ->
+            node (indent + 1)
+              (Printf.sprintf "@%s%s := " (Qname.to_string a.p_aname)
+                 (if a.p_aoptional then "?" else ""))
+              a.p_avalue)
+          attrs;
+        node (indent + 1) "" content
+      | P_call { args; _ } ->
+        List.iteri
+          (fun i a -> node (indent + 1) (Printf.sprintf "arg%d " (i + 1)) a)
+          args
+      | P_async p -> node (indent + 1) "" p
+      | P_fail_over { primary; alternate } ->
+        node (indent + 1) "primary " primary;
+        node (indent + 1) "alternate " alternate
+      | P_timeout { primary; millis; alternate } ->
+        node (indent + 1) "primary " primary;
+        node (indent + 1) "after " millis;
+        node (indent + 1) "alternate " alternate
+      | _ -> List.iter (node (indent + 1) "") (sub_plans p)
+    end
+    else line indent (prefix ^ cap (summary p))
+  and op indent o =
+    line indent (op_label o ^ counters_suffix ~timings o.op_counters);
+    match o.op_node with
+    | O_scan { source; _ } -> if structural source then node (indent + 1) "" source
+    | O_let { value; _ } -> if structural value then node (indent + 1) "" value
+    | O_select p -> if structural p then node (indent + 1) "" p
+    | O_group _ | O_sort _ -> ()
+    | O_join { right; on_; export; _ } ->
+      List.iter (op (indent + 1)) right;
+      line (indent + 1) ("on " ^ cap (summary on_));
+      (match export with
+      | PE_bindings -> ()
+      | PE_grouped { gexpr; _ } ->
+        if structural gexpr then node (indent + 1) "group: " gexpr
+        else line (indent + 1) ("group: " ^ cap (summary gexpr)))
+    | O_sql r ->
+      line (indent + 1) r.sql_text;
+      List.iteri
+        (fun i p ->
+          line (indent + 1)
+            (Printf.sprintf "param ?%d := %s" (i + 1) (cap (summary p))))
+        r.sql_params;
+      if r.sql_binds <> [] then
+        line (indent + 1)
+          ("binds: "
+          ^ String.concat ", "
+              (List.map
+                 (fun (b : C.sql_bind) ->
+                   Printf.sprintf "$%s <- %s" b.C.bvar b.C.bcol)
+                 r.sql_binds));
+      List.iter (fun l -> line (indent + 1) ("backend: " ^ l)) r.sql_backend
+  in
+  node 0 "" plan;
+  Buffer.contents buf
+
+let operators plan =
+  let acc = ref [] in
+  let rec node p =
+    if structural p then acc := (node_label p, p.counters) :: !acc;
+    (match p.node with
+    | P_pipeline { ops; _ } -> List.iter op ops
+    | _ -> ());
+    List.iter node
+      (match p.node with
+      | P_pipeline { return_; _ } -> [ return_ ]
+      | _ -> sub_plans p)
+  and op o =
+    acc := (op_label o, o.op_counters) :: !acc;
+    (match o.op_node with
+    | O_join { right; _ } -> List.iter op right
+    | _ -> ());
+    List.iter node (op_sub_plans o)
+  in
+  node plan;
+  List.rev !acc

@@ -1,0 +1,158 @@
+(** The physical plan IR (§5, Figure 4).
+
+    The compile pipeline — normalize, typecheck, {!Optimizer.optimize},
+    {!Pushdown.push}, {!Optimizer.select_methods} — ends here: the
+    rewritten core expression is {e lowered} into an explicit typed
+    operator tree whose nodes carry everything the runtime decided at
+    compile time (join method with its k and prefetch depth, pushed-SQL
+    regions with their dialect and parameter slots, async-let and guard
+    placement, cacheable-call marking) plus a mutable counter block that
+    the executor fills in as the plan runs.
+
+    {!Eval} executes this IR; {!Plan_cache} caches it per
+    (query, optimizer options, metadata generation); {!Server.explain}
+    renders it — one tree covering the middleware operators with their
+    runtime counters and, nested under each pushed region, the backend's
+    own access-path plan lines captured at execution time. *)
+
+open Aldsp_xml
+
+(** Per-operator runtime counters. Zero at compile time; the executor
+    accumulates across runs (use {!reset_counters} for per-run numbers).
+    Updated without a lock, like the backend's operator statistics: single
+    word writes, and the only concurrent writers (PP-k roundtrips on pool
+    workers) touch counters no consumer reads mid-run. *)
+type counters = {
+  mutable c_starts : int;  (** Times the operator began producing. *)
+  mutable c_rows : int;  (** Items / binding tuples emitted. *)
+  mutable c_roundtrips : int;  (** Source statements this operator issued. *)
+  mutable c_cache_hits : int;  (** Function-cache hits on this call site. *)
+  mutable c_cache_misses : int;  (** Computed calls on a cacheable site. *)
+  mutable c_wall : float;  (** Seconds inside this operator's roundtrips. *)
+}
+
+(** What a call site resolved to at compile time (informational — the
+    executor re-resolves so transiently registered prolog functions keep
+    working). *)
+type call_target =
+  | T_function of { cacheable : bool; external_ : bool }
+  | T_builtin
+  | T_unresolved
+
+(** How a let binding is scheduled (§5.4): [L_async] is an explicit
+    [fn-bea:async] value, [L_concurrent] an independent external-source
+    call auto-submitted to the worker pool, [L_plain] evaluates in
+    place. *)
+type let_mode = L_plain | L_async | L_concurrent
+
+type t = { id : int; counters : counters; node : node }
+
+and node =
+  | P_const of Atomic.t
+  | P_empty
+  | P_seq of t list
+  | P_var of Cexpr.var
+  | P_construct of {
+      name : Qname.t;
+      optional : bool;
+      attrs : pattr list;
+      content : t;
+    }
+  | P_if of { cond : t; then_ : t; else_ : t }
+  | P_quantified of {
+      universal : bool;
+      var : Cexpr.var;
+      source : t;
+      pred : t;
+    }
+  | P_call of { fn : Qname.t; target : call_target; args : t list }
+  | P_async of t  (** [fn-bea:async]: eligible for ahead-of-use submission. *)
+  | P_fail_over of { primary : t; alternate : t }
+  | P_timeout of { primary : t; millis : t; alternate : t }
+  | P_child of t * Qname.t
+  | P_child_wild of t
+  | P_attr_of of t * Qname.t
+  | P_filter of { input : t; dot : Cexpr.var; pos : Cexpr.var; pred : t }
+  | P_data of t
+  | P_ebv of t
+  | P_binop of Cexpr.binop * t * t
+  | P_typematch of t * Stype.t
+  | P_cast of t * Atomic.atomic_type
+  | P_castable of t * Atomic.atomic_type
+  | P_instance_of of t * Stype.t
+  | P_error of string
+  | P_pipeline of { ops : op list; return_ : t }
+      (** A FLWOR block: a pipeline of tuple operators over binding
+          tuples (§5.1). *)
+
+and pattr = { p_aname : Qname.t; p_avalue : t; p_aoptional : bool }
+
+and op = { op_id : int; op_counters : counters; op_node : op_node }
+
+and op_node =
+  | O_scan of { var : Cexpr.var; source : t }
+  | O_let of { var : Cexpr.var; value : t; mode : let_mode }
+  | O_select of t
+  | O_group of {
+      aggs : (Cexpr.var * Cexpr.var) list;
+      keys : (t * Cexpr.var) list;
+      clustered : bool;
+    }
+  | O_sort of { keys : (t * bool) list }
+  | O_join of {
+      kind : Cexpr.join_kind;
+      method_ : Cexpr.join_method;
+      right : op list;
+      on_ : t;
+      equi : pequi option;
+          (** Precomputed for index nested loop: the hash-join keys the
+              method selector found, so the executor never re-analyzes the
+              predicate. [None] falls back to nested loop. *)
+      export : pexport;
+    }
+  | O_sql of sql_region
+
+and pequi = { eq_pairs : (t * t) list; eq_residual : t list }
+    (** (left key, right key) pairs plus residual conjuncts. *)
+
+and pexport = PE_bindings | PE_grouped of { gvar : Cexpr.var; gexpr : t }
+
+(** A pushed SQL region: the statement is rendered once, at compile time,
+    in the owning database's dialect; [sql_backend] is the backend's own
+    access-path plan for the region's most recent statement, captured by
+    the executor (in block order for PP-k, so it is deterministic). *)
+and sql_region = {
+  sql_db : string;
+  sql_dialect : string;
+  sql_text : string;
+  sql_select : Aldsp_relational.Sql_ast.select;
+  sql_params : t list;  (** Middleware expressions bound to [?] slots. *)
+  sql_binds : Cexpr.sql_bind list;
+  mutable sql_backend : string list;
+}
+
+val compile : Metadata.t -> Cexpr.t -> t
+(** Lowers an optimized core expression into the physical IR: special
+    forms ([fn-bea:async]/[fail-over]/[timeout]) become guard operators,
+    call targets are resolved, adjacent-let runs are analyzed for
+    concurrency eligibility, and every pushed region's SQL is rendered in
+    its database's dialect. Pure — never executes anything. *)
+
+val reset_counters : t -> unit
+(** Zeroes every counter block (and clears captured backend plans). *)
+
+val operators : t -> (string * counters) list
+(** Every operator of the plan, preorder, as (render label, counters) —
+    the label is the same text {!render} prints for the operator's line.
+    Used by tests to assert counter values without parsing the tree. *)
+
+val regions : t -> sql_region list
+(** All pushed SQL regions, preorder. *)
+
+val render : ?timings:bool -> t -> string
+(** The unified EXPLAIN rendering: one indented tree of middleware
+    operators, each with its counters, and under each pushed region the
+    region's dialect SQL, parameter slots, column bindings and the
+    backend's captured access-path lines. [timings] adds wall-clock
+    fields (off by default so the output is byte-stable for golden
+    tests). *)

@@ -3,6 +3,7 @@ open Aldsp_xml
 type compiled = {
   source : string;
   plan : Cexpr.t;
+  ir : Plan_ir.t;
   static_type : Stype.t;
   diagnostics : Diag.t list;
   sql : (string * string) list;
@@ -18,6 +19,7 @@ type t = {
   observed : Observed.t option;
   pool : Pool.t;
   runtime : Eval.rt;
+  streamed_tokens : int ref;
 }
 
 type stats = {
@@ -29,6 +31,7 @@ type stats = {
   st_roundtrips : int;  (** Middleware-issued source roundtrips (PP-k). *)
   st_overlap_saved : float;  (** Seconds of source latency hidden. *)
   st_source_wall : float;  (** Total wall time inside sources. *)
+  st_tokens_streamed : int;  (** Tokens pulled through {!run_stream}. *)
   st_backend : Aldsp_relational.Database.stats;
       (** Operator counters (scans, index probes, join algorithms) summed
           over every registered database. *)
@@ -63,7 +66,8 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     audit;
     observed;
     pool;
-    runtime = Eval.runtime ~call_wrapper ~pool ?observed ?concurrent_lets registry }
+    runtime = Eval.runtime ~call_wrapper ~pool ?observed ?concurrent_lets registry;
+    streamed_tokens = ref 0 }
 
 (* The differential-testing oracle (see lib/check): every cost-only
    compilation and execution choice disabled — no pushdown, a single
@@ -100,6 +104,7 @@ let stats t =
       (match t.observed with Some o -> Observed.overlap_saved o | None -> 0.);
     st_source_wall =
       (match t.observed with Some o -> Observed.source_wall o | None -> 0.);
+    st_tokens_streamed = !(t.streamed_tokens);
     st_backend = backend }
 
 (* ------------------------------------------------------------------ *)
@@ -339,18 +344,34 @@ let compile_no_cache t source =
         Ok
           { source;
             plan;
+            ir = Plan_ir.compile t.registry plan;
             static_type;
             diagnostics = Diag.diagnostics diag;
             sql = Pushdown.pushed_sql t.registry plan }
       with Diag.Compile_error d -> Error [ d ]))
 
+let cache_key t ~generation source =
+  { Plan_cache.k_query = source;
+    k_options =
+      Optimizer.options_fingerprint (Optimizer.options t.optimizer);
+    k_generation = generation }
+
 let compile t source =
-  match Plan_cache.find t.plan_cache source with
+  (* drop plans compiled against an older registry before looking up *)
+  let generation = Metadata.generation t.registry in
+  Plan_cache.purge_stale t.plan_cache ~generation;
+  match Plan_cache.find t.plan_cache (cache_key t ~generation source) with
   | Some compiled -> Ok compiled
   | None -> (
     match compile_no_cache t source with
     | Ok compiled ->
-      Plan_cache.add t.plan_cache source compiled;
+      (* compilation itself may move the generation (transient prolog
+         function registration); key under the post-compile generation so
+         an identical recompile — which would re-register the same
+         definitions — can hit *)
+      Plan_cache.add t.plan_cache
+        (cache_key t ~generation:(Metadata.generation t.registry) source)
+        compiled;
       Ok compiled
     | Error _ as e -> e)
 
@@ -363,13 +384,17 @@ let run t ?(user = Security.admin) source =
   match compile t source with
   | Error ds -> Error (diags_to_string ds)
   | Ok compiled -> (
-    match Eval.eval t.runtime compiled.plan with
+    match Eval.execute t.runtime compiled.ir with
     | Ok items -> Ok (Security.filter_result t.security user items)
     | Error _ as e -> e)
 
 let run_stream t ?(user = Security.admin) source =
   match run t ~user source with
-  | Ok items -> Ok (Aldsp_tokens.Token_stream.of_sequence items)
+  | Ok items ->
+    Ok
+      (Aldsp_tokens.Token_stream.counted
+         (fun _ -> incr t.streamed_tokens)
+         (Aldsp_tokens.Token_stream.of_sequence items))
   | Error _ as e -> e
 
 let call t ?(user = Security.admin) fn args =
@@ -380,7 +405,7 @@ let call t ?(user = Security.admin) fn args =
     | Ok items -> Ok (Security.filter_result t.security user items)
     | Error _ as e -> e)
 
-let explain t source =
+let explain t ?(analyze = true) ?(timings = false) source =
   match compile t source with
   | Error ds -> Error (diags_to_string ds)
   | Ok compiled ->
@@ -388,12 +413,14 @@ let explain t source =
     Buffer.add_string buf
       (Printf.sprintf "static type: %s\n"
          (Stype.to_string compiled.static_type));
-    List.iter
-      (fun (db, sql) -> Buffer.add_string buf (Printf.sprintf "sql[%s]: %s\n" db sql))
-      compiled.sql;
+    if analyze then begin
+      Plan_ir.reset_counters compiled.ir;
+      match Eval.execute t.runtime compiled.ir with
+      | Ok _ -> ()
+      | Error m -> Buffer.add_string buf (Printf.sprintf "error: %s\n" m)
+    end;
     Buffer.add_string buf "plan:\n";
-    Buffer.add_string buf (Cexpr.to_string compiled.plan);
-    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Plan_ir.render ~timings compiled.ir);
     Ok (Buffer.contents buf)
 
 let plan_cache_hits t = Plan_cache.hits t.plan_cache

@@ -20,7 +20,8 @@ type t
 
 type compiled = {
   source : string;
-  plan : Cexpr.t;
+  plan : Cexpr.t;  (** The optimized core expression (pre-lowering). *)
+  ir : Plan_ir.t;  (** The physical plan the executor runs. *)
   static_type : Stype.t;
   diagnostics : Diag.t list;
   sql : (string * string) list;  (** Pushed (database, SQL) regions. *)
@@ -35,6 +36,7 @@ type stats = {
   st_roundtrips : int;  (** Middleware-issued source roundtrips (PP-k). *)
   st_overlap_saved : float;  (** Seconds of source latency hidden. *)
   st_source_wall : float;  (** Total wall time inside sources. *)
+  st_tokens_streamed : int;  (** Tokens pulled through {!run_stream}. *)
   st_backend : Aldsp_relational.Database.stats;
       (** Operator counters (scans, index probes, join algorithms) summed
           over every registered database at the time of the call. *)
@@ -98,7 +100,11 @@ val design_time_check : t -> string -> Diag.t list
 (** {2 Compilation and execution} *)
 
 val compile : t -> string -> (compiled, Diag.t list) result
-(** Full pipeline on an ad hoc query; plans are cached by query text. *)
+(** Full pipeline on an ad hoc query, ending in the lowered {!Plan_ir}
+    plan. Plans are cached keyed on (query text, optimizer options
+    fingerprint, metadata generation); entries from older generations are
+    purged before lookup, so no registry mutation can be served a stale
+    plan. *)
 
 val run :
   t -> ?user:Security.user -> string -> (Item.sequence, string) result
@@ -120,8 +126,19 @@ val call :
     function-level access control, the function cache, and result
     filtering. *)
 
-val explain : t -> string -> (string, string) result
-(** The compiled plan and its pushed SQL, rendered for humans. *)
+val explain :
+  t -> ?analyze:bool -> ?timings:bool -> string -> (string, string) result
+(** Unified EXPLAIN: the static type, then one indented tree of middleware
+    operators — joins with their method, k and prefetch depth; pushed-SQL
+    regions with their dialect, statement, parameter slots and column
+    binds; async/fail-over/timeout guards; cacheable call sites — each
+    line carrying the operator's runtime counters, and under every pushed
+    region the backend's own access-path plan lines. [analyze] (default
+    true) executes the plan first (counters reset, EXPLAIN-ANALYZE style)
+    so the counters and backend lines reflect a real run; [analyze:false]
+    renders the static tree with zero counters. [timings] (default false)
+    adds wall-clock fields; off, the output is deterministic and
+    golden-testable. *)
 
 val plan_cache_hits : t -> int
 val plan_cache_misses : t -> int

@@ -1028,7 +1028,7 @@ and run_select outer_ctx s : result_set =
 let root_context db params =
   { env = []; outer = None; group = None; params; db; decisions = ref [] }
 
-let query db ?(params = [||]) s =
+let query_explained db ?(params = [||]) s =
   match Database.apply_fault db with
   | Error msg ->
     (* the statement reached the wire: account the roundtrip *)
@@ -1038,13 +1038,19 @@ let query db ?(params = [||]) s =
     let ctx = root_context db params in
     match run_select ctx s with
     | result ->
-      Database.set_last_plan db (List.rev !(ctx.decisions));
+      let plan = List.rev !(ctx.decisions) in
+      Database.set_last_plan db plan;
       Database.record_statement db ~params:(Array.length params)
         ~rows:(List.length result.rows);
-      Ok result
+      Ok (result, plan)
     | exception Sql_error msg ->
       Database.set_last_plan db (List.rev !(ctx.decisions));
       Error msg)
+
+let query db ?params s =
+  match query_explained db ?params s with
+  | Ok (result, _) -> Ok result
+  | Error _ as e -> e
 
 let execute_dml db ?(params = [||]) dml =
   match Database.apply_fault db with

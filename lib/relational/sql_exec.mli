@@ -20,6 +20,17 @@ val query :
 (** Runs a SELECT. [params] supplies positional [?] bindings (1-based
     [Param i] reads [params.(i-1)]). *)
 
+val query_explained :
+  Database.t ->
+  ?params:Sql_value.t array ->
+  Sql_ast.select ->
+  (result_set * string list, string) result
+(** Like {!query}, also returning the statement's access-path plan lines
+    (the same lines {!Database.explain_last} would report). Returning them
+    with the result, instead of reading [last_plan] afterwards, is what
+    makes plan capture race-free when statements for several blocks are in
+    flight on the worker pool (PP-k prefetch). *)
+
 val execute_dml :
   Database.t ->
   ?params:Sql_value.t array ->

@@ -1,0 +1,303 @@
+(* Tests for the physical plan IR and the unified cross-layer EXPLAIN:
+   per-operator counters against the server's own rollups, plan-cache
+   staleness across metadata generations, and golden EXPLAIN renderings
+   across the five SQL dialects. *)
+
+open Aldsp_core
+open Aldsp_xml
+open Aldsp_relational
+open Aldsp_check
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_string = Alcotest.check Alcotest.string
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let compile_exn server q =
+  match Server.compile server q with
+  | Ok c -> c
+  | Error ds ->
+    Alcotest.failf "compile failed: %s"
+      (String.concat "; " (List.map Diag.to_string ds))
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* The unified tree: middleware operators, counters, backend lines     *)
+
+let test_unified_tree () =
+  let demo = Aldsp_demo.Demo.create ~customers:4 ~orders_per_customer:2 () in
+  let q =
+    "for $c in CUSTOMER() where $c/LAST_NAME eq \"Smith\" return \
+     <R>{$c/CID}</R>"
+  in
+  let text = ok_exn (Server.explain demo.Aldsp_demo.Demo.server q) in
+  check_bool "static type line" true (contains text "static type:");
+  check_bool "plan header" true (contains text "plan:");
+  check_bool "pushed region carries db and dialect" true
+    (contains text "sql[CustomerDB dialect=Oracle]");
+  check_bool "statement printed in dialect" true
+    (contains text "WHERE t1.\"LAST_NAME\" = 'Smith'");
+  check_bool "backend access path nested under region" true
+    (contains text "backend: scan CUSTOMER");
+  check_bool "counters on operator lines" true (contains text "rows=");
+  check_bool "no wall times by default" true (not (contains text "wall="));
+  (* timings mode adds wall-clock fields *)
+  let timed = ok_exn (Server.explain ~timings:true demo.Aldsp_demo.Demo.server q) in
+  check_bool "timings adds wall fields" true (contains timed "wall=");
+  (* analyze:false on a fresh server renders the static tree: no backend
+     capture, zero counters *)
+  let fresh = Aldsp_demo.Demo.create ~customers:4 ~orders_per_customer:2 () in
+  let static_ =
+    ok_exn (Server.explain ~analyze:false fresh.Aldsp_demo.Demo.server q)
+  in
+  check_bool "static render has no backend lines" true
+    (not (contains static_ "backend:"));
+  check_bool "static render has zero rows" true (contains static_ "rows=0");
+  check_bool "static render never executed" true
+    (not (contains static_ "rows=4"))
+
+let test_explain_deterministic () =
+  let demo = Aldsp_demo.Demo.create ~customers:5 ~orders_per_customer:2 () in
+  let q =
+    "for $c in CUSTOMER(), $o in ORDER_T() where $c/CID eq $o/CID order by \
+     $c/CID return <R>{$c/CID, $o/OID}</R>"
+  in
+  let t1 = ok_exn (Server.explain demo.Aldsp_demo.Demo.server q) in
+  let t2 = ok_exn (Server.explain demo.Aldsp_demo.Demo.server q) in
+  check_string "EXPLAIN is byte-stable across runs" t1 t2
+
+(* ------------------------------------------------------------------ *)
+(* Counters vs the server rollups                                      *)
+
+(* PP-k with k=2 over 6 outer rows: the inner pushed region must report
+   ceil(6/2) = 3 roundtrips, and the same number must appear in the
+   Observed rollup surfaced by Server.stats. *)
+let test_ppk_roundtrip_counters () =
+  let demo =
+    Aldsp_demo.Demo.create ~customers:6 ~orders_per_customer:0
+      ~cards_per_customer:1 ()
+  in
+  let obs = Observed.create () in
+  let server =
+    Server.create
+      ~optimizer_options:
+        { Optimizer.default_options with Optimizer.ppk_k = 2; ppk_prefetch = 0 }
+      ~observed:obs demo.Aldsp_demo.Demo.registry
+  in
+  let q =
+    "for $c in CUSTOMER(), $k in CREDIT_CARD() where $c/CID eq $k/CID \
+     return <R>{$c/CID, $k/NUM}</R>"
+  in
+  let compiled = compile_exn server q in
+  let items = ok_exn (Server.run server q) in
+  check_int "six joined rows" 6 (List.length items);
+  (match Plan_ir.regions compiled.Server.ir with
+  | [ outer; inner ] ->
+    check_string "outer region db" "CustomerDB" outer.Plan_ir.sql_db;
+    check_string "inner region db" "CardDB" inner.Plan_ir.sql_db;
+    check_bool "backend plan captured for inner region" true
+      (inner.Plan_ir.sql_backend <> [])
+  | rs -> Alcotest.failf "expected 2 pushed regions, found %d" (List.length rs));
+  (* counters live on the operator lines (same labels render prints) *)
+  let sql_ops =
+    List.filter
+      (fun (label, _) -> contains label "sql[")
+      (Plan_ir.operators compiled.Server.ir)
+  in
+  (match sql_ops with
+  | [ (outer_l, outer_c); (inner_l, inner_c) ] ->
+    check_bool "outer op is CustomerDB" true (contains outer_l "CustomerDB");
+    check_bool "inner op is CardDB" true (contains inner_l "CardDB");
+    check_int "outer: one statement" 1 outer_c.Plan_ir.c_roundtrips;
+    check_int "outer: all customers shipped" 6 outer_c.Plan_ir.c_rows;
+    check_int "inner: ceil(6/2) PP-k blocks" 3 inner_c.Plan_ir.c_roundtrips;
+    check_int "inner: six card rows" 6 inner_c.Plan_ir.c_rows
+  | ops -> Alcotest.failf "expected 2 sql operators, found %d" (List.length ops));
+  let stats = Server.stats server in
+  check_int "EXPLAIN roundtrips match Observed rollup" 3
+    stats.Server.st_roundtrips
+
+(* A cacheable call site: first run misses (computes), second hits; the
+   plan's call-site counters must agree with the function-cache rollup in
+   Server.stats. *)
+let test_cache_hit_counters () =
+  let cache = Function_cache.create (Database.create "CacheDB") in
+  let demo =
+    Aldsp_demo.Demo.create ~customers:3 ~orders_per_customer:1
+      ~function_cache:cache ()
+  in
+  let server = demo.Aldsp_demo.Demo.server in
+  let name = Qname.make ~uri:"fn" "getCustomerNames" in
+  Metadata.set_cacheable demo.Aldsp_demo.Demo.registry name true;
+  Function_cache.enable cache name ~ttl_seconds:60.;
+  let q = "count(getCustomerNames())" in
+  let compiled = compile_exn server q in
+  let r1 = ok_exn (Server.run server q) in
+  let r2 = ok_exn (Server.run server q) in
+  check_string "cached run identical" (Item.serialize r1) (Item.serialize r2);
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (_, c) ->
+        (h + c.Plan_ir.c_cache_hits, m + c.Plan_ir.c_cache_misses))
+      (0, 0)
+      (Plan_ir.operators compiled.Server.ir)
+  in
+  check_int "one computed call on the site" 1 misses;
+  check_int "one cache hit on the site" 1 hits;
+  let stats = Server.stats server in
+  check_int "matches st_function_cache_hits" stats.Server.st_function_cache_hits
+    hits;
+  check_int "matches st_function_cache_misses"
+    stats.Server.st_function_cache_misses misses;
+  (* and the rendered tree marks the site cacheable with its counters *)
+  let text = ok_exn (Server.explain ~analyze:false server q) in
+  check_bool "call site marked cacheable" true (contains text "[cacheable]")
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache across metadata generations                              *)
+
+let test_plan_cache_staleness () =
+  let demo = Aldsp_demo.Demo.create ~customers:3 ~orders_per_customer:1 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let q = "count(CUSTOMER())" in
+  ignore (compile_exn server q);
+  let m1 = Server.plan_cache_misses server in
+  let h1 = Server.plan_cache_hits server in
+  ignore (compile_exn server q);
+  check_int "second compile is a hit" m1 (Server.plan_cache_misses server);
+  check_int "hit recorded" (h1 + 1) (Server.plan_cache_hits server);
+  (* any registry mutation moves the generation; the cached plan must not
+     be served across it *)
+  Metadata.set_cacheable demo.Aldsp_demo.Demo.registry
+    (Qname.make ~uri:"fn" "getCustomerNames")
+    true;
+  ignore (compile_exn server q);
+  check_int "metadata change forces recompilation" (m1 + 1)
+    (Server.plan_cache_misses server);
+  ignore (compile_exn server q);
+  check_int "steady state hits again" (m1 + 1)
+    (Server.plan_cache_misses server)
+
+let test_compile_once_execute_twice () =
+  let demo = Aldsp_demo.Demo.create ~customers:5 ~orders_per_customer:2 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let q =
+    "for $c in CUSTOMER() order by $c/CID return <R>{$c/CID, $c/LAST_NAME}</R>"
+  in
+  let a = ok_exn (Server.run server q) in
+  let misses = Server.plan_cache_misses server in
+  let b = ok_exn (Server.run server q) in
+  check_string "cold and cached runs byte-identical" (Item.serialize a)
+    (Item.serialize b);
+  check_int "zero compilations on the second run" misses
+    (Server.plan_cache_misses server)
+
+(* ------------------------------------------------------------------ *)
+(* Golden EXPLAIN renderings across the five dialects                  *)
+
+(* EXPERIMENTS.md pattern-catalog queries (Tables 1-2) plus the
+   cross-database PP-k join, over the harness catalog built from a fixed
+   spec: the rendering (statements, binds, counters, backend lines) is
+   pinned per dialect. *)
+let golden_queries =
+  [ ( "T1a select-project",
+      "for $c in CUSTOMER() where $c/CID eq \"CUST0001\" return \
+       $c/FIRST_NAME" );
+    ( "T1b inner join",
+      "for $c in CUSTOMER(), $o in ORDER_T() where $c/CID eq $o/CID return \
+       <CUSTOMER_ORDER>{$c/CID, $o/OID}</CUSTOMER_ORDER>" );
+    ( "T1e group-by with aggregation",
+      "for $c in CUSTOMER() group $c as $p by $c/LAST_NAME as $l return \
+       <CUSTOMER>{$l, count($p)}</CUSTOMER>" );
+    ( "T2i row window",
+      "let $cs := for $c in CUSTOMER() let $oc := count(for $o in ORDER_T() \
+       where $c/CID eq $o/CID return $o) order by $oc descending return \
+       <CUSTOMER>{data($c/CID), $oc}</CUSTOMER> return subsequence($cs, 2, \
+       3)" );
+    ( "PP-k cross-database join",
+      "for $c in CUSTOMER(), $k in CREDIT_CARD() where $c/CID eq $k/CID \
+       return <R>{$c/CID, $k/NUM}</R>" ) ]
+
+let explain_catalog vendor =
+  let spec =
+    { Catalog.seed = 7;
+      main_vendor = vendor;
+      card_vendor = vendor;
+      customers = 6;
+      orders_per_customer = 2;
+      cards_per_customer = 1;
+      regions = 3 }
+  in
+  let cat = Catalog.build spec in
+  let server = Server.create cat.Catalog.registry in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, q) ->
+      Buffer.add_string buf (Printf.sprintf "== %s\n-- %s\n" name q);
+      (match Server.explain server q with
+      | Ok text -> Buffer.add_string buf text
+      | Error msg -> Buffer.add_string buf ("error: " ^ msg ^ "\n"));
+      Buffer.add_char buf '\n')
+    golden_queries;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ALDSP_GOLDEN_PROMOTE=1 rewrites the goldens in place (run from test/);
+   otherwise a mismatch writes explain_<dialect>.actual beside the test
+   binary so CI can upload the diff as an artifact. *)
+let promote = Sys.getenv_opt "ALDSP_GOLDEN_PROMOTE" = Some "1"
+
+let test_golden vendor () =
+  let name = Catalog.vendor_to_string vendor in
+  let path = Printf.sprintf "golden/explain_%s.txt" name in
+  let actual = explain_catalog vendor in
+  if promote then write_file path actual
+  else
+    let expected = if Sys.file_exists path then read_file path else "" in
+    if not (String.equal actual expected) then begin
+      let out = Printf.sprintf "explain_%s.actual" name in
+      write_file out actual;
+      Alcotest.failf
+        "EXPLAIN golden mismatch for dialect %s (wrote %s; run with \
+         ALDSP_GOLDEN_PROMOTE=1 from test/ to accept)"
+        name out
+    end
+
+let () =
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "explain"
+    [ ( "unified-tree",
+        [ t "middleware + backend in one tree" test_unified_tree;
+          t "deterministic rendering" test_explain_deterministic ] );
+      ( "counters",
+        [ t "pp-k roundtrips match Observed" test_ppk_roundtrip_counters;
+          t "cache hits match Server.stats" test_cache_hit_counters ] );
+      ( "plan-cache",
+        [ t "stale generations recompile" test_plan_cache_staleness;
+          t "compile once, execute twice" test_compile_once_execute_twice ] );
+      ( "golden",
+        Array.to_list
+          (Array.map
+             (fun v ->
+               t
+                 (Printf.sprintf "dialect %s" (Catalog.vendor_to_string v))
+                 (test_golden v))
+             Catalog.vendors) ) ]

@@ -250,15 +250,26 @@ let test_plan_cache () =
   check_bool "hits" true (Server.plan_cache_hits demo.Aldsp_demo.Demo.server >= 2)
 
 let test_plan_cache_lru () =
+  let key q =
+    { Plan_cache.k_query = q; k_options = "opts"; k_generation = 1 }
+  in
   let cache = Plan_cache.create ~capacity:2 in
-  Plan_cache.add cache "a" 1;
-  Plan_cache.add cache "b" 2;
-  ignore (Plan_cache.find cache "a");
-  Plan_cache.add cache "c" 3;
+  Plan_cache.add cache (key "a") 1;
+  Plan_cache.add cache (key "b") 2;
+  ignore (Plan_cache.find cache (key "a"));
+  Plan_cache.add cache (key "c") 3;
   (* b was least recently used *)
-  check_bool "b evicted" true (Plan_cache.find cache "b" = None);
-  check_bool "a kept" true (Plan_cache.find cache "a" = Some 1);
-  check_int "size bounded" 2 (Plan_cache.size cache)
+  check_bool "b evicted" true (Plan_cache.find cache (key "b") = None);
+  check_bool "a kept" true (Plan_cache.find cache (key "a") = Some 1);
+  check_int "size bounded" 2 (Plan_cache.size cache);
+  (* staleness: same query under another generation misses, and the sweep
+     drops old-generation entries *)
+  let newer = { (key "a") with Plan_cache.k_generation = 2 } in
+  check_bool "stale gen misses" true (Plan_cache.find cache newer = None);
+  Plan_cache.add cache newer 4;
+  Plan_cache.purge_stale cache ~generation:2;
+  check_int "purged to current gen" 1 (Plan_cache.size cache);
+  check_bool "current kept" true (Plan_cache.find cache newer = Some 4)
 
 (* ------------------------------------------------------------------ *)
 (* Security (§7)                                                       *)
