@@ -169,9 +169,42 @@ let stats_cmd =
     Printf.printf "%-12s %4d calls\n" "RatingWS"
       demo.Aldsp_demo.Demo.rating_service.Aldsp_services.Web_service.stats
         .Aldsp_services.Web_service.calls;
+    print_endline "\nplanner statistics (maintained per table):";
+    let table_stats (db : Database.t) =
+      let latency, row_cost = Database.cost_profile db in
+      Printf.printf "  %s (latency %.2f ms/roundtrip, %.1f us/row):\n"
+        db.Database.db_name (latency *. 1000.) (row_cost *. 1_000_000.);
+      List.iter
+        (fun (name, st) ->
+          Printf.printf "    %-14s %7d rows (v%d)\n" name st.Table.stat_rows
+            st.Table.stat_version;
+          List.iter
+            (fun cs ->
+              let bound = function
+                | Some v -> Printf.sprintf "%g" v
+                | None -> "-"
+              in
+              Printf.printf "      (%s)%s ndv=%d min=%s max=%s\n"
+                (String.concat ", " cs.Table.cs_columns)
+                (if cs.Table.cs_unique then " unique" else "")
+                cs.Table.cs_distinct (bound cs.Table.cs_min)
+                (bound cs.Table.cs_max))
+            st.Table.stat_columns)
+        (Database.table_statistics db)
+    in
+    table_stats demo.Aldsp_demo.Demo.customer_db;
+    table_stats demo.Aldsp_demo.Demo.card_db;
+    let sstats = Server.stats demo.Aldsp_demo.Demo.server in
+    Printf.printf
+      "misestimation: worst est-vs-actual ratio %.2fx across %d plan \
+       compilation(s)\n"
+      sstats.Server.st_max_misestimate sstats.Server.st_plan_cache_misses;
     0
   in
-  let doc = "run a query and report per-source roundtrips and rows" in
+  let doc =
+    "run a query and report per-source roundtrips and rows, the planner's \
+     per-table statistics, and the worst est-vs-actual cardinality ratio"
+  in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const action $ customers_arg $ query_arg)
 

@@ -9,7 +9,8 @@ type scenario = {
 let ( let* ) = Result.bind
 
 let default_config =
-  { Oracle.workers = 2; ppk_k = 2; ppk_prefetch = 1; indexes = true }
+  { Oracle.workers = 2; ppk_k = 2; ppk_prefetch = 1; indexes = true;
+    cost_based = true }
 
 let plain_q ssn =
   Printf.sprintf
@@ -149,7 +150,8 @@ let run_random cat st =
     { Oracle.workers = 1 + Random.State.int st 4;
       ppk_k = 1;
       ppk_prefetch = 0;
-      indexes = Random.State.bool st }
+      indexes = Random.State.bool st;
+      cost_based = Random.State.bool st }
   in
   Oracle.set_indexes cat config.indexes;
   let server = Oracle.subject_server cat config in

@@ -5,20 +5,23 @@ type config = {
   ppk_k : int;
   ppk_prefetch : int;
   indexes : bool;
+  cost_based : bool;
 }
 
 let reference_config =
-  { workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false }
+  { workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false;
+    cost_based = false }
 
 let generate_config st =
   { workers = 1 + Random.State.int st 6;
     ppk_k = [| 1; 2; 3; 5; 8 |].(Random.State.int st 5);
     ppk_prefetch = [| 0; 1; 2; 4 |].(Random.State.int st 4);
-    indexes = Random.State.bool st }
+    indexes = Random.State.bool st;
+    cost_based = Random.State.bool st }
 
 let config_to_string c =
-  Printf.sprintf "workers=%d k=%d prefetch=%d indexes=%b" c.workers c.ppk_k
-    c.ppk_prefetch c.indexes
+  Printf.sprintf "workers=%d k=%d prefetch=%d indexes=%b cost=%b" c.workers
+    c.ppk_k c.ppk_prefetch c.indexes c.cost_based
 
 let config_of_string line =
   let fields =
@@ -55,7 +58,10 @@ let config_of_string line =
   let* ppk_k = int_field "k" in
   let* ppk_prefetch = int_field "prefetch" in
   let* indexes = bool_field "indexes" ~default:true in
-  Ok { workers; ppk_k; ppk_prefetch; indexes }
+  (* corpus lines predating cost-based selection ran with it on (the
+     server default) *)
+  let* cost_based = bool_field "cost" ~default:true in
+  Ok { workers; ppk_k; ppk_prefetch; indexes; cost_based }
 
 (* one pool per worker count, shared by every scenario in the run: pools
    start threads lazily but never stop them, so per-scenario pools would
@@ -81,7 +87,8 @@ let subject_server (cat : Catalog.t) config =
     ~optimizer_options:
       { Optimizer.default_options with
         Optimizer.ppk_k = config.ppk_k;
-        ppk_prefetch = config.ppk_prefetch }
+        ppk_prefetch = config.ppk_prefetch;
+        cost_based = config.cost_based }
     ~pool:(pool_for config.workers) cat.Catalog.registry
 
 let run_serialized server q =

@@ -21,11 +21,16 @@ type config = {
   ppk_k : int;
   ppk_prefetch : int;
   indexes : bool;
+  cost_based : bool;
+      (** Statistics-driven plan selection ({!Optimizer.options}'
+          [cost_based]): on, join methods, k/prefetch and the pushdown
+          gate come from the cost model (the [ppk_k]/[ppk_prefetch] knobs
+          are overridden); off, the fixed heuristics and knobs apply. *)
 }
 
 val reference_config : config
-(** [{workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false}]
-    (informational). *)
+(** [{workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false;
+    cost_based = false}] (informational). *)
 
 val generate_config : Random.State.t -> config
 val config_to_string : config -> string

@@ -1,0 +1,221 @@
+open Aldsp_relational
+module C = Cexpr
+module Sql = Sql_ast
+
+(* ------------------------------------------------------------------ *)
+(* Constants *)
+
+(* Middleware cost of materializing one shipped row, calibrated against
+   the PP-k bench sweep: with Total(k) ~ outer*latency/k + outer*beta*k
+   the observed optimum (k in the low tens at 0.5 ms latency) pins beta
+   near 2 microseconds per row. *)
+let row_cost = 2e-6
+
+(* CPU floor of issuing one statement even on a zero-latency source:
+   SQL printing, parameter binding, result decoding. *)
+let roundtrip_overhead = 5e-5
+
+(* Selectivity of a predicate the model cannot see through. *)
+let selection_fraction = 3
+
+type profile = { p_latency : float; p_row_cost : float }
+
+let local_profile = { p_latency = 0.; p_row_cost = row_cost }
+
+let db_profile db =
+  let latency, per_row = Database.cost_profile db in
+  { p_latency = latency; p_row_cost = per_row }
+
+(* ------------------------------------------------------------------ *)
+(* Source resolution *)
+
+let resolve registry fn =
+  match Metadata.resolve_call registry fn 0 with
+  | Some fd -> Some fd
+  | None -> Metadata.resolve_call registry fn 1
+
+let source_profile registry fn =
+  match resolve registry fn with
+  | Some { Metadata.fd_impl = Metadata.External src; _ } -> (
+    match src with
+    | Metadata.Relational_table { db; _ } | Metadata.Stored_procedure { db; _ }
+      ->
+      Some (db_profile db)
+    | Metadata.Service_op { service; _ } ->
+      Some
+        { p_latency = service.Aldsp_services.Web_service.latency;
+          p_row_cost = row_cost }
+    | Metadata.File_docs _ | Metadata.External_custom _ -> Some local_profile)
+  | _ -> None
+
+(* Estimated items yielded by one call of an arity-0 source function:
+   exact row counts for tables and file/CSV sources, unknown otherwise. *)
+let source_cardinality registry fn =
+  match Metadata.resolve_call registry fn 0 with
+  | Some { Metadata.fd_impl = Metadata.External src; _ } -> (
+    match src with
+    | Metadata.Relational_table { db; table; _ } -> (
+      match Database.find_table db table with
+      | Ok t -> Some (Table.row_count t)
+      | Error _ -> None)
+    | Metadata.File_docs docs -> Some (List.length docs)
+    | Metadata.Stored_procedure _ | Metadata.Service_op _
+    | Metadata.External_custom _ ->
+      None)
+  | _ -> None
+
+(* Expected cost of iterating a source once: one roundtrip plus shipping
+   every row. Usable even when the cardinality is unknown (cost of the
+   known part); [None] when the function is not a registered source. *)
+let source_cost registry fn =
+  match source_profile registry fn with
+  | None -> None
+  | Some p ->
+    let rows =
+      match source_cardinality registry fn with Some n -> float n | None -> 0.
+    in
+    Some (p.p_latency +. roundtrip_overhead +. (rows *. p.p_row_cost))
+
+(* ------------------------------------------------------------------ *)
+(* Relational region estimates *)
+
+let rel_table registry (r : C.sql_access) =
+  match Metadata.find_database registry r.C.db with
+  | None -> None
+  | Some db -> (
+    match r.C.select.Sql.from with
+    | Sql.Table { table; _ } -> (
+      match Database.find_table db table with
+      | Ok t -> Some (db, t)
+      | Error _ -> None)
+    | Sql.Derived _ -> None)
+
+(* Rows one execution of a pushed region ships. Unparameterized: the
+   table's (possibly WHERE-filtered) rows. Parameterized (a PP-k probe
+   block): probes land on key columns, so the per-probe match estimate is
+   rows over the best single-column NDV — exact 1 for a unique key. *)
+let rel_cardinality registry (r : C.sql_access) =
+  match rel_table registry r with
+  | None -> None
+  | Some (_, t) ->
+    let rows = Table.row_count t in
+    let filtered =
+      match r.C.select.Sql.where with
+      | Some _ when r.C.sql_params = [] ->
+        max 1 (rows / selection_fraction)
+      | _ -> rows
+    in
+    if r.C.sql_params = [] then Some filtered
+    else
+      let best_ndv =
+        List.fold_left
+          (fun acc idx ->
+            match Index.columns idx with
+            | [ _ ] -> max acc (Index.distinct_keys idx)
+            | _ -> acc)
+          1 (Table.indexes t)
+      in
+      Some (max 1 (rows / max 1 best_ndv))
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality over core expressions *)
+
+let rec expr_cardinality registry e =
+  match e with
+  | C.Empty -> Some 0
+  | C.Const _ | C.Elem _ -> Some 1
+  | C.Seq es ->
+    List.fold_left
+      (fun acc e ->
+        match (acc, expr_cardinality registry e) with
+        | Some a, Some b -> Some (a + b)
+        | _ -> None)
+      (Some 0) es
+  | C.Call { fn; args = [] } -> source_cardinality registry fn
+  | C.Flwor { clauses; return_ } -> (
+    match (clauses_cardinality registry clauses, expr_cardinality registry return_) with
+    | Some tuples, Some per_tuple -> Some (tuples * per_tuple)
+    | Some tuples, None -> Some tuples
+    | None, _ -> None)
+  | _ -> None
+
+(* Binding tuples a clause pipeline emits. Joins use the key/foreign-key
+   estimate max(outer, inner): exact when the join key is unique on one
+   side, which introspected equi joins (PK-FK navigation) always are. *)
+and clauses_cardinality registry clauses =
+  let join x f = match x with Some v -> f v | None -> None in
+  List.fold_left
+    (fun acc clause ->
+      join acc (fun tuples ->
+          match clause with
+          | C.For { source; _ } ->
+            join (expr_cardinality registry source) (fun n -> Some (tuples * n))
+          | C.Let _ -> Some tuples
+          | C.Where _ -> Some (max 1 (tuples / selection_fraction))
+          | C.Group _ -> Some tuples
+          | C.Order _ -> Some tuples
+          | C.Rel r ->
+            join (rel_cardinality registry r) (fun n -> Some (tuples * n))
+          | C.Join { right; export; _ } -> (
+            match export with
+            | C.Grouped _ -> Some tuples
+            | C.Bindings ->
+              join (clauses_cardinality registry right) (fun inner ->
+                  Some (max tuples inner)))))
+    (Some 1) clauses
+
+(* ------------------------------------------------------------------ *)
+(* PP-k parameter choice *)
+
+(* Total(k) ~ outer*latency/k (roundtrips) + outer*row_cost*k (block
+   assembly and disjunct decoding) is minimized at k* = sqrt(latency /
+   row_cost); clamp to [5, 50] and never exceed the outer estimate. *)
+let k_min = 5
+let k_max = 50
+
+let choose_k ~outer ~latency =
+  let raw =
+    if latency <= 0. then 0.
+    else Float.sqrt (latency /. row_cost)
+  in
+  let k = min k_max (max k_min (int_of_float (Float.round raw))) in
+  match outer with Some o when o > 0 -> max 1 (min k o) | _ -> k
+
+let choose_prefetch ~latency ~default =
+  if latency >= 0.001 then 2 else if latency > 0. then 1 else default
+
+(* ------------------------------------------------------------------ *)
+(* Join-method and pushdown-shape costing *)
+
+let nested_loop_cost ~outer ~inner = outer *. inner *. row_cost
+
+(* probe + expected matches per outer tuple *)
+let index_nl_cost ~outer ~matches = outer *. (1. +. matches) *. row_cost
+
+(* Parameterizing a join right side replaces one whole-table ship with
+   ceil(outer/k) probe-block roundtrips that ship only matching rows.
+   Beneficial unless the probe roundtrips dwarf the single shipment —
+   the 2x margin keeps marginal cases on the parameterized (PP-k) path,
+   which overlaps latency that whole-table shipping cannot. *)
+let parameterize_beneficial ~outer ~inner_rows ~latency =
+  match (outer, inner_rows) with
+  | Some o, Some i when o > 0 ->
+    let k = choose_k ~outer:(Some o) ~latency in
+    let blocks = float_of_int ((o + k - 1) / k) in
+    let param =
+      (blocks *. (latency +. roundtrip_overhead)) +. (float_of_int o *. row_cost)
+    in
+    let ship =
+      latency +. roundtrip_overhead +. (float_of_int i *. row_cost)
+    in
+    param <= 2. *. ship
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Misestimation *)
+
+let misestimate ~est ~actual =
+  if est <= 0 || actual <= 0 then 1.
+  else
+    let e = float_of_int est and a = float_of_int actual in
+    Float.max (e /. a) (a /. e)

@@ -122,6 +122,13 @@ let databases t =
   Hashtbl.fold (fun _ db acc -> db :: acc) t.databases []
   |> List.sort (fun a b -> String.compare a.Database.db_name b.Database.db_name)
 
+(* The registry-wide table-statistics generation: any row mutation in any
+   registered database moves it. Plan-cache keys carry it next to
+   [generation] so cost-based decisions are recomputed once the data a
+   plan was costed against has changed. *)
+let stats_generation t =
+  Hashtbl.fold (fun _ db acc -> acc + Database.stats_version db) t.databases 0
+
 let add_data_service t ds =
   bump t;
   Hashtbl.replace t.services ds.ds_name ds

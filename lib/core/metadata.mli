@@ -92,6 +92,13 @@ val databases : t -> Database.t list
 (** All registered databases, sorted by name; used to roll backend
     operator statistics up into {!Server.stats}. *)
 
+val stats_generation : t -> int
+(** Sum of {!Database.stats_version} over every registered database: moves
+    whenever any table row anywhere is inserted, updated, deleted or
+    rolled back. The plan cache keys on it, so a plan whose join methods
+    and PP-k depth were costed against stale statistics is recompiled
+    rather than served. *)
+
 val add_data_service : t -> data_service -> unit
 val find_data_service : t -> string -> data_service option
 val data_services : t -> data_service list

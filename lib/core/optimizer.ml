@@ -7,6 +7,7 @@ type options = {
   eliminate_constructors : bool;
   use_inverse_functions : bool;
   pushdown : bool;
+  cost_based : bool;
   ppk_k : int;
   ppk_prefetch : int;
   view_cache_size : int;
@@ -18,6 +19,7 @@ let default_options =
     eliminate_constructors = true;
     use_inverse_functions = true;
     pushdown = true;
+    cost_based = true;
     ppk_k = 20;
     ppk_prefetch = 1;
     view_cache_size = 64 }
@@ -32,6 +34,7 @@ let reference_options =
     eliminate_constructors = false;
     use_inverse_functions = false;
     pushdown = false;
+    cost_based = false;
     ppk_k = 1;
     ppk_prefetch = 0;
     view_cache_size = 64 }
@@ -40,9 +43,9 @@ let reference_options =
    differently exactly when their fingerprints differ, which is what the
    plan cache keys on. *)
 let options_fingerprint o =
-  Printf.sprintf "iv=%b;ij=%b;ec=%b;inv=%b;pd=%b;k=%d;pf=%d;vc=%d"
+  Printf.sprintf "iv=%b;ij=%b;ec=%b;inv=%b;pd=%b;cb=%b;k=%d;pf=%d;vc=%d"
     o.inline_views o.introduce_joins o.eliminate_constructors
-    o.use_inverse_functions o.pushdown o.ppk_k o.ppk_prefetch
+    o.use_inverse_functions o.pushdown o.cost_based o.ppk_k o.ppk_prefetch
     o.view_cache_size
 
 type t = {
@@ -1015,76 +1018,138 @@ let rule_inverse t =
 (* ------------------------------------------------------------------ *)
 (* Join method selection (post-pushdown)                               *)
 
-let rec select_methods_clauses t bound clauses =
-  List.rev
-    (fst
-       (List.fold_left
-          (fun (acc, bound) clause ->
-            let clause' =
-              match clause with
-              | C.Join { kind; method_ = C.Nested_loop; right; on_; export } ->
-                let right' = select_methods_clauses t bound right in
-                let right_vars = C.clause_vars right' in
-                let method_ =
-                  match right' with
-                  | C.Rel r :: rest_lets
-                    when r.C.sql_params <> []
-                         && List.for_all
-                              (function C.Let _ -> true | _ -> false)
-                              rest_lets ->
-                    C.Ppk
-                      { k = t.opts.ppk_k;
-                        prefetch = max 0 t.opts.ppk_prefetch;
-                        inner = C.Inner_inl }
-                  | _ ->
-                    let depends_on_left =
-                      references_any bound
-                        (C.Flwor { clauses = right'; return_ = C.Empty })
-                    in
-                    if
-                      (not depends_on_left)
-                      && equi_join_keys ~right_vars on_ <> None
-                    then C.Index_nested_loop
-                    else C.Nested_loop
+(* Estimated binding tuples flowing out of a clause, threaded through
+   method selection so join methods and PP-k depth are priced against the
+   outer cardinality. [None] poisons: decisions fall back to the
+   structural heuristics. *)
+let advance_estimate registry est clause =
+  match est with
+  | None -> None
+  | Some tuples -> (
+    match clause with
+    | C.For { source; _ } -> (
+      match Cost_model.expr_cardinality registry source with
+      | Some n -> Some (tuples * n)
+      | None -> None)
+    | C.Let _ | C.Order _ | C.Group _ -> Some tuples
+    | C.Where _ -> Some (max 1 (tuples / Cost_model.selection_fraction))
+    | C.Rel r -> (
+      match Cost_model.rel_cardinality registry r with
+      | Some n -> Some (tuples * n)
+      | None -> None)
+    | C.Join { right; export; _ } -> (
+      match export with
+      | C.Grouped _ -> Some tuples
+      | C.Bindings -> (
+        match Cost_model.clauses_cardinality registry right with
+        | Some inner -> Some (max tuples inner)
+        | None -> None)))
+
+(* PP-k parameters for a parameterized right side: with cost-based
+   selection on, k and prefetch come from the outer-cardinality/latency
+   tradeoff of the probed database; off, the configured knobs apply
+   unchanged (the explicit override path). *)
+let ppk_method t ~outer (r : C.sql_access) =
+  if t.opts.cost_based then
+    let latency =
+      match Metadata.find_database t.registry r.C.db with
+      | Some db -> (Cost_model.db_profile db).Cost_model.p_latency
+      | None -> 0.
+    in
+    C.Ppk
+      { k = Cost_model.choose_k ~outer ~latency;
+        prefetch =
+          max 0
+            (Cost_model.choose_prefetch ~latency
+               ~default:t.opts.ppk_prefetch);
+        inner = C.Inner_inl }
+  else
+    C.Ppk
+      { k = t.opts.ppk_k;
+        prefetch = max 0 t.opts.ppk_prefetch;
+        inner = C.Inner_inl }
+
+(* NL vs index-NL for a structurally eligible (independent, equi-keyed)
+   right side: probe + expected matches per outer tuple against scanning
+   the inner once per outer tuple. Ties keep the index. *)
+let inl_beats_nl t ~outer right' =
+  match (outer, Cost_model.clauses_cardinality t.registry right') with
+  | Some o, Some inner when o > 0 && inner > 0 ->
+    let fo = float_of_int o in
+    let matches = float_of_int (max o inner) /. fo in
+    Cost_model.index_nl_cost ~outer:fo ~matches
+    <= Cost_model.nested_loop_cost ~outer:fo ~inner:(float_of_int inner)
+  | _ -> true
+
+let rec select_methods_clauses t bound outer_est clauses =
+  let rev_clauses, _, _ =
+    List.fold_left
+      (fun (acc, bound, est) clause ->
+        let clause' =
+          match clause with
+          | C.Join { kind; method_ = C.Nested_loop; right; on_; export } ->
+            let right' = select_methods_clauses t bound est right in
+            let right_vars = C.clause_vars right' in
+            let method_ =
+              match right' with
+              | C.Rel r :: rest_lets
+                when r.C.sql_params <> []
+                     && List.for_all
+                          (function C.Let _ -> true | _ -> false)
+                          rest_lets ->
+                ppk_method t ~outer:est r
+              | _ ->
+                let depends_on_left =
+                  references_any bound
+                    (C.Flwor { clauses = right'; return_ = C.Empty })
                 in
-                C.Join { kind; method_; right = right'; on_; export }
-              | C.Join { kind; method_; right; on_; export } ->
-                C.Join
-                  { kind;
-                    method_;
-                    right = select_methods_clauses t bound right;
-                    on_;
-                    export }
-              | c -> c
+                if
+                  (not depends_on_left)
+                  && equi_join_keys ~right_vars on_ <> None
+                  && ((not t.opts.cost_based)
+                     || inl_beats_nl t ~outer:est right')
+                then C.Index_nested_loop
+                else C.Nested_loop
             in
-            (clause' :: acc, C.clause_vars [ clause' ] @ bound))
-          ([], bound) clauses))
+            C.Join { kind; method_; right = right'; on_; export }
+          | C.Join { kind; method_; right; on_; export } ->
+            C.Join
+              { kind;
+                method_;
+                right = select_methods_clauses t bound est right;
+                on_;
+                export }
+          | c -> c
+        in
+        ( clause' :: acc,
+          C.clause_vars [ clause' ] @ bound,
+          advance_estimate t.registry est clause' ))
+      ([], bound, outer_est) clauses
+  in
+  List.rev rev_clauses
 
 let rec select_methods t e =
   let e = C.map_children (select_methods t) e in
   match e with
   | C.Flwor { clauses; return_ } ->
-    C.Flwor { clauses = select_methods_clauses t [] clauses; return_ }
+    C.Flwor { clauses = select_methods_clauses t [] (Some 1) clauses; return_ }
   | e -> e
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
-(* Observed-cost reordering (§9, implemented roadmap item): for two
-   adjacent independent source iterations, pick as the outer (left) branch
-   the one minimizing  latency(L) + cardinality(L) * latency(R)  — the
-   outer runs once, the inner once per outer tuple under nested
-   evaluation. Reordering changes FLWOR tuple order, so it only applies
-   when a later order-by re-establishes the result order. *)
-let reorder_by_observed_cost t observed e =
+(* Source reordering: for two adjacent independent source iterations,
+   pick as the outer (left) branch the one minimizing
+   latency(L) + cardinality(L) * latency(R) — the outer runs once, the
+   inner once per outer tuple under nested evaluation. Reordering changes
+   FLWOR tuple order, so it only applies when a later order-by
+   re-establishes the result order. [pair_costs fa fb] returns the
+   (as-written, swapped) costs, or [None] to leave the pair alone; both
+   costs must come from the same basis (static or observed), never
+   mixed. *)
+let reorder_with pair_costs e =
   let source_fn = function
     | C.Call { fn; args = [] } -> Some fn
-    | _ -> None
-  in
-  let pair_cost outer inner =
-    match (Observed.observed observed outer, Observed.observed observed inner) with
-    | Some o, Some i ->
-      Some (o.Observed.mean_latency +. (o.Observed.mean_cardinality *. i.Observed.mean_latency))
     | _ -> None
   in
   let rec fix clauses =
@@ -1097,8 +1162,8 @@ let reorder_by_observed_cost t observed e =
            && Option.is_some (source_fn sb) -> (
       ignore vb;
       let fa = Option.get (source_fn sa) and fb = Option.get (source_fn sb) in
-      match (pair_cost fa fb, pair_cost fb fa) with
-      | Some as_is, Some swapped when swapped < as_is ->
+      match pair_costs fa fb with
+      | Some (as_is, swapped) when swapped < as_is ->
         b :: fix (a :: rest)
       | _ -> a :: fix (b :: rest))
     | c :: rest -> c :: fix rest
@@ -1112,8 +1177,51 @@ let reorder_by_observed_cost t observed e =
       C.Flwor { clauses = fix clauses; return_ }
     | e -> e
   in
-  ignore t;
   go e
+
+let observed_pair_costs observed fa fb =
+  let cost outer inner =
+    match (Observed.observed observed outer, Observed.observed observed inner) with
+    | Some o, Some i ->
+      Some
+        (o.Observed.mean_latency
+        +. (o.Observed.mean_cardinality *. i.Observed.mean_latency))
+    | _ -> None
+  in
+  match (cost fa fb, cost fb fa) with
+  | Some a, Some b -> Some (a, b)
+  | _ -> None
+
+(* The §9 roadmap pass: observed behaviour only, no static model. *)
+let reorder_by_observed_cost t observed e =
+  ignore t;
+  reorder_with (observed_pair_costs observed) e
+
+(* Statistics-driven ordering: costs from each source's declared latency
+   profile and exact row counts, falling back to observed samples for
+   sources the statistics layer cannot see (services, procedures). *)
+let reorder_sources t ?observed e =
+  let static_cost outer inner =
+    match
+      ( Cost_model.source_profile t.registry outer,
+        Cost_model.source_cardinality t.registry outer,
+        Cost_model.source_profile t.registry inner )
+    with
+    | Some po, Some co, Some pi ->
+      Some
+        (po.Cost_model.p_latency
+        +. (float_of_int co *. pi.Cost_model.p_latency))
+    | _ -> None
+  in
+  let pair_costs fa fb =
+    match (static_cost fa fb, static_cost fb fa) with
+    | Some a, Some b -> Some (a, b)
+    | _ -> (
+      match observed with
+      | Some obs -> observed_pair_costs obs fa fb
+      | None -> None)
+  in
+  reorder_with pair_costs e
 
 let optimize_view t name body = view_body t name body
 

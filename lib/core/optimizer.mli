@@ -36,6 +36,14 @@ type options = {
       (** Compile same-database regions to SQL (§4.3-4.4). Off, every
           source access is a full scan evaluated by the middleware engine —
           the reference configuration of the differential harness. *)
+  cost_based : bool;
+      (** Statistics-driven plan selection via {!Cost_model}: join method
+          (NL vs index-NL vs PP-k) by estimated cost, PP-k [k]/[prefetch]
+          from the outer-cardinality/latency tradeoff (overriding the
+          [ppk_k]/[ppk_prefetch] knobs), static source ordering, and the
+          pushdown transfer-volume gate. Off, the fixed structural
+          heuristics and the configured knobs apply unchanged. All
+          choices are result-identical; only cost differs. Default on. *)
   ppk_k : int;  (** PP-k block size; the paper's default is 20. *)
   ppk_prefetch : int;
       (** How many PP-k block queries may be in flight on the worker pool
@@ -79,6 +87,15 @@ val reorder_by_observed_cost : t -> Observed.t -> Cexpr.t -> Cexpr.t
     as the outer. Applied only under FLWORs whose order-by re-establishes
     result order, so it is semantics-preserving. Run before join
     introduction. *)
+
+val reorder_sources : t -> ?observed:Observed.t -> Cexpr.t -> Cexpr.t
+(** Statistics-driven source ordering (the cost-based generalization of
+    {!reorder_by_observed_cost}): the same adjacent-independent-pair swap
+    under order-by-protected FLWORs, but costed statically from declared
+    latency profiles and exact row counts, falling back to [observed]
+    samples for sources the statistics layer cannot price. Swaps only on
+    a strict cost improvement, so zero-latency catalogs are left
+    untouched. *)
 
 val cleanup : t -> Cexpr.t -> Cexpr.t
 (** Query-independent simplification (let substitution, dead code,

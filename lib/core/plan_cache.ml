@@ -1,10 +1,16 @@
-type key = { k_query : string; k_options : string; k_generation : int }
+type key = {
+  k_query : string;
+  k_options : string;
+  k_generation : int;
+  k_stats : int;
+}
 
 (* Keys are flattened to strings so the LRU list stays cheap; NUL can't
    appear in either component (query text is source code, the fingerprint
    is printf-built). *)
 let key_string k =
-  Printf.sprintf "%d\x00%s\x00%s" k.k_generation k.k_options k.k_query
+  Printf.sprintf "%d\x00%d\x00%s\x00%s" k.k_generation k.k_stats k.k_options
+    k.k_query
 
 type 'plan t = {
   capacity : int;
@@ -45,11 +51,13 @@ let add t key plan =
   Hashtbl.replace t.table ks (key, plan);
   touch t ks
 
-let purge_stale t ~generation =
+let purge_stale t ~generation ~stats =
   let stale =
     Hashtbl.fold
       (fun ks (key, _) acc ->
-        if key.k_generation <> generation then ks :: acc else acc)
+        if key.k_generation <> generation || key.k_stats <> stats then
+          ks :: acc
+        else acc)
       t.table []
   in
   List.iter (Hashtbl.remove t.table) stale;

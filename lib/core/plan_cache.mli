@@ -18,6 +18,10 @@ type key = {
   k_query : string;  (** The query text. *)
   k_options : string;  (** {!Optimizer.options_fingerprint} in force. *)
   k_generation : int;  (** {!Metadata.generation} at compile time. *)
+  k_stats : int;
+      (** {!Metadata.stats_generation} at compile time: cost-based join
+          methods and PP-k depths are functions of table statistics, so a
+          plan costed against since-mutated data must be recompiled. *)
 }
 
 type 'plan t
@@ -30,10 +34,10 @@ val find : 'plan t -> key -> 'plan option
 val add : 'plan t -> key -> 'plan -> unit
 (** Inserts, evicting the least recently used entry at capacity. *)
 
-val purge_stale : 'plan t -> generation:int -> unit
-(** Drops every entry compiled under a different metadata generation (the
-    invalidation sweep run after registry mutations). Does not touch hit /
-    miss statistics. *)
+val purge_stale : 'plan t -> generation:int -> stats:int -> unit
+(** Drops every entry compiled under a different metadata generation or
+    statistics generation (the invalidation sweep run after registry or
+    data mutations). Does not touch hit / miss statistics. *)
 
 val clear : 'plan t -> unit
 val size : 'plan t -> int

@@ -4,6 +4,7 @@ module Database = Aldsp_relational.Database
 module Sql_print = Aldsp_relational.Sql_print
 
 type counters = {
+  mutable c_est : int;
   mutable c_starts : int;
   mutable c_rows : int;
   mutable c_roundtrips : int;
@@ -91,7 +92,7 @@ and sql_region = {
 }
 
 let zero () =
-  { c_starts = 0; c_rows = 0; c_roundtrips = 0; c_cache_hits = 0;
+  { c_est = 0; c_starts = 0; c_rows = 0; c_roundtrips = 0; c_cache_hits = 0;
     c_cache_misses = 0; c_wall = 0. }
 
 (* ------------------------------------------------------------------ *)
@@ -112,7 +113,40 @@ let compile registry root =
       | None -> false)
     | _ -> false
   in
+  (* Compile-time cardinality estimates, recorded alongside each
+     operator's runtime counters so EXPLAIN --analyze can print
+     est=/act= pairs. [advance] mirrors {!Cost_model.clauses_cardinality}
+     one clause at a time: the estimate stored on an operator is the
+     binding tuples it is expected to emit. *)
+  let advance est clause =
+    match est with
+    | None -> None
+    | Some tuples -> (
+      match clause with
+      | C.For { source; _ } -> (
+        match Cost_model.expr_cardinality registry source with
+        | Some n -> Some (tuples * n)
+        | None -> None)
+      | C.Let _ | C.Group _ | C.Order _ -> Some tuples
+      | C.Where _ -> Some (max 1 (tuples / Cost_model.selection_fraction))
+      | C.Rel r -> (
+        match Cost_model.rel_cardinality registry r with
+        | Some n -> Some (tuples * n)
+        | None -> None)
+      | C.Join { right; export; _ } -> (
+        match export with
+        | C.Grouped _ -> Some tuples
+        | C.Bindings -> (
+          match Cost_model.clauses_cardinality registry right with
+          | Some inner -> Some (max tuples inner)
+          | None -> None)))
+  in
+  let set_est c = function Some n -> c.c_est <- n | None -> () in
   let rec expr (e : C.t) : t =
+    let p = expr_node e in
+    set_est p.counters (Cost_model.expr_cardinality registry e);
+    p
+  and expr_node (e : C.t) : t =
     match e with
     | C.Const a -> mk (P_const a)
     | C.Empty -> mk P_empty
@@ -132,7 +166,9 @@ let compile registry root =
                  attrs;
              content = expr content })
     | C.Flwor { clauses; return_ } ->
-      mk (P_pipeline { ops = lower_clauses clauses; return_ = expr return_ })
+      mk
+        (P_pipeline
+           { ops = lower_clauses (Some 1) clauses; return_ = expr return_ })
     | C.If { cond; then_; else_ } ->
       mk (P_if { cond = expr cond; then_ = expr then_; else_ = expr else_ })
     | C.Quantified { universal; var; source; pred } ->
@@ -205,7 +241,7 @@ let compile registry root =
           mk_op (O_let { var; value = expr value; mode })
         | _ -> assert false)
       run
-  and lower_clauses clauses =
+  and lower_clauses est clauses =
     match clauses with
     | [] -> []
     | C.Let _ :: _ ->
@@ -214,8 +250,11 @@ let compile registry root =
         | rest -> (List.rev run, rest)
       in
       let run, rest = split [] clauses in
-      lower_lets run @ lower_clauses rest
+      let ops = lower_lets run in
+      List.iter (fun o -> set_est o.op_counters est) ops;
+      ops @ lower_clauses est rest
     | clause :: rest ->
+      let est' = advance est clause in
       let op =
         match clause with
         | C.For { var; source } -> mk_op (O_scan { var; source = expr source })
@@ -248,7 +287,7 @@ let compile registry root =
             (O_join
                { kind;
                  method_;
-                 right = lower_clauses right;
+                 right = lower_clauses est right;
                  on_ = expr on_;
                  equi;
                  export =
@@ -278,7 +317,8 @@ let compile registry root =
                  sql_binds = r.C.binds;
                  sql_backend = [] })
       in
-      op :: lower_clauses rest
+      set_est op.op_counters est';
+      op :: lower_clauses est' rest
   in
   expr root
 
@@ -362,6 +402,7 @@ let regions p =
   iter_regions (fun r -> acc := r :: !acc) p;
   List.rev !acc
 
+(* c_est is a compile-time quantity and survives counter resets. *)
 let reset_counters p =
   iter_counters
     (fun c ->
@@ -519,7 +560,7 @@ let op_label o =
 
 let counters_suffix ~timings c =
   let parts =
-    [ Printf.sprintf "rows=%d" c.c_rows ]
+    [ Printf.sprintf "est=%d act=%d" c.c_est c.c_rows ]
     @ (if c.c_roundtrips > 0 then
          [ Printf.sprintf "roundtrips=%d" c.c_roundtrips ]
        else [])
@@ -607,6 +648,18 @@ let render ?(timings = false) plan =
   in
   node 0 "" plan;
   Buffer.contents buf
+
+(* Worst est-vs-actual ratio across operators that both carry an
+   estimate and actually produced rows; 1.0 when nothing qualifies. *)
+let max_misestimate plan =
+  let worst = ref 1. in
+  iter_counters
+    (fun c ->
+      if c.c_est > 0 && c.c_rows > 0 then
+        worst :=
+          Float.max !worst (Cost_model.misestimate ~est:c.c_est ~actual:c.c_rows))
+    plan;
+  !worst
 
 let operators plan =
   let acc = ref [] in

@@ -23,6 +23,10 @@ open Aldsp_xml
     word writes, and the only concurrent writers (PP-k roundtrips on pool
     workers) touch counters no consumer reads mid-run. *)
 type counters = {
+  mutable c_est : int;
+      (** Estimated items / binding tuples ({!Cost_model}), fixed at
+          compile time; 0 when the model could not price the operator.
+          Survives {!reset_counters}, so EXPLAIN prints [est=N act=M]. *)
   mutable c_starts : int;  (** Times the operator began producing. *)
   mutable c_rows : int;  (** Items / binding tuples emitted. *)
   mutable c_roundtrips : int;  (** Source statements this operator issued. *)
@@ -139,7 +143,13 @@ val compile : Metadata.t -> Cexpr.t -> t
     its database's dialect. Pure — never executes anything. *)
 
 val reset_counters : t -> unit
-(** Zeroes every counter block (and clears captured backend plans). *)
+(** Zeroes every runtime counter block (and clears captured backend
+    plans); compile-time estimates ([c_est]) are preserved. *)
+
+val max_misestimate : t -> float
+(** Worst [max(est/act, act/est)] over operators with both a nonzero
+    estimate and nonzero actual rows; 1.0 when nothing qualifies — the
+    per-query input to {!Server.stats}' misestimation rollup. *)
 
 val operators : t -> (string * counters) list
 (** Every operator of the plan, preorder, as (render label, counters) —

@@ -27,7 +27,7 @@ type stats = {
   st_helped : int;
 }
 
-let create ?(workers = 4) () =
+let create ?(workers = Domain.recommended_domain_count ()) () =
   { workers = max 1 workers;
     queue = Queue.create ();
     mutex = Mutex.create ();

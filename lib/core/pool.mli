@@ -30,7 +30,10 @@ type stats = {
 }
 
 val create : ?workers:int -> unit -> t
-(** [workers] defaults to 4 and is clamped to at least 1. *)
+(** [workers] defaults to the machine's core count
+    ([Domain.recommended_domain_count ()]) and is clamped to at least 1;
+    pass it explicitly to pin a size (tests, benches, the reference
+    configuration). *)
 
 val size : t -> int
 

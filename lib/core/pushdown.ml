@@ -1023,15 +1023,22 @@ and prune_binds _st clauses return_ =
 (* ------------------------------------------------------------------ *)
 (* Phase D: parameterize join right sides for PP-k                      *)
 
-let rec parameterize_joins st e =
-  let e = C.map_children (parameterize_joins st) e in
+(* [gate ~outer r] may veto parameterization of a join right side [r]
+   given the clauses preceding the join ([outer], source order): the
+   cost-based transfer-volume gate declines when probing block-by-block is
+   estimated to ship more than fetching the inner region whole. A vetoed
+   join keeps its unparameterized [Rel] right side — the same plan shape
+   produced when no key is translatable — so the executor path is
+   unchanged and results are byte-identical. *)
+let rec parameterize_joins ~gate st e =
+  let e = C.map_children (parameterize_joins ~gate st) e in
   match e with
   | C.Flwor { clauses; return_ } ->
-    let rec fix bound = function
+    let rec fix before = function
       | [] -> []
       | C.Join { kind; method_; right = C.Rel r :: right_rest; on_; export }
         :: rest
-        when r.C.sql_params = [] -> (
+        when r.C.sql_params = [] && gate ~outer:(List.rev before) r -> (
         let right_vars = C.clause_vars (C.Rel r :: right_rest) in
         match Optimizer.equi_join_keys ~right_vars on_ with
         | Some (pairs, _residual) -> (
@@ -1056,8 +1063,10 @@ let rec parameterize_joins st e =
           in
           match translatable with
           | [] ->
-            C.Join { kind; method_; right = C.Rel r :: right_rest; on_; export }
-            :: fix bound rest
+            let c =
+              C.Join { kind; method_; right = C.Rel r :: right_rest; on_; export }
+            in
+            c :: fix (c :: before) rest
           | keys ->
             let base = Sql.param_count (Sql.Query r.C.select) in
             let conds =
@@ -1078,13 +1087,17 @@ let rec parameterize_joins st e =
                 C.select = { r.C.select with Sql.where = where' };
                 sql_params = r.C.sql_params @ List.map fst keys }
             in
-            C.Join
-              { kind; method_; right = C.Rel r' :: right_rest; on_; export }
-            :: fix bound rest)
+            let c =
+              C.Join
+                { kind; method_; right = C.Rel r' :: right_rest; on_; export }
+            in
+            c :: fix (c :: before) rest)
         | None ->
-          C.Join { kind; method_; right = C.Rel r :: right_rest; on_; export }
-          :: fix bound rest)
-      | c :: rest -> c :: fix (C.clause_vars [ c ] @ bound) rest
+          let c =
+            C.Join { kind; method_; right = C.Rel r :: right_rest; on_; export }
+          in
+          c :: fix (c :: before) rest)
+      | c :: rest -> c :: fix (c :: before) rest
     in
     C.Flwor { clauses = fix [] clauses; return_ }
   | e -> e
@@ -1124,7 +1137,7 @@ let rec push_windows st e =
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 
-let push registry e =
+let push ?(gate = fun ~outer:_ _ -> true) registry e =
   let st = { registry; counter = ref 0 } in
   let rec fixpoint n e =
     if n = 0 then e
@@ -1133,7 +1146,7 @@ let push registry e =
       if C.equal e' e then e else fixpoint (n - 1) e'
   in
   let e = fixpoint 6 e in
-  let e = parameterize_joins st e in
+  let e = parameterize_joins ~gate st e in
   push_windows st e
 
 (* ------------------------------------------------------------------ *)

@@ -33,7 +33,19 @@
     of {!Aldsp_relational.Sql_print.capabilities} gate CASE, concatenation
     and windows, with "base SQL92" the conservative fallback. *)
 
-val push : Metadata.t -> Cexpr.t -> Cexpr.t
+val push :
+  ?gate:(outer:Cexpr.clause list -> Cexpr.sql_access -> bool) ->
+  Metadata.t ->
+  Cexpr.t ->
+  Cexpr.t
+(** [gate ~outer r] (default: always true) is consulted before a join's
+    right-side region [r] is parameterized for PP-k; [outer] is the
+    clause pipeline preceding the join. The server installs the
+    cost-based transfer-volume gate here: when probing block-by-block is
+    estimated to cost more than shipping the region whole, the join keeps
+    its unparameterized right side — the same (fully tested) plan shape
+    produced when no equi key translates to a column — so gating never
+    changes results. *)
 
 val pushed_sql : Metadata.t -> Cexpr.t -> (string * string) list
 (** All (database, SQL text) pairs appearing in a plan, rendered in each

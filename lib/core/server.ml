@@ -20,6 +20,8 @@ type t = {
   pool : Pool.t;
   runtime : Eval.rt;
   streamed_tokens : int ref;
+  worst_misestimate : float ref;
+      (* worst est-vs-actual cardinality ratio seen across executions *)
 }
 
 type stats = {
@@ -35,6 +37,9 @@ type stats = {
   st_backend : Aldsp_relational.Database.stats;
       (** Operator counters (scans, index probes, join algorithms) summed
           over every registered database. *)
+  st_max_misestimate : float;
+      (** Worst per-operator est-vs-actual cardinality ratio across every
+          execution so far; 1.0 when estimates held (or none applied). *)
 }
 
 let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
@@ -67,7 +72,8 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     observed;
     pool;
     runtime = Eval.runtime ~call_wrapper ~pool ?observed ?concurrent_lets registry;
-    streamed_tokens = ref 0 }
+    streamed_tokens = ref 0;
+    worst_misestimate = ref 1. }
 
 (* The differential-testing oracle (see lib/check): every cost-only
    compilation and execution choice disabled — no pushdown, a single
@@ -105,7 +111,8 @@ let stats t =
     st_source_wall =
       (match t.observed with Some o -> Observed.source_wall o | None -> 0.);
     st_tokens_streamed = !(t.streamed_tokens);
-    st_backend = backend }
+    st_backend = backend;
+    st_max_misestimate = !(t.worst_misestimate) }
 
 (* ------------------------------------------------------------------ *)
 (* Data service registration                                           *)
@@ -274,8 +281,15 @@ let apply_hints base_options (query : Xq_ast.query) =
       | None -> default
     in
     let open Optimizer in
+    (* an explicit PP-k hint is a user override: cost-based selection
+       would re-derive k/prefetch and ignore it, so it yields *)
+    let explicit_ppk =
+      List.mem_assoc "ppk-k" hint_attrs
+      || List.mem_assoc "ppk-prefetch" hint_attrs
+    in
     Some
       { base_options with
+        cost_based = (base_options.cost_based && not explicit_ppk);
         ppk_k =
           (match List.assoc_opt "ppk-k" hint_attrs with
           | Some v -> ( match int_of_string_opt v with Some k when k > 0 -> k | _ -> base_options.ppk_k)
@@ -325,16 +339,37 @@ let compile_no_cache t source =
         in
         let tenv = Typecheck.env t.registry diag in
         let static_type, typed = Typecheck.check tenv core in
+        let opts = Optimizer.options optimizer in
         let typed =
-          (* observed-cost reordering must see the raw for-clauses, before
-             join introduction (§9) *)
-          match t.observed with
-          | Some obs -> Optimizer.reorder_by_observed_cost optimizer obs typed
-          | None -> typed
+          (* source reordering must see the raw for-clauses, before join
+             introduction (§9): statically costed when the cost model is
+             on (observed samples as fallback), observed-only otherwise *)
+          if opts.Optimizer.cost_based then
+            Optimizer.reorder_sources optimizer ?observed:t.observed typed
+          else
+            match t.observed with
+            | Some obs -> Optimizer.reorder_by_observed_cost optimizer obs typed
+            | None -> typed
         in
         let optimized, _stats = Optimizer.optimize optimizer typed in
-        let do_push = (Optimizer.options optimizer).Optimizer.pushdown in
-        let push e = if do_push then Pushdown.push t.registry e else e in
+        let do_push = opts.Optimizer.pushdown in
+        (* the transfer-volume gate: skip PP-k parameterization of a join's
+           right side when probing is estimated to cost more than shipping
+           the region whole *)
+        let gate ~outer r =
+          (not opts.Optimizer.cost_based)
+          ||
+          let latency =
+            match Metadata.find_database t.registry r.Cexpr.db with
+            | Some db -> (Cost_model.db_profile db).Cost_model.p_latency
+            | None -> 0.
+          in
+          Cost_model.parameterize_beneficial
+            ~outer:(Cost_model.clauses_cardinality t.registry outer)
+            ~inner_rows:(Cost_model.rel_cardinality t.registry r)
+            ~latency
+        in
+        let push e = if do_push then Pushdown.push ~gate t.registry e else e in
         let pushed = push optimized in
         let cleaned = Optimizer.cleanup optimizer pushed in
         (* a second pass prunes columns whose only consumer the cleanup
@@ -350,17 +385,21 @@ let compile_no_cache t source =
             sql = Pushdown.pushed_sql t.registry plan }
       with Diag.Compile_error d -> Error [ d ]))
 
-let cache_key t ~generation source =
+let cache_key t ~generation ~stats source =
   { Plan_cache.k_query = source;
     k_options =
       Optimizer.options_fingerprint (Optimizer.options t.optimizer);
-    k_generation = generation }
+    k_generation = generation;
+    k_stats = stats }
 
 let compile t source =
-  (* drop plans compiled against an older registry before looking up *)
+  (* drop plans compiled against an older registry — or, since cost-based
+     choices are functions of table statistics, since-mutated data —
+     before looking up *)
   let generation = Metadata.generation t.registry in
-  Plan_cache.purge_stale t.plan_cache ~generation;
-  match Plan_cache.find t.plan_cache (cache_key t ~generation source) with
+  let stats = Metadata.stats_generation t.registry in
+  Plan_cache.purge_stale t.plan_cache ~generation ~stats;
+  match Plan_cache.find t.plan_cache (cache_key t ~generation ~stats source) with
   | Some compiled -> Ok compiled
   | None -> (
     match compile_no_cache t source with
@@ -370,7 +409,10 @@ let compile t source =
          an identical recompile — which would re-register the same
          definitions — can hit *)
       Plan_cache.add t.plan_cache
-        (cache_key t ~generation:(Metadata.generation t.registry) source)
+        (cache_key t
+           ~generation:(Metadata.generation t.registry)
+           ~stats:(Metadata.stats_generation t.registry)
+           source)
         compiled;
       Ok compiled
     | Error _ as e -> e)
@@ -380,12 +422,33 @@ let compile t source =
 
 let diags_to_string ds = String.concat "; " (List.map Diag.to_string ds)
 
+(* Per-run est-vs-actual rollup. Operator counters accumulate across runs
+   (by design — see Plan_ir.counters), so actual rows for THIS run are the
+   deltas against a snapshot taken before execution. *)
+let snapshot_rows ir = List.map (fun (_, c) -> c.Plan_ir.c_rows) (Plan_ir.operators ir)
+
+let note_misestimate t ir before =
+  let worst =
+    List.fold_left2
+      (fun acc (_, c) prior ->
+        let actual = c.Plan_ir.c_rows - prior in
+        if c.Plan_ir.c_est > 0 && actual > 0 then
+          Float.max acc
+            (Cost_model.misestimate ~est:c.Plan_ir.c_est ~actual)
+        else acc)
+      1. (Plan_ir.operators ir) before
+  in
+  if worst > !(t.worst_misestimate) then t.worst_misestimate := worst
+
 let run t ?(user = Security.admin) source =
   match compile t source with
   | Error ds -> Error (diags_to_string ds)
   | Ok compiled -> (
+    let before = snapshot_rows compiled.ir in
     match Eval.execute t.runtime compiled.ir with
-    | Ok items -> Ok (Security.filter_result t.security user items)
+    | Ok items ->
+      note_misestimate t compiled.ir before;
+      Ok (Security.filter_result t.security user items)
     | Error _ as e -> e)
 
 let run_stream t ?(user = Security.admin) source =
@@ -416,7 +479,9 @@ let explain t ?(analyze = true) ?(timings = false) source =
     if analyze then begin
       Plan_ir.reset_counters compiled.ir;
       match Eval.execute t.runtime compiled.ir with
-      | Ok _ -> ()
+      | Ok _ ->
+        let worst = Plan_ir.max_misestimate compiled.ir in
+        if worst > !(t.worst_misestimate) then t.worst_misestimate := worst
       | Error m -> Buffer.add_string buf (Printf.sprintf "error: %s\n" m)
     end;
     Buffer.add_string buf "plan:\n";

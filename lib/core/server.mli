@@ -40,6 +40,11 @@ type stats = {
   st_backend : Aldsp_relational.Database.stats;
       (** Operator counters (scans, index probes, join algorithms) summed
           over every registered database at the time of the call. *)
+  st_max_misestimate : float;
+      (** Worst per-operator est-vs-actual cardinality ratio
+          ({!Cost_model.misestimate}) over every execution so far; 1.0
+          when every estimate held or none applied. The feedback signal
+          for judging the cost model's inputs. *)
 }
 
 val create :
@@ -102,9 +107,10 @@ val design_time_check : t -> string -> Diag.t list
 val compile : t -> string -> (compiled, Diag.t list) result
 (** Full pipeline on an ad hoc query, ending in the lowered {!Plan_ir}
     plan. Plans are cached keyed on (query text, optimizer options
-    fingerprint, metadata generation); entries from older generations are
-    purged before lookup, so no registry mutation can be served a stale
-    plan. *)
+    fingerprint, metadata generation, statistics generation); entries from
+    older generations are purged before lookup, so neither a registry
+    mutation nor a data mutation (which moves the table statistics the
+    cost model priced the plan against) can be served a stale plan. *)
 
 val run :
   t -> ?user:Security.user -> string -> (Item.sequence, string) result

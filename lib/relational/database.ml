@@ -141,6 +141,29 @@ let apply_fault t =
     if d > 0. then Unix.sleepf d;
     Error (Printf.sprintf "database %s: scripted transport failure" t.db_name)
 
+(* ------------------------------------------------------------------ *)
+(* Statistics for the cost-based planner *)
+
+(* Sum of per-table mutation counters: order-independent, so iterating the
+   hashtable directly is deterministic. The planner keys cached plans on
+   this so no cost decision survives a row mutation. *)
+let stats_version t =
+  Hashtbl.fold (fun _ table acc -> acc + Table.version table) t.tables 0
+
+let table_statistics t =
+  List.filter_map
+    (fun name ->
+      match find_table t name with
+      | Ok table -> Some (name, Table.statistics table)
+      | Error _ -> None)
+    (table_names t)
+
+(* The declared cost profile of this source: seconds per statement
+   roundtrip and per shipped row. The per-row cost matches the observed
+   middleware materialization cost on this workload (~2 µs/row); vendors
+   do not differ here, latency does. *)
+let cost_profile t = (t.roundtrip_latency, 2e-6)
+
 let record_statement t ~params ~rows =
   t.stats.statements <- t.stats.statements + 1;
   t.stats.params_bound <- t.stats.params_bound + params;

@@ -90,3 +90,19 @@ val record_statement : t -> params:int -> rows:int -> unit
 (** Accounts one roundtrip and applies the simulated latency. Used by the
     executor; exposed so functional-source simulators can share the
     accounting. *)
+
+(** {2 Planner statistics} *)
+
+val stats_version : t -> int
+(** Sum of {!Table.version} over every table: changes whenever any row of
+    this database is inserted, updated, deleted or rolled back. Folded
+    into {!Aldsp_core.Metadata.stats_generation} to invalidate cached
+    cost-based plans. *)
+
+val table_statistics : t -> (string * Table.statistics) list
+(** [(table, statistics)] pairs in table-name order. *)
+
+val cost_profile : t -> float * float
+(** The declared [(roundtrip_latency, per_row_cost)] profile in seconds:
+    what one statement roundtrip and one shipped row cost the middleware.
+    The cost model prices plans with these. *)

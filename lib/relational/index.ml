@@ -42,6 +42,11 @@ type t = {
   idx_unique : bool;
   buckets : int list ref Key_tbl.t;  (* row ids, descending *)
   mutable idx_entries : int;
+  (* numeric [min, max] over single-column K_num keys; widened on add,
+     marked dirty when a delete empties an endpoint bucket (the surviving
+     extremum is unknowable without a scan, so it is recomputed lazily) *)
+  mutable rng : (float * float) option;
+  mutable rng_dirty : bool;
 }
 
 let create ?(unique = false) ~name ~cols ~positions () =
@@ -50,7 +55,9 @@ let create ?(unique = false) ~name ~cols ~positions () =
     idx_pos = positions;
     idx_unique = unique;
     buckets = Key_tbl.create 64;
-    idx_entries = 0 }
+    idx_entries = 0;
+    rng = None;
+    rng_dirty = false }
 
 let name t = t.idx_name
 let columns t = t.idx_cols
@@ -59,6 +66,25 @@ let unique t = t.idx_unique
 let entries t = t.idx_entries
 
 let key_of_row t row = key_of_values (Array.map (fun i -> row.(i)) t.idx_pos)
+
+(* NaN keys stay out of the range: they compare as a key bucket of their
+   own but carry no order, so min/max over them is meaningless. *)
+let numeric_of_key (k : key) =
+  if Array.length k = 1 then
+    match k.(0) with
+    | K_num f when not (Float.is_nan f) -> Some f
+    | _ -> None
+  else None
+
+let widen_range t k =
+  match numeric_of_key k with
+  | None -> ()
+  | Some f -> (
+    match t.rng with
+    | None -> t.rng <- Some (f, f)
+    | Some (lo, hi) ->
+      if f < lo then t.rng <- Some (f, hi)
+      else if f > hi then t.rng <- Some (lo, f))
 
 (* Ids are kept descending so the common case — adding the freshest (and
    largest) row id — is a cons; probes reverse to ascending scan order. *)
@@ -78,7 +104,8 @@ let add t id row =
     | x :: rest -> x :: ins rest
   in
   bucket := ins !bucket;
-  t.idx_entries <- t.idx_entries + 1
+  t.idx_entries <- t.idx_entries + 1;
+  widen_range t k
 
 let remove t id row =
   let k = key_of_row t row in
@@ -88,11 +115,34 @@ let remove t id row =
     let n = List.length !b in
     b := List.filter (fun x -> x <> id) !b;
     t.idx_entries <- t.idx_entries - (n - List.length !b);
-    if !b = [] then Key_tbl.remove t.buckets k
+    if !b = [] then begin
+      Key_tbl.remove t.buckets k;
+      match (numeric_of_key k, t.rng) with
+      | Some f, Some (lo, hi) when f = lo || f = hi -> t.rng_dirty <- true
+      | _ -> ()
+    end
 
 let clear t =
   Key_tbl.reset t.buckets;
-  t.idx_entries <- 0
+  t.idx_entries <- 0;
+  t.rng <- None;
+  t.rng_dirty <- false
+
+let distinct_keys t = Key_tbl.length t.buckets
+
+let numeric_range t =
+  if t.rng_dirty then begin
+    t.rng <-
+      Key_tbl.fold
+        (fun k _ acc ->
+          match (numeric_of_key k, acc) with
+          | None, acc -> acc
+          | Some f, None -> Some (f, f)
+          | Some f, Some (lo, hi) -> Some (Float.min f lo, Float.max f hi))
+        t.buckets None;
+    t.rng_dirty <- false
+  end;
+  t.rng
 
 let probe_key t k =
   match Key_tbl.find_opt t.buckets k with

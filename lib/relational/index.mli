@@ -37,6 +37,21 @@ val unique : t -> bool
 val entries : t -> int
 (** Number of (key, row id) entries currently indexed. *)
 
+val distinct_keys : t -> int
+(** Number of distinct keys with at least one live entry — the exact
+    number-of-distinct-values statistic for the indexed column tuple,
+    maintained incrementally (a delete that empties a bucket drops it).
+    Distinct values that share a normalized key (two huge ints with one
+    float image) count once, so this is an NDV {e estimate} in the same
+    sense a probe is a candidate generator. *)
+
+val numeric_range : t -> (float * float) option
+(** [Some (min, max)] over the normalized numeric key values of a
+    single-column numeric index; [None] for multi-column indexes,
+    non-numeric keys, or an empty index. Widened incrementally on insert;
+    a delete at an endpoint triggers a lazy O(distinct keys) recompute on
+    the next call. NaN keys are excluded. *)
+
 val add : t -> int -> Sql_value.t array -> unit
 (** [add t id row] indexes [row] (a full table row) under its key. *)
 

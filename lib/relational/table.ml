@@ -23,6 +23,7 @@ type t = {
   mutable live_count : int;
   mutable indexes : Index.t list;
   mutable pk_index : Index.t option;  (* member of [indexes] *)
+  mutable version : int;  (* bumped on every row mutation *)
 }
 
 let column ?(nullable = true) col_name col_type = { col_name; col_type; nullable }
@@ -95,7 +96,8 @@ let create ?(primary_key = []) ?(foreign_keys = []) table_name columns =
       live = Bytes.empty;
       live_count = 0;
       indexes = [];
-      pk_index = None }
+      pk_index = None;
+      version = 0 }
   in
   if primary_key <> [] then
     t.pk_index <- register_index t ~unique:true ~name:("pk_" ^ table_name)
@@ -170,6 +172,7 @@ let append_unchecked t row =
   Bytes.set t.live id '\001';
   t.size <- t.size + 1;
   t.live_count <- t.live_count + 1;
+  t.version <- t.version + 1;
   List.iter (fun idx -> Index.add idx id row) t.indexes;
   id
 
@@ -227,7 +230,8 @@ let delete_row t id =
     List.iter (fun idx -> Index.remove idx id row) t.indexes;
     Bytes.set t.live id '\000';
     t.store.(id) <- [||];
-    t.live_count <- t.live_count - 1
+    t.live_count <- t.live_count - 1;
+    t.version <- t.version + 1
   end
 
 let insert_many t rows =
@@ -256,7 +260,8 @@ let update_row t id row =
         Index.remove idx id old;
         Index.add idx id row)
       t.indexes;
-    t.store.(id) <- row
+    t.store.(id) <- row;
+    t.version <- t.version + 1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -287,9 +292,60 @@ let restore t snap =
   t.live <- live;
   t.size <- snap.snap_size;
   t.live_count <- snap.snap_live_count;
+  t.version <- t.version + 1;
   List.iter Index.clear t.indexes;
   iter_rows t (fun id row ->
       List.iter (fun idx -> Index.add idx id row) t.indexes)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+let version t = t.version
+
+type column_stats = {
+  cs_columns : string list;
+  cs_distinct : int;
+  cs_min : float option;
+  cs_max : float option;
+  cs_unique : bool;
+}
+
+type statistics = {
+  stat_rows : int;
+  stat_version : int;
+  stat_columns : column_stats list;
+}
+
+(* One entry per index: row counts are exact, NDV comes from the live
+   bucket count, and min/max is tracked for single-column numeric keys.
+   Everything here is maintained incrementally by the mutation paths
+   above, so reading statistics costs nothing beyond a possible lazy
+   range recompute after endpoint deletes. *)
+let statistics t =
+  { stat_rows = t.live_count;
+    stat_version = t.version;
+    stat_columns =
+      List.map
+        (fun idx ->
+          let rng = Index.numeric_range idx in
+          { cs_columns = Index.columns idx;
+            cs_distinct = Index.distinct_keys idx;
+            cs_min = Option.map fst rng;
+            cs_max = Option.map snd rng;
+            cs_unique = Index.unique idx })
+        t.indexes }
+
+(* NDV for a single column when some index leads with it: an index keyed
+   exactly on [col] gives the exact live distinct count; a compound index
+   leading with [col] gives a lower bound on the tuple NDV which is an
+   upper bound for neither, so only exact matches are reported. *)
+let distinct_estimate t col =
+  List.find_map
+    (fun idx ->
+      match Index.columns idx with
+      | [ c ] when String.equal c col -> Some (Index.distinct_keys idx)
+      | _ -> None)
+    t.indexes
 
 let atomic_type_of_sql = function
   | T_int -> Aldsp_xml.Atomic.T_integer

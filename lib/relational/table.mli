@@ -32,6 +32,7 @@ type t = private {
   mutable live_count : int;
   mutable indexes : Index.t list;
   mutable pk_index : Index.t option;
+  mutable version : int;
 }
 
 val create :
@@ -104,6 +105,36 @@ type snapshot
 
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
+
+(** {2 Statistics}
+
+    Per-table statistics for the cost-based planner, maintained
+    incrementally by every mutation path (insert, update, delete, bulk
+    insert unwind, snapshot restore). *)
+
+val version : t -> int
+(** A counter bumped on every row mutation; the planner keys cached cost
+    decisions on it (summed across tables into a stats generation). *)
+
+type column_stats = {
+  cs_columns : string list;  (** Key columns of the backing index. *)
+  cs_distinct : int;  (** Live distinct keys ({!Index.distinct_keys}). *)
+  cs_min : float option;  (** Numeric minimum (single-column numeric keys). *)
+  cs_max : float option;
+  cs_unique : bool;
+}
+
+type statistics = {
+  stat_rows : int;  (** Exact live row count. *)
+  stat_version : int;  (** {!version} at the time of the snapshot. *)
+  stat_columns : column_stats list;  (** One entry per registered index. *)
+}
+
+val statistics : t -> statistics
+
+val distinct_estimate : t -> string -> int option
+(** Exact live NDV for a column, when a single-column index (primary key,
+    foreign key or {!create_index}) covers it. *)
 
 val atomic_type_of_sql : sql_type -> Aldsp_xml.Atomic.atomic_type
 (** The SQL-to-XML type mapping used when introspection builds the XML

@@ -137,10 +137,13 @@ let ppk_query =
   "for $c in CUSTOMER(), $x in CREDIT_CARD() where $c/CID eq $x/CID return <R>{$c/CID, $x/NUM}</R>"
 
 let run_ppk demo ~k ~prefetch ~workers =
+  (* the property sweeps explicit (k, prefetch) pairs; cost-based
+     selection would override both knobs, so switch it off *)
   let options =
     { Optimizer.default_options with
       Optimizer.ppk_k = k;
-      Optimizer.ppk_prefetch = prefetch }
+      Optimizer.ppk_prefetch = prefetch;
+      Optimizer.cost_based = false }
   in
   let pool = Pool.create ~workers () in
   let server =
@@ -356,7 +359,8 @@ let test_server_stats () =
   let options =
     { Optimizer.default_options with
       Optimizer.ppk_k = 4;
-      Optimizer.ppk_prefetch = 2 }
+      Optimizer.ppk_prefetch = 2;
+      Optimizer.cost_based = false }
   in
   let server =
     Server.create ~optimizer_options:options ~pool ~observed:obs

@@ -46,7 +46,8 @@ let test_unified_tree () =
     (contains text "WHERE t1.\"LAST_NAME\" = 'Smith'");
   check_bool "backend access path nested under region" true
     (contains text "backend: scan CUSTOMER");
-  check_bool "counters on operator lines" true (contains text "rows=");
+  check_bool "counters on operator lines" true (contains text "act=");
+  check_bool "estimates on operator lines" true (contains text "est=");
   check_bool "no wall times by default" true (not (contains text "wall="));
   (* timings mode adds wall-clock fields *)
   let timed = ok_exn (Server.explain ~timings:true demo.Aldsp_demo.Demo.server q) in
@@ -59,9 +60,9 @@ let test_unified_tree () =
   in
   check_bool "static render has no backend lines" true
     (not (contains static_ "backend:"));
-  check_bool "static render has zero rows" true (contains static_ "rows=0");
+  check_bool "static render has zero rows" true (contains static_ "act=0");
   check_bool "static render never executed" true
-    (not (contains static_ "rows=4"))
+    (not (contains static_ "act=4"))
 
 let test_explain_deterministic () =
   let demo = Aldsp_demo.Demo.create ~customers:5 ~orders_per_customer:2 () in
@@ -88,7 +89,10 @@ let test_ppk_roundtrip_counters () =
   let server =
     Server.create
       ~optimizer_options:
-        { Optimizer.default_options with Optimizer.ppk_k = 2; ppk_prefetch = 0 }
+        { Optimizer.default_options with
+          Optimizer.ppk_k = 2;
+          ppk_prefetch = 0;
+          cost_based = false (* the test pins k=2 block accounting *) }
       ~observed:obs demo.Aldsp_demo.Demo.registry
   in
   let q =

@@ -208,6 +208,39 @@ let test_corpus_replay () =
       | Error e -> Alcotest.failf "%s: %s" path e)
     files
 
+(* Cost-based plan selection must be invisible in results: every corpus
+   entry and the head of the scenario stream re-run with [cost_based]
+   forced on, compared byte-for-byte against the reference, with the
+   backend index layer both on and off. *)
+let test_cost_based_agrees () =
+  let check_one what cat config query =
+    List.iter
+      (fun indexes ->
+        let config =
+          { config with Oracle.cost_based = true; indexes }
+        in
+        match Oracle.compare_query cat config query with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.failf "%s (indexes=%b) disagrees:\n%s" what indexes e)
+      [ true; false ]
+  in
+  List.iter
+    (fun path ->
+      match Harness.corpus_entry_of_string (read_file path) with
+      | Error e -> Alcotest.failf "%s: %s" path e
+      | Ok (spec, config, query) ->
+        check_one path (Catalog.build spec) config query)
+    (corpus_files ());
+  for index = 0 to 19 do
+    let s = Harness.scenario_of ~seed:slice_seed ~index in
+    check_one
+      (Printf.sprintf "scenario %d" index)
+      (Catalog.build s.Shrink.spec)
+      s.Shrink.config
+      (Gen.render s.Shrink.query)
+  done
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -228,4 +261,6 @@ let () =
           Alcotest.test_case "recoverable-failure policy" `Quick
             test_recoverable_failure_policy ] );
       ( "corpus",
-        [ Alcotest.test_case "replay" `Quick test_corpus_replay ] ) ]
+        [ Alcotest.test_case "replay" `Quick test_corpus_replay;
+          Alcotest.test_case "cost-based agrees" `Slow
+            test_cost_based_agrees ] ) ]

@@ -625,6 +625,119 @@ let prop_index_scan_agree =
           | _ -> false)
         queries)
 
+(* Property (fixed derivation from the generated int): the incrementally
+   maintained planner statistics agree with a from-scratch recomputation
+   over the live rows after any interleaving of inserts, updates, deletes
+   and transactions (committed and rolled back): exact row count, exact
+   live NDV on the indexed column, exact numeric min/max, and NDV never
+   exceeding the row count. *)
+let prop_statistics_maintained =
+  QCheck.Test.make ~name:"statistics survive DML and rollback" ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let st = Random.State.make [| 0x57A7; seed |] in
+      let db = Database.create "statsdb" in
+      let t =
+        Table.create "T"
+          [ Table.column "K" Table.T_int; Table.column "V" Table.T_int ]
+      in
+      (match Table.create_index t ~name:"t_k" [ "K" ] with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      Database.add_table db t;
+      let rand_key () =
+        if Random.State.int st 8 = 0 then V.Null
+        else V.Int (Random.State.int st 10)
+      in
+      let live_ids () =
+        let ids = ref [] in
+        Table.iter_rows t (fun id _ -> ids := id :: !ids);
+        !ids
+      in
+      let random_op () =
+        match Random.State.int st 4 with
+        | 0 | 1 ->
+          ignore
+            (Table.insert t [| rand_key (); V.Int (Random.State.int st 100) |])
+        | 2 -> (
+          match live_ids () with
+          | [] -> ()
+          | ids ->
+            Table.delete_row t
+              (List.nth ids (Random.State.int st (List.length ids))))
+        | _ -> (
+          match live_ids () with
+          | [] -> ()
+          | ids ->
+            Table.update_row t
+              (List.nth ids (Random.State.int st (List.length ids)))
+              [| rand_key (); V.Int (Random.State.int st 100) |])
+      in
+      let consistent () =
+        let rows = Table.all_rows t in
+        let keys =
+          List.filter_map
+            (fun row -> match row.(0) with V.Int k -> Some k | _ -> None)
+            rows
+        in
+        (* NULL occupies its own key bucket in the index, so it counts as
+           one distinct key when any live row has a NULL key *)
+        let has_null =
+          List.exists (fun row -> row.(0) = V.Null) rows
+        in
+        let distinct =
+          List.length (List.sort_uniq compare keys)
+          + if has_null then 1 else 0
+        in
+        let stats = Table.statistics t in
+        let cs =
+          List.find
+            (fun cs -> cs.Table.cs_columns = [ "K" ])
+            stats.Table.stat_columns
+        in
+        let bounds_ok =
+          cs.Table.cs_distinct >= 0
+          && cs.Table.cs_distinct <= stats.Table.stat_rows
+        in
+        let range_ok =
+          match (cs.Table.cs_min, cs.Table.cs_max, keys) with
+          | None, None, [] -> true
+          | Some lo, Some hi, _ :: _ ->
+            lo = float_of_int (List.fold_left min max_int keys)
+            && hi = float_of_int (List.fold_left max min_int keys)
+          | _ -> false
+        in
+        stats.Table.stat_rows = List.length rows
+        && cs.Table.cs_distinct = distinct
+        && bounds_ok && range_ok
+      in
+      let steps = 10 + Random.State.int st 30 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        (match Random.State.int st 5 with
+        | 0 ->
+          (* a transaction that makes a few changes then aborts: the
+             statistics must roll back with the data *)
+          let rows_before = (Table.statistics t).Table.stat_rows in
+          ignore
+            (Txn.with_transaction db (fun () ->
+                 for _ = 1 to 1 + Random.State.int st 4 do
+                   random_op ()
+                 done;
+                 Error "abort"));
+          ok := !ok && (Table.statistics t).Table.stat_rows = rows_before
+        | 1 ->
+          ignore
+            (Txn.with_transaction db (fun () ->
+                 for _ = 1 to 1 + Random.State.int st 4 do
+                   random_op ()
+                 done;
+                 Ok ()))
+        | _ -> random_op ());
+        ok := !ok && consistent ()
+      done;
+      !ok)
+
 (* Property: LIKE matching agrees with a reference regex translation. *)
 let prop_like =
   let pat_gen =
@@ -705,7 +818,8 @@ let () =
           t "optimistic where" test_optimistic_update_where;
           t "rollback" test_transaction_rollback;
           t "two-phase commit" test_two_phase_commit;
-          t "stats" test_stats_accounting ] );
+          t "stats" test_stats_accounting;
+          QCheck_alcotest.to_alcotest prop_statistics_maintained ] );
       ( "dialects",
         [ t "paper pattern (a)" test_print_simple_select_paper_shape;
           t "outer join" test_print_outer_join;

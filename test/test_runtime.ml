@@ -29,8 +29,11 @@ let run demo q = ok_exn (Server.run demo.Aldsp_demo.Demo.server q)
 (* Join methods                                                        *)
 
 let cross_db_join demo ~k =
-  (* force a specific PP-k block size via optimizer options *)
-  let options = { Optimizer.default_options with Optimizer.ppk_k = k } in
+  (* force a specific PP-k block size via optimizer options; cost-based
+     selection would override the knob, so switch it off *)
+  let options =
+    { Optimizer.default_options with Optimizer.ppk_k = k; cost_based = false }
+  in
   let server =
     Server.create ~optimizer_options:options demo.Aldsp_demo.Demo.registry
   in
@@ -251,7 +254,8 @@ let test_plan_cache () =
 
 let test_plan_cache_lru () =
   let key q =
-    { Plan_cache.k_query = q; k_options = "opts"; k_generation = 1 }
+    { Plan_cache.k_query = q; k_options = "opts"; k_generation = 1;
+      k_stats = 0 }
   in
   let cache = Plan_cache.create ~capacity:2 in
   Plan_cache.add cache (key "a") 1;
@@ -267,9 +271,13 @@ let test_plan_cache_lru () =
   let newer = { (key "a") with Plan_cache.k_generation = 2 } in
   check_bool "stale gen misses" true (Plan_cache.find cache newer = None);
   Plan_cache.add cache newer 4;
-  Plan_cache.purge_stale cache ~generation:2;
+  Plan_cache.purge_stale cache ~generation:2 ~stats:0;
   check_int "purged to current gen" 1 (Plan_cache.size cache);
-  check_bool "current kept" true (Plan_cache.find cache newer = Some 4)
+  check_bool "current kept" true (Plan_cache.find cache newer = Some 4);
+  (* a data mutation moves the statistics generation; plans costed against
+     the old statistics are swept the same way *)
+  Plan_cache.purge_stale cache ~generation:2 ~stats:1;
+  check_int "stale stats purged" 0 (Plan_cache.size cache)
 
 (* ------------------------------------------------------------------ *)
 (* Security (§7)                                                       *)
