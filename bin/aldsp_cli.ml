@@ -26,19 +26,75 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let action customers query =
+  let clients_arg =
+    let doc =
+      "Run the query from $(docv) concurrent client sessions against one \
+       shared server. Every session's answer must be byte-identical; the \
+       answer is printed once, followed by the server's admission-control \
+       counters."
+    in
+    Arg.(value & opt int 1 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let action customers clients query =
     let demo = make_demo customers in
-    match Server.run demo.Aldsp_demo.Demo.server query with
-    | Ok items ->
-      print_endline (Aldsp_xml.Item.serialize items);
-      0
-    | Error msg ->
-      prerr_endline msg;
-      1
+    let server = demo.Aldsp_demo.Demo.server in
+    if clients <= 1 then
+      match Server.run server query with
+      | Ok items ->
+        print_endline (Aldsp_xml.Item.serialize items);
+        0
+      | Error msg ->
+        prerr_endline msg;
+        1
+    else begin
+      let results = Array.make clients (Error (Server.Failed "not run")) in
+      let threads =
+        List.init clients (fun i ->
+            Thread.create
+              (fun () ->
+                let ses = Server.session server () in
+                results.(i) <- Server.session_run ses query)
+              ())
+      in
+      List.iter Thread.join threads;
+      let adm = Server.admission_stats server in
+      let report () =
+        Printf.eprintf
+          "-- %d clients: %d submitted, %d completed, %d rejected, %d \
+           deadline aborts (peak %d active / %d queued)\n"
+          clients adm.Server.ad_submitted adm.Server.ad_completed
+          adm.Server.ad_rejected adm.Server.ad_deadline_aborts
+          adm.Server.ad_peak_active adm.Server.ad_peak_queued
+      in
+      match results.(0) with
+      | Error e ->
+        prerr_endline (Server.submit_error_to_string e);
+        report ();
+        1
+      | Ok items ->
+        let expected = Aldsp_xml.Item.serialize items in
+        let divergent = ref 0 in
+        Array.iteri
+          (fun i r ->
+            if i > 0 then
+              match r with
+              | Ok items when Aldsp_xml.Item.serialize items = expected -> ()
+              | Ok _ ->
+                incr divergent;
+                Printf.eprintf "client %d: answer diverged from client 0\n" i
+              | Error e ->
+                incr divergent;
+                Printf.eprintf "client %d: %s\n" i
+                  (Server.submit_error_to_string e))
+          results;
+        print_endline expected;
+        report ();
+        if !divergent = 0 then 0 else 1
+    end
   in
   let doc = "compile and run an XQuery against the demo enterprise" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ customers_arg $ query_arg)
+    Term.(const action $ customers_arg $ clients_arg $ query_arg)
 
 let explain_cmd =
   let analyze_arg =

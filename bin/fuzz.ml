@@ -50,10 +50,20 @@ let no_roundtrip_arg =
   let doc = "Skip SQL round-trip checking of generated queries." in
   Arg.(value & flag & info [ "no-sql-roundtrip" ] ~doc)
 
+let sessions_arg =
+  let doc =
+    "Concurrent oracle mode: replay each scenario's query corpus with \
+     $(docv) session threads against one shared server through the \
+     admission-controlled serving layer, byte-comparing every answer \
+     against the serial reference. 0 (default) runs the serial oracle."
+  in
+  Arg.(value & opt int 0 & info [ "concurrent-sessions" ] ~docv:"N" ~doc)
+
 let kind_name = function
   | Harness.K_oracle -> "oracle"
   | Harness.K_fault -> "fault"
   | Harness.K_mutation -> "mutation"
+  | Harness.K_concurrent -> "concurrent"
 
 let report_cx out cx =
   let text = Harness.cx_to_string cx in
@@ -90,13 +100,26 @@ let roundtrip_sweep ~seed ~count =
   done;
   match !failure with None -> Ok !regions | Some e -> Error e
 
-let fuzz seed count out mutate no_faults no_roundtrip =
+let fuzz seed count out mutate no_faults no_roundtrip sessions =
   let log msg = Printf.printf "%s\n%!" msg in
   let finish code =
     Oracle.shutdown_pools ();
     code
   in
-  if mutate then begin
+  if sessions > 0 then begin
+    log
+      (Printf.sprintf "concurrent oracle: %d sessions per scenario" sessions);
+    match Harness.run_concurrent ~sessions ~log ~seed ~count () with
+    | Ok n ->
+      log
+        (Printf.sprintf "%d scenarios passed the concurrent oracle comparison"
+           n);
+      finish 0
+    | Error cx ->
+      report_cx out cx;
+      finish 1
+  end
+  else if mutate then begin
     log "mutation self-test: planting a dropped-Where bug...";
     match Harness.run ~mutate:true ~with_faults:false ~log ~seed ~count () with
     | Ok n ->
@@ -136,4 +159,4 @@ let () =
        (Cmd.v info
           Term.(
             const fuzz $ seed_arg $ count_arg $ out_arg $ mutate_arg
-            $ no_faults_arg $ no_roundtrip_arg)))
+            $ no_faults_arg $ no_roundtrip_arg $ sessions_arg)))

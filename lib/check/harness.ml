@@ -1,4 +1,4 @@
-type kind = K_oracle | K_fault | K_mutation
+type kind = K_oracle | K_fault | K_mutation | K_concurrent
 
 type counterexample = {
   cx_seed : int;
@@ -13,6 +13,7 @@ let kind_to_string = function
   | K_oracle -> "oracle"
   | K_fault -> "fault"
   | K_mutation -> "mutation"
+  | K_concurrent -> "concurrent"
 
 let check ?(mutate = false) (s : Shrink.scenario) =
   let cat = Catalog.build s.Shrink.spec in
@@ -87,6 +88,47 @@ let run ?(mutate = false) ?(with_faults = true) ?(log = ignore) ~seed ~count
     end;
     if (i + 1) mod 50 = 0 then
       log (Printf.sprintf "%d/%d scenarios ok" (i + 1) count);
+    incr index
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent serving-layer mode                                       *)
+
+(* The scenario's own query plus [count - 1] more from a sibling RNG
+   stream (0xcc distinguishes it from the oracle and fault streams), so
+   one concurrent scenario replays a small deterministic corpus. *)
+let concurrent_queries ~seed ~index ~count s =
+  let st = Random.State.make [| seed; index; 0xcc |] in
+  Gen.render s.Shrink.query
+  :: List.init (max 0 (count - 1)) (fun _ -> Gen.render (Gen.generate st))
+
+let run_concurrent ?(sessions = 16) ?(queries = 24) ?(log = ignore) ~seed
+    ~count () =
+  let result = ref (Ok count) in
+  let index = ref 0 in
+  while !index < count && Result.is_ok !result do
+    let i = !index in
+    let s = scenario_of ~seed ~index:i in
+    let qs = concurrent_queries ~seed ~index:i ~count:queries s in
+    let cat = Catalog.build s.Shrink.spec in
+    (match Oracle.compare_concurrent cat s.Shrink.config ~sessions qs with
+    | Ok () -> ()
+    | Error report ->
+      (* no shrinking: the failure may be an interleaving property of the
+         whole query list, which single-query shrinking cannot preserve *)
+      result :=
+        Error
+          { cx_seed = seed;
+            cx_index = i;
+            cx_kind = K_concurrent;
+            cx_scenario = s;
+            cx_report = report;
+            cx_shrink_checks = 0 });
+    if (i + 1) mod 10 = 0 then
+      log
+        (Printf.sprintf "%d/%d concurrent scenarios ok (%d sessions)" (i + 1)
+           count sessions);
     incr index
   done;
   !result

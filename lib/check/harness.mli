@@ -8,7 +8,7 @@
     single scenario replays standalone from its [(seed, index)] pair or
     from its printed counterexample. *)
 
-type kind = K_oracle | K_fault | K_mutation
+type kind = K_oracle | K_fault | K_mutation | K_concurrent
 
 type counterexample = {
   cx_seed : int;
@@ -43,6 +43,28 @@ val run :
     index additionally running a randomized fault scenario when
     [with_faults] (default true). Stops at the first failure, shrunk.
     [Ok n] is the number of scenarios that ran. *)
+
+val concurrent_queries :
+  seed:int -> index:int -> count:int -> Shrink.scenario -> string list
+(** The deterministic [count]-query corpus a concurrent scenario replays:
+    the scenario's own query plus more from a sibling RNG stream. *)
+
+val run_concurrent :
+  ?sessions:int ->
+  ?queries:int ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  (int, counterexample) result
+(** [count] concurrent scenarios from [seed]: each builds the
+    deterministic catalog/config for its index, derives a [queries]-query
+    corpus (the scenario's own query plus more from a sibling RNG
+    stream), and runs {!Oracle.compare_concurrent} with [sessions]
+    (default 16) session threads against one shared subject server.
+    Failures are reported unshrunk ([K_concurrent]): an interleaving
+    property of the whole list would not survive single-query
+    shrinking. *)
 
 val cx_to_string : counterexample -> string
 (** The corpus text format: [kind:]/[seed:]/[index:]/[spec:]/[config:]/

@@ -171,6 +171,78 @@ let recheck_cached server q first =
       Error "cached re-run recompiled: expected a plan-cache hit"
     else Ok ()
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent serving-layer oracle: the serial reference answers each
+   query first; then N session threads replay the whole list against ONE
+   shared subject server through the admission-controlled front door
+   (Server.submit), query i on session (i mod N). The queries are
+   read-only, so whatever the interleaving, every concurrent answer must
+   byte-match its serial one — and the admission counters must balance. *)
+
+let compare_concurrent cat config ~sessions queries =
+  let queries = Array.of_list queries in
+  let n = Array.length queries in
+  set_indexes cat false;
+  let ref_server = reference_server cat in
+  let expected = Array.map (run_serialized ref_server) queries in
+  set_indexes cat config.indexes;
+  let subject = subject_server cat config in
+  let results = Array.make n (Error "query never ran") in
+  let worker sid =
+    let ses = Server.session subject () in
+    let i = ref sid in
+    while !i < n do
+      results.(!i) <-
+        (match Server.session_run ses queries.(!i) with
+        | Ok items -> Ok (Aldsp_xml.Item.serialize items)
+        | Error e -> Error (Server.submit_error_to_string e));
+      i := !i + sessions
+    done
+  in
+  let threads = List.init sessions (fun sid -> Thread.create worker sid) in
+  List.iter Thread.join threads;
+  set_indexes cat true;
+  let adm = Server.admission_stats subject in
+  let mismatch = ref None in
+  Array.iteri
+    (fun i got ->
+      if !mismatch = None then
+        match (expected.(i), got) with
+        | Ok a, Ok b when String.equal a b -> ()
+        | Error a, Error b when String.equal a b -> ()
+        | exp, got ->
+          mismatch :=
+            Some
+              (Printf.sprintf
+                 "query %d (session %d) diverged under %d sessions\nquery: %s\nreference %s\nsubject   %s"
+                 i (i mod sessions) sessions queries.(i) (describe exp)
+                 (describe got)))
+    results;
+  match !mismatch with
+  | Some report -> Error report
+  | None ->
+    (* counter consistency: every submission admitted (the oracle never
+       outruns the default queue) and completed; nothing left behind *)
+    if adm.Server.ad_submitted <> n then
+      Error
+        (Printf.sprintf "admission: %d submitted, expected %d"
+           adm.Server.ad_submitted n)
+    else if adm.Server.ad_rejected <> 0 then
+      Error
+        (Printf.sprintf "admission: %d queries rejected Overloaded"
+           adm.Server.ad_rejected)
+    else if adm.Server.ad_deadline_aborts <> 0 then
+      Error
+        (Printf.sprintf "admission: %d deadline aborts without deadlines"
+           adm.Server.ad_deadline_aborts)
+    else if adm.Server.ad_completed <> n || adm.Server.ad_active <> 0
+            || adm.Server.ad_queued <> 0 then
+      Error
+        (Printf.sprintf
+           "admission counters inconsistent: completed=%d active=%d queued=%d (submitted %d)"
+           adm.Server.ad_completed adm.Server.ad_active adm.Server.ad_queued n)
+    else Ok ()
+
 let compare_query cat config ?(mutate = false) q =
   let reference =
     set_indexes cat false;

@@ -62,6 +62,16 @@ val run_mutated : Server.t -> string -> (string, string) result
     Used by the harness's mutation check: the oracle must catch this and
     shrink it. *)
 
+val compare_concurrent :
+  Catalog.t -> config -> sessions:int -> string list -> (unit, string) result
+(** The concurrent serving-layer oracle: every query answered serially by
+    the reference server first, then the whole list replayed by
+    [sessions] threads against one shared subject server through
+    {!Server.submit} (query [i] on session [i mod sessions] — the
+    deterministic round-robin assignment). Any byte of divergence on any
+    query, or admission counters that do not balance (a rejection, a
+    phantom deadline abort, work left active/queued), is an [Error]. *)
+
 val compare_query : Catalog.t -> config -> ?mutate:bool -> string ->
   (unit, string) result
 (** Runs the query on both servers ([mutate] swaps the subject evaluation

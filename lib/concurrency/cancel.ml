@@ -1,0 +1,87 @@
+type t = {
+  deadline : float option;  (* absolute, Unix.gettimeofday-based *)
+  mutable flagged : bool;
+}
+
+exception Cancelled of string
+
+let none = { deadline = None; flagged = false }
+
+let make ?deadline () = { deadline; flagged = false }
+
+let with_deadline seconds =
+  make ~deadline:(Unix.gettimeofday () +. seconds) ()
+
+(* The flag is a single mutable bool: writes are atomic under the runtime
+   lock and the flag is monotonic, so readers need no mutex — a stale
+   read only delays cancellation by one check interval. *)
+let cancel t = if t != none then t.flagged <- true
+
+let past_deadline t =
+  match t.deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () >= d
+
+let cancelled t = t.flagged || past_deadline t
+
+let remaining t =
+  match t.deadline with
+  | None -> None
+  | Some d -> Some (Float.max 0. (d -. Unix.gettimeofday ()))
+
+let check t =
+  if t.flagged then raise (Cancelled "cancelled")
+  else if past_deadline t then raise (Cancelled "deadline exceeded")
+
+(* Ambient per-thread token: a table keyed by Thread.id. Entries exist
+   only while a [with_token] scope is live, so the table stays small
+   (one entry per active session/worker). *)
+let ambient : (int, t) Hashtbl.t = Hashtbl.create 32
+let ambient_mutex = Mutex.create ()
+
+let current () =
+  Mutex.lock ambient_mutex;
+  let tok =
+    match Hashtbl.find_opt ambient (Thread.id (Thread.self ())) with
+    | Some tok -> tok
+    | None -> none
+  in
+  Mutex.unlock ambient_mutex;
+  tok
+
+let check_current () = check (current ())
+
+let with_token tok f =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock ambient_mutex;
+  let previous = Hashtbl.find_opt ambient id in
+  Hashtbl.replace ambient id tok;
+  Mutex.unlock ambient_mutex;
+  Fun.protect f ~finally:(fun () ->
+      Mutex.lock ambient_mutex;
+      (match previous with
+      | Some prev -> Hashtbl.replace ambient id prev
+      | None -> Hashtbl.remove ambient id);
+      Mutex.unlock ambient_mutex)
+
+(* Chunked interruptible sleep. 2ms chunks bound cancellation latency
+   while costing nothing measurable against the multi-ms simulated
+   backend latencies they interrupt. *)
+let chunk = 0.002
+
+let sleepf seconds =
+  let tok = current () in
+  if tok == none then Unix.sleepf seconds
+  else begin
+    check tok;
+    let until = Unix.gettimeofday () +. seconds in
+    let rec go () =
+      let left = until -. Unix.gettimeofday () in
+      if left > 0. then begin
+        Unix.sleepf (Float.min chunk left);
+        check tok;
+        go ()
+      end
+    in
+    go ()
+  end

@@ -1,0 +1,71 @@
+(** Cooperative cancellation tokens carrying per-query deadlines.
+
+    The serving layer ({!Server.submit}) creates one token per admitted
+    query; the evaluator, the pool workers and the simulated-latency
+    sleeps inside backend adaptors all consult the token of the query
+    they are executing on behalf of, so a deadline (or an explicit
+    cancel) cuts a query short wherever it happens to be: queued on the
+    pool, mid-roundtrip, or sleeping inside a web-service call.
+
+    Propagation is ambient: a token is installed for the current thread
+    with {!with_token}, and {!Pool.submit} / {!Future.detach} capture the
+    submitting thread's token and re-install it in whichever thread runs
+    the task. Checks are time-comparisons (no timer threads), and
+    interruptible sleeps poll the token every couple of milliseconds, so
+    cancellation latency is bounded without per-query threads. *)
+
+type t
+(** A cancellation token: an optional absolute deadline plus a flag for
+    explicit cancellation. Immutable deadline; the flag is monotonic. *)
+
+exception Cancelled of string
+(** Raised by {!check} (and anything calling it) when the token's
+    deadline has passed or {!cancel} was called. The payload names the
+    cause ("deadline exceeded" or "cancelled"). Not recoverable: the
+    fail-over/timeout adaptors must let it propagate
+    (see {!Eval.recoverable_failure}). *)
+
+val none : t
+(** The inert token: never cancelled, no deadline. Installed ambient
+    state defaults to this, so code outside a session runs unchecked. *)
+
+val make : ?deadline:float -> unit -> t
+(** [deadline] is absolute ([Unix.gettimeofday]-based). *)
+
+val with_deadline : float -> t
+(** [with_deadline seconds] — a token expiring [seconds] from now. *)
+
+val cancel : t -> unit
+(** Flags the token; every thread it is installed in observes the flag at
+    its next {!check} or sleep chunk. Idempotent, thread-safe. *)
+
+val cancelled : t -> bool
+(** Whether the token is cancelled or past its deadline (a read, never
+    raises). *)
+
+val remaining : t -> float option
+(** Seconds until the deadline ([Some 0.] if already past), [None] when
+    the token has no deadline. *)
+
+val check : t -> unit
+(** Raises {!Cancelled} if the token is cancelled or past deadline. *)
+
+(** {2 Ambient (per-thread) token} *)
+
+val current : unit -> t
+(** The token installed for the calling thread ({!none} if nothing is
+    installed). *)
+
+val check_current : unit -> unit
+(** [check (current ())] — the one-liner used at evaluator call sites. *)
+
+val with_token : t -> (unit -> 'a) -> 'a
+(** Installs the token for the calling thread for the duration of the
+    thunk, restoring the previous token afterwards (exception-safe).
+    Nesting keeps the innermost token. *)
+
+val sleepf : float -> unit
+(** Interruptible [Unix.sleepf]: sleeps in small chunks, consulting the
+    calling thread's ambient token between chunks; raises {!Cancelled}
+    promptly (within one chunk) when the token fires mid-sleep. With the
+    inert token this is just a sleep. *)

@@ -1,0 +1,5 @@
+(* Re-export: cancellation lives below the relational/services layers
+   (their simulated-latency sleeps must be interruptible) but is part of
+   the core API surface — [Server.submit] hands tokens out and the
+   evaluator checks them. *)
+include Aldsp_concurrency.Cancel

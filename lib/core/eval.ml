@@ -48,9 +48,13 @@ let runtime ?(call_wrapper = fun _ _ k -> k ()) ?pool ?observed
    legitimately surface — [Failure] from a crashed pool worker or source
    implementation, transport-level [Unix_error]s. Asynchronous/fatal
    exceptions (Out_of_memory, Stack_overflow, Assert_failure, ...) are
-   never swallowed: an adaptor that masked those would hide real bugs. *)
+   never swallowed: an adaptor that masked those would hide real bugs.
+   [Cancel.Cancelled] is likewise never recoverable: a session deadline
+   (or explicit cancel) must abort the whole query, and a fail-over that
+   "recovered" from it would instead run the alternate and keep going. *)
 let recoverable_failure = function
   | Eval_error _ | Failure _ | Unix.Unix_error _ | Not_found -> true
+  | Cancel.Cancelled _ -> false
   | _ -> false
 
 let lookup env v =
@@ -290,10 +294,22 @@ let rec exec fr env (p : Plan_ir.t) : Item.sequence =
     (* a dedicated thread, not a pool worker: past the deadline the
        computation is abandoned and must not occupy the bounded pool *)
     let fut = Future.detach (fun () -> exec fr env primary) in
+    (* the adaptor's window never extends past the session deadline: once
+       the session is out of time there is no point waiting, and the
+       check below turns the expiry into an abort rather than a
+       fail-over to the alternate *)
+    let window = float_of_int ms /. 1000. in
+    let window =
+      match Cancel.remaining (Cancel.current ()) with
+      | Some left -> Float.min window left
+      | None -> window
+    in
     let v =
-      match Future.await_timeout fut (float_of_int ms /. 1000.) with
+      match Future.await_timeout fut window with
       | Some v -> v
-      | None -> exec fr env alternate
+      | None ->
+        Cancel.check_current ();
+        exec fr env alternate
       | exception e when recoverable_failure e -> exec fr env alternate
     in
     tally p.counters (List.length v);
@@ -477,6 +493,10 @@ and exec_binop fr env op a b =
 (* --------------------------- calls -------------------------------- *)
 
 and exec_call fr env (p : Plan_ir.t) fn args =
+  (* function calls are the cancellation check points: frequent enough
+     that a cancelled session aborts promptly even between sleeps, cheap
+     enough not to tax the per-item operators *)
+  Cancel.check_current ();
   (* correct-arity fn-bea special forms were lowered to dedicated guard
      nodes; a call node still carrying one of those names is an arity
      error *)
@@ -997,10 +1017,15 @@ let execute_exn rt ?(bindings = []) plan =
   in
   exec { rt; depth = 0 } env plan
 
+(* A deadline abort surfaces like any other evaluation error at the API
+   boundary: callers see [Error] with the cause, never the exception.
+   [Server.submit] distinguishes aborts by consulting the session's
+   token. *)
 let execute rt ?bindings plan =
   match execute_exn rt ?bindings plan with
   | v -> Ok v
   | exception Eval_error m -> Error m
+  | exception Cancel.Cancelled m -> Error m
 
 let eval_exn rt ?bindings e =
   execute_exn rt ?bindings (Plan_ir.compile rt.registry e)
@@ -1009,6 +1034,7 @@ let eval rt ?bindings e =
   match eval_exn rt ?bindings e with
   | v -> Ok v
   | exception Eval_error m -> Error m
+  | exception Cancel.Cancelled m -> Error m
 
 let call_function rt fn args =
   match Metadata.find_function rt.registry fn (List.length args) with
@@ -1019,4 +1045,5 @@ let call_function rt fn args =
   | Some fd -> (
     match apply_plan_function { rt; depth = 0 } None fd args with
     | v -> Ok v
-    | exception Eval_error m -> Error m)
+    | exception Eval_error m -> Error m
+    | exception Cancel.Cancelled m -> Error m)

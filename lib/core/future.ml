@@ -24,7 +24,13 @@ let fulfill_with fut f =
 
 let detach f =
   let fut = create () in
-  ignore (Thread.create (fun () -> fulfill_with fut f) ());
+  (* carry the spawning thread's cancellation token onto the detached
+     thread, so a session deadline also bounds fn-bea:timeout bodies *)
+  let token = Cancel.current () in
+  ignore
+    (Thread.create
+       (fun () -> fulfill_with fut (fun () -> Cancel.with_token token f))
+       ());
   fut
 
 let peek fut =

@@ -19,7 +19,9 @@ val fulfill_with : 'a t -> (unit -> 'a) -> unit
 
 val detach : (unit -> 'a) -> 'a t
 (** Starts the computation on its own dedicated thread — unbounded, so
-    reserved for work that may outlive its consumer (timeout fail-over). *)
+    reserved for work that may outlive its consumer (timeout fail-over).
+    The spawning thread's ambient {!Cancel.t} token is captured and
+    installed on the new thread, so session deadlines still apply. *)
 
 val await : 'a t -> 'a
 (** Blocks until completion; re-raises the computation's exception. *)

@@ -50,6 +50,14 @@ type t = {
   transforms : (Qname.t, Qname.t) Hashtbl.t;  (* directional: f -> inverse *)
   multi_inverses : (Qname.t, Qname.t list) Hashtbl.t;
       (* f(a1..an) -> per-argument projections g_i with a_i = g_i(f(..)) *)
+  lock : Mutex.t;
+      (* guards every table and the generation counter: sessions compile
+         concurrently (transient prolog functions mutate the registry)
+         while others read, and an unlocked Hashtbl read during a resize
+         is a crash, not just a stale answer. The lock is not reentrant:
+         public operations lock exactly once and compound updates go
+         through the unlocked internals inside a single critical
+         section. *)
   mutable generation : int;
 }
 
@@ -62,9 +70,15 @@ let create () =
     inverses = Hashtbl.create 8;
     transforms = Hashtbl.create 8;
     multi_inverses = Hashtbl.create 4;
+    lock = Mutex.create ();
     generation = 0 }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
+
 let copy t =
+  locked t @@ fun () ->
   { functions = Hashtbl.copy t.functions;
     databases = Hashtbl.copy t.databases;
     services = Hashtbl.copy t.services;
@@ -73,16 +87,20 @@ let copy t =
     inverses = Hashtbl.copy t.inverses;
     transforms = Hashtbl.copy t.transforms;
     multi_inverses = Hashtbl.copy t.multi_inverses;
+    lock = Mutex.create ();
     generation = t.generation }
 
-let generation t = t.generation
-let bump t = t.generation <- t.generation + 1
+let generation t = locked t @@ fun () -> t.generation
+
+let bump_unlocked t = t.generation <- t.generation + 1
 
 let add_function t fd =
-  bump t;
+  locked t @@ fun () ->
+  bump_unlocked t;
   Hashtbl.replace t.functions (fd.fd_name, List.length fd.fd_params) fd
 
-let find_function t name arity = Hashtbl.find_opt t.functions (name, arity)
+let find_function t name arity =
+  locked t @@ fun () -> Hashtbl.find_opt t.functions (name, arity)
 
 (* Unprefixed calls resolve to the default function namespace (fn); when no
    builtin claims the name, fall back to the no-namespace registry so that
@@ -97,28 +115,37 @@ let resolve_call t name arity =
     else None
 
 let functions t =
+  locked t @@ fun () ->
   Hashtbl.fold (fun _ fd acc -> fd :: acc) t.functions []
   |> List.sort (fun a b -> Qname.compare a.fd_name b.fd_name)
 
+(* read-modify-write across every overload of [name]: one critical
+   section, or a concurrent [add_function] could interleave between the
+   fold and the replaces *)
 let set_cacheable t name flag =
+  locked t @@ fun () ->
   let updates =
     Hashtbl.fold
       (fun key fd acc ->
         if Qname.equal fd.fd_name name then (key, fd) :: acc else acc)
       t.functions []
   in
-  bump t;
+  bump_unlocked t;
   List.iter
     (fun (key, fd) ->
       Hashtbl.replace t.functions key { fd with fd_cacheable = flag })
     updates
 
 let add_database t db =
-  bump t;
+  locked t @@ fun () ->
+  bump_unlocked t;
   Hashtbl.replace t.databases db.Database.db_name db
-let find_database t name = Hashtbl.find_opt t.databases name
+
+let find_database t name =
+  locked t @@ fun () -> Hashtbl.find_opt t.databases name
 
 let databases t =
+  locked t @@ fun () ->
   Hashtbl.fold (fun _ db acc -> db :: acc) t.databases []
   |> List.sort (fun a b -> String.compare a.Database.db_name b.Database.db_name)
 
@@ -127,41 +154,52 @@ let databases t =
    [generation] so cost-based decisions are recomputed once the data a
    plan was costed against has changed. *)
 let stats_generation t =
+  locked t @@ fun () ->
   Hashtbl.fold (fun _ db acc -> acc + Database.stats_version db) t.databases 0
 
 let add_data_service t ds =
-  bump t;
+  locked t @@ fun () ->
+  bump_unlocked t;
   Hashtbl.replace t.services ds.ds_name ds
-let find_data_service t name = Hashtbl.find_opt t.services name
+
+let find_data_service t name =
+  locked t @@ fun () -> Hashtbl.find_opt t.services name
 
 let data_services t =
+  locked t @@ fun () ->
   Hashtbl.fold (fun _ ds acc -> ds :: acc) t.services []
   |> List.sort (fun a b -> String.compare a.ds_name b.ds_name)
 
 let add_schema t decl =
-  bump t;
+  locked t @@ fun () ->
+  bump_unlocked t;
   Hashtbl.replace t.schemas decl.Schema.elem_name decl
-let find_schema t name = Hashtbl.find_opt t.schemas name
+
+let find_schema t name =
+  locked t @@ fun () -> Hashtbl.find_opt t.schemas name
 
 let custom_registry t = t.custom
 
 let register_inverse t ~f ~inverse =
-  bump t;
+  locked t @@ fun () ->
+  bump_unlocked t;
   Hashtbl.replace t.inverses f inverse;
   Hashtbl.replace t.inverses inverse f;
   (* the transformation rules of §4.5 are directional: comparisons against
      f(x) rewrite through the inverse, never the other way around *)
   Hashtbl.replace t.transforms f inverse
 
-let inverse_of t f = Hashtbl.find_opt t.inverses f
+let inverse_of t f = locked t @@ fun () -> Hashtbl.find_opt t.inverses f
 
-let transform_of t f = Hashtbl.find_opt t.transforms f
+let transform_of t f = locked t @@ fun () -> Hashtbl.find_opt t.transforms f
 
 let register_multi_inverse t ~f ~projections =
-  bump t;
+  locked t @@ fun () ->
+  bump_unlocked t;
   Hashtbl.replace t.multi_inverses f projections
 
-let projections_of t f = Hashtbl.find_opt t.multi_inverses f
+let projections_of t f =
+  locked t @@ fun () -> Hashtbl.find_opt t.multi_inverses f
 
 (* ------------------------------------------------------------------ *)
 (* Shape conversion                                                    *)

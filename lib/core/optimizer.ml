@@ -53,6 +53,9 @@ type t = {
   opts : options;
   counter : int ref;
   view_cache : (Qname.t, Cexpr.t) Hashtbl.t;
+  view_lock : Mutex.t;
+      (* guards view_cache/view_lru/hits/misses: one optimizer is shared
+         by every concurrent compilation on a server *)
   mutable view_lru : Qname.t list;
   mutable hits : int;
   mutable misses : int;
@@ -63,6 +66,7 @@ let create ?(options = default_options) registry =
     opts = options;
     counter = ref 0;
     view_cache = Hashtbl.create 32;
+    view_lock = Mutex.create ();
     view_lru = [];
     hits = 0;
     misses = 0 }
@@ -213,14 +217,23 @@ let rec query_independent_rules t =
     rule_seq_data_distribute;
     rule_dead_let ]
 
+(* The rewrite below may re-enter [view_body] through the inline rule, so
+   the lock is never held across [Rewrite.run]: look up under the lock,
+   optimize outside it, insert under the lock again. Two sessions racing
+   on the same cold view both optimize it — the result is deterministic,
+   so the duplicate work is benign and the second insert a no-op. *)
 and view_body t name body =
+  Mutex.lock t.view_lock;
   match Hashtbl.find_opt t.view_cache name with
   | Some optimized ->
     t.hits <- t.hits + 1;
+    Mutex.unlock t.view_lock;
     optimized
   | None ->
     t.misses <- t.misses + 1;
+    Mutex.unlock t.view_lock;
     let optimized, _ = Rewrite.run (query_independent_rules t) body in
+    Mutex.lock t.view_lock;
     (* LRU eviction bounds the memory footprint of cached view plans *)
     if List.length t.view_lru >= t.opts.view_cache_size then begin
       match List.rev t.view_lru with
@@ -231,6 +244,7 @@ and view_body t name body =
     end;
     Hashtbl.replace t.view_cache name optimized;
     t.view_lru <- name :: List.filter (fun n -> not (Qname.equal n name)) t.view_lru;
+    Mutex.unlock t.view_lock;
     optimized
 
 and rule_inline t =

@@ -15,19 +15,27 @@ let key_string k =
 type 'plan t = {
   capacity : int;
   table : (string, key * 'plan) Hashtbl.t;
+  mutex : Mutex.t;
+      (* one lock for table + lru + counters: eviction and LRU touching
+         are multi-step, and concurrent sessions share one cache *)
   mutable lru : string list;  (* most recent first *)
   mutable hit_count : int;
   mutable miss_count : int;
 }
 
 let create ~capacity =
-  { capacity; table = Hashtbl.create 32; lru = []; hit_count = 0;
-    miss_count = 0 }
+  { capacity; table = Hashtbl.create 32; mutex = Mutex.create (); lru = [];
+    hit_count = 0; miss_count = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.mutex)
 
 let touch t key =
   t.lru <- key :: List.filter (fun k -> not (String.equal k key)) t.lru
 
 let find t key =
+  locked t @@ fun () ->
   let ks = key_string key in
   match Hashtbl.find_opt t.table ks with
   | Some (_, plan) ->
@@ -39,6 +47,7 @@ let find t key =
     None
 
 let add t key plan =
+  locked t @@ fun () ->
   let ks = key_string key in
   if not (Hashtbl.mem t.table ks) && Hashtbl.length t.table >= t.capacity
   then begin
@@ -52,6 +61,7 @@ let add t key plan =
   touch t ks
 
 let purge_stale t ~generation ~stats =
+  locked t @@ fun () ->
   let stale =
     Hashtbl.fold
       (fun ks (key, _) acc ->
@@ -65,9 +75,10 @@ let purge_stale t ~generation ~stats =
     t.lru <- List.filter (fun k -> Hashtbl.mem t.table k) t.lru
 
 let clear t =
+  locked t @@ fun () ->
   Hashtbl.reset t.table;
   t.lru <- []
 
-let size t = Hashtbl.length t.table
-let hits t = t.hit_count
-let misses t = t.miss_count
+let size t = locked t @@ fun () -> Hashtbl.length t.table
+let hits t = locked t @@ fun () -> t.hit_count
+let misses t = locked t @@ fun () -> t.miss_count

@@ -1,4 +1,8 @@
-type task = Task : 'a Future.t * (unit -> 'a) -> task
+(* Each task carries the cancellation token that was ambient on the
+   submitting thread: whichever thread ends up running it (worker or
+   help-draining awaiter) re-installs that token for the task's duration,
+   so deadlines follow the query across threads. *)
+type task = Task : 'a Future.t * Cancel.t * (unit -> 'a) -> task
 
 type t = {
   workers : int;
@@ -6,6 +10,7 @@ type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
   worker_ids : (int, unit) Hashtbl.t;  (* Thread.id of each worker *)
+  mutable threads : Thread.t list;  (* join handles for [shutdown ~wait] *)
   mutable started : bool;
   mutable stopping : bool;
   mutable submitted : int;
@@ -33,6 +38,7 @@ let create ?(workers = Domain.recommended_domain_count ()) () =
     mutex = Mutex.create ();
     work_ready = Condition.create ();
     worker_ids = Hashtbl.create 8;
+    threads = [];
     started = false;
     stopping = false;
     submitted = 0;
@@ -47,14 +53,14 @@ let size t = t.workers
 (* [helper] marks execution by an awaiting thread rather than a worker:
    it is tallied separately so [st_max_busy] counts pool threads only and
    stays within the configured bound *)
-let run_task ?(helper = false) t (Task (fut, f)) =
+let run_task ?(helper = false) t (Task (fut, token, f)) =
   if helper then t.helped <- t.helped + 1
   else begin
     t.busy <- t.busy + 1;
     if t.busy > t.max_busy then t.max_busy <- t.busy
   end;
   Mutex.unlock t.mutex;
-  Future.fulfill_with fut f;
+  Future.fulfill_with fut (fun () -> Cancel.with_token token f);
   Mutex.lock t.mutex;
   if not helper then t.busy <- t.busy - 1;
   t.completed <- t.completed + 1
@@ -80,16 +86,17 @@ let ensure_started t =
   if not t.started then begin
     t.started <- true;
     for _ = 1 to t.workers do
-      ignore (Thread.create (worker_loop t) ())
+      t.threads <- Thread.create (worker_loop t) () :: t.threads
     done
   end
 
 let submit t f =
   let fut = Future.create () in
+  let token = Cancel.current () in
   Mutex.lock t.mutex;
   ensure_started t;
   t.submitted <- t.submitted + 1;
-  Queue.push (Task (fut, f)) t.queue;
+  Queue.push (Task (fut, token, f)) t.queue;
   let depth = Queue.length t.queue in
   if depth > t.max_queue_depth then t.max_queue_depth <- depth;
   Condition.signal t.work_ready;
@@ -167,12 +174,26 @@ let reset_stats t =
 
 (* Terminal: workers exit once the queue drains. Tasks submitted after
    shutdown still complete — awaiting threads help-drain the queue — they
-   just no longer overlap. *)
-let shutdown t =
+   just no longer overlap. Idempotent: the flag is monotonic and joining
+   an already-terminated thread returns immediately, so concurrent or
+   repeated shutdowns (with or without [wait]) are all safe, including
+   while workers sit inside a backend roundtrip — they finish the task in
+   hand, observe [stopping], and exit. *)
+let shutdown ?(wait = false) t =
   Mutex.lock t.mutex;
   t.stopping <- true;
   Condition.broadcast t.work_ready;
-  Mutex.unlock t.mutex
+  let threads = t.threads in
+  Mutex.unlock t.mutex;
+  if wait then begin
+    (* Never join from inside the pool — a worker calling [shutdown ~wait]
+       would wait for itself. It still flags the stop; someone outside the
+       pool does the joining. *)
+    let self = Thread.id (Thread.self ()) in
+    List.iter
+      (fun th -> if Thread.id th <> self then Thread.join th)
+      threads
+  end
 
 let is_worker_thread t =
   Mutex.lock t.mutex;

@@ -38,7 +38,10 @@ val create : ?workers:int -> unit -> t
 val size : t -> int
 
 val submit : t -> (unit -> 'a) -> 'a Future.t
-(** Enqueues the task; a worker will resolve the returned future. *)
+(** Enqueues the task; a worker will resolve the returned future. The
+    calling thread's ambient {!Cancel.t} token is captured and installed
+    in whichever thread runs the task, so per-query deadlines follow the
+    work onto the pool. *)
 
 val await : t -> 'a Future.t -> 'a
 (** Like {!Future.await} but helps execute queued tasks while the awaited
@@ -60,10 +63,15 @@ val stats : t -> stats
 val reset_stats : t -> unit
 (** Clears the counters and high-water marks (not the queue). *)
 
-val shutdown : t -> unit
-(** Asks the workers to exit once the queue drains (terminal; idempotent).
-    Tasks submitted afterwards still complete correctly — {!await} helps
-    drain them on the calling thread — they just stop overlapping. Long
+val shutdown : ?wait:bool -> t -> unit
+(** Asks the workers to exit once the queue drains (terminal; idempotent
+    — repeated and concurrent calls are safe, including while workers are
+    blocked inside a backend roundtrip: they finish the task in hand and
+    exit). [~wait:true] additionally joins the worker threads before
+    returning, so in-flight work is complete on return; a worker calling
+    [shutdown ~wait:true] on its own pool skips joining itself. Tasks
+    submitted afterwards still complete correctly — {!await} helps drain
+    them on the calling thread — they just stop overlapping. Long
     fuzzing/benchmark drivers that create many pools call this so worker
     threads do not accumulate. *)
 

@@ -9,6 +9,55 @@ type compiled = {
   sql : (string * string) list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Admission control: a fixed number of executing slots plus a bounded
+   wait queue. Queries execute on the submitting thread once admitted;
+   beyond [max_queue] waiting submitters, new arrivals are rejected
+   immediately ([Overloaded]) so an overloaded server sheds load instead
+   of building an unbounded backlog (§5.4's "millions of users" posture:
+   backpressure at the front door). *)
+
+type admission = {
+  adm_max_active : int;
+  adm_max_queue : int;
+  adm_mutex : Mutex.t;
+  adm_slot_free : Condition.t;  (* a slot was released *)
+  adm_idle : Condition.t;  (* active and waiting both reached zero *)
+  mutable adm_active : int;
+  mutable adm_waiting : int;
+  mutable adm_draining : bool;
+  (* counters *)
+  mutable adm_submitted : int;
+  mutable adm_admitted : int;
+  mutable adm_rejected : int;
+  mutable adm_completed : int;
+  mutable adm_deadline_aborts : int;
+  mutable adm_peak_active : int;
+  mutable adm_peak_waiting : int;
+}
+
+type admission_stats = {
+  ad_submitted : int;
+  ad_admitted : int;
+  ad_rejected : int;
+  ad_completed : int;
+  ad_deadline_aborts : int;
+  ad_active : int;
+  ad_queued : int;
+  ad_peak_active : int;
+  ad_peak_queued : int;
+}
+
+type submit_error =
+  | Overloaded
+  | Cancelled of string
+  | Failed of string
+
+let submit_error_to_string = function
+  | Overloaded -> "overloaded: admission queue full"
+  | Cancelled m -> m
+  | Failed m -> m
+
 type t = {
   registry : Metadata.t;
   optimizer : Optimizer.t;
@@ -19,6 +68,13 @@ type t = {
   observed : Observed.t option;
   pool : Pool.t;
   runtime : Eval.rt;
+  admission : admission;
+  explain_lock : Mutex.t;
+      (* EXPLAIN --analyze resets plan counters, executes, then renders:
+         three steps that must not interleave with another session's
+         analyze on the same (cached, shared) plan *)
+  counter_lock : Mutex.t;
+      (* guards the two read-modify-write rollups below *)
   streamed_tokens : int ref;
   worst_misestimate : float ref;
       (* worst est-vs-actual cardinality ratio seen across executions *)
@@ -40,10 +96,14 @@ type stats = {
   st_max_misestimate : float;
       (** Worst per-operator est-vs-actual cardinality ratio across every
           execution so far; 1.0 when estimates held (or none applied). *)
+  st_admission : admission_stats;
+      (** Serving-layer counters: submissions, rejections, deadline
+          aborts, live/peak concurrency and queue depth. *)
 }
 
 let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
-    ?security ?audit ?observed ?pool ?concurrent_lets registry =
+    ?security ?audit ?observed ?pool ?concurrent_lets
+    ?(max_concurrent = 16) ?(admission_queue = 64) registry =
   let audit = match audit with Some a -> a | None -> Audit.create () in
   let security =
     match security with Some s -> s | None -> Security.create ~audit ()
@@ -72,6 +132,24 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     observed;
     pool;
     runtime = Eval.runtime ~call_wrapper ~pool ?observed ?concurrent_lets registry;
+    admission =
+      { adm_max_active = max max_concurrent 1;
+        adm_max_queue = max admission_queue 0;
+        adm_mutex = Mutex.create ();
+        adm_slot_free = Condition.create ();
+        adm_idle = Condition.create ();
+        adm_active = 0;
+        adm_waiting = 0;
+        adm_draining = false;
+        adm_submitted = 0;
+        adm_admitted = 0;
+        adm_rejected = 0;
+        adm_completed = 0;
+        adm_deadline_aborts = 0;
+        adm_peak_active = 0;
+        adm_peak_waiting = 0 };
+    explain_lock = Mutex.create ();
+    counter_lock = Mutex.create ();
     streamed_tokens = ref 0;
     worst_misestimate = ref 1. }
 
@@ -89,6 +167,23 @@ let optimizer t = t.optimizer
 let security t = t.security
 let function_cache t = t.function_cache
 let pool t = t.pool
+
+let admission_stats t =
+  let adm = t.admission in
+  Mutex.lock adm.adm_mutex;
+  let snap =
+    { ad_submitted = adm.adm_submitted;
+      ad_admitted = adm.adm_admitted;
+      ad_rejected = adm.adm_rejected;
+      ad_completed = adm.adm_completed;
+      ad_deadline_aborts = adm.adm_deadline_aborts;
+      ad_active = adm.adm_active;
+      ad_queued = adm.adm_waiting;
+      ad_peak_active = adm.adm_peak_active;
+      ad_peak_queued = adm.adm_peak_waiting }
+  in
+  Mutex.unlock adm.adm_mutex;
+  snap
 
 let stats t =
   let backend = Aldsp_relational.Database.zero_stats () in
@@ -112,7 +207,8 @@ let stats t =
       (match t.observed with Some o -> Observed.source_wall o | None -> 0.);
     st_tokens_streamed = !(t.streamed_tokens);
     st_backend = backend;
-    st_max_misestimate = !(t.worst_misestimate) }
+    st_max_misestimate = !(t.worst_misestimate);
+    st_admission = admission_stats t }
 
 (* ------------------------------------------------------------------ *)
 (* Data service registration                                           *)
@@ -427,6 +523,13 @@ let diags_to_string ds = String.concat "; " (List.map Diag.to_string ds)
    deltas against a snapshot taken before execution. *)
 let snapshot_rows ir = List.map (fun (_, c) -> c.Plan_ir.c_rows) (Plan_ir.operators ir)
 
+(* compare-and-update of a shared maximum: a read-modify-write, so
+   locked — concurrent sessions would otherwise lose updates *)
+let note_worst t worst =
+  Mutex.lock t.counter_lock;
+  if worst > !(t.worst_misestimate) then t.worst_misestimate := worst;
+  Mutex.unlock t.counter_lock
+
 let note_misestimate t ir before =
   let worst =
     List.fold_left2
@@ -438,7 +541,7 @@ let note_misestimate t ir before =
         else acc)
       1. (Plan_ir.operators ir) before
   in
-  if worst > !(t.worst_misestimate) then t.worst_misestimate := worst
+  note_worst t worst
 
 let run t ?(user = Security.admin) source =
   match compile t source with
@@ -456,7 +559,10 @@ let run_stream t ?(user = Security.admin) source =
   | Ok items ->
     Ok
       (Aldsp_tokens.Token_stream.counted
-         (fun _ -> incr t.streamed_tokens)
+         (fun _ ->
+           Mutex.lock t.counter_lock;
+           incr t.streamed_tokens;
+           Mutex.unlock t.counter_lock)
          (Aldsp_tokens.Token_stream.of_sequence items))
   | Error _ as e -> e
 
@@ -468,7 +574,176 @@ let call t ?(user = Security.admin) fn args =
     | Ok items -> Ok (Security.filter_result t.security user items)
     | Error _ as e -> e)
 
+(* ------------------------------------------------------------------ *)
+(* Serving layer: admission, deadlines, sessions, drain                *)
+
+(* Waits for an executing slot. Called with [adm_mutex] held; returns
+   with it held. Cancellable waiters (any real token: it may be flagged
+   from another thread, which cannot signal our condvar) poll in short
+   lock-released sleeps; the inert token blocks on the condvar. *)
+let rec await_slot adm tok =
+  if adm.adm_active < adm.adm_max_active then begin
+    adm.adm_active <- adm.adm_active + 1;
+    if adm.adm_active > adm.adm_peak_active then
+      adm.adm_peak_active <- adm.adm_active;
+    `Admitted
+  end
+  else if Cancel.cancelled tok then `Expired
+  else begin
+    if tok == Cancel.none then Condition.wait adm.adm_slot_free adm.adm_mutex
+    else begin
+      Mutex.unlock adm.adm_mutex;
+      Thread.delay 0.001;
+      Mutex.lock adm.adm_mutex
+    end;
+    await_slot adm tok
+  end
+
+let signal_if_idle adm =
+  if adm.adm_active = 0 && adm.adm_waiting = 0 then
+    Condition.broadcast adm.adm_idle
+
+(* Admission decision for one submission. [`Admitted] holds an executing
+   slot that [release_slot] must give back. *)
+let admit adm tok =
+  Mutex.lock adm.adm_mutex;
+  adm.adm_submitted <- adm.adm_submitted + 1;
+  let outcome =
+    if adm.adm_draining then begin
+      adm.adm_rejected <- adm.adm_rejected + 1;
+      `Rejected
+    end
+    else if adm.adm_active < adm.adm_max_active then begin
+      adm.adm_active <- adm.adm_active + 1;
+      if adm.adm_active > adm.adm_peak_active then
+        adm.adm_peak_active <- adm.adm_active;
+      adm.adm_admitted <- adm.adm_admitted + 1;
+      `Admitted
+    end
+    else if adm.adm_waiting >= adm.adm_max_queue then begin
+      adm.adm_rejected <- adm.adm_rejected + 1;
+      `Rejected
+    end
+    else begin
+      adm.adm_waiting <- adm.adm_waiting + 1;
+      if adm.adm_waiting > adm.adm_peak_waiting then
+        adm.adm_peak_waiting <- adm.adm_waiting;
+      let r = await_slot adm tok in
+      adm.adm_waiting <- adm.adm_waiting - 1;
+      (match r with
+      | `Admitted -> adm.adm_admitted <- adm.adm_admitted + 1
+      | `Expired ->
+        adm.adm_deadline_aborts <- adm.adm_deadline_aborts + 1;
+        signal_if_idle adm);
+      r
+    end
+  in
+  Mutex.unlock adm.adm_mutex;
+  outcome
+
+let release_slot adm ~outcome =
+  Mutex.lock adm.adm_mutex;
+  adm.adm_active <- adm.adm_active - 1;
+  (match outcome with
+  | `Completed -> adm.adm_completed <- adm.adm_completed + 1
+  | `Deadline -> adm.adm_deadline_aborts <- adm.adm_deadline_aborts + 1);
+  Condition.signal adm.adm_slot_free;
+  signal_if_idle adm;
+  Mutex.unlock adm.adm_mutex
+
+(* The deadline covers queue wait plus execution: the token is created
+   before [admit], so time spent waiting for a slot counts against it. *)
+let submit t ?(user = Security.admin) ?deadline ?token source =
+  let tok =
+    match token with
+    | Some tok -> tok
+    | None -> (
+      match deadline with
+      | Some seconds -> Cancel.with_deadline seconds
+      | None -> Cancel.none)
+  in
+  match admit t.admission tok with
+  | `Rejected -> Error Overloaded
+  | `Expired -> Error (Cancelled "deadline exceeded while queued")
+  | `Admitted -> (
+    match Cancel.with_token tok (fun () -> run t ~user source) with
+    | Ok items ->
+      release_slot t.admission ~outcome:`Completed;
+      Ok items
+    | Error m ->
+      (* an Error with a fired token is a cancellation surfacing as an
+         evaluation error, not a query bug *)
+      if Cancel.cancelled tok then begin
+        release_slot t.admission ~outcome:`Deadline;
+        Error (Cancelled m)
+      end
+      else begin
+        release_slot t.admission ~outcome:`Completed;
+        Error (Failed m)
+      end
+    | exception e ->
+      release_slot t.admission
+        ~outcome:(if Cancel.cancelled tok then `Deadline else `Completed);
+      raise e)
+
+let drain t =
+  let adm = t.admission in
+  Mutex.lock adm.adm_mutex;
+  adm.adm_draining <- true;
+  (* already-queued waiters still run; only new arrivals are rejected *)
+  while adm.adm_active > 0 || adm.adm_waiting > 0 do
+    Condition.wait adm.adm_idle adm.adm_mutex
+  done;
+  Mutex.unlock adm.adm_mutex
+
+let draining t =
+  let adm = t.admission in
+  Mutex.lock adm.adm_mutex;
+  let d = adm.adm_draining in
+  Mutex.unlock adm.adm_mutex;
+  d
+
+(* One client domain's connection: a default user and per-query deadline,
+   plus the token of the in-flight query so another thread can cancel it. *)
+type session = {
+  ses_server : t;
+  ses_user : Security.user;
+  ses_deadline : float option;
+  ses_lock : Mutex.t;
+  mutable ses_current : Cancel.t;
+}
+
+let session t ?(user = Security.admin) ?deadline () =
+  { ses_server = t;
+    ses_user = user;
+    ses_deadline = deadline;
+    ses_lock = Mutex.create ();
+    ses_current = Cancel.none }
+
+let session_run s ?deadline source =
+  let deadline = match deadline with Some _ as d -> d | None -> s.ses_deadline in
+  let tok =
+    match deadline with
+    | Some seconds -> Cancel.with_deadline seconds
+    | None -> Cancel.make ()
+  in
+  Mutex.lock s.ses_lock;
+  s.ses_current <- tok;
+  Mutex.unlock s.ses_lock;
+  submit s.ses_server ~user:s.ses_user ~token:tok source
+
+let session_cancel s =
+  Mutex.lock s.ses_lock;
+  let tok = s.ses_current in
+  Mutex.unlock s.ses_lock;
+  Cancel.cancel tok
+
 let explain t ?(analyze = true) ?(timings = false) source =
+  (* serialized: --analyze resets the (shared, cached) plan's counters,
+     executes, then renders them — interleaving two analyzes of the same
+     plan would mix their actual-row counts *)
+  Mutex.lock t.explain_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.explain_lock) @@ fun () ->
   match compile t source with
   | Error ds -> Error (diags_to_string ds)
   | Ok compiled ->
@@ -479,9 +754,7 @@ let explain t ?(analyze = true) ?(timings = false) source =
     if analyze then begin
       Plan_ir.reset_counters compiled.ir;
       match Eval.execute t.runtime compiled.ir with
-      | Ok _ ->
-        let worst = Plan_ir.max_misestimate compiled.ir in
-        if worst > !(t.worst_misestimate) then t.worst_misestimate := worst
+      | Ok _ -> note_worst t (Plan_ir.max_misestimate compiled.ir)
       | Error m -> Buffer.add_string buf (Printf.sprintf "error: %s\n" m)
     end;
     Buffer.add_string buf "plan:\n";

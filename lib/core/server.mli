@@ -27,6 +27,31 @@ type compiled = {
   sql : (string * string) list;  (** Pushed (database, SQL) regions. *)
 }
 
+type admission_stats = {
+  ad_submitted : int;  (** Queries presented to {!submit}. *)
+  ad_admitted : int;  (** Granted an executing slot (immediately or queued). *)
+  ad_rejected : int;  (** Shed: queue full or server draining. *)
+  ad_completed : int;  (** Ran to completion (success or orderly failure). *)
+  ad_deadline_aborts : int;
+      (** Cut short by a deadline or explicit cancel — while queued or
+          mid-execution. *)
+  ad_active : int;  (** Currently executing. *)
+  ad_queued : int;  (** Currently waiting for a slot. *)
+  ad_peak_active : int;  (** High-water concurrent executions. *)
+  ad_peak_queued : int;  (** High-water queue depth. *)
+}
+
+type submit_error =
+  | Overloaded
+      (** Rejected at admission: the wait queue is at capacity, or the
+          server is draining. The client should back off and retry. *)
+  | Cancelled of string
+      (** The query's deadline passed (while queued or mid-execution) or
+          its token was cancelled; partial work has been abandoned. *)
+  | Failed of string  (** Ordinary compilation or evaluation failure. *)
+
+val submit_error_to_string : submit_error -> string
+
 type stats = {
   st_plan_cache_hits : int;
   st_plan_cache_misses : int;
@@ -45,6 +70,9 @@ type stats = {
           ({!Cost_model.misestimate}) over every execution so far; 1.0
           when every estimate held or none applied. The feedback signal
           for judging the cost model's inputs. *)
+  st_admission : admission_stats;
+      (** Serving-layer counters; invariant: [ad_admitted = ad_completed +
+          mid-execution deadline aborts + ad_active] once quiescent. *)
 }
 
 val create :
@@ -56,6 +84,8 @@ val create :
   ?observed:Observed.t ->
   ?pool:Pool.t ->
   ?concurrent_lets:bool ->
+  ?max_concurrent:int ->
+  ?admission_queue:int ->
   Metadata.t ->
   t
 (** [observed] turns on source instrumentation and observed-cost
@@ -63,7 +93,10 @@ val create :
     [pool] (default {!Pool.default}) runs asynchronous source work:
     PP-k prefetch, [fn-bea:async], and concurrent independent lets.
     [concurrent_lets] (default true) may be switched off to force
-    strictly in-place, in-order evaluation of let bindings. *)
+    strictly in-place, in-order evaluation of let bindings.
+    [max_concurrent] (default 16) caps queries executing at once through
+    {!submit}; [admission_queue] (default 64) bounds how many more may
+    wait for a slot before new arrivals are rejected [Overloaded]. *)
 
 val reference :
   ?plan_cache_capacity:int ->
@@ -131,6 +164,57 @@ val call :
 (** Direct data service function call (read/navigate methods), through
     function-level access control, the function cache, and result
     filtering. *)
+
+(** {2 Serving layer}
+
+    The concurrent front-end: many client domains submit queries against
+    one shared server. Admission control grants up to [max_concurrent]
+    executing slots; up to [admission_queue] further submitters wait for
+    a slot, and beyond that arrivals are shed with {!Overloaded}
+    (backpressure instead of unbounded backlog). An admitted query
+    executes on the submitting thread; its cancellation token is ambient
+    for that thread (and captured by any pool/async work it spawns), so a
+    deadline or cancel reaches in-flight backend roundtrips and
+    web-service calls. *)
+
+val submit :
+  t ->
+  ?user:Security.user ->
+  ?deadline:float ->
+  ?token:Cancel.t ->
+  string ->
+  (Item.sequence, submit_error) result
+(** Admission-controlled {!run}. [deadline] is seconds from now and
+    covers queue wait plus execution. [token] supplies a caller-managed
+    cancellation token instead (so another thread can cancel this query);
+    when given, [deadline] is ignored — encode it in the token. *)
+
+val drain : t -> unit
+(** Graceful shutdown of the serving layer: new submissions are rejected
+    {!Overloaded} from this point on, already-queued submitters still
+    run, and the call returns once no query is active or queued. *)
+
+val draining : t -> bool
+
+type session
+(** One client domain's connection: a fixed user, an optional default
+    per-query deadline, and a handle on the in-flight query's token so
+    the query can be cancelled from another thread. *)
+
+val session : t -> ?user:Security.user -> ?deadline:float -> unit -> session
+
+val session_run :
+  session -> ?deadline:float -> string -> (Item.sequence, submit_error) result
+(** {!submit} as this session's user, with a fresh cancellation token
+    (deadline from the argument, else the session default, else none —
+    but still explicitly cancellable via {!session_cancel}). *)
+
+val session_cancel : session -> unit
+(** Cancels the session's in-flight query, if any. Safe from any
+    thread; a no-op when nothing is running. *)
+
+val admission_stats : t -> admission_stats
+(** The serving-layer counters alone (also embedded in {!stats}). *)
 
 val explain :
   t -> ?analyze:bool -> ?timings:bool -> string -> (string, string) result

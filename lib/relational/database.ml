@@ -21,6 +21,7 @@ type t = {
   vendor : vendor;
   tables : (string, Table.t) Hashtbl.t;
   stats : stats;
+  stats_lock : Mutex.t;
   mutable roundtrip_latency : float;
   mutable schedule : fault list;
   schedule_lock : Mutex.t;
@@ -45,6 +46,7 @@ let create ?(vendor = Generic_sql92) ?(roundtrip_latency = 0.) db_name =
     vendor;
     tables = Hashtbl.create 16;
     stats = zero_stats ();
+    stats_lock = Mutex.create ();
     roundtrip_latency;
     schedule = [];
     schedule_lock = Mutex.create ();
@@ -81,7 +83,17 @@ let vendor_name = function
   | Sybase -> "Sybase"
   | Generic_sql92 -> "SQL92"
 
+(* Counter mutations from concurrent sessions go through [stats_lock]:
+   increments are read-modify-write and would lose updates under
+   preemption. Reads stay unlocked — fields are word-sized and the
+   consumers (stats reports) tolerate an in-flight statement. *)
+let record_operator t f =
+  Mutex.lock t.stats_lock;
+  f t.stats;
+  Mutex.unlock t.stats_lock
+
 let reset_stats t =
+  record_operator t @@ fun _ ->
   t.stats.statements <- 0;
   t.stats.rows_shipped <- 0;
   t.stats.params_bound <- 0;
@@ -133,12 +145,12 @@ let apply_fault t =
   match take_fault t with
   | None | Some Fault_ok -> Ok ()
   | Some (Fault_delay d) ->
-    if d > 0. then Unix.sleepf d;
+    if d > 0. then Aldsp_concurrency.Cancel.sleepf d;
     Ok ()
   | Some Fault_fail ->
     Error (Printf.sprintf "database %s: scripted transport failure" t.db_name)
   | Some (Fault_fail_after d) ->
-    if d > 0. then Unix.sleepf d;
+    if d > 0. then Aldsp_concurrency.Cancel.sleepf d;
     Error (Printf.sprintf "database %s: scripted transport failure" t.db_name)
 
 (* ------------------------------------------------------------------ *)
@@ -164,8 +176,13 @@ let table_statistics t =
    do not differ here, latency does. *)
 let cost_profile t = (t.roundtrip_latency, 2e-6)
 
+(* The latency sleep happens outside the stats lock (other sessions'
+   roundtrips overlap it) and through the cancellation-aware sleep, so a
+   session deadline aborts a statement mid-"network wait". *)
 let record_statement t ~params ~rows =
-  t.stats.statements <- t.stats.statements + 1;
-  t.stats.params_bound <- t.stats.params_bound + params;
-  t.stats.rows_shipped <- t.stats.rows_shipped + rows;
-  if t.roundtrip_latency > 0. then Unix.sleepf t.roundtrip_latency
+  record_operator t (fun stats ->
+      stats.statements <- stats.statements + 1;
+      stats.params_bound <- stats.params_bound + params;
+      stats.rows_shipped <- stats.rows_shipped + rows);
+  if t.roundtrip_latency > 0. then
+    Aldsp_concurrency.Cancel.sleepf t.roundtrip_latency

@@ -31,9 +31,13 @@ type t = {
   vendor : vendor;
   tables : (string, Table.t) Hashtbl.t;
   stats : stats;
+  stats_lock : Mutex.t;
+      (** Guards counter increments (use {!record_operator}); plain field
+          reads need no lock. *)
   mutable roundtrip_latency : float;
       (** Simulated seconds of network+parse cost per statement; applied
-          with [Unix.sleepf] when positive. *)
+          with a cancellation-aware sleep when positive, so session
+          deadlines abort mid-roundtrip. *)
   mutable schedule : fault list;
       (** Scripted per-statement behaviour; statement [n] consumes entry
           [n]. Use {!set_schedule}; consumption is thread-safe. *)
@@ -89,7 +93,13 @@ val apply_fault : t -> (unit, string) result
 val record_statement : t -> params:int -> rows:int -> unit
 (** Accounts one roundtrip and applies the simulated latency. Used by the
     executor; exposed so functional-source simulators can share the
-    accounting. *)
+    accounting. Thread-safe; the latency sleep is cancellation-aware and
+    happens outside the stats lock so concurrent roundtrips overlap. *)
+
+val record_operator : t -> (stats -> unit) -> unit
+(** Runs the counter update under [stats_lock]: the executor's per-operator
+    increments are read-modify-write and concurrent sessions share one
+    [stats] record. *)
 
 (** {2 Planner statistics} *)
 

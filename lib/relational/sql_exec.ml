@@ -537,10 +537,10 @@ and scan_table_ref ctx ref_ : binding list list =
     match Database.find_table ctx.db table with
     | Error msg -> error "%s" msg
     | Ok t ->
-      let stats = ctx.db.Database.stats in
-      stats.Database.full_scans <- stats.Database.full_scans + 1;
-      stats.Database.rows_scanned <-
-        stats.Database.rows_scanned + Table.row_count t;
+      Database.record_operator ctx.db (fun stats ->
+          stats.Database.full_scans <- stats.Database.full_scans + 1;
+          stats.Database.rows_scanned <-
+            stats.Database.rows_scanned + Table.row_count t);
       decide ctx "scan %s as %s (%d rows)" table alias (Table.row_count t);
       let cols = Array.of_list (List.map (fun c -> c.Table.col_name) t.Table.columns) in
       List.map
@@ -590,22 +590,23 @@ and scan_from ctx s srcs =
                every row; reproduce that behaviour exactly *)
             fallback ()
           | key_values ->
-            let stats = ctx.db.Database.stats in
-            stats.Database.index_lookups <-
-              stats.Database.index_lookups + List.length key_values;
+            Database.record_operator ctx.db (fun stats ->
+                stats.Database.index_lookups <-
+                  stats.Database.index_lookups + List.length key_values);
             let seen = Hashtbl.create 64 in
             List.iter
               (fun values ->
                 List.iter
                   (fun id -> Hashtbl.replace seen id ())
-                  (Index.probe idx values))
+                  (Table.probe_index t idx values))
               key_values;
             let ids =
               Hashtbl.fold (fun id () acc -> id :: acc) seen []
               |> List.sort compare
             in
-            stats.Database.index_rows <-
-              stats.Database.index_rows + List.length ids;
+            Database.record_operator ctx.db (fun stats ->
+                stats.Database.index_rows <-
+                  stats.Database.index_rows + List.length ids);
             decide ctx "index probe %s.%s [%s] keys=%d rows=%d" table
               (Index.name idx)
               (String.concat "," (Index.columns idx))
@@ -640,13 +641,13 @@ and null_binding ctx ref_ : binding =
    require the ON condition to be total because the nested loop also
    evaluates it on the pairs they skip. *)
 and apply_join ctx srcs left_rows join =
-  let stats = ctx.db.Database.stats in
+  let bump f = Database.record_operator ctx.db f in
   let jalias =
     match join.jtable with
     | Table { alias; _ } | Derived { alias; _ } -> alias
   in
   let nested_loop () =
-    stats.Database.nl_joins <- stats.Database.nl_joins + 1;
+    bump (fun stats -> stats.Database.nl_joins <- stats.Database.nl_joins + 1);
     decide ctx "nested-loop join %s" jalias;
     let right_rows = scan_table_ref ctx join.jtable in
     let matches left =
@@ -733,7 +734,8 @@ and apply_join ctx srcs left_rows join =
     match index with
     | Some (t, idx) ->
       (* index nested loop: probe the right table per left row *)
-      stats.Database.index_joins <- stats.Database.index_joins + 1;
+      bump (fun stats ->
+          stats.Database.index_joins <- stats.Database.index_joins + 1);
       decide ctx "index-nl join %s via %s.%s" jalias t.Table.table_name
         (Index.name idx);
       let key_exprs = List.map (fun c -> List.assoc c pairs) (Index.columns idx) in
@@ -743,9 +745,11 @@ and apply_join ctx srcs left_rows join =
       let matches left =
         let lctx = { ctx with env = left; group = None } in
         let values = Array.of_list (List.map (eval lctx) key_exprs) in
-        stats.Database.index_lookups <- stats.Database.index_lookups + 1;
-        let ids = Index.probe idx values in
-        stats.Database.index_rows <- stats.Database.index_rows + List.length ids;
+        let ids = Table.probe_index t idx values in
+        bump (fun stats ->
+            stats.Database.index_lookups <- stats.Database.index_lookups + 1;
+            stats.Database.index_rows <-
+              stats.Database.index_rows + List.length ids);
         List.filter_map
           (fun id ->
             match Table.get_row t id with
@@ -764,7 +768,8 @@ and apply_join ctx srcs left_rows join =
     | None ->
       (* hash equi-join: build once over the right side, probe per left
          row; buckets keep right-scan order *)
-      stats.Database.hash_joins <- stats.Database.hash_joins + 1;
+      bump (fun stats ->
+          stats.Database.hash_joins <- stats.Database.hash_joins + 1);
       decide ctx "hash join %s on [%s]" jalias (String.concat "," right_cols);
       let right_rows = scan_table_ref ctx join.jtable in
       let left_exprs = List.map snd pairs in

@@ -17,6 +17,12 @@ type t = {
   columns : column list;
   primary_key : string list;
   foreign_keys : foreign_key list;
+  lock : Mutex.t;
+      (* one lock per table, guarding storage, the live bitmap, the
+         indexes and the incremental statistics: concurrent sessions run
+         DML and index probes against the same tables. Not reentrant —
+         public entry points lock exactly once and compose the unlocked
+         internals below. *)
   mutable store : Sql_value.t array array;
   mutable size : int;  (* slots allocated so far; next fresh row id *)
   mutable live : Bytes.t;  (* '\001' live, '\000' dead, per slot *)
@@ -25,6 +31,10 @@ type t = {
   mutable pk_index : Index.t option;  (* member of [indexes] *)
   mutable version : int;  (* bumped on every row mutation *)
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
 
 let column ?(nullable = true) col_name col_type = { col_name; col_type; nullable }
 
@@ -51,6 +61,10 @@ let resolve_positions t cols =
   in
   if cols = [] then None else go [] cols
 
+(* [indexes]/[pk_index] read one immutable list/option value: registration
+   replaces the field wholesale, so unlocked readers see the old or the
+   new list, never a torn one. Probing an index's contents concurrently
+   with DML does need the lock — see [probe_index]. *)
 let indexes t = t.indexes
 let pk_index t = t.pk_index
 
@@ -75,6 +89,7 @@ let register_index t ?(unique = false) ~name cols =
     Some idx
 
 let create_index t ~name cols =
+  with_lock t @@ fun () ->
   if List.exists (fun idx -> String.equal (Index.name idx) name) t.indexes
   then Error (Printf.sprintf "table %s: index %s already exists" t.table_name name)
   else
@@ -91,6 +106,7 @@ let create ?(primary_key = []) ?(foreign_keys = []) table_name columns =
       columns;
       primary_key;
       foreign_keys;
+      lock = Mutex.create ();
       store = [||];
       size = 0;
       live = Bytes.empty;
@@ -135,21 +151,44 @@ let key_of_row t row =
 (* ------------------------------------------------------------------ *)
 (* Row access *)
 
-let is_live t id = id >= 0 && id < t.size && Bytes.get t.live id = '\001'
+let is_live_u t id = id >= 0 && id < t.size && Bytes.get t.live id = '\001'
 
-let get_row t id = if is_live t id then Some t.store.(id) else None
-
-let iter_rows t f =
+let iter_rows_u t f =
   for id = 0 to t.size - 1 do
     if Bytes.get t.live id = '\001' then f id t.store.(id)
   done
 
+let is_live t id = with_lock t @@ fun () -> is_live_u t id
+
+let get_row t id =
+  with_lock t @@ fun () -> if is_live_u t id then Some t.store.(id) else None
+
+(* The public iteration collects the live rows under the lock and runs
+   the callback outside it: callbacks evaluate arbitrary expressions
+   (UPDATE/DELETE selection may read this same table), which must not
+   re-enter the non-reentrant lock. Callers therefore iterate a
+   consistent snapshot; row arrays are never mutated in place, so
+   sharing them is safe. *)
+let iter_rows t f =
+  let rows =
+    with_lock t (fun () ->
+        let acc = ref [] in
+        iter_rows_u t (fun id row -> acc := (id, row) :: !acc);
+        List.rev !acc)
+  in
+  List.iter (fun (id, row) -> f id row) rows
+
 let all_rows t =
+  with_lock t @@ fun () ->
   let acc = ref [] in
-  iter_rows t (fun _ row -> acc := row :: !acc);
+  iter_rows_u t (fun _ row -> acc := row :: !acc);
   List.rev !acc
 
+(* a single word-sized field: torn reads are impossible, so the planner
+   can read row counts without taking the lock *)
 let row_count t = t.live_count
+
+let probe_index t idx values = with_lock t @@ fun () -> Index.probe idx values
 
 (* ------------------------------------------------------------------ *)
 (* Mutation *)
@@ -217,15 +256,17 @@ let validate t row =
         Error (Printf.sprintf "table %s: duplicate primary key" t.table_name)
       else Ok ()
 
-let insert t row =
+let insert_u t row =
   match validate t row with
   | Error _ as e -> e
   | Ok () ->
     ignore (append_unchecked t row);
     Ok ()
 
-let delete_row t id =
-  if is_live t id then begin
+let insert t row = with_lock t @@ fun () -> insert_u t row
+
+let delete_row_u t id =
+  if is_live_u t id then begin
     let row = t.store.(id) in
     List.iter (fun idx -> Index.remove idx id row) t.indexes;
     Bytes.set t.live id '\000';
@@ -234,18 +275,24 @@ let delete_row t id =
     t.version <- t.version + 1
   end
 
+let delete_row t id = with_lock t @@ fun () -> delete_row_u t id
+
+(* one critical section for the whole batch, so all-or-nothing holds even
+   against concurrent writers: no other session can observe (or collide
+   with) a half-applied batch *)
 let insert_many t rows =
+  with_lock t @@ fun () ->
   let inserted = ref [] in
   let rec go n = function
     | [] -> Ok n
     | row :: rest -> (
-      match insert t row with
+      match insert_u t row with
       | Ok () ->
         inserted := (t.size - 1) :: !inserted;
         go (n + 1) rest
       | Error _ as e ->
         (* all-or-nothing: unwind the rows this call appended *)
-        List.iter (delete_row t) !inserted;
+        List.iter (delete_row_u t) !inserted;
         e)
   in
   go 0 rows
@@ -253,7 +300,8 @@ let insert_many t rows =
 (* The executor validated nothing on UPDATE historically; [update_row]
    keeps that contract and only maintains the indexes. *)
 let update_row t id row =
-  if is_live t id then begin
+  with_lock t @@ fun () ->
+  if is_live_u t id then begin
     let old = t.store.(id) in
     List.iter
       (fun idx ->
@@ -277,12 +325,14 @@ type snapshot = {
 (* Shallow: row arrays are never mutated in place (UPDATE replaces the
    slot with a fresh array), so sharing them with the snapshot is safe. *)
 let snapshot t =
+  with_lock t @@ fun () ->
   { snap_store = Array.sub t.store 0 t.size;
     snap_size = t.size;
     snap_live = Bytes.sub t.live 0 t.size;
     snap_live_count = t.live_count }
 
 let restore t snap =
+  with_lock t @@ fun () ->
   let cap = max (Array.length t.store) snap.snap_size in
   let store = Array.make cap [||] in
   Array.blit snap.snap_store 0 store 0 snap.snap_size;
@@ -294,7 +344,7 @@ let restore t snap =
   t.live_count <- snap.snap_live_count;
   t.version <- t.version + 1;
   List.iter Index.clear t.indexes;
-  iter_rows t (fun id row ->
+  iter_rows_u t (fun id row ->
       List.iter (fun idx -> Index.add idx id row) t.indexes)
 
 (* ------------------------------------------------------------------ *)
@@ -322,6 +372,7 @@ type statistics = {
    above, so reading statistics costs nothing beyond a possible lazy
    range recompute after endpoint deletes. *)
 let statistics t =
+  with_lock t @@ fun () ->
   { stat_rows = t.live_count;
     stat_version = t.version;
     stat_columns =
@@ -340,6 +391,7 @@ let statistics t =
    leading with [col] gives a lower bound on the tuple NDV which is an
    upper bound for neither, so only exact matches are reported. *)
 let distinct_estimate t col =
+  with_lock t @@ fun () ->
   List.find_map
     (fun idx ->
       match Index.columns idx with

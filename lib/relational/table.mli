@@ -25,6 +25,10 @@ type t = private {
   columns : column list;
   primary_key : string list;
   foreign_keys : foreign_key list;
+  lock : Mutex.t;
+      (** Guards storage, indexes and statistics; every function below
+          takes it, so tables are safe under concurrent sessions
+          (including concurrent DML). *)
   mutable store : Sql_value.t array array;
       (** Slots by row id; managed via the functions below. *)
   mutable size : int;
@@ -79,12 +83,20 @@ val all_rows : t -> Sql_value.t array list
 val row_count : t -> int
 
 val iter_rows : t -> (int -> Sql_value.t array -> unit) -> unit
-(** Live rows in insertion order, with their ids. *)
+(** Live rows in insertion order, with their ids. The callback runs
+    outside the table lock, over the set of rows live when iteration
+    began: it may itself query (or mutate) this table, and concurrent
+    mutations do not affect the iteration. *)
 
 val get_row : t -> int -> Sql_value.t array option
 (** The row at this id, if live. *)
 
 val is_live : t -> int -> bool
+
+val probe_index : t -> Index.t -> Sql_value.t array -> int list
+(** {!Index.probe} under the table lock: the executor's probe paths race
+    with DML maintaining the same index buckets, and an unlocked hash
+    read during a concurrent resize is unsafe. *)
 
 val update_row : t -> int -> Sql_value.t array -> unit
 (** Replaces the row at [id] (no constraint validation, matching the

@@ -64,10 +64,18 @@ let take_fault t =
   Mutex.unlock t.schedule_lock;
   f
 
+(* Counter updates share [schedule_lock] (contention is negligible);
+   the latency sleeps are cancellation-aware so a session deadline
+   aborts a call mid-"transport wait" instead of sleeping it out. *)
+let bump_stats t f =
+  Mutex.lock t.schedule_lock;
+  f t.stats;
+  Mutex.unlock t.schedule_lock
+
 let invoke t op_name input =
-  t.stats.calls <- t.stats.calls + 1;
+  bump_stats t (fun stats -> stats.calls <- stats.calls + 1);
   let fail msg =
-    t.stats.failures <- t.stats.failures + 1;
+    bump_stats t (fun stats -> stats.failures <- stats.failures + 1);
     Error msg
   in
   match find_operation t op_name with
@@ -78,16 +86,16 @@ let invoke t op_name input =
     | Error msg ->
       fail (Printf.sprintf "service %s.%s: invalid request: %s" t.service_name op_name msg)
     | Ok typed_input ->
-      if t.latency > 0. then Unix.sleepf t.latency;
+      if t.latency > 0. then Aldsp_concurrency.Cancel.sleepf t.latency;
       let scripted_failure =
         match take_fault t with
         | None | Some Fault_ok -> false
         | Some (Fault_delay d) ->
-          if d > 0. then Unix.sleepf d;
+          if d > 0. then Aldsp_concurrency.Cancel.sleepf d;
           false
         | Some Fault_fail -> true
         | Some (Fault_fail_after d) ->
-          if d > 0. then Unix.sleepf d;
+          if d > 0. then Aldsp_concurrency.Cancel.sleepf d;
           true
       in
       if scripted_failure then
@@ -114,5 +122,6 @@ let inject_failures t n = t.fail_next <- n
 let set_unavailable t flag = t.unavailable <- flag
 
 let reset_stats t =
-  t.stats.calls <- 0;
-  t.stats.failures <- 0
+  bump_stats t (fun stats ->
+      stats.calls <- 0;
+      stats.failures <- 0)

@@ -1,0 +1,401 @@
+(* Tests for the concurrent serving layer: cancellation tokens, pool
+   shutdown under contention, per-query deadlines cutting through
+   fn-bea:timeout windows and backend roundtrips, admission control with
+   backpressure and drain, and cache/statistics invalidation under
+   concurrent DML. *)
+
+open Aldsp_core
+open Aldsp_xml
+open Aldsp_relational
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let ok_exn = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let serialize_submit = function
+  | Ok items -> "result: " ^ Item.serialize items
+  | Error e -> "error: " ^ Server.submit_error_to_string e
+
+let scan_query = "for $c in CUSTOMER() return $c/CID"
+
+(* ------------------------------------------------------------------ *)
+(* Cancel tokens                                                       *)
+
+let test_cancel_basics () =
+  check_bool "inert token never cancelled" false (Cancel.cancelled Cancel.none);
+  Cancel.cancel Cancel.none;
+  check_bool "inert token ignores cancel" false (Cancel.cancelled Cancel.none);
+  let tok = Cancel.make () in
+  check_bool "fresh token live" false (Cancel.cancelled tok);
+  Cancel.cancel tok;
+  check_bool "flag observed" true (Cancel.cancelled tok);
+  let expired = Cancel.with_deadline (-0.001) in
+  check_bool "past deadline is cancelled" true (Cancel.cancelled expired);
+  check_bool "remaining clamps at zero" true
+    (Cancel.remaining expired = Some 0.)
+
+let test_cancel_ambient_nesting () =
+  let outer = Cancel.make () and inner = Cancel.make () in
+  Cancel.with_token outer (fun () ->
+      check_bool "outer installed" true (Cancel.current () == outer);
+      Cancel.with_token inner (fun () ->
+          check_bool "inner shadows" true (Cancel.current () == inner));
+      check_bool "outer restored" true (Cancel.current () == outer));
+  check_bool "inert restored" true (Cancel.current () == Cancel.none)
+
+let test_cancel_sleep_interrupted () =
+  let tok = Cancel.make () in
+  let t0 = Unix.gettimeofday () in
+  let _ =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.03;
+        Cancel.cancel tok)
+      ()
+  in
+  (match Cancel.with_token tok (fun () -> Cancel.sleepf 5.0) with
+  | () -> Alcotest.fail "sleep should have been interrupted"
+  | exception Cancel.Cancelled _ -> ());
+  let waited = Unix.gettimeofday () -. t0 in
+  check_bool
+    (Printf.sprintf "interrupted promptly (%.0f ms)" (waited *. 1000.))
+    true (waited < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Pool shutdown under contention                                      *)
+
+let test_pool_double_shutdown () =
+  let pool = Pool.create ~workers:2 () in
+  check_int "warm-up task" 3 (Pool.await pool (Pool.submit pool (fun () -> 3)));
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Pool.shutdown ~wait:true pool;
+  Pool.shutdown ~wait:true pool;
+  (* tasks submitted after shutdown still complete via help-draining *)
+  check_int "post-shutdown task" 9
+    (Pool.await pool (Pool.submit pool (fun () -> 9)))
+
+let test_pool_shutdown_with_inflight () =
+  let pool = Pool.create ~workers:3 () in
+  let futs =
+    List.init 12 (fun i ->
+        Pool.submit pool (fun () ->
+            Thread.delay 0.01;
+            i))
+  in
+  (* workers are mid-task (or the queue still holds work) right here *)
+  Pool.shutdown ~wait:true pool;
+  List.iteri (fun i fut -> check_int "task survived shutdown" i (Pool.await pool fut)) futs;
+  let s = Pool.stats pool in
+  check_int "nothing abandoned" s.Pool.st_submitted
+    (s.Pool.st_completed + s.Pool.st_helped)
+
+let test_pool_concurrent_shutdowns () =
+  let pool = Pool.create ~workers:2 () in
+  ignore (Pool.await pool (Pool.submit pool (fun () -> ())));
+  let ts =
+    List.init 4 (fun _ -> Thread.create (fun () -> Pool.shutdown ~wait:true pool) ())
+  in
+  List.iter Thread.join ts
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+
+let test_deadline_under_backend_latency () =
+  let demo = Aldsp_demo.Demo.create ~customers:5 ~db_latency:0.5 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let t0 = Unix.gettimeofday () in
+  (match Server.submit server ~deadline:0.05 scan_query with
+  | Error (Server.Cancelled _) -> ()
+  | other -> Alcotest.failf "expected Cancelled, got %s" (serialize_submit other));
+  let wall = Unix.gettimeofday () -. t0 in
+  check_bool
+    (Printf.sprintf "aborted well before the roundtrip (%.0f ms)" (wall *. 1000.))
+    true (wall < 0.4);
+  let adm = Server.admission_stats server in
+  check_int "deadline abort counted" 1 adm.Server.ad_deadline_aborts;
+  check_int "slot released" 0 adm.Server.ad_active;
+  (* no leaked worker / wedged slot: the same server still serves *)
+  demo.Aldsp_demo.Demo.customer_db.Database.roundtrip_latency <- 0.;
+  (match Server.submit server scan_query with
+  | Ok items -> check_int "subsequent query serves" 5 (List.length items)
+  | Error e -> Alcotest.failf "recovery query failed: %s" (Server.submit_error_to_string e))
+
+let timeout_query ms =
+  Printf.sprintf
+    "fn-bea:timeout(fn:data(getRating(<getRating><lName>{\"x\"}</lName><ssn>{\"9\"}</ssn></getRating>)/getRatingResult), %d, -1)"
+    ms
+
+let test_deadline_mid_timeout_window () =
+  (* the fn-bea:timeout window (2 s) is clamped by the session deadline
+     (0.1 s): the await wakes at the deadline and the query aborts — it
+     must NOT fail over to the alternate, a deadline is not a timeout *)
+  let demo = Aldsp_demo.Demo.create ~customers:1 ~service_latency:0.5 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let t0 = Unix.gettimeofday () in
+  (match Server.submit server ~deadline:0.1 (timeout_query 2000) with
+  | Error (Server.Cancelled _) -> ()
+  | other ->
+    Alcotest.failf "expected Cancelled mid-window, got %s" (serialize_submit other));
+  let wall = Unix.gettimeofday () -. t0 in
+  check_bool
+    (Printf.sprintf "woke at the deadline, not the window (%.0f ms)" (wall *. 1000.))
+    true (wall < 0.45)
+
+let test_timeout_inside_generous_deadline () =
+  (* the converse composition: the 30 ms fn-bea:timeout fires first and
+     fails over normally; the generous session deadline stays out of it *)
+  let demo = Aldsp_demo.Demo.create ~customers:1 ~service_latency:0.3 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  match Server.submit server ~deadline:10.0 (timeout_query 30) with
+  | Ok items ->
+    check_bool "alternate returned" true
+      (Item.equal_sequence items [ Item.integer (-1) ])
+  | Error e ->
+    Alcotest.failf "expected the timeout alternate: %s"
+      (Server.submit_error_to_string e)
+
+let test_explicit_session_cancel () =
+  let demo = Aldsp_demo.Demo.create ~customers:3 ~db_latency:0.5 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let ses = Server.session server () in
+  let result = ref (Error Server.Overloaded) in
+  let th =
+    Thread.create (fun () -> result := Server.session_run ses scan_query) ()
+  in
+  Thread.delay 0.1;
+  let t0 = Unix.gettimeofday () in
+  Server.session_cancel ses;
+  Thread.join th;
+  let wall = Unix.gettimeofday () -. t0 in
+  (match !result with
+  | Error (Server.Cancelled _) -> ()
+  | other -> Alcotest.failf "expected Cancelled, got %s" (serialize_submit other));
+  check_bool
+    (Printf.sprintf "cancel took effect promptly (%.0f ms)" (wall *. 1000.))
+    true (wall < 0.4)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+let slow_server demo ~max_concurrent ~admission_queue =
+  Server.create ~max_concurrent ~admission_queue
+    demo.Aldsp_demo.Demo.registry
+
+let test_admission_overload_rejection () =
+  let demo = Aldsp_demo.Demo.create ~customers:3 ~db_latency:0.4 () in
+  let server = slow_server demo ~max_concurrent:1 ~admission_queue:0 in
+  let th = Thread.create (fun () -> Server.submit server scan_query) () in
+  Thread.delay 0.15;
+  (* the only slot is mid-roundtrip and the queue admits nobody *)
+  (match Server.submit server scan_query with
+  | Error Server.Overloaded -> ()
+  | other -> Alcotest.failf "expected Overloaded, got %s" (serialize_submit other));
+  ignore (Thread.join th);
+  let adm = Server.admission_stats server in
+  check_int "rejection counted" 1 adm.Server.ad_rejected;
+  check_int "peak concurrency capped" 1 adm.Server.ad_peak_active;
+  (* with the slot free again, the front door reopens *)
+  (match Server.submit server scan_query with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-overload submit failed: %s"
+                 (Server.submit_error_to_string e))
+
+let test_admission_queueing () =
+  let demo = Aldsp_demo.Demo.create ~customers:3 ~db_latency:0.1 () in
+  let server = slow_server demo ~max_concurrent:1 ~admission_queue:8 in
+  let results = Array.make 6 (Error Server.Overloaded) in
+  let ts =
+    List.init 6 (fun i ->
+        Thread.create (fun () -> results.(i) <- Server.submit server scan_query) ())
+  in
+  List.iter Thread.join ts;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "queued query %d failed: %s" i
+          (Server.submit_error_to_string e))
+    results;
+  let adm = Server.admission_stats server in
+  check_int "all admitted" 6 adm.Server.ad_admitted;
+  check_int "all completed" 6 adm.Server.ad_completed;
+  check_int "serialized through one slot" 1 adm.Server.ad_peak_active;
+  check_bool "queue actually formed" true (adm.Server.ad_peak_queued >= 1);
+  check_int "nothing left behind" 0 (adm.Server.ad_active + adm.Server.ad_queued)
+
+let test_drain () =
+  let demo = Aldsp_demo.Demo.create ~customers:3 ~db_latency:0.3 () in
+  let server = slow_server demo ~max_concurrent:4 ~admission_queue:8 in
+  let inflight = ref (Error Server.Overloaded) in
+  let th = Thread.create (fun () -> inflight := Server.submit server scan_query) () in
+  Thread.delay 0.1;
+  check_bool "not draining yet" false (Server.draining server);
+  Server.drain server;
+  (* drain returned: the in-flight query ran to completion first *)
+  Thread.join th;
+  (match !inflight with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "in-flight query should finish during drain: %s"
+      (Server.submit_error_to_string e));
+  check_bool "draining is sticky" true (Server.draining server);
+  (match Server.submit server scan_query with
+  | Error Server.Overloaded -> ()
+  | other ->
+    Alcotest.failf "post-drain submit must be shed, got %s"
+      (serialize_submit other));
+  let adm = Server.admission_stats server in
+  check_int "quiescent after drain" 0 (adm.Server.ad_active + adm.Server.ad_queued)
+
+(* ------------------------------------------------------------------ *)
+(* Cache / statistics invalidation under concurrent DML                *)
+
+let count_query = "fn:count(CUSTOMER())"
+
+let test_concurrent_dml_never_stale () =
+  let demo = Aldsp_demo.Demo.create ~customers:8 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let customer =
+    Result.get_ok (Database.find_table demo.Aldsp_demo.Demo.customer_db "CUSTOMER")
+  in
+  let module V = Sql_value in
+  let insert i =
+    Result.get_ok
+      (Table.insert customer
+         [| V.Str (Printf.sprintf "NEW%05d" i);
+            V.Str "Race";
+            V.Str "Rex";
+            V.Str (Printf.sprintf "999-00-%04d" i);
+            V.Int (i * 86400) |])
+  in
+  let writers = 2 and per_writer = 25 and readers = 4 in
+  let failures = ref [] in
+  let fail_lock = Mutex.create () in
+  let note_failure msg =
+    Mutex.lock fail_lock;
+    failures := msg :: !failures;
+    Mutex.unlock fail_lock
+  in
+  let writer w () =
+    for i = 1 to per_writer do
+      insert ((w * per_writer) + i);
+      Thread.delay 0.0005
+    done
+  in
+  let reader () =
+    for _ = 1 to 40 do
+      match Server.submit server count_query with
+      | Ok [ item ] -> (
+        match int_of_string_opt (Item.string_value item) with
+        | Some n when n >= 8 && n <= 8 + (writers * per_writer) -> ()
+        | _ -> note_failure ("implausible count: " ^ Item.serialize [ item ]))
+      | Ok items -> note_failure ("count returned " ^ Item.serialize items)
+      | Error e -> note_failure (Server.submit_error_to_string e)
+    done
+  in
+  let ts =
+    List.init writers (fun w -> Thread.create (writer w) ())
+    @ List.init readers (fun _ -> Thread.create reader ())
+  in
+  List.iter Thread.join ts;
+  (match !failures with
+  | [] -> ()
+  | msg :: _ -> Alcotest.failf "concurrent DML raced the cache: %s" msg);
+  (* end state: the cached plan must see every inserted row — a stale
+     plan (or stale statistics-driven choice) would disagree with a
+     freshly-built reference server over the same registry *)
+  let final = Item.serialize (ok_exn (Server.run server count_query)) in
+  let reference = Server.reference demo.Aldsp_demo.Demo.registry in
+  let expected = Item.serialize (ok_exn (Server.run reference count_query)) in
+  check_bool
+    (Printf.sprintf "final count %s matches reference %s" final expected)
+    true
+    (String.equal final expected);
+  let adm = Server.admission_stats server in
+  check_int "admission balanced" adm.Server.ad_admitted
+    (adm.Server.ad_completed + adm.Server.ad_deadline_aborts)
+
+(* Single-schedule property: after ANY prefix of DML, a re-submitted
+   query must reflect the mutation immediately — the plan cache may hit
+   only while the statistics generation is unchanged. *)
+let test_invalidation_property =
+  QCheck.Test.make ~count:15
+    ~name:"plan cache never serves a row count from before a mutation"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 12) bool)
+    (fun ops ->
+      let demo = Aldsp_demo.Demo.create ~customers:4 () in
+      let server = demo.Aldsp_demo.Demo.server in
+      let customer =
+        Result.get_ok
+          (Database.find_table demo.Aldsp_demo.Demo.customer_db "CUSTOMER")
+      in
+      let module V = Sql_value in
+      let expected = ref 4 in
+      let fresh = ref 0 in
+      List.iter
+        (fun mutate ->
+          if mutate then begin
+            incr fresh;
+            incr expected;
+            ignore
+              (Result.get_ok
+                 (Table.insert customer
+                    [| V.Str (Printf.sprintf "PROP%04d" !fresh);
+                       V.Str "Prop";
+                       V.Null;
+                       V.Str (Printf.sprintf "888-00-%04d" !fresh);
+                       V.Int 86400 |]))
+          end;
+          match Server.submit server count_query with
+          | Ok [ item ] ->
+            let got = int_of_string_opt (Item.string_value item) in
+            if got <> Some !expected then
+              QCheck.Test.fail_reportf
+                "after %d inserts the server counted %s, expected %d" !fresh
+                (Item.string_value item) !expected
+          | Ok items ->
+            QCheck.Test.fail_reportf "count returned %s" (Item.serialize items)
+          | Error e ->
+            QCheck.Test.fail_reportf "submit failed: %s"
+              (Server.submit_error_to_string e))
+        ops;
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "concurrency"
+    [ ( "cancel",
+        [ Alcotest.test_case "token basics" `Quick test_cancel_basics;
+          Alcotest.test_case "ambient nesting" `Quick test_cancel_ambient_nesting;
+          Alcotest.test_case "interruptible sleep" `Quick
+            test_cancel_sleep_interrupted ] );
+      ( "pool-shutdown",
+        [ Alcotest.test_case "double shutdown" `Quick test_pool_double_shutdown;
+          Alcotest.test_case "shutdown with inflight work" `Quick
+            test_pool_shutdown_with_inflight;
+          Alcotest.test_case "concurrent shutdowns" `Quick
+            test_pool_concurrent_shutdowns ] );
+      ( "deadlines",
+        [ Alcotest.test_case "deadline under backend latency" `Quick
+            test_deadline_under_backend_latency;
+          Alcotest.test_case "deadline mid fn-bea:timeout window" `Quick
+            test_deadline_mid_timeout_window;
+          Alcotest.test_case "fn-bea:timeout inside generous deadline" `Quick
+            test_timeout_inside_generous_deadline;
+          Alcotest.test_case "explicit session cancel" `Quick
+            test_explicit_session_cancel ] );
+      ( "admission",
+        [ Alcotest.test_case "overload rejection" `Quick
+            test_admission_overload_rejection;
+          Alcotest.test_case "bounded queueing" `Quick test_admission_queueing;
+          Alcotest.test_case "graceful drain" `Quick test_drain ] );
+      ( "invalidation",
+        [ Alcotest.test_case "concurrent DML never stale" `Quick
+            test_concurrent_dml_never_stale;
+          QCheck_alcotest.to_alcotest test_invalidation_property ] ) ]

@@ -242,6 +242,32 @@ let test_cost_based_agrees () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent serving-layer oracle: a bounded fixed-seed slice of the
+   stream bin/fuzz --concurrent-sessions walks, plus an explicit
+   indexes × cost-based sweep at 16 sessions                           *)
+
+let test_concurrent_slice () =
+  match Harness.run_concurrent ~sessions:16 ~seed:slice_seed ~count:6 () with
+  | Ok n -> check_int "all concurrent scenarios ran" 6 n
+  | Error cx ->
+    Alcotest.failf "concurrent counterexample:\n%s" (Harness.cx_to_string cx)
+
+let test_concurrent_matrix () =
+  (* 16 sessions against one shared server must stay byte-identical to
+     the serial reference whichever way the backend index layer and
+     cost-based selection are switched *)
+  let s = Harness.scenario_of ~seed:slice_seed ~index:3 in
+  let queries = Harness.concurrent_queries ~seed:slice_seed ~index:3 ~count:16 s in
+  List.iter
+    (fun (indexes, cost_based) ->
+      let cat = Catalog.build s.Shrink.spec in
+      let config = { s.Shrink.config with Oracle.indexes; cost_based } in
+      match Oracle.compare_concurrent cat config ~sessions:16 queries with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "indexes=%b cost=%b diverged under 16 sessions:\n%s"
+          indexes cost_based e)
+    [ (true, true); (true, false); (false, true); (false, false) ]
 
 let () =
   Alcotest.run "fuzz"
@@ -263,4 +289,8 @@ let () =
       ( "corpus",
         [ Alcotest.test_case "replay" `Quick test_corpus_replay;
           Alcotest.test_case "cost-based agrees" `Slow
-            test_cost_based_agrees ] ) ]
+            test_cost_based_agrees ] );
+      ( "concurrent",
+        [ Alcotest.test_case "bounded slice" `Slow test_concurrent_slice;
+          Alcotest.test_case "indexes x cost-based matrix" `Slow
+            test_concurrent_matrix ] ) ]

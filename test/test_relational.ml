@@ -738,6 +738,63 @@ let prop_statistics_maintained =
       done;
       !ok)
 
+(* Concurrent DML on disjoint key ranges: each thread inserts, updates
+   and deletes only rows whose K lies in its own range, all against one
+   table. After the threads join, the incrementally maintained statistics
+   must equal a from-scratch recomputation over the live rows — a lost
+   update under the table lock would leave them skewed. *)
+let test_statistics_concurrent_dml () =
+  let t =
+    Table.create "T"
+      [ Table.column "K" Table.T_int; Table.column "V" Table.T_int ]
+  in
+  (match Table.create_index t ~name:"t_k" [ "K" ] with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let threads = 6 and keys_per = 40 in
+  let worker tid () =
+    let base = tid * 1000 in
+    for k = base to base + keys_per - 1 do
+      Result.get_ok (Table.insert t [| V.Int k; V.Int tid |])
+    done;
+    (* touch only this thread's rows: update every 3rd, delete every 4th *)
+    let mine = ref [] in
+    Table.iter_rows t (fun id row ->
+        match row.(0) with
+        | V.Int k when k >= base && k < base + keys_per ->
+          mine := (id, k) :: !mine
+        | _ -> ());
+    List.iter
+      (fun (id, k) ->
+        if k mod 4 = 0 then Table.delete_row t id
+        else if k mod 3 = 0 then
+          Table.update_row t id [| V.Int k; V.Int (tid + 100) |])
+      !mine
+  in
+  let ts = List.init threads (fun tid -> Thread.create (worker tid) ()) in
+  List.iter Thread.join ts;
+  let rows = Table.all_rows t in
+  let keys =
+    List.filter_map
+      (fun row -> match row.(0) with V.Int k -> Some k | _ -> None)
+      rows
+  in
+  let stats = Table.statistics t in
+  let cs =
+    List.find (fun cs -> cs.Table.cs_columns = [ "K" ]) stats.Table.stat_columns
+  in
+  Alcotest.check Alcotest.int "row count matches recompute"
+    (List.length rows) stats.Table.stat_rows;
+  Alcotest.check Alcotest.int "NDV matches recompute"
+    (List.length (List.sort_uniq compare keys))
+    cs.Table.cs_distinct;
+  Alcotest.check Alcotest.(option (float 0.)) "min matches recompute"
+    (Some (float_of_int (List.fold_left min max_int keys)))
+    cs.Table.cs_min;
+  Alcotest.check Alcotest.(option (float 0.)) "max matches recompute"
+    (Some (float_of_int (List.fold_left max min_int keys)))
+    cs.Table.cs_max
+
 (* Property: LIKE matching agrees with a reference regex translation. *)
 let prop_like =
   let pat_gen =
@@ -819,6 +876,7 @@ let () =
           t "rollback" test_transaction_rollback;
           t "two-phase commit" test_two_phase_commit;
           t "stats" test_stats_accounting;
+          t "statistics under concurrent DML" test_statistics_concurrent_dml;
           QCheck_alcotest.to_alcotest prop_statistics_maintained ] );
       ( "dialects",
         [ t "paper pattern (a)" test_print_simple_select_paper_shape;
