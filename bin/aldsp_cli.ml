@@ -10,8 +10,8 @@
 open Cmdliner
 open Aldsp_core
 
-let make_demo customers =
-  Aldsp_demo.Demo.create ~customers ~orders_per_customer:3 ()
+let make_demo ?(db_latency = 0.) customers =
+  Aldsp_demo.Demo.create ~customers ~orders_per_customer:3 ~db_latency ()
 
 let customers_arg =
   let doc = "Number of customers in the demo enterprise." in
@@ -35,9 +35,29 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "clients" ] ~docv:"N" ~doc)
   in
-  let action customers clients query =
-    let demo = make_demo customers in
+  let latency_arg =
+    let doc =
+      "Simulated per-roundtrip backend latency in milliseconds. With \
+       concurrent clients a non-zero latency makes sessions genuinely \
+       overlap, which is what gives work sharing something to coalesce."
+    in
+    Arg.(value & opt float 0. & info [ "latency" ] ~docv:"MS" ~doc)
+  in
+  let shared_mix_arg =
+    let doc =
+      "Switch on cross-session work sharing for the run: byte-identical \
+       in-flight backend statements coalesce on a single execution and \
+       near-simultaneous single-key probes merge into one batched \
+       roundtrip. Answers are still checked byte-for-byte across clients; \
+       the sharing counters (coalesced, merged, roundtrips saved) are \
+       reported with the admission counters."
+    in
+    Arg.(value & flag & info [ "shared-mix" ] ~doc)
+  in
+  let action customers clients latency_ms shared_mix query =
+    let demo = make_demo ~db_latency:(latency_ms /. 1000.) customers in
     let server = demo.Aldsp_demo.Demo.server in
+    if shared_mix then Server.set_work_sharing server true;
     if clients <= 1 then
       match Server.run server query with
       | Ok items ->
@@ -64,7 +84,15 @@ let run_cmd =
            deadline aborts (peak %d active / %d queued)\n"
           clients adm.Server.ad_submitted adm.Server.ad_completed
           adm.Server.ad_rejected adm.Server.ad_deadline_aborts
-          adm.Server.ad_peak_active adm.Server.ad_peak_queued
+          adm.Server.ad_peak_active adm.Server.ad_peak_queued;
+        if shared_mix then begin
+          let st = Server.stats server in
+          Printf.eprintf
+            "-- work sharing: %d coalesced, %d batch-merged, %d backend \
+             roundtrips saved\n"
+            st.Server.st_coalesced_hits st.Server.st_batch_merges
+            st.Server.st_dedup_roundtrips_saved
+        end
       in
       match results.(0) with
       | Error e ->
@@ -94,7 +122,8 @@ let run_cmd =
   in
   let doc = "compile and run an XQuery against the demo enterprise" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ customers_arg $ clients_arg $ query_arg)
+    Term.(const action $ customers_arg $ clients_arg $ latency_arg
+          $ shared_mix_arg $ query_arg)
 
 let explain_cmd =
   let analyze_arg =
@@ -255,6 +284,11 @@ let stats_cmd =
       "misestimation: worst est-vs-actual ratio %.2fx across %d plan \
        compilation(s)\n"
       sstats.Server.st_max_misestimate sstats.Server.st_plan_cache_misses;
+    Printf.printf
+      "work sharing: %d coalesced, %d batch-merged, %d backend roundtrips \
+       saved\n"
+      sstats.Server.st_coalesced_hits sstats.Server.st_batch_merges
+      sstats.Server.st_dedup_roundtrips_saved;
     0
   in
   let doc =

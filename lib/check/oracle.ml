@@ -186,62 +186,97 @@ let compare_concurrent cat config ~sessions queries =
   let ref_server = reference_server cat in
   let expected = Array.map (run_serialized ref_server) queries in
   set_indexes cat config.indexes;
-  let subject = subject_server cat config in
-  let results = Array.make n (Error "query never ran") in
-  let worker sid =
-    let ses = Server.session subject () in
-    let i = ref sid in
-    while !i < n do
-      results.(!i) <-
-        (match Server.session_run ses queries.(!i) with
-        | Ok items -> Ok (Aldsp_xml.Item.serialize items)
-        | Error e -> Error (Server.submit_error_to_string e));
-      i := !i + sessions
-    done
+  (* one pass through a plain subject, then the same replay with
+     cross-session work sharing (single-flight coalescing + batched
+     dispatch) switched on: sharing must be invisible in results too *)
+  let run_pass ~label subject =
+    let results = Array.make n (Error "query never ran") in
+    let worker sid =
+      let ses = Server.session subject () in
+      let i = ref sid in
+      while !i < n do
+        results.(!i) <-
+          (match Server.session_run ses queries.(!i) with
+          | Ok items -> Ok (Aldsp_xml.Item.serialize items)
+          | Error e -> Error (Server.submit_error_to_string e));
+        i := !i + sessions
+      done
+    in
+    let threads = List.init sessions (fun sid -> Thread.create worker sid) in
+    List.iter Thread.join threads;
+    let adm = Server.admission_stats subject in
+    let mismatch = ref None in
+    Array.iteri
+      (fun i got ->
+        if !mismatch = None then
+          match (expected.(i), got) with
+          | Ok a, Ok b when String.equal a b -> ()
+          | Error a, Error b when String.equal a b -> ()
+          | exp, got ->
+            mismatch :=
+              Some
+                (Printf.sprintf
+                   "query %d (session %d) diverged under %d sessions%s\nquery: %s\nreference %s\nsubject   %s"
+                   i (i mod sessions) sessions label queries.(i)
+                   (describe exp) (describe got)))
+      results;
+    match !mismatch with
+    | Some report -> Error report
+    | None ->
+      (* counter consistency: every submission admitted (the oracle never
+         outruns the default queue) and completed; nothing left behind *)
+      if adm.Server.ad_submitted <> n then
+        Error
+          (Printf.sprintf "admission%s: %d submitted, expected %d" label
+             adm.Server.ad_submitted n)
+      else if adm.Server.ad_rejected <> 0 then
+        Error
+          (Printf.sprintf "admission%s: %d queries rejected Overloaded" label
+             adm.Server.ad_rejected)
+      else if adm.Server.ad_deadline_aborts <> 0 then
+        Error
+          (Printf.sprintf "admission%s: %d deadline aborts without deadlines"
+             label adm.Server.ad_deadline_aborts)
+      else if adm.Server.ad_completed <> n || adm.Server.ad_active <> 0
+              || adm.Server.ad_queued <> 0 then
+        Error
+          (Printf.sprintf
+             "admission counters%s inconsistent: completed=%d active=%d queued=%d (submitted %d)"
+             label adm.Server.ad_completed adm.Server.ad_active
+             adm.Server.ad_queued n)
+      else Ok ()
   in
-  let threads = List.init sessions (fun sid -> Thread.create worker sid) in
-  List.iter Thread.join threads;
+  let plain = run_pass ~label:"" (subject_server cat config) in
+  let outcome =
+    match plain with
+    | Error _ as e -> e
+    | Ok () ->
+      let shared_subject = subject_server cat config in
+      Server.set_work_sharing shared_subject true;
+      let r = run_pass ~label:" [work sharing]" shared_subject in
+      (* the flag lives on the catalog's databases: restore so later
+         scenarios (and the serial fault runs) stay share-free *)
+      Server.set_work_sharing shared_subject false;
+      (match r with
+      | Error _ as e -> e
+      | Ok () ->
+        (* sharing bookkeeping must balance: every saved roundtrip is a
+           coalesced statement or a batch merge *)
+        let st = Server.stats shared_subject in
+        if
+          st.Server.st_dedup_roundtrips_saved
+          <> st.Server.st_coalesced_hits + st.Server.st_batch_merges
+          || st.Server.st_dedup_roundtrips_saved < 0
+        then
+          Error
+            (Printf.sprintf
+               "sharing counters inconsistent: saved=%d coalesced=%d merges=%d"
+               st.Server.st_dedup_roundtrips_saved st.Server.st_coalesced_hits
+               st.Server.st_batch_merges)
+        else Ok ())
+  in
   set_indexes cat true;
-  let adm = Server.admission_stats subject in
-  let mismatch = ref None in
-  Array.iteri
-    (fun i got ->
-      if !mismatch = None then
-        match (expected.(i), got) with
-        | Ok a, Ok b when String.equal a b -> ()
-        | Error a, Error b when String.equal a b -> ()
-        | exp, got ->
-          mismatch :=
-            Some
-              (Printf.sprintf
-                 "query %d (session %d) diverged under %d sessions\nquery: %s\nreference %s\nsubject   %s"
-                 i (i mod sessions) sessions queries.(i) (describe exp)
-                 (describe got)))
-    results;
-  match !mismatch with
-  | Some report -> Error report
-  | None ->
-    (* counter consistency: every submission admitted (the oracle never
-       outruns the default queue) and completed; nothing left behind *)
-    if adm.Server.ad_submitted <> n then
-      Error
-        (Printf.sprintf "admission: %d submitted, expected %d"
-           adm.Server.ad_submitted n)
-    else if adm.Server.ad_rejected <> 0 then
-      Error
-        (Printf.sprintf "admission: %d queries rejected Overloaded"
-           adm.Server.ad_rejected)
-    else if adm.Server.ad_deadline_aborts <> 0 then
-      Error
-        (Printf.sprintf "admission: %d deadline aborts without deadlines"
-           adm.Server.ad_deadline_aborts)
-    else if adm.Server.ad_completed <> n || adm.Server.ad_active <> 0
-            || adm.Server.ad_queued <> 0 then
-      Error
-        (Printf.sprintf
-           "admission counters inconsistent: completed=%d active=%d queued=%d (submitted %d)"
-           adm.Server.ad_completed adm.Server.ad_active adm.Server.ad_queued n)
-    else Ok ()
+  outcome
 
 let compare_query cat config ?(mutate = false) q =
   let reference =

@@ -68,9 +68,15 @@ val compare_concurrent :
     the reference server first, then the whole list replayed by
     [sessions] threads against one shared subject server through
     {!Server.submit} (query [i] on session [i mod sessions] — the
-    deterministic round-robin assignment). Any byte of divergence on any
-    query, or admission counters that do not balance (a rejection, a
-    phantom deadline abort, work left active/queued), is an [Error]. *)
+    deterministic round-robin assignment). The replay then runs a second
+    time against a fresh subject with cross-session work sharing
+    ({!Server.set_work_sharing}: single-flight statement coalescing +
+    batched single-key dispatch) switched on — sharing must be invisible
+    byte-for-byte too, and its counters must balance (every saved
+    roundtrip is a coalesced statement or a batch merge). Any byte of
+    divergence on any query in either pass, or admission counters that
+    do not balance (a rejection, a phantom deadline abort, work left
+    active/queued), is an [Error]. *)
 
 val compare_query : Catalog.t -> config -> ?mutate:bool -> string ->
   (unit, string) result

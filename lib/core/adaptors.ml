@@ -49,6 +49,9 @@ let relational_select db select ~params = Sql_exec.query db ~params select
 let relational_select_explained db select ~params =
   Sql_exec.query_explained db ~params select
 
+let relational_select_shared db select ~params =
+  Sql_exec.query_shared db ~params select
+
 (* Asynchronous adaptor invocation (§6): the roundtrip runs on the worker
    pool while the query thread continues; the future carries the result
    set together with the roundtrip's wall time so the caller can account

@@ -42,6 +42,18 @@ val relational_select_explained :
     statement, captured race-free with the result (the plan executor
     stitches them under the pushed region in unified EXPLAIN). *)
 
+val relational_select_shared :
+  Database.t ->
+  Sql_ast.select ->
+  params:Sql_value.t array ->
+  (Sql_exec.result_set * string list * bool, string) result
+(** {!relational_select_explained} through {!Sql_exec.query_shared}: when
+    the database opts into cross-session work sharing, byte-identical
+    concurrent statements execute once and compatible single-key probes
+    batch into one roundtrip. The boolean reports whether this statement
+    was served from another session's work (surfaced as the plan's
+    [shared=] counter). *)
+
 val relational_select_async :
   Pool.t ->
   Database.t ->

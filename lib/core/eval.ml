@@ -853,12 +853,16 @@ and rel_stream fr counters env (r : sql_region) : env Seq.t =
          r.sql_params)
   in
   let t0 = Unix.gettimeofday () in
-  let result = Adaptors.relational_select_explained db r.sql_select ~params in
+  let result = Adaptors.relational_select_shared db r.sql_select ~params in
   counters.c_roundtrips <- counters.c_roundtrips + 1;
   counters.c_wall <- counters.c_wall +. (Unix.gettimeofday () -. t0);
   match result with
   | Error m -> error "%s" m
-  | Ok (result, plan_lines) ->
+  | Ok (result, plan_lines, shared) ->
+    if shared then begin
+      counters.c_shared <- counters.c_shared + 1;
+      Option.iter Observed.record_coalesced fr.rt.observed
+    end;
     r.sql_backend <- plan_lines;
     let col_index =
       List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
@@ -911,7 +915,7 @@ and ppk_join fr sqlc left kind (r : sql_region) rest_lets ~k ~prefetch ~inner
   (* stage 2, pool worker: the latency-bound source roundtrip *)
   let roundtrip (block, select, params) =
     let t0 = Unix.gettimeofday () in
-    let result = Adaptors.relational_select_explained db select ~params in
+    let result = Adaptors.relational_select_shared db select ~params in
     let wall = Unix.gettimeofday () -. t0 in
     Option.iter (fun o -> Observed.record_roundtrip o ~wall) obs;
     sqlc.c_roundtrips <- sqlc.c_roundtrips + 1;
@@ -922,7 +926,11 @@ and ppk_join fr sqlc left kind (r : sql_region) rest_lets ~k ~prefetch ~inner
   let middleware_join (block, result, _wall) =
     match result with
     | Error msg -> error "%s" msg
-    | Ok (result, plan_lines) ->
+    | Ok (result, plan_lines, shared) ->
+      if shared then begin
+        sqlc.c_shared <- sqlc.c_shared + 1;
+        Option.iter Observed.record_coalesced obs
+      end;
       r.sql_backend <- plan_lines;
       sqlc.c_rows <-
         sqlc.c_rows + List.length result.Aldsp_relational.Sql_exec.rows;

@@ -1,19 +1,33 @@
 open Aldsp_xml
 open Aldsp_relational
 module Sql = Sql_ast
+module Singleflight = Aldsp_concurrency.Singleflight
+module IntMap = Map.Make (Int)
 
 type t = {
   storage : Database.t;
   clock : unit -> float;
   ttls : (Qname.t, float) Hashtbl.t;
-  (* typed values per key, so hits keep their type annotations *)
+  (* typed values per key, so hits keep their type annotations; bounded:
+     an evicted value falls back to the persistent row's XML (cold hit) *)
   materialized : (string, Item.sequence) Hashtbl.t;
+  capacity : int;
+  (* recency bookkeeping for [materialized], mirroring Plan_cache: a
+     monotonically increasing tick per touch, with the tick->key map
+     giving the LRU victim in O(log n) *)
+  mat_ticks : (string, int) Hashtbl.t;
+  mutable mat_recency : string IntMap.t;
+  mutable tick : int;
+  (* one flight per key: concurrent misses coalesce on the computing
+     session instead of both invoking the (expensive) function *)
+  flights : Item.sequence Singleflight.t;
   (* worker-pool calls hit the cache concurrently: the lock covers the
      counters, the ttl/materialized tables, and makes store's
      DELETE+INSERT atomic with respect to concurrent lookups *)
   lock : Mutex.t;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable coalesced_count : int;
 }
 
 let locked t f =
@@ -32,15 +46,21 @@ let ensure_table db =
            Table.column ~nullable:false "RESULT" Table.T_varchar;
            Table.column ~nullable:false "EXPIRES" Table.T_decimal ])
 
-let create ?(clock = Unix.gettimeofday) storage =
+let create ?(clock = Unix.gettimeofday) ?(capacity = 256) storage =
   ensure_table storage;
   { storage;
     clock;
     ttls = Hashtbl.create 16;
     materialized = Hashtbl.create 64;
+    capacity = max capacity 1;
+    mat_ticks = Hashtbl.create 64;
+    mat_recency = IntMap.empty;
+    tick = 0;
+    flights = Singleflight.create ();
     lock = Mutex.create ();
     hit_count = 0;
-    miss_count = 0 }
+    miss_count = 0;
+    coalesced_count = 0 }
 
 let enable t fn ~ttl_seconds =
   locked t (fun () -> Hashtbl.replace t.ttls fn ttl_seconds)
@@ -52,6 +72,34 @@ let key_of fn args =
   let arg_str = String.concat "\x00" (List.map Item.serialize args) in
   Printf.sprintf "%s(%s)" (Qname.to_string fn) arg_str
 
+(* lock held *)
+let touch_materialized t key =
+  (match Hashtbl.find_opt t.mat_ticks key with
+  | Some old -> t.mat_recency <- IntMap.remove old t.mat_recency
+  | None -> ());
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.mat_ticks key t.tick;
+  t.mat_recency <- IntMap.add t.tick key t.mat_recency
+
+(* lock held *)
+let forget_materialized t key =
+  (match Hashtbl.find_opt t.mat_ticks key with
+  | Some old ->
+    t.mat_recency <- IntMap.remove old t.mat_recency;
+    Hashtbl.remove t.mat_ticks key
+  | None -> ());
+  Hashtbl.remove t.materialized key
+
+(* lock held: bound the per-process typed-value table. Evicting here
+   loses nothing but type annotations — the persistent row survives, so
+   the entry is still a (cold) hit. *)
+let evict_materialized t =
+  while Hashtbl.length t.materialized > t.capacity do
+    match IntMap.min_binding_opt t.mat_recency with
+    | Some (_, oldest) -> forget_materialized t oldest
+    | None -> Hashtbl.reset t.materialized
+  done
+
 (* the single-row lookup of §5.5 *)
 let select_entry =
   Sql.select
@@ -59,7 +107,10 @@ let select_entry =
     ~where:(Sql.Binop (Sql.Eq, Sql.col "c" "FKEY", Sql.Param 1))
     (Sql.Table { table = table_name; alias = "c" })
 
-let lookup t fn args =
+(* [count:false] is the under-flight re-check in [wrapper]: the outer
+   (counting) lookup already recorded the miss for this logical call, so
+   the probe inside the flight must not count it again. *)
+let lookup_probe ~count t fn args =
   let key = key_of fn args in
   locked t @@ fun () ->
   match
@@ -67,7 +118,7 @@ let lookup t fn args =
   with
   | Error _ -> None
   | Ok { Sql_exec.rows = []; _ } ->
-    t.miss_count <- t.miss_count + 1;
+    if count then t.miss_count <- t.miss_count + 1;
     None
   | Ok { Sql_exec.rows = row :: _; _ } -> (
     let expires =
@@ -77,16 +128,19 @@ let lookup t fn args =
       | _ -> 0.
     in
     if t.clock () > expires then begin
-      t.miss_count <- t.miss_count + 1;
+      if count then t.miss_count <- t.miss_count + 1;
       None
     end
     else begin
-      t.hit_count <- t.hit_count + 1;
+      if count then t.hit_count <- t.hit_count + 1;
       match Hashtbl.find_opt t.materialized key with
-      | Some value -> Some value
+      | Some value ->
+        touch_materialized t key;
+        Some value
       | None -> (
-        (* cold hit (e.g. populated by another node): rebuild from the
-           serialized XML; atomics re-enter untyped *)
+        (* cold hit (e.g. populated by another node, or evicted from the
+           bounded typed-value table): rebuild from the serialized XML;
+           atomics re-enter untyped *)
         match row.(0) with
         | Sql_value.Str text -> (
           match Xml_parser.parse_fragment text with
@@ -94,6 +148,8 @@ let lookup t fn args =
           | Error _ -> Some [ Item.Atom (Atomic.Untyped text) ])
         | _ -> None)
     end)
+
+let lookup t fn args = lookup_probe ~count:true t fn args
 
 let store t fn args value =
   let key = key_of fn args in
@@ -116,7 +172,9 @@ let store t fn args value =
               [ Sql.Lit (Sql_value.Str key);
                 Sql.Lit (Sql_value.Str (Item.serialize value));
                 Sql.Lit (Sql_value.Float expires) ] }));
-  Hashtbl.replace t.materialized key value
+  Hashtbl.replace t.materialized key value;
+  touch_materialized t key;
+  evict_materialized t
 
 let invalidate t fn =
   let prefix = Qname.to_string fn ^ "(" in
@@ -135,23 +193,44 @@ let invalidate t fn =
     (fun k _ ->
       if String.length k >= String.length prefix
          && String.sub k 0 (String.length prefix) = prefix
-      then Hashtbl.remove t.materialized k)
+      then forget_materialized t k)
     (Hashtbl.copy t.materialized)
 
 let wrapper t fd args compute =
-  if fd.Metadata.fd_cacheable && is_enabled t fd.Metadata.fd_name then
-    match lookup t fd.Metadata.fd_name args with
+  let fn = fd.Metadata.fd_name in
+  if fd.Metadata.fd_cacheable && is_enabled t fn then
+    match lookup t fn args with
     | Some value -> value
-    | None ->
-      let value = compute () in
-      store t fd.Metadata.fd_name args value;
-      value
+    | None -> (
+      (* single-flight around the miss: concurrent sessions missing on
+         the same key coalesce on one computation instead of all
+         invoking the function ("two concurrent misses both compute" is
+         exactly the redundancy this kills). The leader re-checks the
+         cache under the flight (without double-counting the miss): a
+         store that landed between our lookup and the flight forming
+         serves everyone without recomputing. *)
+      match
+        Singleflight.run t.flights (key_of fn args) (fun () ->
+            match lookup_probe ~count:false t fn args with
+            | Some value -> value
+            | None ->
+              let value = compute () in
+              store t fn args value;
+              value)
+      with
+      | Singleflight.Led value -> value
+      | Singleflight.Joined value ->
+        locked t (fun () -> t.coalesced_count <- t.coalesced_count + 1);
+        value)
   else compute ()
 
 let hits t = locked t (fun () -> t.hit_count)
 let misses t = locked t (fun () -> t.miss_count)
+let coalesced t = locked t (fun () -> t.coalesced_count)
+let materialized_count t = locked t (fun () -> Hashtbl.length t.materialized)
 
 let reset_stats t =
   locked t (fun () ->
       t.hit_count <- 0;
-      t.miss_count <- 0)
+      t.miss_count <- 0;
+      t.coalesced_count <- 0)

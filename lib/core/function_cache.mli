@@ -20,9 +20,13 @@
     All operations are safe to call from worker-pool threads: a single
     lock guards the statistics, the TTL and materialized tables, and makes
     {!store}'s DELETE+INSERT atomic with respect to concurrent {!lookup}s.
-    Result computation on a miss runs outside the lock, so two concurrent
-    misses may both compute; the later {!store} wins, which is harmless
-    for an idempotent cache. *)
+    Result computation on a miss runs outside the lock, under a per-key
+    {!Aldsp_concurrency.Singleflight} flight: concurrent misses on the
+    same key coalesce on a single computation, the followers sharing the
+    leader's value ({!coalesced} counts the computations avoided). The
+    per-process materialized table is bounded ([capacity], LRU): evicting
+    a typed value only loses its type annotations — the persistent row
+    remains and serves cold hits. *)
 
 open Aldsp_xml
 
@@ -31,9 +35,12 @@ type t
 val table_name : string
 
 val create :
-  ?clock:(unit -> float) -> Aldsp_relational.Database.t -> t
+  ?clock:(unit -> float) -> ?capacity:int ->
+  Aldsp_relational.Database.t -> t
 (** Uses (and creates if needed) the cache table in the given database.
-    [clock] is injectable for TTL tests. *)
+    [clock] is injectable for TTL tests. [capacity] (default 256) bounds
+    the per-process materialized typed-value table with LRU eviction;
+    the persistent table is unaffected. *)
 
 val enable : t -> Qname.t -> ttl_seconds:float -> unit
 (** Administrative enablement with a time-to-live. *)
@@ -57,4 +64,12 @@ val wrapper : t -> Metadata.function_def -> Item.sequence list ->
 
 val hits : t -> int
 val misses : t -> int
+
+val coalesced : t -> int
+(** Misses served from another session's in-flight computation — function
+    invocations avoided by single-flight coalescing. *)
+
+val materialized_count : t -> int
+(** Live entries of the bounded per-process typed-value table. *)
+
 val reset_stats : t -> unit

@@ -40,7 +40,15 @@ val record_overlap : t -> float -> unit
 (** Seconds of source latency hidden by overlapping a roundtrip with other
     work (negative/zero contributions are dropped). *)
 
+val record_coalesced : t -> unit
+(** One source statement served from another session's in-flight work
+    (cross-session sharing) instead of its own roundtrip. *)
+
 val roundtrips : t -> int
+
+val coalesced_hits : t -> int
+(** Statements that were coalesced onto shared work. *)
+
 val overlap_saved : t -> float
 val source_wall : t -> float
 (** Total wall time spent inside instrumented source calls — with the pool

@@ -43,3 +43,8 @@ val clear : 'plan t -> unit
 val size : 'plan t -> int
 val hits : 'plan t -> int
 val misses : 'plan t -> int
+
+val evictions : 'plan t -> int
+(** Capacity evictions performed by {!add} (stale purges and {!clear} are
+    not evictions). Bookkeeping invariant, asserted by the tests: with no
+    purges, [distinct keys added - evictions = size]. *)

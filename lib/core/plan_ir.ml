@@ -10,6 +10,7 @@ type counters = {
   mutable c_roundtrips : int;
   mutable c_cache_hits : int;
   mutable c_cache_misses : int;
+  mutable c_shared : int;
   mutable c_wall : float;
 }
 
@@ -93,7 +94,7 @@ and sql_region = {
 
 let zero () =
   { c_est = 0; c_starts = 0; c_rows = 0; c_roundtrips = 0; c_cache_hits = 0;
-    c_cache_misses = 0; c_wall = 0. }
+    c_cache_misses = 0; c_shared = 0; c_wall = 0. }
 
 (* ------------------------------------------------------------------ *)
 (* Lowering                                                            *)
@@ -411,6 +412,7 @@ let reset_counters p =
       c.c_roundtrips <- 0;
       c.c_cache_hits <- 0;
       c.c_cache_misses <- 0;
+      c.c_shared <- 0;
       c.c_wall <- 0.)
     p;
   List.iter (fun r -> r.sql_backend <- []) (regions p)
@@ -567,6 +569,9 @@ let counters_suffix ~timings c =
     @ (if c.c_cache_hits > 0 || c.c_cache_misses > 0 then
          [ Printf.sprintf "cache-hits=%d cache-misses=%d" c.c_cache_hits
              c.c_cache_misses ]
+       else [])
+    (* only under active work sharing, so golden plans are unaffected *)
+    @ (if c.c_shared > 0 then [ Printf.sprintf "shared=%d" c.c_shared ]
        else [])
     @
     if timings && c.c_wall > 0. then

@@ -32,6 +32,11 @@ type counters = {
   mutable c_roundtrips : int;  (** Source statements this operator issued. *)
   mutable c_cache_hits : int;  (** Function-cache hits on this call site. *)
   mutable c_cache_misses : int;  (** Computed calls on a cacheable site. *)
+  mutable c_shared : int;
+      (** Of the issued statements, how many were served from another
+          session's in-flight work (coalesced or batch-merged). Rendered
+          as [shared=N] only when positive, so plans outside shared
+          serving workloads are unchanged. *)
   mutable c_wall : float;  (** Seconds inside this operator's roundtrips. *)
 }
 

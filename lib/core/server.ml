@@ -99,6 +99,15 @@ type stats = {
   st_admission : admission_stats;
       (** Serving-layer counters: submissions, rejections, deadline
           aborts, live/peak concurrency and queue depth. *)
+  st_coalesced_hits : int;
+      (** Work served from another session's in-flight computation:
+          backend statement coalescing plus function-cache miss
+          coalescing. *)
+  st_batch_merges : int;
+      (** Single-key backend probes merged into another session's
+          accumulated IN-list roundtrip. *)
+  st_dedup_roundtrips_saved : int;
+      (** Backend roundtrips avoided by cross-session work sharing. *)
 }
 
 let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
@@ -208,7 +217,28 @@ let stats t =
     st_tokens_streamed = !(t.streamed_tokens);
     st_backend = backend;
     st_max_misestimate = !(t.worst_misestimate);
-    st_admission = admission_stats t }
+    st_admission = admission_stats t;
+    st_coalesced_hits =
+      backend.Aldsp_relational.Database.coalesced_hits
+      + (match t.function_cache with
+        | Some c -> Function_cache.coalesced c
+        | None -> 0);
+    st_batch_merges = backend.Aldsp_relational.Database.batch_merges;
+    st_dedup_roundtrips_saved =
+      backend.Aldsp_relational.Database.dedup_roundtrips_saved }
+
+(* Cross-session work sharing is a property of the backends this server
+   fronts: flip every registered database. Function-cache miss
+   coalescing is always on (it is a pure de-duplication). *)
+let set_work_sharing t flag =
+  List.iter
+    (fun db -> Aldsp_relational.Database.set_share_work db flag)
+    (Metadata.databases t.registry)
+
+let work_sharing t =
+  List.exists
+    (fun db -> db.Aldsp_relational.Database.share_work)
+    (Metadata.databases t.registry)
 
 (* ------------------------------------------------------------------ *)
 (* Data service registration                                           *)

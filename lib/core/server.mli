@@ -73,6 +73,17 @@ type stats = {
   st_admission : admission_stats;
       (** Serving-layer counters; invariant: [ad_admitted = ad_completed +
           mid-execution deadline aborts + ad_active] once quiescent. *)
+  st_coalesced_hits : int;
+      (** Work served from another session's in-flight computation:
+          backend single-flight coalescing ({!Database.stats}'
+          [coalesced_hits] rolled over every source) plus function-cache
+          miss coalescing ({!Function_cache.coalesced}). *)
+  st_batch_merges : int;
+      (** Single-key backend probes merged into another session's
+          accumulated IN-list roundtrip (batched dispatch). *)
+  st_dedup_roundtrips_saved : int;
+      (** Backend roundtrips avoided by cross-session work sharing;
+          0 unless {!set_work_sharing} is on. *)
 }
 
 val create :
@@ -121,6 +132,17 @@ val stats : t -> stats
 (** A consolidated snapshot of the server's runtime counters: plan-cache
     hit rates, worker-pool utilization, and (when [observed] is
     configured) source roundtrips and overlap accounting. *)
+
+val set_work_sharing : t -> bool -> unit
+(** Flips cross-session work sharing (single-flight statement coalescing
+    + batched single-key dispatch, {!Aldsp_relational.Database.set_share_work})
+    on every database registered with this server. Off by default; the
+    shared-workload serving benchmarks and the concurrent oracle's
+    sharing pass turn it on. Function-cache miss coalescing is always
+    active and unaffected by this switch. *)
+
+val work_sharing : t -> bool
+(** Whether any registered database currently shares work. *)
 
 (** {2 Data service registration} *)
 

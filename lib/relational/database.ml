@@ -14,9 +14,14 @@ type stats = {
   mutable hash_joins : int;
   mutable index_joins : int;
   mutable nl_joins : int;
+  (* cross-session work-sharing counters *)
+  mutable coalesced_hits : int;
+  mutable batch_merges : int;
+  mutable dedup_roundtrips_saved : int;
 }
 
 type t = {
+  db_uid : int;
   db_name : string;
   vendor : vendor;
   tables : (string, Table.t) Hashtbl.t;
@@ -26,6 +31,8 @@ type t = {
   mutable schedule : fault list;
   schedule_lock : Mutex.t;
   mutable use_indexes : bool;
+  mutable share_work : bool;
+  mutable batch_window : float;
   mutable last_plan : string list;
 }
 
@@ -39,10 +46,26 @@ let zero_stats () =
     index_rows = 0;
     hash_joins = 0;
     index_joins = 0;
-    nl_joins = 0 }
+    nl_joins = 0;
+    coalesced_hits = 0;
+    batch_merges = 0;
+    dedup_roundtrips_saved = 0 }
+
+(* Distinguishes databases with recurring names (fuzz catalogs) in the
+   executor's process-wide work-sharing registries. *)
+let next_uid =
+  let counter = ref 0 in
+  let lock = Mutex.create () in
+  fun () ->
+    Mutex.lock lock;
+    incr counter;
+    let uid = !counter in
+    Mutex.unlock lock;
+    uid
 
 let create ?(vendor = Generic_sql92) ?(roundtrip_latency = 0.) db_name =
-  { db_name;
+  { db_uid = next_uid ();
+    db_name;
     vendor;
     tables = Hashtbl.create 16;
     stats = zero_stats ();
@@ -51,6 +74,10 @@ let create ?(vendor = Generic_sql92) ?(roundtrip_latency = 0.) db_name =
     schedule = [];
     schedule_lock = Mutex.create ();
     use_indexes = true;
+    share_work = false;
+    (* accumulation window start: a quarter roundtrip (adapted at run
+       time between 50 µs and half the roundtrip, see Sql_exec) *)
+    batch_window = roundtrip_latency /. 4.;
     last_plan = [] }
 
 let add_stats acc s =
@@ -63,7 +90,11 @@ let add_stats acc s =
   acc.index_rows <- acc.index_rows + s.index_rows;
   acc.hash_joins <- acc.hash_joins + s.hash_joins;
   acc.index_joins <- acc.index_joins + s.index_joins;
-  acc.nl_joins <- acc.nl_joins + s.nl_joins
+  acc.nl_joins <- acc.nl_joins + s.nl_joins;
+  acc.coalesced_hits <- acc.coalesced_hits + s.coalesced_hits;
+  acc.batch_merges <- acc.batch_merges + s.batch_merges;
+  acc.dedup_roundtrips_saved <-
+    acc.dedup_roundtrips_saved + s.dedup_roundtrips_saved
 
 let add_table t table = Hashtbl.replace t.tables table.Table.table_name table
 
@@ -103,9 +134,14 @@ let reset_stats t =
   t.stats.index_rows <- 0;
   t.stats.hash_joins <- 0;
   t.stats.index_joins <- 0;
-  t.stats.nl_joins <- 0
+  t.stats.nl_joins <- 0;
+  t.stats.coalesced_hits <- 0;
+  t.stats.batch_merges <- 0;
+  t.stats.dedup_roundtrips_saved <- 0
 
 let set_use_indexes t flag = t.use_indexes <- flag
+
+let set_share_work t flag = t.share_work <- flag
 
 let set_last_plan t plan = t.last_plan <- plan
 

@@ -24,9 +24,22 @@ type stats = {
   mutable hash_joins : int;
   mutable index_joins : int;  (** Index nested-loop joins. *)
   mutable nl_joins : int;  (** Plain nested-loop joins. *)
+  mutable coalesced_hits : int;
+      (** Statements served from another session's byte-identical
+          in-flight statement (single-flight coalescing) — no roundtrip
+          of their own. *)
+  mutable batch_merges : int;
+      (** Single-key probes merged into another session's accumulated
+          IN-list roundtrip (batched dispatch) — beyond the leader. *)
+  mutable dedup_roundtrips_saved : int;
+      (** Roundtrips avoided by work sharing: the sum of statements that
+          would have hit the wire without coalescing + batching. *)
 }
 
 type t = {
+  db_uid : int;
+      (** Process-unique id: keys this database in the executor's
+          work-sharing registries (names recur across fuzz catalogs). *)
   db_name : string;
   vendor : vendor;
   tables : (string, Table.t) Hashtbl.t;
@@ -47,6 +60,18 @@ type t = {
           optimizer: when false the executor only uses scans and nested
           loops (the differential oracle's reference mode). Indexes are
           maintained either way. Default [true]. *)
+  mutable share_work : bool;
+      (** Cross-session work sharing (single-flight statement coalescing
+          and batched single-key dispatch) in the executor. Off by
+          default: sharing changes statement accounting and interleaves
+          sessions, so it is opt-in for serving workloads (the
+          differential oracle runs a dedicated sharing pass). Disabled
+          internally while a fault schedule is active — scripted events
+          must align with statements one-to-one. *)
+  mutable batch_window : float;
+      (** Current adaptive accumulation window (seconds) for batched
+          dispatch: grown when batches merge probes, shrunk towards the
+          floor when a window closes solo. Maintained by the executor. *)
   mutable last_plan : string list;
       (** EXPLAIN-style access-path decisions of the most recent
           statement, recorded by the executor. *)
@@ -61,6 +86,9 @@ val add_stats : stats -> stats -> unit
     counters up into {!Aldsp_core.Server.stats}-level totals. *)
 
 val set_use_indexes : t -> bool -> unit
+
+val set_share_work : t -> bool -> unit
+(** Flips cross-session work sharing for statements on this database. *)
 
 val set_last_plan : t -> string list -> unit
 

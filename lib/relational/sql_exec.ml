@@ -1057,6 +1057,271 @@ let query db ?params s =
   | Ok (result, _) -> Ok result
   | Error _ as e -> e
 
+(* ------------------------------------------------------------------ *)
+(* Cross-session work sharing.
+
+   Two mechanisms, both opt-in per database ([share_work]) and both
+   keyed on the database's statistics version, so a DML between two
+   readers splits them into different epochs: a reader admitted after
+   the write can never join (or be served by) a flight started against
+   the pre-write data.
+
+   1. Single-flight coalescing: byte-identical parameterized statements
+      issued concurrently execute once; the followers share the leader's
+      result set and account a saved roundtrip.
+
+   2. Batched dispatch: compatible single-key equality probes arriving
+      within a short adaptive accumulation window merge into one
+      IN-list-shaped roundtrip (the same disjunctive-probe shape PP-k
+      ships), executed by the window's leader.
+
+   Sharing never runs while a fault schedule is active: scripted events
+   must align with statements one-to-one, and a coalesced statement
+   would consume anothers session's scripted fault. *)
+
+module Singleflight = Aldsp_concurrency.Singleflight
+module Cancel = Aldsp_concurrency.Cancel
+
+(* Statement identity: database (by uid — names recur across fuzz
+   catalogs), statistics epoch, and the marshalled (statement, params)
+   pair. Sql_ast and Sql_value are pure data, so marshalling is a
+   faithful structural fingerprint. *)
+let statement_key db params s =
+  Printf.sprintf "%d\x00%d\x00%s" db.Database.db_uid
+    (Database.stats_version db)
+    (Marshal.to_string (s, params) [])
+
+let flights : (result_set * string list, string) result Singleflight.t =
+  Singleflight.create ()
+
+(* Engine-only execution: runs the statement without roundtrip
+   accounting or latency. Work sharing uses it to serve each member of a
+   merged batch from the one accounted wire statement. *)
+let engine_exec db params s =
+  let ctx = root_context db params in
+  match run_select ctx s with
+  | result ->
+    let plan = List.rev !(ctx.decisions) in
+    Database.set_last_plan db plan;
+    Ok (result, plan)
+  | exception Sql_error msg ->
+    Database.set_last_plan db (List.rev !(ctx.decisions));
+    Error msg
+
+let count_saved db ~merged =
+  Database.record_operator db (fun st ->
+      if merged then st.Database.batch_merges <- st.Database.batch_merges + 1
+      else st.Database.coalesced_hits <- st.Database.coalesced_hits + 1;
+      st.Database.dedup_roundtrips_saved <-
+        st.Database.dedup_roundtrips_saved + 1)
+
+let coalesced_query db params s =
+  match
+    Singleflight.run flights (statement_key db params s) (fun () ->
+        query_explained db ~params s)
+  with
+  | Singleflight.Led r -> (
+    match r with
+    | Ok (rs, plan) -> Ok (rs, plan, false)
+    | Error e -> Error e)
+  | Singleflight.Joined r -> (
+    count_saved db ~merged:false;
+    match r with
+    | Ok (rs, plan) -> Ok (rs, plan, true)
+    | Error e -> Error e)
+
+(* ---- batched single-key dispatch ---------------------------------- *)
+
+(* A batchable probe: one table, no joins, and a WHERE that is a single
+   equality between a column and a constant key — the pushed-selection /
+   cache-lookup shape. Everything but the key value participates in the
+   group identity, so only structurally identical probes merge. *)
+let probe_shape params (s : select) =
+  match (s.from, s.joins, s.where) with
+  | Table _, [], Some (Binop (Eq, (Col _ as keycol), rhs)) -> (
+    match rhs with
+    | Lit _ when Array.length params = 0 -> Some keycol
+    | Param 1 when Array.length params = 1 -> Some keycol
+    | _ -> None)
+  | _ -> None
+
+let group_key db keycol (s : select) =
+  (* the statement with the key value blanked out: members of one group
+     differ only in the probe key *)
+  let normalized = { s with where = Some (Binop (Eq, keycol, Param 0)) } in
+  Printf.sprintf "%d\x00%d\x00batch\x00%s" db.Database.db_uid
+    (Database.stats_version db)
+    (Marshal.to_string normalized [])
+
+(* The merged statement stays worth one roundtrip only while the block
+   is small enough that probing beats shipping — the cost model's k* =
+   sqrt(latency / row_cost) block size, clamped like {!Cost_model.choose_k}
+   to [5, 50]. *)
+let batch_cap db =
+  let latency, row_cost = Database.cost_profile db in
+  let k = int_of_float (Float.sqrt (latency /. Float.max row_cost 1e-9)) in
+  max 5 (min 50 k)
+
+let window_floor = 50e-6
+
+let window_cap db = Float.max window_floor (db.Database.roundtrip_latency /. 2.)
+
+type batch_member = {
+  bm_select : select;
+  bm_params : V.t array;
+  mutable bm_outcome : (result_set * string list, string) result option;
+}
+
+type batch_group = {
+  mutable bg_members : batch_member list;  (* newest first *)
+  mutable bg_open : bool;  (* accepting joiners *)
+  mutable bg_done : bool;  (* outcomes filled *)
+}
+
+let batches : (string, batch_group) Hashtbl.t = Hashtbl.create 16
+let batch_mutex = Mutex.create ()
+let batch_done = Condition.create ()
+
+(* Member side: wait (cancellation-aware, like every serving-layer wait)
+   until the leader fills the outcomes. A member whose token fires
+   abandons the batch alone; the leader serves its slot harmlessly. *)
+let rec await_batch g =
+  if not g.bg_done then begin
+    let tok = Cancel.current () in
+    if tok == Cancel.none then Condition.wait batch_done batch_mutex
+    else begin
+      Mutex.unlock batch_mutex;
+      Cancel.check tok;
+      Thread.delay 0.0005;
+      Mutex.lock batch_mutex
+    end;
+    await_batch g
+  end
+
+(* Leader side: hold the window open, polling in small chunks so a group
+   reaching the cost-model cap dispatches early, then close and execute.
+   The window sleep is plain (not cancellation-aware): it is bounded by
+   half a roundtrip, and the leader owes the members a dispatch. *)
+let run_batch_leader db gkey g =
+  let window = db.Database.batch_window in
+  let chunk = Float.max (window /. 8.) 20e-6 in
+  let deadline = Unix.gettimeofday () +. window in
+  let rec hold () =
+    Mutex.lock batch_mutex;
+    let still_open = g.bg_open in
+    Mutex.unlock batch_mutex;
+    if still_open && Unix.gettimeofday () < deadline then begin
+      Thread.delay chunk;
+      hold ()
+    end
+  in
+  hold ();
+  Mutex.lock batch_mutex;
+  if g.bg_open then begin
+    g.bg_open <- false;
+    Hashtbl.remove batches gkey
+  end;
+  let members = List.rev g.bg_members in
+  Mutex.unlock batch_mutex;
+  let n = List.length members in
+  (* adapt: solo windows shrink towards the floor (don't stall sparse
+     traffic), merged windows grow towards half a roundtrip (catch more
+     of a burst) *)
+  db.Database.batch_window <-
+    (if n <= 1 then Float.max window_floor (window /. 2.)
+     else Float.min (window_cap db) (Float.max window_floor (window *. 1.5)));
+  (match Database.apply_fault db with
+  | Error msg ->
+    List.iter (fun m -> m.bm_outcome <- Some (Error msg)) members;
+    Mutex.lock batch_mutex;
+    g.bg_done <- true;
+    Condition.broadcast batch_done;
+    Mutex.unlock batch_mutex;
+    Database.record_statement db ~params:0 ~rows:0
+  | Ok () ->
+    (* the batch pays one wire statement: each member's probe answered
+       from it (engine-level, unaccounted), then a single roundtrip
+       recorded with the merged parameter and shipped-row totals — the
+       IN-list accounting *)
+    List.iter
+      (fun m -> m.bm_outcome <- Some (engine_exec db m.bm_params m.bm_select))
+      members;
+    Mutex.lock batch_mutex;
+    g.bg_done <- true;
+    Condition.broadcast batch_done;
+    Mutex.unlock batch_mutex;
+    let rows =
+      List.fold_left
+        (fun acc m ->
+          match m.bm_outcome with
+          | Some (Ok (rs, _)) -> acc + List.length rs.rows
+          | _ -> acc)
+        0 members
+    in
+    let params =
+      List.fold_left
+        (fun acc m -> acc + max 1 (Array.length m.bm_params))
+        0 members
+    in
+    Database.record_statement db ~params ~rows)
+
+let batched_probe db params s keycol =
+  let gkey = group_key db keycol s in
+  let me = { bm_select = s; bm_params = params; bm_outcome = None } in
+  Mutex.lock batch_mutex;
+  let role =
+    match Hashtbl.find_opt batches gkey with
+    | Some g when g.bg_open ->
+      g.bg_members <- me :: g.bg_members;
+      if List.length g.bg_members >= batch_cap db then begin
+        (* cost-model cap reached: close the window early *)
+        g.bg_open <- false;
+        Hashtbl.remove batches gkey
+      end;
+      `Member g
+    | _ ->
+      let g = { bg_members = [ me ]; bg_open = true; bg_done = false } in
+      Hashtbl.replace batches gkey g;
+      `Leader g
+  in
+  (match role with
+  | `Leader g ->
+    Mutex.unlock batch_mutex;
+    run_batch_leader db gkey g
+  | `Member g ->
+    (* if the wait raises (member cancelled), the lock was released by
+       the polling branch — the exception must skip this unlock *)
+    await_batch g;
+    Mutex.unlock batch_mutex);
+  match me.bm_outcome with
+  | Some (Ok (rs, plan)) ->
+    let merged = match role with `Member _ -> true | `Leader _ -> false in
+    if merged then count_saved db ~merged:true;
+    Ok (rs, plan, merged)
+  | Some (Error msg) -> Error msg
+  | None -> (
+    (* only reachable if the leader died before filling outcomes (it
+       executes members before any cancellable sleep, so this is a
+       crash-containment path): retry rather than inherit *)
+    match query_explained db ~params s with
+    | Ok (rs, plan) -> Ok (rs, plan, false)
+    | Error e -> Error e)
+
+(* The shared entry point: like {!query_explained} but with work sharing
+   when the database opts in; the extra boolean reports whether this
+   statement was served from another session's work (for the
+   EXPLAIN-level shared= counters). *)
+let query_shared db ?(params = [||]) s =
+  if (not db.Database.share_work) || Database.schedule_remaining db > 0 then
+    match query_explained db ~params s with
+    | Ok (rs, plan) -> Ok (rs, plan, false)
+    | Error e -> Error e
+  else
+    match probe_shape params s with
+    | Some keycol when db.Database.roundtrip_latency > 0. ->
+      batched_probe db params s keycol
+    | _ -> coalesced_query db params s
+
 let execute_dml db ?(params = [||]) dml =
   match Database.apply_fault db with
   | Error msg ->

@@ -31,6 +31,23 @@ val query_explained :
     makes plan capture race-free when statements for several blocks are in
     flight on the worker pool (PP-k prefetch). *)
 
+val query_shared :
+  Database.t ->
+  ?params:Sql_value.t array ->
+  Sql_ast.select ->
+  (result_set * string list * bool, string) result
+(** {!query_explained} with cross-session work sharing when the database
+    opts in ({!Database.set_share_work}): byte-identical concurrent
+    statements coalesce on one execution (single-flight), and compatible
+    single-key equality probes arriving within the database's adaptive
+    accumulation window merge into one IN-list-shaped roundtrip. The
+    extra boolean is true when this statement was served from another
+    session's work (no roundtrip of its own). Sharing is keyed on
+    {!Database.stats_version}, so a DML between two readers splits them
+    into different epochs, and is suspended while a fault schedule is
+    active (scripted events align with statements one-to-one). With
+    sharing off this is exactly {!query_explained}. *)
+
 val execute_dml :
   Database.t ->
   ?params:Sql_value.t array ->

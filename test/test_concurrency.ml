@@ -367,6 +367,313 @@ let test_invalidation_property =
       true)
 
 (* ------------------------------------------------------------------ *)
+(* Single-flight coalescing                                            *)
+
+module Singleflight = Aldsp_concurrency.Singleflight
+
+(* a broadcast gate: [wait] blocks until [release] *)
+let gate () =
+  let m = Mutex.create () and c = Condition.create () and opened = ref false in
+  let wait () =
+    Mutex.lock m;
+    while not !opened do
+      Condition.wait c m
+    done;
+    Mutex.unlock m
+  and release () =
+    Mutex.lock m;
+    opened := true;
+    Condition.broadcast c;
+    Mutex.unlock m
+  in
+  (wait, release)
+
+let test_singleflight_coalesces () =
+  let sf = Singleflight.create () in
+  let wait, release = gate () in
+  let computed = ref 0 in
+  let results = Array.make 8 (-1) in
+  let worker i () =
+    match Singleflight.run sf "k" (fun () -> incr computed; wait (); 42) with
+    | Singleflight.Led v | Singleflight.Joined v -> results.(i) <- v
+  in
+  let leader = Thread.create (worker 0) () in
+  (* the leader's flight must be up before the followers arrive *)
+  while Singleflight.flights sf = 0 do
+    Thread.yield ()
+  done;
+  let followers = List.init 7 (fun i -> Thread.create (worker (i + 1)) ()) in
+  Thread.delay 0.05;
+  release ();
+  Thread.join leader;
+  List.iter Thread.join followers;
+  check_int "computed exactly once" 1 !computed;
+  Array.iter (fun v -> check_int "every caller got the value" 42 v) results;
+  check_int "one flight led" 1 (Singleflight.led sf);
+  check_int "seven joined" 7 (Singleflight.joined sf);
+  check_int "no flight left behind" 0 (Singleflight.flights sf)
+
+let test_singleflight_leader_failure () =
+  let sf = Singleflight.create () in
+  let wait, release = gate () in
+  let attempts = ref 0 and attempts_lock = Mutex.create () in
+  let compute () =
+    let n =
+      Mutex.lock attempts_lock;
+      incr attempts;
+      let n = !attempts in
+      Mutex.unlock attempts_lock;
+      n
+    in
+    if n = 1 then begin
+      wait ();
+      failwith "leader died"
+    end
+    else begin
+      (* slow enough that the other retrying followers join this flight *)
+      Thread.delay 0.05;
+      7
+    end
+  in
+  let leader_failed = ref false in
+  let leader =
+    Thread.create
+      (fun () ->
+        match Singleflight.run sf "k" compute with
+        | exception Failure _ -> leader_failed := true
+        | _ -> ())
+      ()
+  in
+  while Singleflight.flights sf = 0 do
+    Thread.yield ()
+  done;
+  let results = Array.make 3 (-1) in
+  let followers =
+    List.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            match Singleflight.run sf "k" compute with
+            | Singleflight.Led v | Singleflight.Joined v -> results.(i) <- v)
+          ())
+  in
+  Thread.delay 0.05;
+  release ();
+  Thread.join leader;
+  List.iter Thread.join followers;
+  check_bool "only the leader saw its own failure" true !leader_failed;
+  Array.iter (fun v -> check_int "followers retried to the value" 7 v) results;
+  check_int "one broken flight" 1 (Singleflight.broken sf);
+  check_int "the retry executed once" 2 !attempts
+
+let test_singleflight_follower_cancel () =
+  let sf = Singleflight.create () in
+  let wait, release = gate () in
+  let tok = Cancel.make () in
+  let cancelled = ref false and survivor = ref (-1) in
+  let leader =
+    Thread.create
+      (fun () -> ignore (Singleflight.run sf "k" (fun () -> wait (); 11)))
+      ()
+  in
+  while Singleflight.flights sf = 0 do
+    Thread.yield ()
+  done;
+  let doomed =
+    Thread.create
+      (fun () ->
+        Cancel.with_token tok (fun () ->
+            match Singleflight.run sf "k" (fun () -> 0) with
+            | exception Cancel.Cancelled _ -> cancelled := true
+            | _ -> ()))
+      ()
+  in
+  let bystander =
+    Thread.create
+      (fun () ->
+        match Singleflight.run sf "k" (fun () -> 0) with
+        | Singleflight.Led v | Singleflight.Joined v -> survivor := v)
+      ()
+  in
+  Thread.delay 0.05;
+  Cancel.cancel tok;
+  Thread.join doomed;
+  check_bool "cancelled follower aborted alone" true !cancelled;
+  (* ... without taking the shared computation down with it *)
+  check_int "flight still up after the cancel" 1 (Singleflight.flights sf);
+  release ();
+  Thread.join leader;
+  Thread.join bystander;
+  check_int "remaining waiter still served" 11 !survivor
+
+(* ------------------------------------------------------------------ *)
+(* Cross-session work sharing: function cache, plan cache, freshness   *)
+
+let test_function_cache_coalesced_miss () =
+  (* how many backend statements one cold computation issues *)
+  let per_compute =
+    let cache = Function_cache.create (Database.create "CacheDB") in
+    let demo = Aldsp_demo.Demo.create ~customers:3 ~function_cache:cache () in
+    let name = Qname.make ~uri:"fn" "getCustomerNames" in
+    Metadata.set_cacheable demo.Aldsp_demo.Demo.registry name true;
+    Function_cache.enable cache name ~ttl_seconds:60.;
+    ignore (ok_exn (Server.call demo.Aldsp_demo.Demo.server name []));
+    demo.Aldsp_demo.Demo.customer_db.Database.stats.Database.statements
+  in
+  let cache = Function_cache.create (Database.create "CacheDB") in
+  let demo =
+    Aldsp_demo.Demo.create ~customers:3 ~db_latency:0.1 ~function_cache:cache ()
+  in
+  let server = demo.Aldsp_demo.Demo.server in
+  let name = Qname.make ~uri:"fn" "getCustomerNames" in
+  Metadata.set_cacheable demo.Aldsp_demo.Demo.registry name true;
+  Function_cache.enable cache name ~ttl_seconds:60.;
+  let results = Array.make 4 "" in
+  let ts =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <- Item.serialize (ok_exn (Server.call server name [])))
+          ())
+  in
+  List.iter Thread.join ts;
+  Array.iter
+    (fun r -> check_bool "all sessions agree" true (String.equal r results.(0)))
+    results;
+  check_int "three misses coalesced onto one computation" 3
+    (Function_cache.coalesced cache);
+  check_int "backend computed once" per_compute
+    demo.Aldsp_demo.Demo.customer_db.Database.stats.Database.statements;
+  check_int "no warm hits during the fan-out" 0 (Function_cache.hits cache);
+  (* and the leader's store landed: the next call is a plain warm hit *)
+  ignore (ok_exn (Server.call server name []));
+  check_int "subsequent call hits" 1 (Function_cache.hits cache)
+
+let test_function_cache_materialized_bound () =
+  let cache = Function_cache.create ~capacity:2 (Database.create "CacheDB") in
+  let name = Qname.make ~uri:"fn" "f" in
+  Function_cache.enable cache name ~ttl_seconds:60.;
+  for i = 1 to 5 do
+    Function_cache.store cache name
+      [ [ Item.string (string_of_int i) ] ]
+      [ Item.string (Printf.sprintf "value %d" i) ]
+  done;
+  check_int "typed-value table bounded at capacity" 2
+    (Function_cache.materialized_count cache);
+  (* an evicted entry is not lost: the persistent row serves a cold hit *)
+  match Function_cache.lookup cache name [ [ Item.string "1" ] ] with
+  | Some v ->
+    check_bool "cold hit rebuilt from storage" true
+      (String.equal (Item.serialize v) (Item.serialize [ Item.string "value 1" ]))
+  | None -> Alcotest.fail "evicted entry lost entirely"
+
+let test_plan_cache_balance () =
+  let key i =
+    { Plan_cache.k_query = Printf.sprintf "q%d" i;
+      k_options = "o";
+      k_generation = 1;
+      k_stats = 0 }
+  in
+  let cache = Plan_cache.create ~capacity:4 in
+  let finds = ref 0 in
+  for i = 1 to 20 do
+    Plan_cache.add cache (key i) i;
+    incr finds;
+    ignore (Plan_cache.find cache (key i));
+    incr finds;
+    ignore (Plan_cache.find cache (key (i / 2)))
+  done;
+  (* re-adding a resident key is a replacement, not an eviction *)
+  Plan_cache.add cache (key 20) 200;
+  check_int "bounded at capacity" 4 (Plan_cache.size cache);
+  check_int "distinct adds - evictions = size" (Plan_cache.size cache)
+    (20 - Plan_cache.evictions cache);
+  check_int "every find is a hit or a miss" !finds
+    (Plan_cache.hits cache + Plan_cache.misses cache);
+  check_bool "just-added keys always hit" true (Plan_cache.hits cache >= 20)
+
+(* Freshness under sharing: a reader admitted AFTER an insert completed
+   must never be served a coalesced result from before that insert — the
+   statement-sharing key carries the backend's statistics version, so a
+   DML bump splits the flights into epochs. *)
+let test_sharing_freshness_property =
+  QCheck.Test.make ~count:6
+    ~name:"DML racing a coalesced fan-out never serves pre-admission data"
+    QCheck.(int_range 3 8)
+    (fun inserts ->
+      let demo = Aldsp_demo.Demo.create ~customers:4 ~db_latency:0.004 () in
+      let server = demo.Aldsp_demo.Demo.server in
+      Server.set_work_sharing server true;
+      let customer =
+        Result.get_ok
+          (Database.find_table demo.Aldsp_demo.Demo.customer_db "CUSTOMER")
+      in
+      let module V = Sql_value in
+      let completed = ref 0 and lock = Mutex.create () in
+      let failure = ref None in
+      let note msg =
+        Mutex.lock lock;
+        if !failure = None then failure := Some msg;
+        Mutex.unlock lock
+      in
+      let writer () =
+        for i = 1 to inserts do
+          ignore
+            (Result.get_ok
+               (Table.insert customer
+                  [| V.Str (Printf.sprintf "RACE%04d" i);
+                     V.Str "Race";
+                     V.Null;
+                     V.Str (Printf.sprintf "777-00-%04d" i);
+                     V.Int 86400 |]));
+          Mutex.lock lock;
+          completed := i;
+          Mutex.unlock lock;
+          Thread.delay 0.003
+        done
+      in
+      let reader () =
+        for _ = 1 to 12 do
+          (* admission-time snapshot: inserts known complete before we ask *)
+          let c0 =
+            Mutex.lock lock;
+            let c = !completed in
+            Mutex.unlock lock;
+            c
+          in
+          match Server.submit server count_query with
+          | Ok [ item ] -> (
+            match int_of_string_opt (Item.string_value item) with
+            | Some n when n >= 4 + c0 -> ()
+            | Some n ->
+              note
+                (Printf.sprintf
+                   "served %d rows when %d inserts had already completed (floor %d)"
+                   n c0 (4 + c0))
+            | None -> note ("non-integer count: " ^ Item.serialize [ item ]))
+          | Ok items -> note ("count returned " ^ Item.serialize items)
+          | Error e -> note (Server.submit_error_to_string e)
+        done
+      in
+      let ts =
+        Thread.create writer () :: List.init 3 (fun _ -> Thread.create reader ())
+      in
+      List.iter Thread.join ts;
+      let st = Server.stats server in
+      Server.set_work_sharing server false;
+      (match !failure with
+      | Some msg -> QCheck.Test.fail_report msg
+      | None -> ());
+      if
+        st.Server.st_dedup_roundtrips_saved
+        <> st.Server.st_coalesced_hits + st.Server.st_batch_merges
+      then
+        QCheck.Test.fail_reportf
+          "sharing counters unbalanced: saved=%d coalesced=%d merges=%d"
+          st.Server.st_dedup_roundtrips_saved st.Server.st_coalesced_hits
+          st.Server.st_batch_merges;
+      true)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "concurrency"
@@ -398,4 +705,19 @@ let () =
       ( "invalidation",
         [ Alcotest.test_case "concurrent DML never stale" `Quick
             test_concurrent_dml_never_stale;
-          QCheck_alcotest.to_alcotest test_invalidation_property ] ) ]
+          QCheck_alcotest.to_alcotest test_invalidation_property ] );
+      ( "singleflight",
+        [ Alcotest.test_case "concurrent callers coalesce" `Quick
+            test_singleflight_coalesces;
+          Alcotest.test_case "leader failure rebroadcast, followers retry"
+            `Quick test_singleflight_leader_failure;
+          Alcotest.test_case "follower cancel leaves the flight alive" `Quick
+            test_singleflight_follower_cancel ] );
+      ( "work-sharing",
+        [ Alcotest.test_case "function-cache misses coalesce" `Quick
+            test_function_cache_coalesced_miss;
+          Alcotest.test_case "materialized table bounded with LRU" `Quick
+            test_function_cache_materialized_bound;
+          Alcotest.test_case "plan-cache add/evict balance" `Quick
+            test_plan_cache_balance;
+          QCheck_alcotest.to_alcotest test_sharing_freshness_property ] ) ]
