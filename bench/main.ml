@@ -19,6 +19,7 @@
      INV               inverse functions enable pushdown (§4.5)
      CCX               concurrent serving layer: client sweep (§5.4)
      CCS               cross-session work sharing: coalescing + batching
+     STRM              streamed delivery: TTFT + peak live tokens (§2.2)
 *)
 
 open Aldsp_core
@@ -28,6 +29,7 @@ open Aldsp_demo
 module Item = Aldsp_xml.Item
 module Qname = Aldsp_xml.Qname
 module Atomic = Aldsp_xml.Atomic
+module Token_stream = Aldsp_tokens.Token_stream
 
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -1151,6 +1153,106 @@ let bench_shared_workload ?(smoke = false) ?baseline_p99_ms () =
      backend sees sublinear traffic."
 
 (* ------------------------------------------------------------------ *)
+(* STRM: streamed delivery — time-to-first-token and peak live tokens  *)
+
+(* The same pushed select-project runs twice per sweep point: through the
+   materialized path (Server.run + serialize — the first byte is
+   deliverable only when the last one is, and the whole token stream is
+   live at once) and through the streamed path (session_run_stream:
+   backend cursor -> operator stream -> bounded SPSC handoff — the first
+   token arrives while the backend result is still draining and at most
+   [buffer] tokens are ever live between producer and consumer). Both
+   runs must produce byte-identical output. In smoke mode only the
+   100k-row point runs, with the structural assertions: streamed TTFT
+   under 20% of the streamed end-to-end wall, and peak buffered tokens
+   within the queue capacity. *)
+let bench_streaming ?(smoke = false) () =
+  banner "STRM: streamed vs materialized delivery";
+  let q =
+    "for $c in CUSTOMER() where $c/SINCE ge 1900 return <R>{$c/CID}{$c/LAST_NAME}</R>"
+  in
+  let buffer = 64 in
+  Printf.printf
+    "pushed select-project over CUSTOMER, delivered materialized (run +\n\
+     serialize) then streamed (cursor -> SPSC queue, capacity %d); TTFT is\n\
+     the wall time to the first delivered token\n"
+    buffer;
+  Printf.printf "%10s %14s %12s %10s %12s %12s\n" "rows" "mode" "ttft(ms)"
+    "ttft/wall" "live tokens" "time(ms)";
+  let sweep = if smoke then [ 100_000 ] else [ 1_000; 10_000; 100_000 ] in
+  List.iter
+    (fun rows ->
+      let demo = Demo.create ~customers:rows ~orders_per_customer:0 () in
+      let server = demo.Demo.server in
+      (* materialized: TTFT is the full wall — nothing is deliverable
+         before the result set is complete *)
+      let t0 = Unix.gettimeofday () in
+      let items = ok_exn (Server.run server q) in
+      let expected = Server.serialize_result server items in
+      let t_mat = Unix.gettimeofday () -. t0 in
+      let live_mat = Token_stream.length (Token_stream.of_sequence items) in
+      record_result "streaming"
+        ~params:
+          [ ("rows", string_of_int rows);
+            ("mode", "\"materialized\"");
+            ("ttft_ms", Printf.sprintf "%.3f" (t_mat *. 1000.));
+            ("peak_live_tokens", string_of_int live_mat) ]
+        t_mat;
+      Printf.printf "%10d %14s %12.1f %10s %12d %12.1f\n" rows "materialized"
+        (t_mat *. 1000.) "1.00" live_mat (t_mat *. 1000.);
+      (* streamed *)
+      let ses = Server.session server () in
+      let t0 = Unix.gettimeofday () in
+      match Server.session_run_stream ses ~buffer q with
+      | Error e -> failwith (Server.submit_error_to_string e)
+      | Ok stream ->
+        let ttft = ref 0. in
+        let tokens = ref [] in
+        let rec drain () =
+          match Server.stream_read stream with
+          | Ok (Some tok) ->
+            if !ttft = 0. then ttft := Unix.gettimeofday () -. t0;
+            tokens := tok :: !tokens;
+            drain ()
+          | Ok None -> ()
+          | Error e -> failwith (Server.submit_error_to_string e)
+        in
+        drain ();
+        let t_stream = Unix.gettimeofday () -. t0 in
+        let peak = Server.stream_peak_buffered stream in
+        let buf = Buffer.create (String.length expected) in
+        Token_stream.serialize_to buf (List.to_seq (List.rev !tokens));
+        if not (String.equal expected (Buffer.contents buf)) then
+          failwith "STRM: streamed delivery diverged from materialized";
+        if peak > buffer then
+          failwith
+            (Printf.sprintf
+               "STRM: peak buffered tokens %d exceeded queue capacity %d" peak
+               buffer);
+        let frac = !ttft /. t_stream in
+        record_result "streaming"
+          ~params:
+            [ ("rows", string_of_int rows);
+              ("mode", "\"streamed\"");
+              ("ttft_ms", Printf.sprintf "%.3f" (!ttft *. 1000.));
+              ("peak_live_tokens", string_of_int peak) ]
+          t_stream;
+        Printf.printf "%10d %14s %12.1f %10.2f %12d %12.1f\n" rows "streamed"
+          (!ttft *. 1000.) frac peak (t_stream *. 1000.);
+        if rows = 100_000 && frac >= 0.2 then
+          failwith
+            (Printf.sprintf
+               "STRM: first token at %.0f%% of the streamed wall — the 100k \
+                scan is not streaming"
+               (frac *. 100.)))
+    sweep;
+  print_endline
+    "shape: materialized TTFT grows with the result (delivery starts after\n\
+     the last row) while streamed TTFT stays flat — the first token costs\n\
+     one backend chunk — and peak live tokens drop from the whole result\n\
+     to the queue capacity."
+
+(* ------------------------------------------------------------------ *)
 (* Function cache (§5.5)                                               *)
 
 let bench_function_cache () =
@@ -1482,6 +1584,7 @@ let () =
     bench_cost_model ~smoke:true ();
     bench_concurrent_serving ~smoke:true ();
     bench_shared_workload ~smoke:true ?baseline_p99_ms ();
+    bench_streaming ~smoke:true ();
     write_results "BENCH_results.json";
     print_endline "\nsmoke run completed";
     exit 0
@@ -1509,6 +1612,7 @@ let () =
     | None -> baseline_p99_ms
   in
   bench_shared_workload ?baseline_p99_ms ();
+  bench_streaming ();
   if micro then bechamel_micro ();
   write_results "BENCH_results.json";
   print_endline "\nall experiments completed"

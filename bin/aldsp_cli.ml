@@ -54,18 +54,50 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "shared-mix" ] ~doc)
   in
-  let action customers clients latency_ms shared_mix query =
+  let output_arg =
+    let doc =
+      "Stream the result to $(docv) instead of printing it: the query \
+       executes on a producer thread and serialized chunks are written as \
+       tokens cross the bounded delivery queue, so the result is never \
+       materialized in memory (the server-side redirect-to-file API). \
+       Single-client only."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let action customers clients latency_ms shared_mix output query =
     let demo = make_demo ~db_latency:(latency_ms /. 1000.) customers in
     let server = demo.Aldsp_demo.Demo.server in
     if shared_mix then Server.set_work_sharing server true;
     if clients <= 1 then
-      match Server.run server query with
-      | Ok items ->
-        print_endline (Aldsp_xml.Item.serialize items);
-        0
-      | Error msg ->
-        prerr_endline msg;
-        1
+      match output with
+      | Some path -> (
+        let ses = Server.session server () in
+        match Server.session_run_stream ses query with
+        | Error e ->
+          prerr_endline (Server.submit_error_to_string e);
+          1
+        | Ok stream -> (
+          let oc = open_out_bin path in
+          let result = Server.stream_serialize stream (output_string oc) in
+          close_out oc;
+          match result with
+          | Ok () ->
+            Printf.eprintf "-- streamed to %s (peak %d tokens buffered)\n"
+              path
+              (Server.stream_peak_buffered stream);
+            0
+          | Error e ->
+            prerr_endline (Server.submit_error_to_string e);
+            1))
+      | None -> (
+        match Server.run server query with
+        | Ok items ->
+          print_endline (Aldsp_xml.Item.serialize items);
+          0
+        | Error msg ->
+          prerr_endline msg;
+          1)
     else begin
       let results = Array.make clients (Error (Server.Failed "not run")) in
       let threads =
@@ -123,7 +155,7 @@ let run_cmd =
   let doc = "compile and run an XQuery against the demo enterprise" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ customers_arg $ clients_arg $ latency_arg
-          $ shared_mix_arg $ query_arg)
+          $ shared_mix_arg $ output_arg $ query_arg)
 
 let explain_cmd =
   let analyze_arg =

@@ -278,6 +278,31 @@ let compare_concurrent cat config ~sessions queries =
   set_indexes cat true;
   outcome
 
+(* Streaming differential: a successful scenario also runs through the
+   streamed session path — execute_stream, backend cursors, the
+   backpressured delivery queue — and the chunks that reach the consumer
+   must byte-match the materialized result pushed through the same token
+   serializer. A small queue forces real producer blocking. *)
+let check_streamed server q items =
+  let expected = Server.serialize_result server items in
+  let ses = Server.session server () in
+  match Server.session_run_stream ses ~buffer:32 q with
+  | Error e ->
+    Error ("streamed run failed: " ^ Server.submit_error_to_string e)
+  | Ok stream -> (
+    let buf = Buffer.create 256 in
+    match Server.stream_serialize stream (Buffer.add_string buf) with
+    | Error e ->
+      Error ("streamed delivery failed: " ^ Server.submit_error_to_string e)
+    | Ok () ->
+      let got = Buffer.contents buf in
+      if String.equal expected got then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "streamed delivery diverged\nmaterialized: %s\nstreamed    : %s"
+             expected got))
+
 let compare_query cat config ?(mutate = false) q =
   let reference =
     set_indexes cat false;
@@ -289,9 +314,15 @@ let compare_query cat config ?(mutate = false) q =
       if mutate then (run_mutated (subject_server cat config) q, Ok ())
       else
         let server = subject_server cat config in
-        let r = run_serialized server q in
+        let run = Server.run server q in
+        let r = Result.map Aldsp_xml.Item.serialize run in
         let chk =
-          match r with Ok first -> recheck_cached server q first | Error _ -> Ok ()
+          match (run, r) with
+          | Ok items, Ok first -> (
+            match recheck_cached server q first with
+            | Error _ as e -> e
+            | Ok () -> check_streamed server q items)
+          | _ -> Ok ()
         in
         (r, chk)
     in

@@ -87,4 +87,11 @@ val compare_query : Catalog.t -> config -> ?mutate:bool -> string ->
     When the subject run succeeds (and [mutate] is off), the query is
     executed a second time on the same subject server: the re-run must be
     served from the plan cache (zero new compilations) and serialize to
-    exactly the same bytes — the plan-cache determinism oracle. *)
+    exactly the same bytes — the plan-cache determinism oracle.
+
+    A successful scenario then runs a third time through the streamed
+    session path ({!Server.session_run_stream}: streamed execution over
+    backend cursors, delivered through a deliberately small
+    backpressured queue) and the streamed chunks must byte-match the
+    materialized result pushed through the same token serializer — the
+    streaming-delivery oracle. *)

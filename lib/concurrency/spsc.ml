@@ -1,0 +1,129 @@
+(* Bounded single-producer/single-consumer hand-off queue.
+
+   The streaming serving layer pushes result tokens through one of these:
+   the producer (the session's evaluation thread) blocks whenever the
+   consumer lags [capacity] tokens behind — that blocking *is* the
+   backpressure that keeps a slow client from ballooning server memory —
+   and the consumer blocks while the queue is empty.
+
+   Termination is explicit and one-way: the producer [close]s on a clean
+   end-of-stream or [fail]s with the error that aborted it; the consumer
+   [abort]s to release a producer mid-stream (the next [push] returns
+   false). A producer blocked in [push] under an ambient {!Cancel} token
+   polls that token, so a session deadline or explicit cancel aborts the
+   producer even while the consumer never drains another token. *)
+
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mu : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable closed : bool;  (* producer finished cleanly *)
+  mutable failed : string option;  (* producer aborted with an error *)
+  mutable aborted : bool;  (* consumer walked away *)
+  mutable peak : int;  (* high-water occupancy, for the bounded-buffer pin *)
+}
+
+let create ~capacity =
+  { capacity = max 1 capacity;
+    q = Queue.create ();
+    mu = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    closed = false;
+    failed = None;
+    aborted = false;
+    peak = 0 }
+
+let capacity t = t.capacity
+
+let peak_occupancy t =
+  Mutex.lock t.mu;
+  let p = t.peak in
+  Mutex.unlock t.mu;
+  p
+
+(* Producer side. Blocks while the queue is full: plain condvar wait
+   without an ambient cancellation token, released-lock chunked polling
+   with one (the same idiom as the admission/batch waits, so a fired
+   token aborts a blocked producer within ~1ms). *)
+let push t x =
+  Mutex.lock t.mu;
+  let rec wait () =
+    if t.aborted then false
+    else if Queue.length t.q < t.capacity then true
+    else begin
+      let tok = Cancel.current () in
+      if tok == Cancel.none then Condition.wait t.not_full t.mu
+      else begin
+        Mutex.unlock t.mu;
+        (match Cancel.check tok with
+        | () -> ()
+        | exception e ->
+          (* lock already released: the exception may propagate as-is *)
+          raise e);
+        Thread.delay 0.0005;
+        Mutex.lock t.mu
+      end;
+      wait ()
+    end
+  in
+  (* a Cancelled raised by [wait] escapes with the lock released (the
+     check runs in the unlocked section); the producer's cleanup is
+     expected to [fail] the queue so the consumer unblocks *)
+  match wait () with
+  | false ->
+    Mutex.unlock t.mu;
+    false
+  | true ->
+    Queue.push x t.q;
+    if Queue.length t.q > t.peak then t.peak <- Queue.length t.q;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mu;
+    true
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.mu
+
+let fail t msg =
+  Mutex.lock t.mu;
+  if t.failed = None then t.failed <- Some msg;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.mu
+
+(* Consumer side. Buffered tokens drain before a failure is reported:
+   the producer pushed them before it died, but a streaming consumer has
+   typically forwarded earlier tokens already, so late losers are the
+   protocol either way — the oracle only pins successful runs. *)
+let pop t =
+  Mutex.lock t.mu;
+  let rec wait () =
+    match Queue.take_opt t.q with
+    | Some x ->
+      Condition.signal t.not_full;
+      `Item x
+    | None -> (
+      match t.failed with
+      | Some msg -> `Failed msg
+      | None ->
+        if t.closed then `Closed
+        else begin
+          Condition.wait t.not_empty t.mu;
+          wait ()
+        end)
+  in
+  let r = wait () in
+  Mutex.unlock t.mu;
+  r
+
+let abort t =
+  Mutex.lock t.mu;
+  t.aborted <- true;
+  Queue.clear t.q;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mu

@@ -52,6 +52,9 @@ let relational_select_explained db select ~params =
 let relational_select_shared db select ~params =
   Sql_exec.query_shared db ~params select
 
+let relational_select_stream db select ~params =
+  Sql_exec.query_stream db ~params select
+
 (* Asynchronous adaptor invocation (§6): the roundtrip runs on the worker
    pool while the query thread continues; the future carries the result
    set together with the roundtrip's wall time so the caller can account

@@ -54,6 +54,16 @@ val relational_select_shared :
     was served from another session's work (surfaced as the plan's
     [shared=] counter). *)
 
+val relational_select_stream :
+  Database.t ->
+  Sql_ast.select ->
+  params:Sql_value.t array ->
+  (Sql_exec.streamed, string) result
+(** The cursor-shaped face of {!relational_select_shared}: a direct
+    statement opens a {!Sql_exec.cursor} the executor drains chunk by
+    chunk; under active work sharing the materialized shared result set
+    rides along whole. *)
+
 val relational_select_async :
   Pool.t ->
   Database.t ->

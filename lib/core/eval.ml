@@ -2,6 +2,7 @@ open Aldsp_xml
 open Plan_ir
 module C = Cexpr
 module Sql = Aldsp_relational.Sql_ast
+module Sql_exec = Aldsp_relational.Sql_exec
 module V = Aldsp_relational.Sql_value
 
 exception Eval_error of string
@@ -21,9 +22,14 @@ type call_wrapper =
   Metadata.function_def -> Item.sequence list -> (unit -> Item.sequence) ->
   Item.sequence
 
+type stream_wrapper =
+  Metadata.function_def -> Item.sequence list -> (unit -> Item.t Seq.t) ->
+  Item.t Seq.t
+
 type rt = {
   registry : Metadata.t;
   call_wrapper : call_wrapper;
+  stream_wrapper : stream_wrapper;
   max_depth : int;
   pool : Pool.t;
   observed : Observed.t option;
@@ -36,10 +42,12 @@ type rt = {
   mutable body_gen : int;
 }
 
-let runtime ?(call_wrapper = fun _ _ k -> k ()) ?pool ?observed
+let runtime ?(call_wrapper = fun _ _ k -> k ())
+    ?(stream_wrapper = fun _ _ k -> k ()) ?pool ?observed
     ?(concurrent_lets = true) registry =
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  { registry; call_wrapper; max_depth = 256; pool; observed; concurrent_lets;
+  { registry; call_wrapper; stream_wrapper; max_depth = 256; pool; observed;
+    concurrent_lets;
     body_plans = Hashtbl.create 16; body_mu = Mutex.create ();
     body_gen = Metadata.generation registry }
 
@@ -193,9 +201,16 @@ let tally c n =
   c.c_starts <- c.c_starts + 1;
   c.c_rows <- c.c_rows + n
 
-let count_rows c seq =
+(* [t0] (the stream's construction time) stamps the operator's
+   time-to-first-row the first time a row comes through since the last
+   counter reset. *)
+let count_rows ?t0 c seq =
   Seq.map
     (fun x ->
+      (match t0 with
+      | Some t0 when c.c_first_row_ns = 0. ->
+        c.c_first_row_ns <- (Unix.gettimeofday () -. t0) *. 1e9
+      | _ -> ());
       c.c_rows <- c.c_rows + 1;
       x)
     seq
@@ -608,13 +623,15 @@ and tuples fr env0 (input : env Seq.t) (ops : op list) : env Seq.t =
     in
     let run, rest = split [] ops in
     List.iter (fun o -> o.op_counters.c_starts <- o.op_counters.c_starts + 1) run;
+    let t0 = Unix.gettimeofday () in
     let stream = Seq.map (fun env -> bind_let_run fr env run) input in
     let stream =
-      List.fold_left (fun s o -> count_rows o.op_counters s) stream run
+      List.fold_left (fun s o -> count_rows ~t0 o.op_counters s) stream run
     in
     tuples fr env0 stream rest
   | op :: rest ->
     op.op_counters.c_starts <- op.op_counters.c_starts + 1;
+    let t0 = Unix.gettimeofday () in
     let stream =
       match op.op_node with
       | O_scan { var; source } ->
@@ -634,7 +651,7 @@ and tuples fr env0 (input : env Seq.t) (ops : op list) : env Seq.t =
       | O_sql r ->
         Seq.concat_map (fun env -> rel_stream fr op.op_counters env r) input
     in
-    tuples fr env0 (count_rows op.op_counters stream) rest
+    tuples fr env0 (count_rows ~t0 op.op_counters stream) rest
 
 (* Concurrent independent source calls (§5.4, §6 async adaptors): the
    lowering marked each let of an adjacent run as plain, explicitly
@@ -853,24 +870,48 @@ and rel_stream fr counters env (r : sql_region) : env Seq.t =
          r.sql_params)
   in
   let t0 = Unix.gettimeofday () in
-  let result = Adaptors.relational_select_shared db r.sql_select ~params in
+  let result = Adaptors.relational_select_stream db r.sql_select ~params in
   counters.c_roundtrips <- counters.c_roundtrips + 1;
   counters.c_wall <- counters.c_wall +. (Unix.gettimeofday () -. t0);
   match result with
   | Error m -> error "%s" m
-  | Ok (result, plan_lines, shared) ->
+  | Ok (Sql_exec.Rows (result, plan_lines, shared)) ->
+    (* served by another session's in-flight work: the shared result set
+       is already materialized, ride it along whole *)
     if shared then begin
       counters.c_shared <- counters.c_shared + 1;
       Option.iter Observed.record_coalesced fr.rt.observed
     end;
     r.sql_backend <- plan_lines;
     let col_index =
-      List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
+      List.mapi (fun i c -> (c, i)) result.Sql_exec.columns
     in
     List.to_seq
       (List.map
          (fun row -> bind_sql_row r.sql_binds col_index env row)
-         result.Aldsp_relational.Sql_exec.rows)
+         result.Sql_exec.rows)
+  | Ok (Sql_exec.Cursor cur) ->
+    let col_index =
+      List.mapi (fun i c -> (c, i)) (Sql_exec.cursor_columns cur)
+    in
+    (* chunked fetch: downstream operators see rows as the backend engine
+       produces them; the access-path plan is only complete once the
+       cursor drains (projection-level subqueries decide lazily) *)
+    let rec chunks () =
+      match Sql_exec.fetch_chunk cur with
+      | Error m -> error "%s" m
+      | Ok [] ->
+        r.sql_backend <- Sql_exec.cursor_plan cur;
+        Seq.Nil
+      | Ok rows ->
+        Seq.append
+          (List.to_seq
+             (List.map
+                (fun row -> bind_sql_row r.sql_binds col_index env row)
+                rows))
+          chunks ()
+    in
+    chunks
 
 (* PP-k: fetch k left tuples, issue one disjunctive parameterized query for
    the block, middleware-join, repeat (§4.2). [rest_lets] are per-candidate
@@ -912,49 +953,82 @@ and ppk_join fr sqlc left kind (r : sql_region) rest_lets ~k ~prefetch ~inner
     in
     (block, select, params)
   in
-  (* stage 2, pool worker: the latency-bound source roundtrip *)
+  (* stage 2, pool worker: the latency-bound statement open (roundtrip
+     latency and any scheduled fault are paid here, on the worker, so
+     prefetch still hides them behind the previous block's join) *)
   let roundtrip (block, select, params) =
     let t0 = Unix.gettimeofday () in
-    let result = Adaptors.relational_select_shared db select ~params in
+    let result = Adaptors.relational_select_stream db select ~params in
     let wall = Unix.gettimeofday () -. t0 in
     Option.iter (fun o -> Observed.record_roundtrip o ~wall) obs;
     sqlc.c_roundtrips <- sqlc.c_roundtrips + 1;
     sqlc.c_wall <- sqlc.c_wall +. wall;
     (block, result, wall)
   in
-  (* stage 3, consumer thread: middleware join of the block *)
+  (* stage 3, consumer thread: middleware join of the block, chunk by
+     chunk — candidate binding, row reconstruction and the join predicate
+     run while the backend cursor is still producing, and only the
+     matches are retained (never the raw block result set). Matches
+     accumulate per left tuple so the output stays in left-block order,
+     byte-identical to the all-at-once join. *)
   let middleware_join (block, result, _wall) =
     match result with
     | Error msg -> error "%s" msg
-    | Ok (result, plan_lines, shared) ->
-      if shared then begin
-        sqlc.c_shared <- sqlc.c_shared + 1;
-        Option.iter Observed.record_coalesced obs
-      end;
-      r.sql_backend <- plan_lines;
-      sqlc.c_rows <-
-        sqlc.c_rows + List.length result.Aldsp_relational.Sql_exec.rows;
-      let col_index =
-        List.mapi (fun i c -> (c, i)) result.Aldsp_relational.Sql_exec.columns
+    | Ok streamed ->
+      let columns, chunks =
+        match streamed with
+        | Sql_exec.Rows (result, plan_lines, shared) ->
+          if shared then begin
+            sqlc.c_shared <- sqlc.c_shared + 1;
+            Option.iter Observed.record_coalesced obs
+          end;
+          r.sql_backend <- plan_lines;
+          (result.Sql_exec.columns, Seq.return result.Sql_exec.rows)
+        | Sql_exec.Cursor cur ->
+          let rec fetch () =
+            match Sql_exec.fetch_chunk cur with
+            | Error msg -> error "%s" msg
+            | Ok [] ->
+              (* consumer thread, blocks drain in submission order, so
+                 EXPLAIN capture stays race-free and deterministic *)
+              r.sql_backend <- Sql_exec.cursor_plan cur;
+              Seq.Nil
+            | Ok rows -> Seq.Cons (rows, fetch)
+          in
+          (Sql_exec.cursor_columns cur, fetch)
       in
+      let col_index = List.mapi (fun i c -> (c, i)) columns in
       ignore inner;
-      List.to_seq block
-      |> Seq.concat_map (fun left_env ->
-             let candidates =
-               List.map
-                 (fun row -> bind_sql_row r.sql_binds col_index left_env row)
-                 result.Aldsp_relational.Sql_exec.rows
-             in
-             let candidates =
-               List.concat_map
-                 (fun env ->
-                   List.of_seq (tuples fr env (Seq.return env) rest_lets))
-                 candidates
-             in
-             let matches =
-               List.filter (fun env -> ebv (exec fr env on_)) candidates
-             in
-             export_tuples fr left_env (List.to_seq matches) kind export)
+      let block_arr = Array.of_list block in
+      let acc = Array.make (Array.length block_arr) [] in
+      Seq.iter
+        (fun rows ->
+          sqlc.c_rows <- sqlc.c_rows + List.length rows;
+          Array.iteri
+            (fun i left_env ->
+              let candidates =
+                List.map
+                  (fun row -> bind_sql_row r.sql_binds col_index left_env row)
+                  rows
+              in
+              let candidates =
+                List.concat_map
+                  (fun env ->
+                    List.of_seq (tuples fr env (Seq.return env) rest_lets))
+                  candidates
+              in
+              let matches =
+                List.filter (fun env -> ebv (exec fr env on_)) candidates
+              in
+              acc.(i) <- List.rev_append matches acc.(i))
+            block_arr)
+        chunks;
+      Seq.concat_map
+        (fun (left_env, matches) ->
+          export_tuples fr left_env
+            (List.to_seq (List.rev matches))
+            kind export)
+        (Seq.zip (Array.to_seq block_arr) (Array.to_seq acc))
   in
   let prepared = Seq.map prepare (batch_seq k left) in
   let completed =
@@ -1016,6 +1090,66 @@ and disjunctive_select (select : Sql.select) n_params m =
     in
     { select with Sql.where = Some where' }
 
+(* ----------------------- streamed execution ----------------------- *)
+
+(* The streaming face of [exec]: items are produced on demand instead of
+   materialized, so a consumer (the serving layer's delivery queue, a file
+   sink) sees the first item while upstream operators — including backend
+   cursors — are still producing. Where a node has no incremental
+   structure it falls back to [exec]; the output is byte-identical to the
+   materialized path in every case. *)
+and stream_plan fr env (p : Plan_ir.t) : Item.t Seq.t =
+  match p.node with
+  | P_pipeline { ops; return_ } ->
+    p.counters.c_starts <- p.counters.c_starts + 1;
+    let t0 = Unix.gettimeofday () in
+    let stream = tuples fr env (List.to_seq [ env ]) ops in
+    count_rows ~t0 p.counters
+      (Seq.concat_map (fun env' -> List.to_seq (exec fr env' return_)) stream)
+  | P_seq es ->
+    (* async children are submitted before anything is pulled, exactly as
+       in the materialized path; the others stream lazily in order *)
+    let started =
+      List.map
+        (fun (e : Plan_ir.t) ->
+          match e.node with
+          | P_async _ ->
+            let fut = Pool.submit fr.rt.pool (fun () -> exec fr env e) in
+            fun () -> List.to_seq (Pool.await fr.rt.pool fut)
+          | _ -> fun () -> stream_plan fr env e)
+        es
+    in
+    Seq.concat_map (fun produce -> produce ()) (List.to_seq started)
+  | P_call { fn; args; _ } -> stream_call fr env p fn args
+  | _ -> List.to_seq (exec fr env p)
+
+(* The streamed call boundary: a non-cacheable user-function body streams
+   through [stream_wrapper] (security filtering happens item by item);
+   [Seq.memoize] is the materialize-on-first-reuse escape hatch — a
+   wrapper or consumer that pulls twice replays buffered items instead of
+   re-running the body. Cacheable call sites fall back to the materialized
+   path because the function cache stores whole values. *)
+and stream_call fr env (p : Plan_ir.t) fn args =
+  Cancel.check_current ();
+  let arity = List.length args in
+  match Metadata.resolve_call fr.rt.registry fn arity with
+  | Some
+      ({ Metadata.fd_impl = Metadata.Body body; fd_cacheable = false; _ } as
+       fd)
+    when fr.depth < fr.rt.max_depth ->
+    p.counters.c_starts <- p.counters.c_starts + 1;
+    let values = List.map (exec fr env) args in
+    let fn_env =
+      List.fold_left2
+        (fun acc (param, _) value -> bind acc param value)
+        Env.empty fd.Metadata.fd_params values
+    in
+    let plan = body_plan fr.rt fd body in
+    let produce () = stream_plan { fr with depth = fr.depth + 1 } fn_env plan in
+    count_rows p.counters
+      (Seq.memoize (fr.rt.stream_wrapper fd values produce))
+  | _ -> List.to_seq (exec_call fr env p fn args)
+
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
@@ -1023,7 +1157,26 @@ let execute_exn rt ?(bindings = []) plan =
   let env =
     List.fold_left (fun acc (v, seq) -> bind acc v seq) Env.empty bindings
   in
-  exec { rt; depth = 0 } env plan
+  let t0 = Unix.gettimeofday () in
+  let v = exec { rt; depth = 0 } env plan in
+  (* materialized delivery: the first item reaches the caller only when
+     the whole result does, and the root's time-to-first-row says so *)
+  if v <> [] && plan.counters.c_first_row_ns = 0. then
+    plan.counters.c_first_row_ns <- (Unix.gettimeofday () -. t0) *. 1e9;
+  v
+
+let execute_stream rt ?(bindings = []) plan =
+  let env =
+    List.fold_left (fun acc (v, seq) -> bind acc v seq) Env.empty bindings
+  in
+  let t0 = Unix.gettimeofday () in
+  let items = stream_plan { rt; depth = 0 } env plan in
+  Seq.map
+    (fun item ->
+      if plan.counters.c_first_row_ns = 0. then
+        plan.counters.c_first_row_ns <- (Unix.gettimeofday () -. t0) *. 1e9;
+      item)
+    items
 
 (* A deadline abort surfaces like any other evaluation error at the API
    boundary: callers see [Error] with the cause, never the exception.

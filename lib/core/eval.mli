@@ -41,8 +41,23 @@ type call_wrapper =
   Metadata.function_def -> Item.sequence list -> (unit -> Item.sequence) ->
   Item.sequence
 
+(** The streamed counterpart of {!call_wrapper}, invoked around
+    non-cacheable user-function calls reached under {!execute_stream}: the
+    thunk produces the body's items on demand, and the wrapper's result is
+    what flows downstream — the server filters security item by item here.
+    The executor memoizes the wrapped stream ({!Seq.memoize}), so a wrapper
+    (or consumer) that pulls it twice replays buffered items rather than
+    re-running the body — the materialize-on-first-reuse escape hatch.
+    Cacheable call sites never reach this wrapper; they take the
+    materialized {!call_wrapper} path because the function cache stores
+    whole values. *)
+type stream_wrapper =
+  Metadata.function_def -> Item.sequence list -> (unit -> Item.t Seq.t) ->
+  Item.t Seq.t
+
 val runtime :
   ?call_wrapper:call_wrapper ->
+  ?stream_wrapper:stream_wrapper ->
   ?pool:Pool.t ->
   ?observed:Observed.t ->
   ?concurrent_lets:bool ->
@@ -87,6 +102,21 @@ val execute_exn :
   Plan_ir.t ->
   Item.sequence
 (** Like {!execute} but raises {!Eval_error}. *)
+
+val execute_stream :
+  rt ->
+  ?bindings:(Cexpr.var * Item.sequence) list ->
+  Plan_ir.t ->
+  Item.t Seq.t
+(** Streamed execution: the same plan, the same counters, the same items
+    in the same order as {!execute_exn} — but produced on demand, so the
+    consumer sees the first item while upstream operators (including
+    backend cursors opened by pushed-SQL regions) are still producing.
+    Root pipelines, top-level sequences and non-cacheable function calls
+    stream; other node shapes fall back to materialized evaluation of
+    that node. Evaluation errors surface at pull time as {!Eval_error}
+    (or {!Aldsp_concurrency.Cancel.Cancelled} on abort), so consumers
+    must be prepared for a mid-stream raise. *)
 
 val eval :
   rt ->

@@ -12,6 +12,8 @@ type counters = {
   mutable c_cache_misses : int;
   mutable c_shared : int;
   mutable c_wall : float;
+  mutable c_first_row_ns : float;
+  mutable c_peak_buffer : int;
 }
 
 type call_target =
@@ -94,7 +96,8 @@ and sql_region = {
 
 let zero () =
   { c_est = 0; c_starts = 0; c_rows = 0; c_roundtrips = 0; c_cache_hits = 0;
-    c_cache_misses = 0; c_shared = 0; c_wall = 0. }
+    c_cache_misses = 0; c_shared = 0; c_wall = 0.; c_first_row_ns = 0.;
+    c_peak_buffer = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Lowering                                                            *)
@@ -413,7 +416,9 @@ let reset_counters p =
       c.c_cache_hits <- 0;
       c.c_cache_misses <- 0;
       c.c_shared <- 0;
-      c.c_wall <- 0.)
+      c.c_wall <- 0.;
+      c.c_first_row_ns <- 0.;
+      c.c_peak_buffer <- 0)
     p;
   List.iter (fun r -> r.sql_backend <- []) (regions p)
 
@@ -573,9 +578,17 @@ let counters_suffix ~timings c =
     (* only under active work sharing, so golden plans are unaffected *)
     @ (if c.c_shared > 0 then [ Printf.sprintf "shared=%d" c.c_shared ]
        else [])
+    (* only after a streamed delivery of this plan, same reasoning *)
+    @ (if c.c_peak_buffer > 0 then
+         [ Printf.sprintf "peak-buffer=%d" c.c_peak_buffer ]
+       else [])
+    @ (if timings && c.c_wall > 0. then
+         [ Printf.sprintf "wall=%.1fms" (c.c_wall *. 1000.) ]
+       else [])
     @
-    if timings && c.c_wall > 0. then
-      [ Printf.sprintf "wall=%.1fms" (c.c_wall *. 1000.) ]
+    (* time-to-first-row is wall-clock, so it rides with --timings *)
+    if timings && c.c_first_row_ns > 0. then
+      [ Printf.sprintf "ttft=%.1fms" (c.c_first_row_ns /. 1e6) ]
     else []
   in
   " (" ^ String.concat " " parts ^ ")"

@@ -38,6 +38,16 @@ type counters = {
           as [shared=N] only when positive, so plans outside shared
           serving workloads are unchanged. *)
   mutable c_wall : float;  (** Seconds inside this operator's roundtrips. *)
+  mutable c_first_row_ns : float;
+      (** Wall-clock nanoseconds from the operator's first start to its
+          first emitted row (time-to-first-token on the root). Stamped
+          once per reset; rendered as [ttft=] only under [timings], like
+          [wall=], because it is nondeterministic. *)
+  mutable c_peak_buffer : int;
+      (** Peak tokens buffered in the streaming delivery queue while this
+          plan streamed (stamped on the root by the serving layer; bounded
+          by the queue capacity). Rendered as [peak-buffer=N] only when
+          positive, so non-streamed plans are unchanged. *)
 }
 
 (** What a call site resolved to at compile time (informational — the

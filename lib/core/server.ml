@@ -1,4 +1,5 @@
 open Aldsp_xml
+module Spsc = Aldsp_concurrency.Spsc
 
 type compiled = {
   source : string;
@@ -132,6 +133,16 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     | Some cache -> Function_cache.wrapper cache fd args compute
     | None -> compute ()
   in
+  (* the streamed call boundary: only non-cacheable body calls reach it
+     (cacheable sites stay on the materialized wrapper above, where the
+     function cache lives), so auditing is the whole job here *)
+  let stream_wrapper fd args produce =
+    Audit.record audit ~category:"service-call"
+      (Printf.sprintf "call %s/%d"
+         (Qname.to_string fd.Metadata.fd_name)
+         (List.length args));
+    produce ()
+  in
   { registry;
     optimizer = Optimizer.create ?options:optimizer_options registry;
     plan_cache = Plan_cache.create ~capacity:plan_cache_capacity;
@@ -140,7 +151,9 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     audit;
     observed;
     pool;
-    runtime = Eval.runtime ~call_wrapper ~pool ?observed ?concurrent_lets registry;
+    runtime =
+      Eval.runtime ~call_wrapper ~stream_wrapper ~pool ?observed
+        ?concurrent_lets registry;
     admission =
       { adm_max_active = max max_concurrent 1;
         adm_max_queue = max admission_queue 0;
@@ -584,16 +597,28 @@ let run t ?(user = Security.admin) source =
       Ok (Security.filter_result t.security user items)
     | Error _ as e -> e)
 
+(* Every result path that serializes or streams tokens counts them here,
+   so [st_tokens_streamed] reflects all delivery — run_stream, streaming
+   sessions, file redirect, and materialized results pushed through
+   [serialize_result] — not just run_stream. *)
+let counted_tokens t stream =
+  Aldsp_tokens.Token_stream.counted
+    (fun _ ->
+      Mutex.lock t.counter_lock;
+      incr t.streamed_tokens;
+      Mutex.unlock t.counter_lock)
+    stream
+
+let serialize_result t items =
+  let buf = Buffer.create 256 in
+  Aldsp_tokens.Token_stream.serialize_to buf
+    (counted_tokens t (Aldsp_tokens.Token_stream.of_sequence items));
+  Buffer.contents buf
+
 let run_stream t ?(user = Security.admin) source =
   match run t ~user source with
   | Ok items ->
-    Ok
-      (Aldsp_tokens.Token_stream.counted
-         (fun _ ->
-           Mutex.lock t.counter_lock;
-           incr t.streamed_tokens;
-           Mutex.unlock t.counter_lock)
-         (Aldsp_tokens.Token_stream.of_sequence items))
+    Ok (counted_tokens t (Aldsp_tokens.Token_stream.of_sequence items))
   | Error _ as e -> e
 
 let call t ?(user = Security.admin) fn args =
@@ -767,6 +792,140 @@ let session_cancel s =
   let tok = s.ses_current in
   Mutex.unlock s.ses_lock;
   Cancel.cancel tok
+
+(* ------------------------------------------------------------------ *)
+(* Streamed session delivery: the query executes on a dedicated producer
+   thread pulling Eval.execute_stream, pushing tokens into a bounded SPSC
+   queue the consumer drains at its own pace. The queue is the
+   backpressure boundary — a producer that outruns the consumer blocks at
+   [buffer] tokens, so a slow client holds live memory to the queue
+   capacity instead of the whole result. *)
+
+type stream = {
+  str_queue : Aldsp_tokens.Token.t Spsc.t;
+  str_token : Cancel.t;
+  mutable str_done : bool;
+}
+
+let session_run_stream s ?deadline ?(buffer = 256) source =
+  let server = s.ses_server in
+  let deadline =
+    match deadline with Some _ as d -> d | None -> s.ses_deadline
+  in
+  let tok =
+    match deadline with
+    | Some seconds -> Cancel.with_deadline seconds
+    | None -> Cancel.make ()
+  in
+  Mutex.lock s.ses_lock;
+  s.ses_current <- tok;
+  Mutex.unlock s.ses_lock;
+  match admit server.admission tok with
+  | `Rejected -> Error Overloaded
+  | `Expired -> Error (Cancelled "deadline exceeded while queued")
+  | `Admitted -> (
+    (* compile on the caller's thread so compilation errors surface as a
+       plain [Error] instead of a one-token failed stream *)
+    match compile server source with
+    | Error ds ->
+      release_slot server.admission ~outcome:`Completed;
+      Error (Failed (diags_to_string ds))
+    | Ok compiled ->
+      let q = Spsc.create ~capacity:buffer in
+      let st = { str_queue = q; str_token = tok; str_done = false } in
+      let producer () =
+        let finish outcome =
+          (* root observability: the high-water mark of the delivery
+             queue, bounded by its capacity *)
+          compiled.ir.Plan_ir.counters.Plan_ir.c_peak_buffer <-
+            max compiled.ir.Plan_ir.counters.Plan_ir.c_peak_buffer
+              (Spsc.peak_occupancy q);
+          release_slot server.admission ~outcome
+        in
+        let before = snapshot_rows compiled.ir in
+        let body () =
+          let items = Eval.execute_stream server.runtime compiled.ir in
+          let filtered =
+            Seq.concat_map
+              (fun item ->
+                List.to_seq
+                  (Security.filter_result server.security s.ses_user [ item ]))
+              items
+          in
+          let tokens =
+            counted_tokens server
+              (Seq.concat_map Aldsp_tokens.Token_stream.of_item filtered)
+          in
+          (* push until done or the consumer aborts; false from [push]
+             means [stream_cancel] already tore the queue down *)
+          let rec drain seq =
+            match seq () with
+            | Seq.Nil -> true
+            | Seq.Cons (token, rest) ->
+              if Spsc.push q token then drain rest else false
+          in
+          drain tokens
+        in
+        match Cancel.with_token tok body with
+        | true ->
+          note_misestimate server compiled.ir before;
+          Spsc.close q;
+          finish `Completed
+        | false ->
+          (* the consumer cancelled (abort tears the queue down): a clean
+             close here would read as a complete result *)
+          Spsc.fail q "stream cancelled";
+          finish `Deadline
+        | exception Eval.Eval_error m ->
+          Spsc.fail q m;
+          finish (if Cancel.cancelled tok then `Deadline else `Completed)
+        | exception Cancel.Cancelled m ->
+          Spsc.fail q m;
+          finish `Deadline
+        | exception e ->
+          Spsc.fail q (Printexc.to_string e);
+          finish (if Cancel.cancelled tok then `Deadline else `Completed)
+      in
+      ignore (Thread.create producer ());
+      Ok st)
+
+let stream_read st =
+  if st.str_done then Ok None
+  else
+    match Spsc.pop st.str_queue with
+    | `Item token -> Ok (Some token)
+    | `Closed ->
+      st.str_done <- true;
+      Ok None
+    | `Failed m ->
+      st.str_done <- true;
+      if Cancel.cancelled st.str_token then Error (Cancelled m)
+      else Error (Failed m)
+
+let stream_cancel st =
+  Cancel.cancel st.str_token;
+  Spsc.abort st.str_queue
+
+let stream_peak_buffered st = Spsc.peak_occupancy st.str_queue
+
+let stream_serialize st write =
+  let err = ref None in
+  let dispenser () =
+    match stream_read st with
+    | Ok (Some token) -> Some token
+    | Ok None -> None
+    | Error e ->
+      err := Some e;
+      None
+  in
+  (try
+     Seq.iter write
+       (Aldsp_tokens.Token_stream.serialize_chunks (Seq.of_dispenser dispenser))
+   with Invalid_argument m ->
+     (* a failed producer can truncate the stream mid-element; the cause
+        recorded by the dispenser wins over the serializer's complaint *)
+     if !err = None then err := Some (Failed m));
+  match !err with None -> Ok () | Some e -> Error e
 
 let explain t ?(analyze = true) ?(timings = false) source =
   (* serialized: --analyze resets the (shared, cached) plan's counters,

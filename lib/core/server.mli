@@ -177,6 +177,12 @@ val run_stream :
   (Aldsp_tokens.Token.t Seq.t, string) result
 (** The server-side streaming API: the result as a lazy token stream. *)
 
+val serialize_result : t -> Item.sequence -> string
+(** Serializes a materialized result through the server's counted token
+    stream — the one serialization path, so every serialized result
+    (client APIs, CLI, the differential oracle) contributes to
+    [st_tokens_streamed] rather than only {!run_stream} consumers. *)
+
 val call :
   t ->
   ?user:Security.user ->
@@ -234,6 +240,55 @@ val session_run :
 val session_cancel : session -> unit
 (** Cancels the session's in-flight query, if any. Safe from any
     thread; a no-op when nothing is running. *)
+
+type stream
+(** A streamed result being delivered to this consumer: a dedicated
+    producer thread executes the query through {!Eval.execute_stream}
+    and pushes tokens into a bounded single-producer/single-consumer
+    queue ({!Aldsp_concurrency.Spsc}). The queue is the backpressure
+    boundary — the producer blocks once it is [buffer] tokens ahead, so
+    a slow consumer holds live memory to the queue capacity instead of
+    the materialized result. *)
+
+val session_run_stream :
+  session ->
+  ?deadline:float ->
+  ?buffer:int ->
+  string ->
+  (stream, submit_error) result
+(** Admission-controlled streamed execution as this session's user.
+    Admission and compilation happen on the calling thread (so
+    {!Overloaded} and compile failures surface immediately); execution
+    then proceeds on the producer thread while the caller drains the
+    returned {!type-stream}. [buffer] (default 256) is the token queue
+    capacity. The session's deadline semantics match {!session_run}, and
+    {!session_cancel} (or {!stream_cancel}) aborts the producer
+    mid-stream — in-flight backend roundtrips see the token, and the
+    queue is torn down. *)
+
+val stream_read : stream -> (Aldsp_tokens.Token.t option, submit_error) result
+(** Pulls the next token, blocking while the queue is empty and the
+    producer is still running. [Ok None] is end-of-stream (the query
+    completed); [Error (Cancelled _)] a deadline/cancel abort;
+    [Error (Failed _)] an evaluation failure. After [None] or an error,
+    subsequent reads return [Ok None]. *)
+
+val stream_serialize :
+  stream -> (string -> unit) -> (unit, submit_error) result
+(** Drains the whole stream through the incremental XML serializer,
+    handing each text chunk to the writer as it is produced — the
+    redirect-to-file delivery of §2.2: nothing is materialized, and the
+    writer's pace backpressures the producer through the queue. *)
+
+val stream_cancel : stream -> unit
+(** Cancels this stream's query and unblocks both sides: the producer's
+    next push aborts, the consumer's next read reports the cancel. *)
+
+val stream_peak_buffered : stream -> int
+(** High-water token occupancy of the delivery queue so far — never
+    exceeds the [buffer] handed to {!session_run_stream}; also stamped
+    on the plan root's [c_peak_buffer] counter when the producer
+    finishes. *)
 
 val admission_stats : t -> admission_stats
 (** The serving-layer counters alone (also embedded in {!stats}). *)

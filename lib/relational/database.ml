@@ -222,3 +222,13 @@ let record_statement t ~params ~rows =
       stats.rows_shipped <- stats.rows_shipped + rows);
   if t.roundtrip_latency > 0. then
     Aldsp_concurrency.Cancel.sleepf t.roundtrip_latency
+
+(* Cursor-style accounting: one roundtrip (and one latency payment) when
+   the statement opens, rows added chunk by chunk as they ship. Success
+   paths total exactly what a single [record_statement ~rows] reports. *)
+let open_statement t ~params = record_statement t ~params ~rows:0
+
+let ship_rows t n =
+  if n > 0 then
+    record_operator t (fun stats ->
+        stats.rows_shipped <- stats.rows_shipped + n)

@@ -124,6 +124,17 @@ val record_statement : t -> params:int -> rows:int -> unit
     accounting. Thread-safe; the latency sleep is cancellation-aware and
     happens outside the stats lock so concurrent roundtrips overlap. *)
 
+val open_statement : t -> params:int -> unit
+(** Cursor-style accounting, first half: one statement roundtrip with its
+    bound params and simulated latency, before any row ships. Pair with
+    {!ship_rows} per fetched chunk; a fully drained cursor totals exactly
+    one {!record_statement} call. *)
+
+val ship_rows : t -> int -> unit
+(** Cursor-style accounting, second half: adds one fetched chunk's rows
+    to [rows_shipped]. Chunks are engine-side iteration, not extra
+    roundtrips. *)
+
 val record_operator : t -> (stats -> unit) -> unit
 (** Runs the counter update under [stats_lock]: the executor's per-operator
     increments are read-modify-write and concurrent sessions share one

@@ -850,7 +850,13 @@ and expand_star ctx s =
     in
     { s with projections }
 
-and run_select outer_ctx s : result_set =
+(* The SELECT pipeline with a lazy tail: everything through grouping,
+   HAVING and ORDER BY runs eagerly (those stages are pipeline breakers
+   or access-path decisions that must land before the plan is read), but
+   the final projection is a [Seq.t] forced row by row — the engine-side
+   iteration a cursor fetches in chunks. DISTINCT and windowed queries
+   keep their eager dedup/early-exit tails and stream a prebuilt list. *)
+and run_select_streamed outer_ctx s : string list * V.t array Seq.t =
   let ctx = { outer_ctx with outer = Some outer_ctx; group = None } in
   let s = expand_star ctx s in
   let srcs = if ctx.db.Database.use_indexes then sources_of ctx s else None in
@@ -974,22 +980,23 @@ and run_select outer_ctx s : result_set =
          (fun (e, _) -> eval { ctx with env; group = Some group } e)
          s.projections)
   in
-  let projected =
+  let projected : V.t array Seq.t =
     match s.window with
+    | None when not s.distinct ->
+      Seq.map project (List.to_seq logical_rows)
     | None ->
       let projected = List.map project logical_rows in
-      if not s.distinct then projected
-      else
-        List.rev
-          (List.fold_left
-             (fun acc row ->
-               if
-                 List.exists
-                   (fun seen -> Array.for_all2 V.equal seen row)
-                   acc
-               then acc
-               else row :: acc)
-             [] projected)
+      List.to_seq
+        (List.rev
+           (List.fold_left
+              (fun acc row ->
+                if
+                  List.exists
+                    (fun seen -> Array.for_all2 V.equal seen row)
+                    acc
+                then acc
+                else row :: acc)
+              [] projected))
     | Some { start; count } ->
       (* early exit: project (and deduplicate) incrementally, stopping as
          soon as the last requested row position has been produced, so
@@ -1026,36 +1033,124 @@ and run_select outer_ctx s : result_set =
              end)
            logical_rows
        with Done -> ());
-      List.rev !kept
+      List.to_seq (List.rev !kept)
   in
-  { columns = List.map snd s.projections; rows = projected }
+  (List.map snd s.projections, projected)
+
+and run_select outer_ctx s : result_set =
+  let columns, rows = run_select_streamed outer_ctx s in
+  { columns; rows = List.of_seq rows }
 
 let root_context db params =
   { env = []; outer = None; group = None; params; db; decisions = ref [] }
 
-let query_explained db ?(params = [||]) s =
+(* ------------------------------------------------------------------ *)
+(* Cursors: chunked fetch over the same access paths.
+
+   Opening a cursor consumes the fault schedule, runs the eager part of
+   the pipeline (scans, joins, grouping, ordering — where every
+   access-path decision lands) and accounts the single statement
+   roundtrip, latency included; fetching then forces the projection a
+   chunk at a time, adding shipped rows incrementally. A fully drained
+   cursor leaves the database statistics and [last_plan] exactly as the
+   materialized [query_explained] would.
+
+   One accounting nuance: a projection that errors mid-fetch (a scalar
+   subquery dividing by zero, say) has already recorded its statement —
+   it genuinely reached the wire — where the historical all-at-once path
+   recorded nothing. Both sides of the differential oracle share this
+   path, and success paths are byte- and counter-identical. *)
+
+type cursor = {
+  cur_db : Database.t;
+  cur_columns : string list;
+  mutable cur_rest : V.t array Seq.t;
+  cur_decisions : string list ref;
+  mutable cur_done : bool;
+}
+
+let default_chunk_rows = 64
+
+let open_cursor db ?(params = [||]) s =
   match Database.apply_fault db with
   | Error msg ->
     (* the statement reached the wire: account the roundtrip *)
-    Database.record_statement db ~params:(Array.length params) ~rows:0;
+    Database.open_statement db ~params:(Array.length params);
     Error msg
   | Ok () -> (
     let ctx = root_context db params in
-    match run_select ctx s with
-    | result ->
-      let plan = List.rev !(ctx.decisions) in
-      Database.set_last_plan db plan;
-      Database.record_statement db ~params:(Array.length params)
-        ~rows:(List.length result.rows);
-      Ok (result, plan)
+    match run_select_streamed ctx s with
+    | columns, rows ->
+      Database.open_statement db ~params:(Array.length params);
+      Ok
+        { cur_db = db;
+          cur_columns = columns;
+          cur_rest = rows;
+          cur_decisions = ctx.decisions;
+          cur_done = false }
     | exception Sql_error msg ->
       Database.set_last_plan db (List.rev !(ctx.decisions));
       Error msg)
+
+let cursor_columns cur = cur.cur_columns
+
+(* Plan lines are complete once the cursor is drained: projection-level
+   subqueries may still append decisions while rows are being fetched. *)
+let cursor_plan cur = List.rev !(cur.cur_decisions)
+
+let cursor_finish cur =
+  cur.cur_done <- true;
+  cur.cur_rest <- Seq.empty;
+  Database.set_last_plan cur.cur_db (cursor_plan cur)
+
+let fetch_chunk ?(rows = default_chunk_rows) cur =
+  if cur.cur_done then Ok []
+  else begin
+    let n = max 1 rows in
+    let rec take k seq acc =
+      if k = 0 then (List.rev acc, seq)
+      else
+        match seq () with
+        | Seq.Nil -> (List.rev acc, Seq.empty)
+        | Seq.Cons (row, rest) -> take (k - 1) rest (row :: acc)
+    in
+    match take n cur.cur_rest [] with
+    | chunk, rest ->
+      cur.cur_rest <- rest;
+      let shipped = List.length chunk in
+      Database.ship_rows cur.cur_db shipped;
+      if shipped < n then cursor_finish cur;
+      Ok chunk
+    | exception Sql_error msg ->
+      cursor_finish cur;
+      Error msg
+  end
+
+let query_explained db ?(params = [||]) s =
+  match open_cursor db ~params s with
+  | Error msg -> Error msg
+  | Ok cur -> (
+    let rec drain acc =
+      match fetch_chunk cur with
+      | Error msg -> Error msg
+      | Ok [] -> Ok (List.rev acc)
+      | Ok chunk -> drain (List.rev_append chunk acc)
+    in
+    match drain [] with
+    | Error msg -> Error msg
+    | Ok rows -> Ok ({ columns = cursor_columns cur; rows }, cursor_plan cur))
 
 let query db ?params s =
   match query_explained db ?params s with
   | Ok (result, _) -> Ok result
   | Error _ as e -> e
+
+(* How a streamed statement comes back: a live cursor for direct
+   statements, or a whole shared result set when work sharing served it
+   (followers share the leader's materialized rows). *)
+type streamed =
+  | Rows of result_set * string list * bool
+  | Cursor of cursor
 
 (* ------------------------------------------------------------------ *)
 (* Cross-session work sharing.
@@ -1321,6 +1416,21 @@ let query_shared db ?(params = [||]) s =
     | Some keycol when db.Database.roundtrip_latency > 0. ->
       batched_probe db params s keycol
     | _ -> coalesced_query db params s
+
+(* The streaming entry point the executor's pushed regions drain: a
+   direct statement hands back a live cursor; under active work sharing
+   the statement goes through {!query_shared} unchanged — followers share
+   one materialized result set, which [Rows] carries whole. The gate
+   mirrors {!query_shared}'s own. *)
+let query_stream db ?(params = [||]) s =
+  if (not db.Database.share_work) || Database.schedule_remaining db > 0 then
+    match open_cursor db ~params s with
+    | Ok cur -> Ok (Cursor cur)
+    | Error e -> Error e
+  else
+    match query_shared db ~params s with
+    | Ok (rs, plan, shared) -> Ok (Rows (rs, plan, shared))
+    | Error e -> Error e
 
 let execute_dml db ?(params = [||]) dml =
   match Database.apply_fault db with

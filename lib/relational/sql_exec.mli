@@ -20,6 +20,39 @@ val query :
 (** Runs a SELECT. [params] supplies positional [?] bindings (1-based
     [Param i] reads [params.(i-1)]). *)
 
+(** {2 Cursors}
+
+    Chunked fetch over the same access paths. One statement roundtrip is
+    accounted (and its simulated latency paid) when the cursor opens —
+    chunks are engine-side iteration, not extra roundtrips — and
+    [rows_shipped] grows chunk by chunk as rows cross the boundary. The
+    eager part of the pipeline (scans, joins, grouping, ordering) runs at
+    open; only the final projection is forced lazily. {!query} and
+    {!query_explained} are thin drains over a cursor, so a fully drained
+    cursor leaves statistics and [last_plan] exactly as they do. *)
+
+type cursor
+
+val default_chunk_rows : int
+
+val open_cursor :
+  Database.t ->
+  ?params:Sql_value.t array ->
+  Sql_ast.select ->
+  (cursor, string) result
+
+val fetch_chunk :
+  ?rows:int -> cursor -> (Sql_value.t array list, string) result
+(** Up to [rows] (default {!default_chunk_rows}) more result rows; [[]]
+    means the cursor is exhausted. An [Error] mid-stream (a lazily
+    evaluated projection failing) closes the cursor. *)
+
+val cursor_columns : cursor -> string list
+
+val cursor_plan : cursor -> string list
+(** The statement's access-path plan lines so far; complete — identical
+    to what {!query_explained} returns — once the cursor is drained. *)
+
 val query_explained :
   Database.t ->
   ?params:Sql_value.t array ->
@@ -47,6 +80,24 @@ val query_shared :
     into different epochs, and is suspended while a fault schedule is
     active (scripted events align with statements one-to-one). With
     sharing off this is exactly {!query_explained}. *)
+
+(** How a streamed statement answers: [Cursor] for a direct statement,
+    [Rows] (result set, plan lines, served-from-another-session flag)
+    when cross-session work sharing handled it — shared results are
+    materialized by nature, every follower reads the same rows. *)
+type streamed =
+  | Rows of result_set * string list * bool
+  | Cursor of cursor
+
+val query_stream :
+  Database.t ->
+  ?params:Sql_value.t array ->
+  Sql_ast.select ->
+  (streamed, string) result
+(** The streaming face of {!query_shared}: opens a cursor when the
+    statement executes directly (sharing off, or suspended by an active
+    fault schedule), otherwise defers to {!query_shared} and wraps its
+    shared result. *)
 
 val execute_dml :
   Database.t ->

@@ -1,0 +1,385 @@
+(* End-to-end streaming execution: the bounded SPSC delivery queue, the
+   relational cursor API, and the streamed session path — pinned against
+   the materialized path byte-for-byte, with the bounded-buffer guarantee
+   (peak buffered tokens never exceed the queue capacity) under a slow
+   consumer, and mid-stream cancellation. *)
+
+open Aldsp_core
+module Spsc = Aldsp_concurrency.Spsc
+module Db = Aldsp_relational.Database
+module Sql_ast = Aldsp_relational.Sql_ast
+module Sql_exec = Aldsp_relational.Sql_exec
+module Token_stream = Aldsp_tokens.Token_stream
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let check_string = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* SPSC queue units                                                    *)
+
+let test_spsc_fifo () =
+  let q = Spsc.create ~capacity:8 in
+  List.iter (fun i -> check_bool "push accepted" true (Spsc.push q i)) [ 1; 2; 3 ];
+  Spsc.close q;
+  List.iter
+    (fun i ->
+      match Spsc.pop q with
+      | `Item j -> check_int "fifo order" i j
+      | `Closed | `Failed _ -> Alcotest.fail "queue ended early")
+    [ 1; 2; 3 ];
+  check_bool "closed after drain" true (Spsc.pop q = `Closed);
+  (* close is sticky *)
+  check_bool "still closed" true (Spsc.pop q = `Closed)
+
+let test_spsc_backpressure () =
+  let n = 200 in
+  let q = Spsc.create ~capacity:4 in
+  let producer =
+    Thread.create
+      (fun () ->
+        for i = 0 to n - 1 do
+          ignore (Spsc.push q i)
+        done;
+        Spsc.close q)
+      ()
+  in
+  let received = ref [] in
+  let rec drain () =
+    match Spsc.pop q with
+    | `Item i ->
+      received := i :: !received;
+      (* a deliberately slow consumer: the producer must block, not
+         buffer past capacity *)
+      if i mod 16 = 0 then Thread.delay 0.002;
+      drain ()
+    | `Closed -> ()
+    | `Failed m -> Alcotest.failf "unexpected failure: %s" m
+  in
+  drain ();
+  Thread.join producer;
+  check_int "all elements delivered" n (List.length !received);
+  check_bool "delivered in order" true
+    (List.rev !received = List.init n Fun.id);
+  check_bool
+    (Printf.sprintf "peak occupancy %d within capacity 4"
+       (Spsc.peak_occupancy q))
+    true
+    (Spsc.peak_occupancy q <= 4)
+
+let test_spsc_fail_drains_first () =
+  let q = Spsc.create ~capacity:8 in
+  ignore (Spsc.push q "a");
+  ignore (Spsc.push q "b");
+  Spsc.fail q "boom";
+  Spsc.fail q "ignored: first failure wins";
+  check_bool "buffered items drain" true (Spsc.pop q = `Item "a");
+  check_bool "buffered items drain" true (Spsc.pop q = `Item "b");
+  check_bool "then the failure surfaces" true (Spsc.pop q = `Failed "boom")
+
+let test_spsc_abort_releases_producer () =
+  let q = Spsc.create ~capacity:2 in
+  ignore (Spsc.push q 0);
+  ignore (Spsc.push q 1);
+  let rejected = ref false in
+  let producer =
+    Thread.create
+      (fun () ->
+        (* the queue is full: this blocks until the consumer aborts,
+           then reports the abort by returning false *)
+        rejected := not (Spsc.push q 2))
+      ()
+  in
+  Thread.delay 0.01;
+  Spsc.abort q;
+  Thread.join producer;
+  check_bool "blocked push returned false after abort" true !rejected;
+  check_bool "pushes after abort are rejected too" true (not (Spsc.push q 3))
+
+(* ------------------------------------------------------------------ *)
+(* Relational cursors                                                  *)
+
+let customer_select db =
+  match Db.find_table db "CUSTOMER" with
+  | Error m -> Alcotest.fail m
+  | Ok t ->
+    Sql_ast.select
+      ~projections:
+        (List.map
+           (fun c -> (Sql_ast.col "t0" c.Aldsp_relational.Table.col_name,
+                      c.Aldsp_relational.Table.col_name))
+           t.Aldsp_relational.Table.columns)
+      (Sql_ast.Table { table = "CUSTOMER"; alias = "t0" })
+
+let test_cursor_matches_query () =
+  let demo = Aldsp_demo.Demo.create ~customers:12 ~orders_per_customer:0 () in
+  let db = demo.Aldsp_demo.Demo.customer_db in
+  let select = customer_select db in
+  let expected =
+    match Sql_exec.query db select with
+    | Ok rs -> rs
+    | Error m -> Alcotest.fail m
+  in
+  match Sql_exec.open_cursor db select with
+  | Error m -> Alcotest.fail m
+  | Ok cur ->
+    check_bool "columns match" true
+      (Sql_exec.cursor_columns cur = expected.Sql_exec.columns);
+    let rec drain acc =
+      match Sql_exec.fetch_chunk ~rows:5 cur with
+      | Error m -> Alcotest.fail m
+      | Ok [] -> List.rev acc
+      | Ok rows ->
+        check_bool "chunk within requested size" true (List.length rows <= 5);
+        drain (List.rev_append rows acc)
+    in
+    let rows = drain [] in
+    check_int "row count matches" (List.length expected.Sql_exec.rows)
+      (List.length rows);
+    check_bool "rows byte-identical in order" true
+      (rows = expected.Sql_exec.rows);
+    (* a drained cursor keeps answering end-of-rows *)
+    check_bool "drained cursor stays empty" true
+      (Sql_exec.fetch_chunk cur = Ok [])
+
+let test_cursor_accounting () =
+  let demo = Aldsp_demo.Demo.create ~customers:9 ~orders_per_customer:0 () in
+  let db = demo.Aldsp_demo.Demo.customer_db in
+  let select = customer_select db in
+  Aldsp_demo.Demo.reset_stats demo;
+  (match Sql_exec.open_cursor db select with
+  | Error m -> Alcotest.fail m
+  | Ok cur ->
+    check_int "statement accounted at open" 1 db.Db.stats.Db.statements;
+    check_int "no rows shipped before the first fetch" 0
+      db.Db.stats.Db.rows_shipped;
+    let rec drain () =
+      match Sql_exec.fetch_chunk ~rows:4 cur with
+      | Error m -> Alcotest.fail m
+      | Ok [] -> ()
+      | Ok _ -> drain ()
+    in
+    drain ());
+  check_int "one statement total: chunks are engine-side iteration" 1
+    db.Db.stats.Db.statements;
+  check_int "rows shipped as fetched" 9 db.Db.stats.Db.rows_shipped
+
+(* ------------------------------------------------------------------ *)
+(* Streamed session delivery                                           *)
+
+let stream_queries =
+  [ "for $c in CUSTOMER() where $c/SINCE ge 1995 return <R>{$c/CID}{$c/LAST_NAME}</R>";
+    "for $c in CUSTOMER(), $o in ORDER_T() where $c/CID eq $o/CID return <CO>{$c/CID, $o/OID}</CO>";
+    "for $c in CUSTOMER() group by $c/LAST_NAME as $l return $l";
+    "for $c in CUSTOMER() order by $c/LAST_NAME, $c/CID return $c/LAST_NAME";
+    "count(CUSTOMER())";
+    "getProfile()" ]
+
+let streamed_bytes ?buffer server q =
+  let ses = Server.session server () in
+  match Server.session_run_stream ses ?buffer q with
+  | Error e -> Error (Server.submit_error_to_string e)
+  | Ok stream -> (
+    let buf = Buffer.create 256 in
+    match Server.stream_serialize stream (Buffer.add_string buf) with
+    | Ok () -> Ok (Buffer.contents buf, Server.stream_peak_buffered stream)
+    | Error e -> Error (Server.submit_error_to_string e))
+
+let test_streamed_matches_materialized () =
+  let demo = Aldsp_demo.Demo.create ~customers:25 ~orders_per_customer:3 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  List.iter
+    (fun q ->
+      let expected =
+        match Server.run server q with
+        | Ok items -> Server.serialize_result server items
+        | Error m -> Alcotest.failf "materialized run failed on %s: %s" q m
+      in
+      match streamed_bytes ~buffer:8 server q with
+      | Error e -> Alcotest.failf "streamed run failed on %s: %s" q e
+      | Ok (got, peak) ->
+        check_string q expected got;
+        check_bool
+          (Printf.sprintf "peak %d within buffer 8 on %s" peak q)
+          true (peak <= 8))
+    stream_queries
+
+(* The qcheck property over the fuzzer's deterministic scenario stream:
+   whatever query, catalog and config the generator produces, streamed
+   delivery byte-matches the materialized result pushed through the same
+   token serializer. (The corpus of shrunk counterexamples replays
+   through this same path in test_fuzz via Oracle.compare_query's
+   streaming pass.) *)
+let test_fuzz_scenarios_stream_identical =
+  QCheck.Test.make ~count:25 ~name:"fuzz scenarios: streamed = materialized"
+    QCheck.(0 -- 200)
+    (fun index ->
+      let open Aldsp_check in
+      let s = Harness.scenario_of ~seed:4242 ~index in
+      let cat = Catalog.build s.Shrink.spec in
+      Oracle.set_indexes cat s.Shrink.config.Oracle.indexes;
+      let server = Oracle.subject_server cat s.Shrink.config in
+      let q = Gen.render s.Shrink.query in
+      match Server.run server q with
+      | Error _ -> true (* error scenarios are the oracle's business *)
+      | Ok items -> (
+        let expected = Server.serialize_result server items in
+        match streamed_bytes ~buffer:16 server q with
+        | Error e ->
+          QCheck.Test.fail_reportf
+            "scenario %d: streamed run failed: %s\nquery: %s" index e q
+        | Ok (got, peak) ->
+          if not (String.equal expected got) then
+            QCheck.Test.fail_reportf
+              "scenario %d diverged\nquery: %s\nmaterialized: %s\nstreamed: %s"
+              index q expected got;
+          if peak > 16 then
+            QCheck.Test.fail_reportf
+              "scenario %d: peak buffered %d exceeds capacity 16" index peak;
+          true))
+
+let test_bounded_buffer_slow_consumer () =
+  let demo = Aldsp_demo.Demo.create ~customers:150 ~orders_per_customer:1 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let q = "for $c in CUSTOMER() return <R>{$c/CID}{$c/LAST_NAME}{$c/SINCE}</R>" in
+  let ses = Server.session server () in
+  match Server.session_run_stream ses ~buffer:8 q with
+  | Error e -> Alcotest.fail (Server.submit_error_to_string e)
+  | Ok stream ->
+    let tokens = ref 0 in
+    let rec drain () =
+      match Server.stream_read stream with
+      | Ok (Some _) ->
+        incr tokens;
+        (* lag hard every 32 tokens: the producer runs far ahead of the
+           consumer and must park on the full queue *)
+        if !tokens mod 32 = 0 then Thread.delay 0.002;
+        drain ()
+      | Ok None -> ()
+      | Error e -> Alcotest.fail (Server.submit_error_to_string e)
+    in
+    drain ();
+    let peak = Server.stream_peak_buffered stream in
+    check_bool "stream produced tokens" true (!tokens > 100);
+    check_bool
+      (Printf.sprintf "peak buffered %d within capacity 8" peak)
+      true
+      (peak >= 1 && peak <= 8)
+
+let test_mid_stream_cancel () =
+  let demo = Aldsp_demo.Demo.create ~customers:300 ~orders_per_customer:1 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let q = "for $c in CUSTOMER() return <R>{$c/CID}{$c/LAST_NAME}</R>" in
+  let ses = Server.session server () in
+  (match Server.session_run_stream ses ~buffer:4 q with
+  | Error e -> Alcotest.fail (Server.submit_error_to_string e)
+  | Ok stream ->
+    (* consume a few tokens so the query is demonstrably mid-flight,
+       then cancel and keep reading: the stream must end in a Cancelled
+       error, never a clean end-of-stream for a truncated result *)
+    for _ = 1 to 5 do
+      match Server.stream_read stream with
+      | Ok (Some _) -> ()
+      | Ok None -> Alcotest.fail "stream ended before cancel"
+      | Error e -> Alcotest.fail (Server.submit_error_to_string e)
+    done;
+    Server.stream_cancel stream;
+    let rec drain_to_end () =
+      match Server.stream_read stream with
+      | Ok (Some _) -> drain_to_end ()
+      | Ok None -> Alcotest.fail "cancelled stream reported clean completion"
+      | Error (Server.Cancelled _) -> ()
+      | Error e ->
+        Alcotest.failf "expected Cancelled, got %s"
+          (Server.submit_error_to_string e)
+    in
+    drain_to_end ());
+  (* the producer must release its admission slot: wait for quiescence *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec wait () =
+    let adm = Server.admission_stats server in
+    if adm.Server.ad_active = 0 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "producer never released its admission slot"
+    else begin
+      Thread.delay 0.002;
+      wait ()
+    end
+  in
+  wait ();
+  let adm = Server.admission_stats server in
+  check_int "cancel accounted as a deadline abort" 1
+    adm.Server.ad_deadline_aborts
+
+let test_tokens_streamed_counter () =
+  let demo = Aldsp_demo.Demo.create ~customers:20 ~orders_per_customer:0 () in
+  let server = demo.Aldsp_demo.Demo.server in
+  let q = "for $c in CUSTOMER() return <R>{$c/CID}</R>" in
+  let items =
+    match Server.run server q with
+    | Ok items -> items
+    | Error m -> Alcotest.fail m
+  in
+  let expected_tokens = Token_stream.length (Token_stream.of_sequence items) in
+  let before = (Server.stats server).Server.st_tokens_streamed in
+  ignore (Server.serialize_result server items);
+  let after_serialize = (Server.stats server).Server.st_tokens_streamed in
+  check_int "materialized serialization is counted" expected_tokens
+    (after_serialize - before);
+  (match streamed_bytes server q with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let after_stream = (Server.stats server).Server.st_tokens_streamed in
+  check_int "streamed delivery is counted" expected_tokens
+    (after_stream - after_serialize)
+
+let test_explain_timings_ttft () =
+  let demo = Aldsp_demo.Demo.create ~customers:10 ~orders_per_customer:2 () in
+  let q = "for $c in CUSTOMER() where $c/SINCE ge 1995 return $c/CID" in
+  (match Server.explain ~analyze:true ~timings:true demo.Aldsp_demo.Demo.server q with
+  | Error m -> Alcotest.fail m
+  | Ok text ->
+    check_bool "EXPLAIN ANALYZE --timings reports ttft on the root" true
+      (try
+         ignore (Str.search_forward (Str.regexp_string "ttft=") text 0);
+         true
+       with Not_found -> false));
+  (* without --timings the field stays out, keeping golden output stable *)
+  match Server.explain ~analyze:true ~timings:false demo.Aldsp_demo.Demo.server q with
+  | Error m -> Alcotest.fail m
+  | Ok text ->
+    check_bool "deterministic EXPLAIN omits ttft" true
+      (not
+         (try
+            ignore (Str.search_forward (Str.regexp_string "ttft=") text 0);
+            true
+          with Not_found -> false))
+
+let () = at_exit Aldsp_check.Oracle.shutdown_pools
+
+let () =
+  Alcotest.run "streaming"
+    [ ( "spsc",
+        [ Alcotest.test_case "fifo and close" `Quick test_spsc_fifo;
+          Alcotest.test_case "backpressure bounds occupancy" `Quick
+            test_spsc_backpressure;
+          Alcotest.test_case "fail drains buffered items first" `Quick
+            test_spsc_fail_drains_first;
+          Alcotest.test_case "abort releases a blocked producer" `Quick
+            test_spsc_abort_releases_producer ] );
+      ( "cursor",
+        [ Alcotest.test_case "chunked drain matches query" `Quick
+            test_cursor_matches_query;
+          Alcotest.test_case "one statement, rows shipped as fetched" `Quick
+            test_cursor_accounting ] );
+      ( "delivery",
+        [ Alcotest.test_case "streamed = materialized (fixtures)" `Quick
+            test_streamed_matches_materialized;
+          QCheck_alcotest.to_alcotest test_fuzz_scenarios_stream_identical;
+          Alcotest.test_case "bounded buffer under a slow consumer" `Quick
+            test_bounded_buffer_slow_consumer;
+          Alcotest.test_case "mid-stream cancel" `Quick test_mid_stream_cancel;
+          Alcotest.test_case "st_tokens_streamed counts every path" `Quick
+            test_tokens_streamed_counter;
+          Alcotest.test_case "ttft rides with --timings only" `Quick
+            test_explain_timings_ttft ] ) ]
