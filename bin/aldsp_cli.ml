@@ -10,12 +10,32 @@
 open Cmdliner
 open Aldsp_core
 
-let make_demo ?(db_latency = 0.) customers =
-  Aldsp_demo.Demo.create ~customers ~orders_per_customer:3 ~db_latency ()
+let make_demo ?(db_latency = 0.) ?sort_budget customers =
+  let optimizer_options =
+    match sort_budget with
+    | None -> None
+    | Some n ->
+      Some
+        { Optimizer.default_options with Optimizer.sort_budget_rows = Some n }
+  in
+  Aldsp_demo.Demo.create ~customers ~orders_per_customer:3 ~db_latency
+    ?optimizer_options ()
 
 let customers_arg =
   let doc = "Number of customers in the demo enterprise." in
   Arg.(value & opt int 20 & info [ "c"; "customers" ] ~docv:"N" ~doc)
+
+let sort_budget_arg =
+  let doc =
+    "In-memory row budget for the blocking operators (ORDER BY, unclustered \
+     GROUP BY): past $(docv) rows, sorted runs spill to temp files and \
+     merge back as a stream, so peak resident rows stay bounded. Results \
+     are byte-identical to the unbounded sort; $(b,explain --analyze) shows \
+     $(b,spill=) counters on operators that spilled. Defaults to unbounded \
+     (or the $(b,ALDSP_SORT_BUDGET) environment variable when set)."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "sort-budget" ] ~docv:"ROWS" ~doc)
 
 let query_arg =
   let doc = "The XQuery to process (a literal query string)." in
@@ -65,8 +85,10 @@ let run_cmd =
     Arg.(
       value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let action customers clients latency_ms shared_mix output query =
-    let demo = make_demo ~db_latency:(latency_ms /. 1000.) customers in
+  let action customers sort_budget clients latency_ms shared_mix output query =
+    let demo =
+      make_demo ~db_latency:(latency_ms /. 1000.) ?sort_budget customers
+    in
     let server = demo.Aldsp_demo.Demo.server in
     if shared_mix then Server.set_work_sharing server true;
     if clients <= 1 then
@@ -154,8 +176,8 @@ let run_cmd =
   in
   let doc = "compile and run an XQuery against the demo enterprise" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ customers_arg $ clients_arg $ latency_arg
-          $ shared_mix_arg $ output_arg $ query_arg)
+    Term.(const action $ customers_arg $ sort_budget_arg $ clients_arg
+          $ latency_arg $ shared_mix_arg $ output_arg $ query_arg)
 
 let explain_cmd =
   let analyze_arg =
@@ -173,8 +195,8 @@ let explain_cmd =
     in
     Arg.(value & flag & info [ "timings" ] ~doc)
   in
-  let action customers analyze timings query =
-    let demo = make_demo customers in
+  let action customers sort_budget analyze timings query =
+    let demo = make_demo ?sort_budget customers in
     match Server.explain ~analyze ~timings demo.Aldsp_demo.Demo.server query with
     | Ok text ->
       print_string text;
@@ -188,7 +210,8 @@ let explain_cmd =
      the SQL pushed to each source with its backend access path"
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const action $ customers_arg $ analyze_arg $ timings_arg $ query_arg)
+    Term.(const action $ customers_arg $ sort_budget_arg $ analyze_arg
+          $ timings_arg $ query_arg)
 
 let check_cmd =
   let action customers file =
@@ -268,8 +291,8 @@ let describe_cmd =
     Term.(const action $ customers_arg $ name_arg)
 
 let stats_cmd =
-  let action customers query =
-    let demo = make_demo customers in
+  let action customers sort_budget query =
+    let demo = make_demo ?sort_budget customers in
     Aldsp_demo.Demo.reset_stats demo;
     (match Server.run demo.Aldsp_demo.Demo.server query with
     | Ok items -> Printf.printf "%d items returned\n" (List.length items)
@@ -321,6 +344,12 @@ let stats_cmd =
        saved\n"
       sstats.Server.st_coalesced_hits sstats.Server.st_batch_merges
       sstats.Server.st_dedup_roundtrips_saved;
+    if sstats.Server.st_spill_runs > 0 then
+      Printf.printf
+        "external sort: %d runs spilled (%d rows, %d bytes), peak %d rows \
+         resident\n"
+        sstats.Server.st_spill_runs sstats.Server.st_spill_rows
+        sstats.Server.st_spill_bytes sstats.Server.st_spill_peak_resident;
     0
   in
   let doc =
@@ -328,7 +357,7 @@ let stats_cmd =
      per-table statistics, and the worst est-vs-actual cardinality ratio"
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const action $ customers_arg $ query_arg)
+    Term.(const action $ customers_arg $ sort_budget_arg $ query_arg)
 
 let () =
   let doc = "query console for the data services platform" in

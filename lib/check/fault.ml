@@ -10,7 +10,7 @@ let ( let* ) = Result.bind
 
 let default_config =
   { Oracle.workers = 2; ppk_k = 2; ppk_prefetch = 1; indexes = true;
-    cost_based = true }
+    cost_based = true; spill = false }
 
 let plain_q ssn =
   Printf.sprintf
@@ -151,7 +151,8 @@ let run_random cat st =
       ppk_k = 1;
       ppk_prefetch = 0;
       indexes = Random.State.bool st;
-      cost_based = Random.State.bool st }
+      cost_based = Random.State.bool st;
+      spill = Random.State.bool st }
   in
   Oracle.set_indexes cat config.indexes;
   let server = Oracle.subject_server cat config in

@@ -6,22 +6,28 @@ type config = {
   ppk_prefetch : int;
   indexes : bool;
   cost_based : bool;
+  spill : bool;
 }
+
+(* the subject's forced budget when [spill] is on: tiny, so even the
+   shrunk scenarios' sorts overflow it and exercise the external sort *)
+let spill_budget = 4
 
 let reference_config =
   { workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false;
-    cost_based = false }
+    cost_based = false; spill = false }
 
 let generate_config st =
   { workers = 1 + Random.State.int st 6;
     ppk_k = [| 1; 2; 3; 5; 8 |].(Random.State.int st 5);
     ppk_prefetch = [| 0; 1; 2; 4 |].(Random.State.int st 4);
     indexes = Random.State.bool st;
-    cost_based = Random.State.bool st }
+    cost_based = Random.State.bool st;
+    spill = Random.State.bool st }
 
 let config_to_string c =
-  Printf.sprintf "workers=%d k=%d prefetch=%d indexes=%b cost=%b" c.workers
-    c.ppk_k c.ppk_prefetch c.indexes c.cost_based
+  Printf.sprintf "workers=%d k=%d prefetch=%d indexes=%b cost=%b spill=%b"
+    c.workers c.ppk_k c.ppk_prefetch c.indexes c.cost_based c.spill
 
 let config_of_string line =
   let fields =
@@ -61,7 +67,9 @@ let config_of_string line =
   (* corpus lines predating cost-based selection ran with it on (the
      server default) *)
   let* cost_based = bool_field "cost" ~default:true in
-  Ok { workers; ppk_k; ppk_prefetch; indexes; cost_based }
+  (* corpus lines predating the external sort ran with in-memory sorts *)
+  let* spill = bool_field "spill" ~default:false in
+  Ok { workers; ppk_k; ppk_prefetch; indexes; cost_based; spill }
 
 (* one pool per worker count, shared by every scenario in the run: pools
    start threads lazily but never stop them, so per-scenario pools would
@@ -88,7 +96,10 @@ let subject_server (cat : Catalog.t) config =
       { Optimizer.default_options with
         Optimizer.ppk_k = config.ppk_k;
         ppk_prefetch = config.ppk_prefetch;
-        cost_based = config.cost_based }
+        cost_based = config.cost_based;
+        sort_budget_rows =
+          (if config.spill then Some spill_budget
+           else Optimizer.default_options.Optimizer.sort_budget_rows) }
     ~pool:(pool_for config.workers) cat.Catalog.registry
 
 let run_serialized server q =

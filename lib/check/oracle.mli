@@ -26,11 +26,21 @@ type config = {
           [cost_based]): on, join methods, k/prefetch and the pushdown
           gate come from the cost model (the [ppk_k]/[ppk_prefetch] knobs
           are overridden); off, the fixed heuristics and knobs apply. *)
+  spill : bool;
+      (** Force the subject's blocking sorts through the external sort
+          with a tiny row budget ({!spill_budget}), so ORDER BY and
+          unclustered GROUP BY spill runs to disk and merge back — the
+          reference always sorts unbounded in memory, making every such
+          scenario a spilled-vs-in-memory byte comparison. Corpus lines
+          predating the knob parse as [false] (in-memory sorts). *)
 }
+
+val spill_budget : int
+(** The forced [sort_budget_rows] applied when a config's [spill] is on. *)
 
 val reference_config : config
 (** [{workers = 1; ppk_k = 1; ppk_prefetch = 0; indexes = false;
-    cost_based = false}] (informational). *)
+    cost_based = false; spill = false}] (informational). *)
 
 val generate_config : Random.State.t -> config
 val config_to_string : config -> string

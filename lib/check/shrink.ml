@@ -10,6 +10,7 @@ let scenario_size s =
   + s.spec.Catalog.regions + s.config.Oracle.workers + s.config.Oracle.ppk_k
   + s.config.Oracle.ppk_prefetch
   + (if s.config.Oracle.indexes then 1 else 0)
+  + (if s.config.Oracle.spill then 1 else 0)
 
 (* halve-then-floor steps for one integer field; [floor] is the smallest
    admissible value *)
@@ -44,7 +45,8 @@ let config_candidates (c : Oracle.config) =
       List.map
         (fun v -> { c with Oracle.ppk_prefetch = v })
         (int_steps c.Oracle.ppk_prefetch ~floor:0);
-      (if c.Oracle.indexes then [ { c with Oracle.indexes = false } ] else [])
+      (if c.Oracle.indexes then [ { c with Oracle.indexes = false } ] else []);
+      (if c.Oracle.spill then [ { c with Oracle.spill = false } ] else [])
     ]
 
 let candidates s =

@@ -26,6 +26,8 @@ type stream_wrapper =
   Metadata.function_def -> Item.sequence list -> (unit -> Item.t Seq.t) ->
   Item.t Seq.t
 
+type spill_report = runs:int -> rows:int -> bytes:int -> peak:int -> unit
+
 type rt = {
   registry : Metadata.t;
   call_wrapper : call_wrapper;
@@ -34,6 +36,13 @@ type rt = {
   pool : Pool.t;
   observed : Observed.t option;
   concurrent_lets : bool;
+  sort_budget_rows : int option;
+      (* in-memory row budget for the blocking operators; None sorts in
+         memory, Some n routes ORDER BY and the unclustered GROUP BY
+         fallback through Extsort *)
+  on_spill : spill_report;
+      (* called once per sort that actually spilled — the server rolls
+         these into its stats *)
   (* Compiled function bodies, lazily lowered on first call and memoized
      per (name, arity); dropped wholesale when the registry's generation
      moves so a redefined function never runs its old plan. *)
@@ -44,10 +53,11 @@ type rt = {
 
 let runtime ?(call_wrapper = fun _ _ k -> k ())
     ?(stream_wrapper = fun _ _ k -> k ()) ?pool ?observed
-    ?(concurrent_lets = true) registry =
+    ?(concurrent_lets = true) ?sort_budget_rows
+    ?(on_spill = fun ~runs:_ ~rows:_ ~bytes:_ ~peak:_ -> ()) registry =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   { registry; call_wrapper; stream_wrapper; max_depth = 256; pool; observed;
-    concurrent_lets;
+    concurrent_lets; sort_budget_rows; on_spill;
     body_plans = Hashtbl.create 16; body_mu = Mutex.create ();
     body_gen = Metadata.generation registry }
 
@@ -72,6 +82,52 @@ let lookup env v =
   | None -> error "unbound variable $%s at runtime" v
 
 let bind env v seq = Env.add v (Now seq) env
+
+(* Spilling an environment to disk requires it to be pure data: [Later]
+   bindings hold pool futures (closures), so they are awaited into values
+   first. Only envs headed for a spill file pay this — the in-memory
+   paths keep bindings lazy as before. *)
+let materialize_env env =
+  Env.map
+    (function
+      | Now _ as b -> b
+      | Later (pool, fut) -> Now (Pool.await pool fut))
+    env
+
+(* Route a keyed sequence through the external sort under the runtime's
+   row budget, accounting the spill into the operator's counters (and the
+   server's rollup) once the sort completes or aborts. Zero-spill sorts
+   leave the counters untouched, so EXPLAIN renders exactly as before. *)
+let spill_sort rt counters ~budget ~cmp seq =
+  let stats = Extsort.zero_stats () in
+  let reported = ref false in
+  let finish () =
+    if not !reported then begin
+      reported := true;
+      if stats.Extsort.runs_spilled > 0 then begin
+        counters.c_spill_runs <-
+          counters.c_spill_runs + stats.Extsort.runs_spilled;
+        counters.c_spill_rows <-
+          counters.c_spill_rows + stats.Extsort.rows_spilled;
+        counters.c_spill_bytes <-
+          counters.c_spill_bytes + stats.Extsort.bytes_spilled;
+        counters.c_merge_fanin <-
+          max counters.c_merge_fanin stats.Extsort.merge_fanin;
+        rt.on_spill ~runs:stats.Extsort.runs_spilled
+          ~rows:stats.Extsort.rows_spilled ~bytes:stats.Extsort.bytes_spilled
+          ~peak:stats.Extsort.peak_resident
+      end
+    end
+  in
+  let out = Extsort.sort ~stats ~budget_rows:(Some budget) ~cmp seq in
+  let rec go s () =
+    match (try s () with e -> finish (); raise e) with
+    | Seq.Nil ->
+      finish ();
+      Seq.Nil
+    | Seq.Cons (x, rest) -> Seq.Cons (x, go rest)
+  in
+  go out
 
 (* ------------------------------------------------------------------ *)
 (* Total order on atoms, for sorting and grouping: comparable values
@@ -644,8 +700,8 @@ and tuples fr env0 (input : env Seq.t) (ops : op list) : env Seq.t =
       | O_select cond ->
         Seq.filter (fun env -> ebv (exec fr env cond)) input
       | O_group { aggs; keys; clustered } ->
-        exec_group fr input aggs keys clustered
-      | O_sort { keys } -> exec_order fr input keys
+        exec_group fr op.op_counters input aggs keys clustered
+      | O_sort { keys } -> exec_order fr op.op_counters input keys
       | O_join { kind; method_; right; on_; equi; export } ->
         exec_join fr env0 input kind method_ right on_ equi export
       | O_sql r ->
@@ -674,7 +730,7 @@ and bind_let_run fr env run =
       | _ -> env)
     env run
 
-and exec_group fr input aggs keys clustered =
+and exec_group fr counters input aggs keys clustered =
   (* the runtime has one grouping operator, which requires input clustered
      on the keys (§5.2); when the optimizer has established clustering the
      operator streams in constant memory, otherwise it sorts first — the
@@ -702,23 +758,58 @@ and exec_group fr input aggs keys clustered =
     in
     stream None input
   else
-    (* sort-based fallback; output groups in first-appearance order, the
-       same order a SQL GROUP BY over our executor produces *)
-    let keyed = List.map (fun env -> (key_of env, env)) (List.of_seq input) in
-    let seen = ref [] in
-    List.iter
-      (fun (key, env) ->
-        match
-          List.find_opt (fun (k, _) -> keys_equal k key) !seen
-        with
-        | Some (_, members) -> members := env :: !members
-        | None -> seen := !seen @ [ (key, ref [ env ]) ])
-      keyed;
-    List.to_seq
-      (List.map
-         (fun (key, members) ->
-           make_group_env aggs keys (key, List.rev !members))
-         !seen)
+    (* Sort-based fallback; output groups in first-appearance order, the
+       same order a SQL GROUP BY over our executor produces. Two stable
+       sorts under the runtime's row budget: by key, so equal keys become
+       adjacent and the clustered streaming logic above applies verbatim
+       to the precomputed keys; then groups by the input position of
+       their first member, which restores first-appearance order. Both
+       sorts spill through Extsort when a budget is set, and either way
+       this is O(n log n) — the old path grew a [seen] assoc list with a
+       linear scan per tuple. *)
+    let budget = fr.rt.sort_budget_rows in
+    let sortfn cmp seq =
+      match budget with
+      | None -> fun () -> List.to_seq (List.stable_sort cmp (List.of_seq seq)) ()
+      | Some b -> spill_sort fr.rt counters ~budget:b ~cmp seq
+    in
+    let indexed =
+      Seq.mapi
+        (fun i env ->
+          let key = key_of env in
+          let env =
+            match budget with Some _ -> materialize_env env | None -> env
+          in
+          (i, key, env))
+        input
+    in
+    let by_key =
+      sortfn (fun (_, ka, _) (_, kb, _) -> compare_keys_total ka kb) indexed
+    in
+    (* the clustered grouping step, on keys computed once above; each
+       emitted group is tagged with its first member's input position *)
+    let rec cluster pending seq () =
+      match seq () with
+      | Seq.Nil -> (
+        match pending with
+        | Some (i0, key, members) ->
+          Seq.Cons
+            ((i0, make_group_env aggs keys (key, List.rev members)), Seq.empty)
+        | None -> Seq.Nil)
+      | Seq.Cons ((i, key, env), rest) -> (
+        match pending with
+        | Some (i0, k0, members) when keys_equal key k0 ->
+          cluster (Some (i0, k0, env :: members)) rest ()
+        | Some (i0, k0, members) ->
+          Seq.Cons
+            ( (i0, make_group_env aggs keys (k0, List.rev members)),
+              cluster (Some (i, key, [ env ])) rest )
+        | None -> cluster (Some (i, key, [ env ])) rest ())
+    in
+    let by_appearance =
+      sortfn (fun (a, _) (b, _) -> compare a b) (cluster None by_key)
+    in
+    Seq.map snd by_appearance
 
 and make_group_env aggs keys (key, members) =
   let base = match members with env :: _ -> env | [] -> Env.empty in
@@ -734,14 +825,8 @@ and make_group_env aggs keys (key, members) =
       bind acc v_out combined)
     env aggs
 
-and exec_order fr input keys =
-  let tuples = List.of_seq input in
-  let keyed =
-    List.map
-      (fun env ->
-        (List.map (fun (e, _) -> atomize (exec fr env e)) keys, env))
-      tuples
-  in
+and exec_order fr counters input keys =
+  let key_of env = List.map (fun (e, _) -> atomize (exec fr env e)) keys in
   let cmp (ka, _) (kb, _) =
     let rec go ka kb ks =
       match (ka, kb, ks) with
@@ -761,7 +846,19 @@ and exec_order fr input keys =
     in
     go ka kb keys
   in
-  List.to_seq (List.map snd (List.stable_sort cmp keyed))
+  match fr.rt.sort_budget_rows with
+  | None ->
+    (* unbounded: the in-memory stable sort, exactly as before *)
+    let keyed = List.map (fun env -> (key_of env, env)) (List.of_seq input) in
+    List.to_seq (List.map snd (List.stable_sort cmp keyed))
+  | Some budget ->
+    (* bounded: runs of [budget] rows spill through Extsort and merge
+       back as a stream; same comparator, same stability, so the output
+       is byte-identical to the in-memory path *)
+    let keyed =
+      Seq.map (fun env -> (key_of env, materialize_env env)) input
+    in
+    Seq.map snd (spill_sort fr.rt counters ~budget ~cmp keyed)
 
 (* --------------------------- joins -------------------------------- *)
 

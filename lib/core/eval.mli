@@ -55,12 +55,19 @@ type stream_wrapper =
   Metadata.function_def -> Item.sequence list -> (unit -> Item.t Seq.t) ->
   Item.t Seq.t
 
+(** Invoked once per sort that actually spilled, with that sort's totals
+    (runs/rows/bytes written, peak resident rows) — the server rolls these
+    into {!Server.stats}. *)
+type spill_report = runs:int -> rows:int -> bytes:int -> peak:int -> unit
+
 val runtime :
   ?call_wrapper:call_wrapper ->
   ?stream_wrapper:stream_wrapper ->
   ?pool:Pool.t ->
   ?observed:Observed.t ->
   ?concurrent_lets:bool ->
+  ?sort_budget_rows:int ->
+  ?on_spill:spill_report ->
   Metadata.t ->
   rt
 (** [pool] (default {!Pool.default}) runs asynchronous source work —
@@ -71,7 +78,12 @@ val runtime :
     independent let-bound source calls to be submitted to the pool ahead of
     use; false evaluates every binding in place, in clause order — the
     strictly sequential behaviour the differential harness's reference
-    configuration relies on. *)
+    configuration relies on. [sort_budget_rows] bounds the blocking
+    operators' resident rows: ORDER BY and the unclustered GROUP BY
+    fallback route through {!Extsort}, spilling sorted runs to disk and
+    merging them back as a stream (results byte-identical; spill totals
+    land in the operator's {!Plan_ir.counters} and [on_spill]). Absent,
+    they sort in memory as before. *)
 
 val recoverable_failure : exn -> bool
 (** Whether the fail-over/timeout adaptors (§5.6) may recover from this

@@ -1,0 +1,341 @@
+(* Bounded-memory external merge sort. See extsort.mli for the contract.
+
+   Shape: accumulate up to [budget] rows, stable-sort the run, spill it as
+   Marshal-framed chunks to a file in a per-sort temp directory, repeat;
+   then k-way merge the run files back lazily. Stability comes from
+   stable-sorting each run and breaking merge ties toward the
+   earlier-numbered run; bounded fan-in comes from intermediate merge
+   passes that re-spill groups of [max_fanin] runs into single wider runs
+   until one final merge suffices. *)
+
+type stats = {
+  mutable runs_spilled : int;
+  mutable rows_spilled : int;
+  mutable bytes_spilled : int;
+  mutable merge_fanin : int;
+  mutable peak_resident : int;
+}
+
+let zero_stats () =
+  { runs_spilled = 0; rows_spilled = 0; bytes_spilled = 0; merge_fanin = 0;
+    peak_resident = 0 }
+
+let default_max_fanin = 64
+
+(* ------------------------------------------------------------------ *)
+(* Temp directories                                                    *)
+
+let dir_counter = ref 0
+let dir_mu = Mutex.create ()
+
+(* pid + process-wide counter: unique without consulting a random source *)
+let fresh_temp_dir parent =
+  let parent =
+    match parent with Some d -> d | None -> Filename.get_temp_dir_name ()
+  in
+  let rec try_ () =
+    let n =
+      Mutex.lock dir_mu;
+      incr dir_counter;
+      let n = !dir_counter in
+      Mutex.unlock dir_mu;
+      n
+    in
+    let path =
+      Filename.concat parent
+        (Printf.sprintf "aldsp-extsort-%d-%d" (Unix.getpid ()) n)
+    in
+    try
+      Unix.mkdir path 0o700;
+      path
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> try_ ()
+  in
+  try_ ()
+
+(* ------------------------------------------------------------------ *)
+(* Run files: a sequence of Marshal frames, each an ['a array] chunk.   *)
+
+let write_frames oc ~chunk_rows (rows : 'a array) =
+  let n = Array.length rows in
+  let bytes = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    Cancel.check_current ();
+    let len = min chunk_rows (n - !i) in
+    let frame = Marshal.to_bytes (Array.sub rows !i len) [] in
+    output_bytes oc frame;
+    bytes := !bytes + Bytes.length frame;
+    i := !i + len
+  done;
+  !bytes
+
+let write_run_file ~chunk_rows path (rows : 'a array) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> write_frames oc ~chunk_rows rows)
+
+let read_run_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           let frame : 'a array = Marshal.from_channel ic in
+           Array.iter (fun x -> acc := x :: !acc) frame
+         done
+       with End_of_file -> ());
+      List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Merge readers                                                       *)
+
+type 'a reader = {
+  run_no : int;  (* position of the run in input order: the tiebreak *)
+  ic : in_channel;
+  mutable frame : 'a array;
+  mutable idx : int;
+  mutable eof : bool;
+}
+
+(* [note] feeds the resident-row counter so [peak_resident] covers run
+   accumulation, loaded merge frames and re-spill buffers alike. *)
+let open_reader ~note run_no path =
+  let ic = open_in_bin path in
+  let r = { run_no; ic; frame = [||]; idx = 0; eof = false } in
+  (try
+     r.frame <- Marshal.from_channel ic;
+     note (Array.length r.frame)
+   with End_of_file ->
+     r.eof <- true;
+     close_in_noerr ic);
+  r
+
+let reader_peek r = if r.eof then None else Some r.frame.(r.idx)
+
+let reader_pop ~note r =
+  let x = r.frame.(r.idx) in
+  r.idx <- r.idx + 1;
+  note (-1);
+  if r.idx >= Array.length r.frame then begin
+    Cancel.check_current ();
+    try
+      r.frame <- Marshal.from_channel r.ic;
+      r.idx <- 0;
+      note (Array.length r.frame)
+    with End_of_file ->
+      r.eof <- true;
+      close_in_noerr r.ic
+  end;
+  x
+
+(* Linear-scan k-way min: fan-in is at most [max_fanin] (64), so a heap
+   buys nothing at these widths. Ties go to the lowest run number, which
+   is what makes the merge stable. *)
+let pick_min ~cmp readers =
+  let best = ref None in
+  List.iter
+    (fun r ->
+      match (reader_peek r, !best) with
+      | None, _ -> ()
+      | Some _, None -> best := Some r
+      | Some x, Some b -> (
+        match reader_peek b with
+        | Some y ->
+          let c = cmp x y in
+          if c < 0 || (c = 0 && r.run_no < b.run_no) then best := Some r
+        | None -> best := Some r))
+    readers;
+  !best
+
+(* ------------------------------------------------------------------ *)
+
+let sort ?stats ?temp_dir ?(max_fanin = default_max_fanin) ~budget_rows ~cmp
+    input =
+  let stats = match stats with Some s -> s | None -> zero_stats () in
+  match budget_rows with
+  | None ->
+    (* unbounded: the classic in-memory stable sort, still lazy *)
+    fun () -> List.to_seq (List.stable_sort cmp (List.of_seq input)) ()
+  | Some budget ->
+    let budget = max 1 budget in
+    let max_fanin = max 2 max_fanin in
+    (* frame chunks sized so a full-width merge holds at most
+       [max_fanin * chunk_rows <= budget] rows resident (budgets below
+       the fan-in degenerate to one-row frames) *)
+    let chunk_rows = max 1 (budget / max_fanin) in
+    let resident = ref 0 in
+    let note d =
+      resident := !resident + d;
+      if !resident > stats.peak_resident then stats.peak_resident <- !resident
+    in
+    let produce () =
+      (* First force: consume the input a run at a time. If it fits in
+         one budget's worth of rows, no file is ever created and the
+         stats stay zero — the spilling machinery below only engages on
+         the first overflow. *)
+      let buf = ref [||] in
+      let fill = ref 0 in
+      let dir = ref None in
+      let files = ref [] in
+      let run_count = ref 0 in
+      let cleaned = ref false in
+      let cleanup () =
+        if not !cleaned then begin
+          cleaned := true;
+          List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+            (List.rev !files);
+          match !dir with
+          | Some d -> ( try Unix.rmdir d with Unix.Unix_error _ -> ())
+          | None -> ()
+        end
+      in
+      let fresh_path () =
+        let d =
+          match !dir with
+          | Some d -> d
+          | None ->
+            let d = fresh_temp_dir temp_dir in
+            dir := Some d;
+            d
+        in
+        let path = Filename.concat d (Printf.sprintf "run-%06d" !run_count) in
+        incr run_count;
+        (* registered before the first write so an interrupted (or
+           cancelled) spill is still removed by [cleanup] *)
+        files := path :: !files;
+        path
+      in
+      let sorted_run () =
+        let run = Array.sub !buf 0 !fill in
+        Array.stable_sort cmp run;
+        run
+      in
+      let spill_run () =
+        let path = fresh_path () in
+        let bytes = write_run_file ~chunk_rows path (sorted_run ()) in
+        stats.runs_spilled <- stats.runs_spilled + 1;
+        stats.rows_spilled <- stats.rows_spilled + !fill;
+        stats.bytes_spilled <- stats.bytes_spilled + bytes;
+        note (- !fill);
+        fill := 0;
+        path
+      in
+      try
+        let spilled = ref [] in
+        Seq.iter
+          (fun x ->
+            if !fill >= budget then spilled := spill_run () :: !spilled;
+            if Array.length !buf = 0 then buf := Array.make budget x;
+            !buf.(!fill) <- x;
+            incr fill;
+            note 1)
+          input;
+        if !spilled = [] then begin
+          (* never overflowed: stay in memory, no files, zero stats *)
+          let run = sorted_run () in
+          note (- !fill);
+          buf := [||];
+          Array.to_seq run ()
+        end
+        else begin
+          if !fill > 0 then spilled := spill_run () :: !spilled;
+          buf := [||];
+          let runs = List.rev !spilled in
+          (* intermediate passes: merge groups of [max_fanin] runs into
+             single wider runs until one final merge suffices *)
+          let merge_to_file group out_path =
+            stats.merge_fanin <- max stats.merge_fanin (List.length group);
+            let readers = List.mapi (open_reader ~note) group in
+            let oc = open_out_bin out_path in
+            let out = ref [||] in
+            let out_fill = ref 0 in
+            let flush_out () =
+              if !out_fill > 0 then begin
+                Cancel.check_current ();
+                let frame = Marshal.to_bytes (Array.sub !out 0 !out_fill) [] in
+                output_bytes oc frame;
+                stats.bytes_spilled <- stats.bytes_spilled + Bytes.length frame;
+                stats.rows_spilled <- stats.rows_spilled + !out_fill;
+                note (- !out_fill);
+                out_fill := 0
+              end
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                close_out_noerr oc;
+                List.iter
+                  (fun r -> if not r.eof then close_in_noerr r.ic)
+                  readers)
+              (fun () ->
+                let rec loop () =
+                  match pick_min ~cmp readers with
+                  | None -> flush_out ()
+                  | Some r ->
+                    if !out_fill >= chunk_rows then flush_out ();
+                    let x = reader_pop ~note r in
+                    if Array.length !out = 0 then
+                      out := Array.make chunk_rows x;
+                    !out.(!out_fill) <- x;
+                    incr out_fill;
+                    note 1;
+                    loop ()
+                in
+                loop ());
+            stats.runs_spilled <- stats.runs_spilled + 1;
+            List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) group
+          in
+          let rec reduce paths =
+            if List.length paths <= max_fanin then paths
+            else begin
+              let rec split_groups acc cur n = function
+                | [] ->
+                  List.rev
+                    (if cur = [] then acc else List.rev cur :: acc)
+                | p :: rest ->
+                  if n >= max_fanin then
+                    split_groups (List.rev cur :: acc) [ p ] 1 rest
+                  else split_groups acc (p :: cur) (n + 1) rest
+              in
+              let merged =
+                List.map
+                  (function
+                    | [ single ] -> single
+                    | group ->
+                      let path = fresh_path () in
+                      merge_to_file group path;
+                      path)
+                  (split_groups [] [] 0 paths)
+              in
+              reduce merged
+            end
+          in
+          let finals = reduce runs in
+          stats.merge_fanin <- max stats.merge_fanin (List.length finals);
+          let readers = List.mapi (open_reader ~note) finals in
+          (* the final merge, lazily: each pull takes the minimum across
+             run heads, refilling frames as they drain *)
+          let rec emit () =
+            Cancel.check_current ();
+            match pick_min ~cmp readers with
+            | None ->
+              cleanup ();
+              Seq.Nil
+            | Some r -> Seq.Cons (reader_pop ~note r, emit)
+          in
+          (* any exception while merging (Cancelled included) removes the
+             temp files before propagating *)
+          let rec guard s () =
+            match (try s () with e -> cleanup (); raise e) with
+            | Seq.Nil -> Seq.Nil
+            | Seq.Cons (x, rest) -> Seq.Cons (x, guard rest)
+          in
+          guard emit ()
+        end
+      with e ->
+        cleanup ();
+        raise e
+    in
+    fun () -> produce ()

@@ -11,7 +11,19 @@ type options = {
   ppk_k : int;
   ppk_prefetch : int;
   view_cache_size : int;
+  sort_budget_rows : int option;
 }
+
+(* ALDSP_SORT_BUDGET=<rows> forces every server built with the default
+   options to spill its blocking sorts — the CI lever that exercises the
+   external-sort path under the whole tier-1 suite. *)
+let env_sort_budget =
+  match Sys.getenv_opt "ALDSP_SORT_BUDGET" with
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n > 0 -> Some n
+    | _ -> None)
+  | None -> None
 
 let default_options =
   { inline_views = true;
@@ -22,7 +34,8 @@ let default_options =
     cost_based = true;
     ppk_k = 20;
     ppk_prefetch = 1;
-    view_cache_size = 64 }
+    view_cache_size = 64;
+    sort_budget_rows = env_sort_budget }
 
 (* The differential-testing baseline: every compilation choice the paper
    treats as cost-only (§4, §5.2) switched off, so the plan is the
@@ -37,16 +50,20 @@ let reference_options =
     cost_based = false;
     ppk_k = 1;
     ppk_prefetch = 0;
-    view_cache_size = 64 }
+    view_cache_size = 64;
+    (* the reference always sorts in memory, whatever the environment
+       says: it is the unbounded baseline spilled runs are compared to *)
+    sort_budget_rows = None }
 
 (* Every field participates: two option records compile a query
    differently exactly when their fingerprints differ, which is what the
    plan cache keys on. *)
 let options_fingerprint o =
-  Printf.sprintf "iv=%b;ij=%b;ec=%b;inv=%b;pd=%b;cb=%b;k=%d;pf=%d;vc=%d"
+  Printf.sprintf "iv=%b;ij=%b;ec=%b;inv=%b;pd=%b;cb=%b;k=%d;pf=%d;vc=%d;sb=%s"
     o.inline_views o.introduce_joins o.eliminate_constructors
     o.use_inverse_functions o.pushdown o.cost_based o.ppk_k o.ppk_prefetch
     o.view_cache_size
+    (match o.sort_budget_rows with None -> "-" | Some n -> string_of_int n)
 
 type t = {
   registry : Metadata.t;

@@ -51,6 +51,16 @@ type options = {
           0 = strictly sequential roundtrips (the pre-pipelining
           behaviour); default 1. Results are identical at any depth. *)
   view_cache_size : int;
+  sort_budget_rows : int option;
+      (** In-memory row budget for the executor's blocking operators
+          (ORDER BY, the unclustered GROUP BY fallback). [Some n] routes
+          them through {!Extsort}: runs of [n] rows spill to disk and
+          merge back as a stream, keeping peak resident rows bounded by
+          the budget; [None] (the default) sorts in memory. Results are
+          byte-identical either way. The default is taken from the
+          [ALDSP_SORT_BUDGET] environment variable when set to a positive
+          integer (the CI forced-spill lever); {!reference_options} always
+          uses [None]. *)
 }
 
 val default_options : options

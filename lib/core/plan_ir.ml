@@ -14,6 +14,10 @@ type counters = {
   mutable c_wall : float;
   mutable c_first_row_ns : float;
   mutable c_peak_buffer : int;
+  mutable c_spill_runs : int;
+  mutable c_spill_rows : int;
+  mutable c_spill_bytes : int;
+  mutable c_merge_fanin : int;
 }
 
 type call_target =
@@ -97,7 +101,8 @@ and sql_region = {
 let zero () =
   { c_est = 0; c_starts = 0; c_rows = 0; c_roundtrips = 0; c_cache_hits = 0;
     c_cache_misses = 0; c_shared = 0; c_wall = 0.; c_first_row_ns = 0.;
-    c_peak_buffer = 0 }
+    c_peak_buffer = 0; c_spill_runs = 0; c_spill_rows = 0; c_spill_bytes = 0;
+    c_merge_fanin = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Lowering                                                            *)
@@ -418,7 +423,11 @@ let reset_counters p =
       c.c_shared <- 0;
       c.c_wall <- 0.;
       c.c_first_row_ns <- 0.;
-      c.c_peak_buffer <- 0)
+      c.c_peak_buffer <- 0;
+      c.c_spill_runs <- 0;
+      c.c_spill_rows <- 0;
+      c.c_spill_bytes <- 0;
+      c.c_merge_fanin <- 0)
     p;
   List.iter (fun r -> r.sql_backend <- []) (regions p)
 
@@ -581,6 +590,12 @@ let counters_suffix ~timings c =
     (* only after a streamed delivery of this plan, same reasoning *)
     @ (if c.c_peak_buffer > 0 then
          [ Printf.sprintf "peak-buffer=%d" c.c_peak_buffer ]
+       else [])
+    (* only when the operator actually spilled, so zero-spill plans (and
+       every golden) render exactly as before *)
+    @ (if c.c_spill_runs > 0 then
+         [ Printf.sprintf "spill=%d spill-rows=%d spill-bytes=%d fanin=%d"
+             c.c_spill_runs c.c_spill_rows c.c_spill_bytes c.c_merge_fanin ]
        else [])
     @ (if timings && c.c_wall > 0. then
          [ Printf.sprintf "wall=%.1fms" (c.c_wall *. 1000.) ]

@@ -48,6 +48,16 @@ type counters = {
           plan streamed (stamped on the root by the serving layer; bounded
           by the queue capacity). Rendered as [peak-buffer=N] only when
           positive, so non-streamed plans are unchanged. *)
+  mutable c_spill_runs : int;
+      (** Sorted runs this operator spilled to disk ({!Extsort}: ORDER BY
+          and the unclustered GROUP BY fallback under a
+          [sort_budget_rows]), counting intermediate merge passes.
+          Rendered with its three companions as
+          [spill=R spill-rows=N spill-bytes=B fanin=F] only when positive,
+          so in-memory sorts render exactly as before. *)
+  mutable c_spill_rows : int;  (** Rows written to spill files. *)
+  mutable c_spill_bytes : int;  (** Marshal frame bytes spilled. *)
+  mutable c_merge_fanin : int;  (** Widest merge fan-in performed. *)
 }
 
 (** What a call site resolved to at compile time (informational — the

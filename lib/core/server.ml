@@ -75,10 +75,16 @@ type t = {
          three steps that must not interleave with another session's
          analyze on the same (cached, shared) plan *)
   counter_lock : Mutex.t;
-      (* guards the two read-modify-write rollups below *)
+      (* guards the read-modify-write rollups below *)
   streamed_tokens : int ref;
   worst_misestimate : float ref;
       (* worst est-vs-actual cardinality ratio seen across executions *)
+  spill_runs : int ref;
+  spill_rows : int ref;
+  spill_bytes : int ref;
+  spill_peak_resident : int ref;
+      (* external-sort rollup: totals (and peak resident rows) across
+         every sort that spilled on this server *)
 }
 
 type stats = {
@@ -109,6 +115,14 @@ type stats = {
           accumulated IN-list roundtrip. *)
   st_dedup_roundtrips_saved : int;
       (** Backend roundtrips avoided by cross-session work sharing. *)
+  st_spill_runs : int;
+      (** Sorted runs spilled to disk by the external sort
+          ({!Optimizer.options}' [sort_budget_rows]), all queries. *)
+  st_spill_rows : int;  (** Rows written to spill files. *)
+  st_spill_bytes : int;  (** Marshal frame bytes spilled. *)
+  st_spill_peak_resident : int;
+      (** Peak rows any single spilling sort held resident — bounded by
+          the sort budget. 0 when nothing spilled. *)
 }
 
 let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
@@ -119,6 +133,24 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     match security with Some s -> s | None -> Security.create ~audit ()
   in
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  let opts =
+    match optimizer_options with
+    | Some o -> o
+    | None -> Optimizer.default_options
+  in
+  let counter_lock = Mutex.create () in
+  let spill_runs = ref 0 in
+  let spill_rows = ref 0 in
+  let spill_bytes = ref 0 in
+  let spill_peak_resident = ref 0 in
+  let on_spill ~runs ~rows ~bytes ~peak =
+    Mutex.lock counter_lock;
+    spill_runs := !spill_runs + runs;
+    spill_rows := !spill_rows + rows;
+    spill_bytes := !spill_bytes + bytes;
+    if peak > !spill_peak_resident then spill_peak_resident := peak;
+    Mutex.unlock counter_lock
+  in
   let call_wrapper fd args compute =
     Audit.record audit ~category:"service-call"
       (Printf.sprintf "call %s/%d"
@@ -144,7 +176,7 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     produce ()
   in
   { registry;
-    optimizer = Optimizer.create ?options:optimizer_options registry;
+    optimizer = Optimizer.create ~options:opts registry;
     plan_cache = Plan_cache.create ~capacity:plan_cache_capacity;
     function_cache;
     security;
@@ -153,7 +185,8 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
     pool;
     runtime =
       Eval.runtime ~call_wrapper ~stream_wrapper ~pool ?observed
-        ?concurrent_lets registry;
+        ?concurrent_lets ?sort_budget_rows:opts.Optimizer.sort_budget_rows
+        ~on_spill registry;
     admission =
       { adm_max_active = max max_concurrent 1;
         adm_max_queue = max admission_queue 0;
@@ -171,9 +204,13 @@ let create ?optimizer_options ?(plan_cache_capacity = 128) ?function_cache
         adm_peak_active = 0;
         adm_peak_waiting = 0 };
     explain_lock = Mutex.create ();
-    counter_lock = Mutex.create ();
+    counter_lock;
     streamed_tokens = ref 0;
-    worst_misestimate = ref 1. }
+    worst_misestimate = ref 1.;
+    spill_runs;
+    spill_rows;
+    spill_bytes;
+    spill_peak_resident }
 
 (* The differential-testing oracle (see lib/check): every cost-only
    compilation and execution choice disabled — no pushdown, a single
@@ -238,7 +275,11 @@ let stats t =
         | None -> 0);
     st_batch_merges = backend.Aldsp_relational.Database.batch_merges;
     st_dedup_roundtrips_saved =
-      backend.Aldsp_relational.Database.dedup_roundtrips_saved }
+      backend.Aldsp_relational.Database.dedup_roundtrips_saved;
+    st_spill_runs = !(t.spill_runs);
+    st_spill_rows = !(t.spill_rows);
+    st_spill_bytes = !(t.spill_bytes);
+    st_spill_peak_resident = !(t.spill_peak_resident) }
 
 (* Cross-session work sharing is a property of the backends this server
    fronts: flip every registered database. Function-cache miss

@@ -84,6 +84,16 @@ type stats = {
   st_dedup_roundtrips_saved : int;
       (** Backend roundtrips avoided by cross-session work sharing;
           0 unless {!set_work_sharing} is on. *)
+  st_spill_runs : int;
+      (** Sorted runs the external sort ({!Extsort}) spilled to disk
+          across every query on this server; 0 unless
+          {!Optimizer.options}' [sort_budget_rows] is set and a blocking
+          sort overflowed it. *)
+  st_spill_rows : int;  (** Rows written to spill files. *)
+  st_spill_bytes : int;  (** Marshal frame bytes spilled. *)
+  st_spill_peak_resident : int;
+      (** Peak rows any single spilling sort held resident at once;
+          bounded by the configured budget. *)
 }
 
 val create :

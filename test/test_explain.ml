@@ -204,6 +204,54 @@ let test_compile_once_execute_twice () =
     (Server.plan_cache_misses server)
 
 (* ------------------------------------------------------------------ *)
+(* spill= rendering: present with its companions exactly when the sort
+   overflowed its budget, absent otherwise                              *)
+
+(* a sort key the SQL translator cannot push, so the ORDER BY runs in
+   the middleware where the budget applies *)
+let spill_query =
+  "for $c in CUSTOMER() order by fn:string-length($c/FIRST_NAME) mod 3, \
+   $c/CID descending return $c/CID"
+
+let spill_demo budget customers =
+  Aldsp_demo.Demo.create ~customers ~orders_per_customer:1
+    ~optimizer_options:
+      { Optimizer.default_options with Optimizer.sort_budget_rows = budget }
+    ()
+
+let test_spill_counters () =
+  (* 12 rows through a 2-row budget: the sort must spill and say so *)
+  let demo = spill_demo (Some 2) 12 in
+  let text = ok_exn (Server.explain demo.Aldsp_demo.Demo.server spill_query) in
+  check_bool "sort stayed in the middleware" true (contains text "sort");
+  check_bool "spill= rendered on the sort line" true (contains text "spill=");
+  check_bool "spilled every row" true (contains text "spill-rows=12");
+  check_bool "spill bytes rendered" true (contains text "spill-bytes=");
+  check_bool "merge fan-in rendered" true (contains text "fanin=");
+  (* and the server's rollup agrees *)
+  let st = Server.stats demo.Aldsp_demo.Demo.server in
+  check_bool "st_spill_runs rolled up" true (st.Server.st_spill_runs >= 6);
+  check_int "st_spill_rows rolled up" 12 st.Server.st_spill_rows;
+  check_bool "st_spill_bytes rolled up" true (st.Server.st_spill_bytes > 0);
+  check_bool "peak resident recorded" true (st.Server.st_spill_peak_resident > 0)
+
+let test_zero_spill_renders_as_before () =
+  (* same query, unbounded budget: not a byte of spill output *)
+  let demo = spill_demo None 12 in
+  let unbounded =
+    ok_exn (Server.explain demo.Aldsp_demo.Demo.server spill_query)
+  in
+  check_bool "no spill fields" true (not (contains unbounded "spill"));
+  check_bool "no fanin field" true (not (contains unbounded "fanin="));
+  let st = Server.stats demo.Aldsp_demo.Demo.server in
+  check_int "no spill rollup" 0 st.Server.st_spill_runs;
+  (* a budget the input never overflows is also spill-free *)
+  let roomy = spill_demo (Some 1000) 12 in
+  let text = ok_exn (Server.explain roomy.Aldsp_demo.Demo.server spill_query) in
+  check_bool "roomy budget never spills" true (not (contains text "spill"));
+  check_string "roomy budget renders identically" unbounded text
+
+(* ------------------------------------------------------------------ *)
 (* Golden EXPLAIN renderings across the five dialects                  *)
 
 (* EXPERIMENTS.md pattern-catalog queries (Tables 1-2) plus the
@@ -240,7 +288,16 @@ let explain_catalog vendor =
       regions = 3 }
   in
   let cat = Catalog.build spec in
-  let server = Server.create cat.Catalog.registry in
+  (* budget pinned to unbounded so the goldens stay byte-stable however
+     ALDSP_SORT_BUDGET is set in the environment (the CI forced-spill
+     run); zero-spill rendering is pinned by these files, spilling
+     rendering by test_spill_counters *)
+  let server =
+    Server.create
+      ~optimizer_options:
+        { Optimizer.default_options with Optimizer.sort_budget_rows = None }
+      cat.Catalog.registry
+  in
   let buf = Buffer.create 4096 in
   List.iter
     (fun (name, q) ->
@@ -297,6 +354,10 @@ let () =
       ( "plan-cache",
         [ t "stale generations recompile" test_plan_cache_staleness;
           t "compile once, execute twice" test_compile_once_execute_twice ] );
+      ( "spill",
+        [ t "spill= counters on a spilled sort" test_spill_counters;
+          t "zero-spill plans render as before"
+            test_zero_spill_renders_as_before ] );
       ( "golden",
         Array.to_list
           (Array.map

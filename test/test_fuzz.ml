@@ -241,6 +241,34 @@ let test_cost_based_agrees () =
       (Gen.render s.Shrink.query)
   done
 
+(* The external sort must be invisible in results: every corpus entry
+   and the head of the scenario stream re-run with [spill] forced on — a
+   tiny row budget (Oracle.spill_budget) makes every ORDER BY and
+   unclustered GROUP BY spill sorted runs to disk and merge them back —
+   compared byte-for-byte against the unbounded in-memory reference. *)
+let test_spill_agrees () =
+  let check_one what cat config query =
+    let config = { config with Oracle.spill = true } in
+    match Oracle.compare_query cat config query with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s (spill forced on) disagrees:\n%s" what e
+  in
+  List.iter
+    (fun path ->
+      match Harness.corpus_entry_of_string (read_file path) with
+      | Error e -> Alcotest.failf "%s: %s" path e
+      | Ok (spec, config, query) ->
+        check_one path (Catalog.build spec) config query)
+    (corpus_files ());
+  for index = 0 to 19 do
+    let s = Harness.scenario_of ~seed:slice_seed ~index in
+    check_one
+      (Printf.sprintf "scenario %d" index)
+      (Catalog.build s.Shrink.spec)
+      s.Shrink.config
+      (Gen.render s.Shrink.query)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Concurrent serving-layer oracle: a bounded fixed-seed slice of the
    stream bin/fuzz --concurrent-sessions walks, plus an explicit
@@ -289,7 +317,8 @@ let () =
       ( "corpus",
         [ Alcotest.test_case "replay" `Quick test_corpus_replay;
           Alcotest.test_case "cost-based agrees" `Slow
-            test_cost_based_agrees ] );
+            test_cost_based_agrees;
+          Alcotest.test_case "spill agrees" `Slow test_spill_agrees ] );
       ( "concurrent",
         [ Alcotest.test_case "bounded slice" `Slow test_concurrent_slice;
           Alcotest.test_case "indexes x cost-based matrix" `Slow
